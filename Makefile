@@ -1,0 +1,39 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench reports figures examples all clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+reports:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-disable -q
+	$(PYTHON) tools/comparison.py -dirname benchmarks/results
+
+figures: reports
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/characteristics_advection.py 0 3
+	$(PYTHON) examples/advection_1d.py 256 1024 3
+	$(PYTHON) examples/nonuniform_mesh.py
+	$(PYTHON) examples/spline2d_field.py
+	$(PYTHON) examples/portability_report.py
+
+# The paper-sized run (slower; the sizes of §IV).
+paper-size:
+	REPRO_NX=1000 REPRO_NV=100000 $(PYTHON) -m pytest \
+		benchmarks/bench_table3_optimizations.py --benchmark-disable -q -s
+
+all: test reports bench
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,74 @@
+"""Ablation — COO drop tolerance vs corner-block nnz and solution accuracy.
+
+The paper stores the corner block β ("48 non-zeros of a (999, 1) block")
+after dropping negligible entries; this ablation quantifies the trade-off
+the design point sits on: a looser tolerance shrinks nnz (less spmv work)
+but injects error, a tighter one keeps round-off-level accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import BSplineSpec, SchurSolver
+
+
+def render_droptol(nx: int) -> str:
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    rng = np.random.default_rng(7)
+    x_true = rng.standard_normal((nx, 16))
+    b = a @ x_true
+    table = Table(
+        f"Ablation — β drop tolerance (degree-3 uniform, N = {nx})",
+        ["drop_tol", "nnz(beta)", "nnz(lambda)", "max rel error"],
+    )
+    for tol in (1e-2, 1e-4, 1e-8, 1e-12, 1e-15, 0.0):
+        solver = SchurSolver(a, drop_tol=tol)
+        work = b.copy()
+        solver.solve(work, version=2)
+        err = np.max(np.abs(work - x_true)) / np.max(np.abs(x_true))
+        table.add_row(tol, solver.beta_coo.nnz, solver.lam_coo.nnz, err)
+    return table.render()
+
+
+def test_droptol_report(write_result, nx):
+    write_result("ablation_droptol", render_droptol(nx))
+
+
+def test_tight_tolerance_is_roundoff_accurate(nx):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    rng = np.random.default_rng(7)
+    x_true = rng.standard_normal((nx, 4))
+    b = a @ x_true
+    solver = SchurSolver(a, drop_tol=1e-15)
+    solver.solve(b, version=2)
+    assert np.max(np.abs(b - x_true)) < 1e-10
+
+
+def test_loose_tolerance_shrinks_nnz_but_costs_accuracy(nx):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    loose = SchurSolver(a, drop_tol=1e-2)
+    tight = SchurSolver(a, drop_tol=1e-15)
+    assert loose.beta_coo.nnz < tight.beta_coo.nnz
+    rng = np.random.default_rng(7)
+    x_true = rng.standard_normal((nx, 4))
+    b_loose, b_tight = a @ x_true, a @ x_true
+    loose.solve(b_loose, version=2)
+    tight.solve(b_tight, version=2)
+    assert np.max(np.abs(b_loose - x_true)) > np.max(np.abs(b_tight - x_true))
+
+
+@pytest.mark.parametrize("tol", [1e-4, 1e-15])
+def test_v2_solve_speed_vs_droptol(benchmark, nx, tol):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    solver = SchurSolver(a, drop_tol=tol)
+    b = np.random.default_rng(0).standard_normal((nx, 4096))
+
+    def run():
+        solver.solve(b.copy(), version=2)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

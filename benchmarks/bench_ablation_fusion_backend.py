@@ -1,0 +1,125 @@
+"""Ablation — transpose fusion (§V-C future work) and execution backends.
+
+Two design dimensions beyond the paper's evaluated versions:
+
+* **transpose fusion**: the paper suggests fusing the Algorithm-2 transposes
+  with the spline building kernel.  ``SplineBuilder.solve_transposed``
+  implements it (cache-sized slab transposes inside the solve); this
+  ablation measures a full advection step with and without it.
+* **backends**: the serial per-RHS kernel (KokkosBatched style) under the
+  serial and threaded execution spaces vs the batch-vectorized kernel,
+  single-threaded and thread-slabbed.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.advection import BatchedAdvection1D
+from repro.bench import Table, default_field
+from repro.core import BSplineSpec, SplineBuilder
+from repro.xspace import get_execution_space
+
+
+def _advection_time(nx, nv, fuse, steps=2):
+    builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx))
+    adv = BatchedAdvection1D(
+        builder, np.linspace(-1, 1, nv), 0.01, fuse_transpose=fuse
+    )
+    f = default_field(adv.x, nv)
+    adv.step(f)  # warm-up
+    adv.result = type(adv.result)()
+    adv.run(f, steps)
+    return adv.result.seconds_total / steps, adv.result.seconds_transpose / steps
+
+
+def render_fusion(nx: int, nv: int) -> str:
+    from repro.perfmodel.devicesim import paper_simulators
+
+    t_std, tr_std = _advection_time(nx, nv, fuse=False)
+    t_fused, tr_fused = _advection_time(nx, nv, fuse=True)
+    table = Table(
+        f"Ablation — transpose fusion in Algorithm 2 (N = {nx}, batch = {nv})",
+        ["pipeline", "step [ms]", "transpose share [ms]", "speedup"],
+    )
+    table.add_row("host standard (2 full transposes)", t_std * 1e3,
+                  tr_std * 1e3, 1.0)
+    table.add_row("host fused (slab transposes in solve)", t_fused * 1e3,
+                  tr_fused * 1e3, t_std / t_fused)
+    # Device-model prediction of the same optimization (§V-C): on GPUs the
+    # batch-major gather penalty does not apply, so fusion is a pure win.
+    for name, sim in paper_simulators().items():
+        ts = sim.advection_time(1000, 100_000)
+        tf = sim.advection_time(1000, 100_000, fuse_transpose=True)
+        table.add_row(f"{name} model standard", ts * 1e3, "-", 1.0)
+        table.add_row(f"{name} model fused", tf * 1e3, "-", ts / tf)
+    return table.render()
+
+
+def _solve_time(builder, f, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        work = f.copy()
+        t0 = time.perf_counter()
+        builder.solve(work, in_place=True)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def render_backends(nx: int, nv: int) -> str:
+    spec = BSplineSpec(degree=3, n_points=nx)
+    f = default_field(np.linspace(0, 1, nx, endpoint=False), nv).T.copy()
+    variants = {
+        "vectorized / serial space": SplineBuilder(spec),
+        "vectorized / threads space": SplineBuilder(
+            spec, space=get_execution_space("threads")
+        ),
+        "serial kernels / serial space": SplineBuilder(spec, backend="serial"),
+        "serial kernels / threads space": SplineBuilder(
+            spec, backend="serial", space=get_execution_space("threads")
+        ),
+    }
+    # Per-RHS Python kernels are orders of magnitude slower; shrink their batch.
+    small = f[:, : max(8, nv // 200)].copy()
+    table = Table(
+        f"Ablation — solver backends (N = {nx})",
+        ["backend", "batch", "time [ms]", "us per RHS"],
+    )
+    for name, builder in variants.items():
+        data = small if name.startswith("serial") else f
+        t = _solve_time(builder, data)
+        table.add_row(name, data.shape[1], t * 1e3, t / data.shape[1] * 1e6)
+    return table.render()
+
+
+def test_fusion_report(write_result, nx, nv):
+    write_result("ablation_fusion", render_fusion(nx, nv))
+
+
+def test_backend_report(write_result, nx, nv):
+    write_result("ablation_backends", render_backends(nx, nv))
+
+
+def test_fused_not_slower(nx, nv):
+    t_std, _ = _advection_time(nx, nv, fuse=False)
+    t_fused, _ = _advection_time(nx, nv, fuse=True)
+    assert t_fused <= t_std * 1.25  # fusion must not lose meaningfully
+
+
+def test_vectorized_beats_serial_kernels(nx):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    f = default_field(np.linspace(0, 1, nx, endpoint=False), 64).T.copy()
+    t_vec = _solve_time(SplineBuilder(spec), f)
+    t_ser = _solve_time(SplineBuilder(spec, backend="serial"), f)
+    assert t_vec < t_ser
+
+
+@pytest.mark.parametrize("fuse", [False, True], ids=["standard", "fused"])
+def test_advection_fusion_speed(benchmark, nx, nv, fuse):
+    builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx))
+    adv = BatchedAdvection1D(
+        builder, np.linspace(-1, 1, nv), 0.01, fuse_transpose=fuse
+    )
+    f = default_field(adv.x, nv)
+    benchmark.pedantic(lambda: adv.step(f), rounds=3, iterations=1)

@@ -1,0 +1,93 @@
+"""Ablation — data-layout effect on the batched solve.
+
+The paper blames its weak CPU numbers on parallelizing over the contiguous
+dimension and leaves a layout abstraction as future work (§V-A).  This
+ablation measures the same effect in NumPy: solving the identical system
+with the right-hand-side block stored batch-contiguous (``C`` order on an
+``(n, batch)`` array — each vector update strides unit) versus
+matrix-contiguous (``F`` order — each update strides ``n``).  The
+RandomAccess-trait experiment (§IV-E: "negligible impact") maps to
+read-only vs writable matrix data, also measured.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import BSplineSpec, SchurSolver
+
+
+def _time_layout(solver, b, order: str, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        work = np.array(b, order=order, copy=True)
+        t0 = time.perf_counter()
+        solver.solve(work, version=2)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def render_layout(nx: int, nv: int) -> str:
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    solver = SchurSolver(a)
+    rng = np.random.default_rng(3)
+    b = rng.standard_normal((nx, nv))
+    t_c = _time_layout(solver, b, "C")
+    t_f = _time_layout(solver, b, "F")
+    # RandomAccess analogue: read-only factorized data.
+    solver_ro = SchurSolver(a)
+    solver_ro.q_plan.d.setflags(write=False)
+    solver_ro.q_plan.e.setflags(write=False)
+    t_ro = _time_layout(solver_ro, b, "C")
+    table = Table(
+        f"Ablation — RHS layout and read-only matrix (N = {nx}, batch = {nv})",
+        ["variant", "time [ms]", "relative"],
+    )
+    table.add_row("batch-contiguous (LayoutRight rows)", t_c * 1e3, 1.0)
+    table.add_row("matrix-contiguous (LayoutLeft rows)", t_f * 1e3, t_f / t_c)
+    table.add_row("read-only matrix (RandomAccess analogue)", t_ro * 1e3, t_ro / t_c)
+    return table.render()
+
+
+def test_layout_report(write_result, nx, nv):
+    write_result("ablation_layout", render_layout(nx, nv))
+
+
+def test_batch_contiguous_is_not_slower(nx, nv):
+    """On the vectorized backend the batch axis should be the fast axis."""
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    solver = SchurSolver(a)
+    b = np.random.default_rng(3).standard_normal((nx, nv))
+    t_c = _time_layout(solver, b, "C")
+    t_f = _time_layout(solver, b, "F")
+    assert t_c <= t_f * 1.25  # C-layout competitive or better
+
+def test_readonly_matrix_negligible(nx, nv):
+    """§IV-E: the RandomAccess trait had negligible impact."""
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    solver = SchurSolver(a)
+    b = np.random.default_rng(3).standard_normal((nx, nv))
+    t_rw = _time_layout(solver, b, "C")
+    solver.q_plan.d.setflags(write=False)
+    solver.q_plan.e.setflags(write=False)
+    t_ro = _time_layout(solver, b, "C")
+    assert t_ro == pytest.approx(t_rw, rel=0.5)
+
+
+@pytest.mark.parametrize("order", ["C", "F"])
+def test_layout_speed(benchmark, nx, nv, order):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    solver = SchurSolver(a)
+    b = np.random.default_rng(3).standard_normal((nx, nv))
+
+    def run():
+        work = np.array(b, order=order, copy=True)
+        solver.solve(work, version=2)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

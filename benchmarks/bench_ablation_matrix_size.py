@@ -1,0 +1,78 @@
+"""Ablation — matrix size vs batch size at fixed work.
+
+The paper's regime is "small matrix, huge batch" (n ≈ 1000, batch ≈ 1e5+).
+This ablation holds the total lattice points fixed and trades matrix size
+against batch size, exposing the two costs that bound the design space:
+
+* large batch / small n — the solver's *serial depth* (O(n) dependent
+  steps) is short and each step is a wide vector operation: the good
+  regime, where "parallelize only along the batch" (§II-C1) is enough;
+* small batch / large n — the serial depth dominates and the batch axis
+  is too narrow to amortize per-step overhead: the regime where the
+  Kokkos-kernels approach would need intra-solve parallelism.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import BSplineSpec, SplineBuilder
+
+
+def _solve_time(nx: int, nv: int, repeats: int = 3) -> float:
+    builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx))
+    rng = np.random.default_rng(1)
+    f = rng.standard_normal((nx, nv))
+    best = float("inf")
+    for _ in range(repeats):
+        work = f.copy()
+        t0 = time.perf_counter()
+        builder.solve(work, in_place=True)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def render_matrix_size(total_points: int) -> str:
+    table = Table(
+        f"Ablation — matrix size vs batch at fixed {total_points:.0e} points "
+        "(degree-3 uniform, v2)",
+        ["Nx (matrix)", "Nv (batch)", "time [ms]", "Mpoints/s"],
+    )
+    # The dense assembled matrix is O(nx^2); cap nx so the sweep stays in
+    # memory (the interesting crossover happens well below this anyway).
+    nx = 32
+    while nx * 8 <= total_points and nx <= 4096:
+        nv = max(total_points // nx, 1)
+        t = _solve_time(nx, nv)
+        table.add_row(nx, nv, t * 1e3, nx * nv / t / 1e6)
+        nx *= 4
+    return table.render()
+
+
+def test_matrix_size_report(write_result, nx, nv):
+    write_result("ablation_matrix_size", render_matrix_size(nx * nv))
+
+
+def test_small_matrix_huge_batch_is_the_fast_regime(nx, nv):
+    """Throughput at (small n, huge batch) beats (large n, small batch)."""
+    total = nx * nv
+    t_wide = _solve_time(32, total // 32)
+    t_deep = _solve_time(min(total // 8, 4096), 8)
+    throughput_wide = total / t_wide
+    throughput_deep = (min(total // 8, 4096) * 8) / t_deep
+    assert throughput_wide > throughput_deep
+
+
+@pytest.mark.parametrize("shape", [(32, 16384), (512, 1024), (4096, 128)],
+                         ids=["wide", "square", "deep"])
+def test_fixed_work_speed(benchmark, shape):
+    nx, nv = shape
+    builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx))
+    f = np.random.default_rng(1).standard_normal((nx, nv))
+
+    def run():
+        builder.solve(f.copy(), in_place=True)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,122 @@
+"""Ablation — the paper's §II-B argument, quantified.
+
+"Most of the batched solvers are optimized to deal with multiple matrices
+as well as multiple right-hand sides" — so what happens if the spline
+problem is forced into that standard shape, replicating the one fixed
+matrix across the batch (what naively calling a cuBLAS-style batched API
+would do)?
+
+* **memory**: the replicated matrix stack is ``batch × n × n`` doubles —
+  a factor ``n`` over the right-hand sides themselves (at the paper's
+  size, 800 TB vs 0.8 GB);
+* **work**: the same matrix is refactorized ``batch`` times, every step;
+* **time**: measured below for a host-sized problem.
+
+The single-matrix path (the paper's contribution) factorizes once and
+streams the batch.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import BSplineSpec, SchurSolver
+from repro.kbatched import batched_pttrf, batched_pttrs
+
+
+def _single_matrix_time(a, b, repeats=3):
+    solver = SchurSolver(a)
+    best = float("inf")
+    for _ in range(repeats):
+        w = b.copy()
+        t0 = time.perf_counter()
+        solver.solve(w, version=2)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _multi_matrix_time(d, e, b, repeats=3):
+    """Replicate the tridiagonal into a (batch, n) stack and factorize it
+    per solve, as a multiple-matrices batched API forces."""
+    batch = b.shape[1]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        d_stack = np.broadcast_to(d, (batch, d.size)).copy()
+        e_stack = np.broadcast_to(e, (batch, e.size)).copy()
+        batched_pttrf(d_stack, e_stack)
+        w = np.ascontiguousarray(b.T)
+        batched_pttrs(d_stack, e_stack, w)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def render_multimatrix(nx: int, nv: int) -> str:
+    # Compare on the open (non-cyclic) tridiagonal part so both paths
+    # solve the identical system.
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((nx, nv))
+    t_single = _single_matrix_time(a, b)
+    d = np.diag(a[: nx - 1, : nx - 1]).copy()
+    e = np.diag(a[: nx - 1, : nx - 1], 1).copy()
+    t_multi = _multi_matrix_time(d, e, b[: nx - 1])
+    mem_single = (2 * (nx - 1)) * 8 / 1e6  # factorized d + e
+    mem_multi = nv * (2 * (nx - 1)) * 8 / 1e6  # replicated stacks
+    table = Table(
+        f"Ablation — single-matrix vs replicated multi-matrix batching "
+        f"(N = {nx}, batch = {nv})",
+        ["approach", "time [ms]", "matrix memory [MB]", "relative"],
+    )
+    table.add_row("single matrix + RHS batch (paper)", t_single * 1e3,
+                  mem_single, 1.0)
+    table.add_row("replicated multi-matrix batch", t_multi * 1e3,
+                  mem_multi, t_multi / t_single)
+    table.add_row("paper-size extrapolation (1000 x 1e5)",
+                  "-", 100_000 * 2 * 999 * 8 / 1e6, "-")
+    return table.render()
+
+
+def test_multimatrix_report(write_result, nx, nv):
+    write_result("ablation_multimatrix", render_multimatrix(nx, nv))
+
+
+def test_replication_wastes_memory_by_factor_batch(nx, nv):
+    mem_single = 2 * (nx - 1) * 8
+    mem_multi = nv * 2 * (nx - 1) * 8
+    assert mem_multi == nv * mem_single
+
+
+def test_single_matrix_not_slower(nx, nv):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((nx, min(nv, 4000)))
+    t_single = _single_matrix_time(a, b)
+    d = np.diag(a[: nx - 1, : nx - 1]).copy()
+    e = np.diag(a[: nx - 1, : nx - 1], 1).copy()
+    t_multi = _multi_matrix_time(d, e, b[: nx - 1])
+    assert t_single < t_multi
+
+
+@pytest.mark.parametrize("approach", ["single", "multi"])
+def test_batching_approach_speed(benchmark, nx, approach):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    a = spec.make_space().collocation_matrix()
+    rng = np.random.default_rng(2)
+    b = rng.standard_normal((nx, 4000))
+    if approach == "single":
+        solver = SchurSolver(a)
+        benchmark.pedantic(
+            lambda: solver.solve(b.copy(), version=2), rounds=3, iterations=1
+        )
+    else:
+        d = np.diag(a[: nx - 1, : nx - 1]).copy()
+        e = np.diag(a[: nx - 1, : nx - 1], 1).copy()
+        benchmark.pedantic(
+            lambda: _multi_matrix_time(d, e, b[: nx - 1], repeats=1),
+            rounds=3, iterations=1,
+        )

@@ -1,0 +1,78 @@
+"""Ablation — solve precision (float64 vs float32).
+
+§V-B argues every spline kernel is memory bound; a clean falsifiable
+consequence is that halving the element size should halve the solve time.
+This ablation measures the v2 solve in both precisions and reports the
+speedup (≈2 confirms bandwidth-boundedness; ≈1 would mean compute/latency
+bound) along with the accuracy cost.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, default_field
+from repro.core import BSplineSpec, SplineBuilder
+
+
+def _measure(nx, nv, dtype, repeats=3):
+    builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx), dtype=dtype)
+    f = default_field(builder.interpolation_points(), nv).T.astype(dtype)
+    best = float("inf")
+    for _ in range(repeats):
+        work = f.copy()
+        t0 = time.perf_counter()
+        builder.solve(work, in_place=True)
+        best = min(best, time.perf_counter() - t0)
+    return best, builder
+
+
+def render_precision(nx: int, nv: int) -> str:
+    t64, b64 = _measure(nx, nv, np.float64)
+    t32, b32 = _measure(nx, nv, np.float32)
+    rng = np.random.default_rng(4)
+    f = rng.standard_normal((nx, 16))
+    ref = b64.solve(f)
+    approx = b32.solve(f.astype(np.float32)).astype(np.float64)
+    rel_err = np.max(np.abs(approx - ref)) / np.max(np.abs(ref))
+    table = Table(
+        f"Ablation — solve precision (degree-3 uniform, N = {nx}, batch = {nv})",
+        ["precision", "time [ms]", "speedup", "rel error vs float64"],
+    )
+    table.add_row("float64", t64 * 1e3, 1.0, 0.0)
+    table.add_row("float32", t32 * 1e3, t64 / t32, rel_err)
+    return table.render()
+
+
+def test_precision_report(write_result, nx, nv):
+    write_result("ablation_precision", render_precision(nx, nv))
+
+
+def test_float32_speedup_confirms_memory_bound(nx, nv):
+    """A bandwidth-bound kernel speeds up substantially at half the bytes."""
+    t64, _ = _measure(nx, nv, np.float64)
+    t32, _ = _measure(nx, nv, np.float32)
+    assert t32 < 0.8 * t64
+
+
+def test_float32_accuracy_adequate_for_interpolation(nx):
+    b64 = SplineBuilder(BSplineSpec(degree=3, n_points=nx))
+    b32 = SplineBuilder(BSplineSpec(degree=3, n_points=nx), dtype=np.float32)
+    rng = np.random.default_rng(4)
+    f = rng.standard_normal((nx, 4))
+    rel = np.max(np.abs(b32.solve(f.astype(np.float32)) - b64.solve(f)))
+    assert rel < 1e-3
+
+
+@pytest.mark.parametrize("dtype", [np.float64, np.float32],
+                         ids=["float64", "float32"])
+def test_solve_precision_speed(benchmark, nx, nv, dtype):
+    builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx), dtype=dtype)
+    f = default_field(builder.interpolation_points(), nv).T.astype(dtype)
+
+    def run():
+        work = f.copy()
+        builder.solve(work, in_place=True)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

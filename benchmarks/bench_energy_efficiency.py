@@ -1,0 +1,54 @@
+"""Energy efficiency (extension) — GLUPS per watt across the Table-II devices.
+
+The paper lists each processor's TDP (Table II) but does not derive energy
+efficiency; this bench does, combining the device model's advection times
+with the TDP-bound energy estimate.  A second axis the portability
+discussion cares about: the architecture that wins on time does not
+automatically win per joule.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.perfmodel import PAPER_DEVICES
+from repro.perfmodel.devicesim import paper_simulators
+from repro.perfmodel.metrics import energy_joules, glups, glups_per_watt
+
+
+def render_energy(nx: int = 1024, nv: int = 100_000) -> str:
+    sims = paper_simulators()
+    table = Table(
+        f"Energy efficiency of one advection step (model, N = {nx}, Nv = {nv})",
+        ["device", "time [ms]", "GLUPS", "energy [J]", "GLUPS/W", "TDP [W]"],
+    )
+    for dev in PAPER_DEVICES:
+        t = sims[dev.name].advection_time(nx, nv)
+        table.add_row(
+            dev.name,
+            t * 1e3,
+            glups(nx, nv, t),
+            energy_joules(dev, t),
+            glups_per_watt(nx, nv, t, dev),
+            dev.tdp_watts,
+        )
+    return table.render()
+
+
+def test_energy_report(write_result):
+    write_result("energy_efficiency", render_energy())
+
+
+def test_gpus_more_energy_efficient_than_cpu():
+    """The bandwidth-per-watt advantage of the GPUs must show up as
+    GLUPS/W (the architectural driver of GPU-first HPC procurement)."""
+    sims = paper_simulators()
+    gpw = {}
+    for dev in PAPER_DEVICES:
+        t = sims[dev.name].advection_time(1024, 100_000)
+        gpw[dev.name] = glups_per_watt(1024, 100_000, t, dev)
+    assert gpw["A100"] > gpw["Icelake"]
+    assert gpw["MI250X"] > gpw["Icelake"]
+
+
+def test_energy_model_speed(benchmark):
+    benchmark(lambda: render_energy(256, 1000))

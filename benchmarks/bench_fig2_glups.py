@@ -1,0 +1,142 @@
+"""Fig. 2 — GLUPS of the 1-D batched advection vs batch size.
+
+Six panels in the paper: {Icelake, A100, MI250X} × {Kokkos-kernels,
+Ginkgo}, each with six curves (degree 3/4/5 × uniform/non-uniform).
+Here:
+
+* the three *device* panels are regenerated from the calibrated simulator
+  (series printed as data columns);
+* a *host* panel is measured for real — full Algorithm-2 steps through the
+  direct and the iterative builders.
+
+Shape claims: Kokkos-kernels ≫ Ginkgo everywhere; GLUPS rises with N_v
+then saturates; uniform ≥ non-uniform; lower degree is faster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import fig2_batch_sweep, format_series, make_advection_workload
+from repro.core import GinkgoSplineBuilder
+from repro.core.spec import paper_configurations
+from repro.perfmodel.devicesim import paper_simulators
+
+# Representative iteration counts for the Ginkgo panels (Table IV measured
+# values; the device model consumes them as inputs).
+TABLE4_ITERS = {
+    (3, True): {"gmres": 17, "bicgstab": 10},
+    (4, True): {"gmres": 22, "bicgstab": 14},
+    (5, True): {"gmres": 30, "bicgstab": 21},
+    (3, False): {"gmres": 24, "bicgstab": 14},
+    (4, False): {"gmres": 32, "bicgstab": 21},
+    (5, False): {"gmres": 41, "bicgstab": 28},
+}
+
+
+def render_fig2_model(nx: int = 1024, max_nv: int = 100_000) -> str:
+    sweep = fig2_batch_sweep(max_nv)
+    sims = paper_simulators()
+    chunks = []
+    for name, sim in sims.items():
+        solver = "gmres" if name == "Icelake" else "bicgstab"
+        cols = 8192 if name == "Icelake" else 65535
+        for spec in paper_configurations(64):
+            key = (spec.degree, spec.uniform)
+            direct = [
+                sim.glups(nx, nv, degree=spec.degree, uniform=spec.uniform)
+                for nv in sweep
+            ]
+            ginkgo = [
+                sim.glups(
+                    nx, nv, method="ginkgo",
+                    iterations=TABLE4_ITERS[key][solver],
+                    solver=solver, cols_per_chunk=cols,
+                )
+                for nv in sweep
+            ]
+            chunks.append(format_series(
+                f"{name} / Kokkos-kernels / {spec.label}", sweep, direct,
+                "Nv", "GLUPS"))
+            chunks.append(format_series(
+                f"{name} / Ginkgo ({solver}) / {spec.label}", sweep, ginkgo,
+                "Nv", "GLUPS"))
+    return "\n\n".join(chunks)
+
+
+def measure_host_series(nx: int, sweep, degree=3, uniform=True, method="direct"):
+    out = []
+    for nv in sweep:
+        if method == "direct":
+            adv, f = make_advection_workload(nx, nv, degree=degree, uniform=uniform)
+        elif method == "ginkgo-bicgstab":
+            adv, f = make_advection_workload(
+                nx, nv, degree=degree, uniform=uniform,
+                builder_cls=GinkgoSplineBuilder,
+                solver="bicgstab", tolerance=1e-14, cols_per_chunk=1024,
+            )
+        else:
+            adv, f = make_advection_workload(
+                nx, nv, degree=degree, uniform=uniform,
+                builder_cls=GinkgoSplineBuilder,
+                solver="gmres", tolerance=1e-14, cols_per_chunk=1024, restart=40,
+            )
+        adv.step(f)  # warm-up
+        adv.result = type(adv.result)()
+        adv.run(f, steps=2)
+        out.append(adv.result.glups(nx, nv))
+    return out
+
+
+def render_fig2_host(nx: int, max_nv: int) -> str:
+    sweep = fig2_batch_sweep(max_nv, points_per_decade=1)
+    chunks = []
+    for degree, uniform in ((3, True), (5, True), (3, False)):
+        label = f"degree {degree} {'uniform' if uniform else 'non-uniform'}"
+        direct = measure_host_series(nx, sweep, degree, uniform, "direct")
+        chunks.append(format_series(
+            f"host (measured) / Kokkos-kernels path / {label}",
+            sweep, direct, "Nv", "GLUPS"))
+    for solver in ("gmres", "ginkgo-bicgstab"):
+        name = "bicgstab" if "bicgstab" in solver else "gmres"
+        series = measure_host_series(nx, sweep, 3, True, solver)
+        chunks.append(format_series(
+            f"host (measured) / Ginkgo path ({name}) / degree 3 uniform",
+            sweep, series, "Nv", "GLUPS"))
+    return "\n\n".join(chunks)
+
+
+def test_fig2_model_report(write_result):
+    write_result("fig2_glups_model", render_fig2_model())
+
+
+def test_fig2_host_report(write_result, nx, nv):
+    write_result("fig2_glups_host", render_fig2_host(nx, nv))
+
+
+def test_direct_beats_iterative_on_host(nx):
+    """Fig. 2's headline holds on real hardware too."""
+    sweep = [2000]
+    direct = measure_host_series(nx, sweep, method="direct")[0]
+    ginkgo = measure_host_series(nx, sweep, method="ginkgo")[0]
+    assert direct > ginkgo
+
+
+def test_host_glups_sane_across_batch(nx):
+    """On a cache-hierarchy CPU the GLUPS curve need not be monotone (the
+    paper's own Icelake panel is far from ideal and §V-A blames the
+    layout); assert the measured curve is positive and smooth — the
+    monotone-rise claim is asserted for the device model in
+    tests/test_perfmodel.py instead."""
+    small, large = measure_host_series(nx, [100, 10_000], method="direct")
+    assert small > 0 and large > 0
+    assert max(small, large) / min(small, large) < 10.0
+
+
+@pytest.mark.parametrize("degree,uniform", [(3, True), (5, True), (3, False)])
+def test_advection_step_speed(benchmark, nx, nv, degree, uniform):
+    adv, f = make_advection_workload(nx, nv, degree=degree, uniform=uniform)
+
+    def run():
+        adv.step(f)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

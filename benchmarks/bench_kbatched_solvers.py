@@ -1,0 +1,82 @@
+"""Microbenchmarks of the batched solvers (the paper's first contribution).
+
+Per-solver achieved bandwidth on the host for the batched ``pttrs`` /
+``pbtrs`` / ``gbtrs`` / ``getrs`` kernels, at the ideal-traffic metric the
+paper uses (one load + store of the RHS block).  Complements Table V by
+isolating the solvers from the corner updates.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table
+from repro.core import BSplineSpec, make_plan
+from repro.core.bsplines import split_cyclic_banded
+from repro.perfmodel import achieved_bandwidth_gbs
+
+
+def _plan_for(degree: int, uniform: bool, nx: int):
+    a = BSplineSpec(degree=degree, n_points=nx, uniform=uniform).make_space() \
+        .collocation_matrix()
+    q = split_cyclic_banded(a).q
+    return make_plan(q)
+
+
+def render_solver_bandwidths(nx: int, nv: int) -> str:
+    rng = np.random.default_rng(11)
+    table = Table(
+        f"Batched solver bandwidth on host (n = {nx}-ish, batch = {nv})",
+        ["solver", "config", "time [ms]", "ideal B/W [GB/s]"],
+    )
+    for degree, uniform in ((3, True), (4, True), (3, False), (5, False)):
+        plan = _plan_for(degree, uniform, nx)
+        b = rng.standard_normal((plan.n, nv))
+        best = float("inf")
+        for _ in range(3):
+            work = b.copy()
+            t0 = time.perf_counter()
+            plan.solve(work)
+            best = min(best, time.perf_counter() - t0)
+        bw = achieved_bandwidth_gbs(plan.n, nv, best)
+        label = f"deg {degree} {'uni' if uniform else 'non-uni'}"
+        table.add_row(plan.solver_name, label, best * 1e3, bw)
+    return table.render()
+
+
+def test_solver_bandwidth_report(write_result, nx, nv):
+    write_result("kbatched_solver_bandwidths", render_solver_bandwidths(nx, nv))
+
+
+def test_pttrs_is_fastest_solver(nx, nv):
+    """Table V's driver: the tridiagonal path beats the banded paths."""
+    rng = np.random.default_rng(11)
+
+    def best_time(plan):
+        b = rng.standard_normal((plan.n, nv))
+        best = float("inf")
+        for _ in range(3):
+            work = b.copy()
+            t0 = time.perf_counter()
+            plan.solve(work)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_ptt = best_time(_plan_for(3, True, nx))
+    t_gbt = best_time(_plan_for(5, False, nx))
+    assert t_ptt < t_gbt
+
+
+@pytest.mark.parametrize(
+    "degree,uniform", [(3, True), (4, True), (3, False), (5, False)],
+    ids=["pttrs", "pbtrs", "gbtrs-d3", "gbtrs-d5"],
+)
+def test_batched_solver_speed(benchmark, nx, nv, degree, uniform):
+    plan = _plan_for(degree, uniform, nx)
+    b = np.random.default_rng(11).standard_normal((plan.n, nv))
+
+    def run():
+        plan.solve(b.copy())
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

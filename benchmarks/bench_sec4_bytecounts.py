@@ -1,0 +1,54 @@
+"""§IV profiling numbers — Nsight byte counts, reproduced by the traffic model.
+
+The paper justifies each optimization with measured GB loaded/stored on the
+A100 for (N_x, N_v) = (1000, 100000).  Our counters recompute those from
+first principles; this benchmark prints the side-by-side comparison.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.perfmodel.counters import solver_traffic, version_traffic
+
+PAPER = {
+    "pttrs alone (baseline)": (1.58, 1.56),
+    "fused kernel (v1)": (3.16, 2.37),
+    "spmv kernel (v2)": (1.60, 1.59),
+}
+
+
+def render_sec4(n: int = 1000, batch: int = 100_000) -> str:
+    table = Table(
+        f"§IV byte counts, (Nx, Nv) = ({n}, {batch}) degree-3 uniform",
+        ["kernel", "model load [GB]", "paper load", "model store [GB]", "paper store"],
+    )
+    model = {
+        "pttrs alone (baseline)": solver_traffic(n, batch, "pttrs", 3),
+        "fused kernel (v1)": version_traffic(n, batch, 1),
+        "spmv kernel (v2)": version_traffic(n, batch, 2),
+    }
+    for name, t in model.items():
+        pl, ps = PAPER[name]
+        table.add_row(name, t.loads_bytes / 1e9, pl, t.stores_bytes / 1e9, ps)
+    return table.render()
+
+
+def test_sec4_report(write_result):
+    write_result("sec4_bytecounts", render_sec4())
+
+
+@pytest.mark.parametrize("name", list(PAPER))
+def test_model_within_5_percent_of_nsight(name):
+    n, batch = 1000, 100_000
+    model = {
+        "pttrs alone (baseline)": solver_traffic(n, batch, "pttrs", 3),
+        "fused kernel (v1)": version_traffic(n, batch, 1),
+        "spmv kernel (v2)": version_traffic(n, batch, 2),
+    }[name]
+    paper_load, paper_store = PAPER[name]
+    assert model.loads_bytes / 1e9 == pytest.approx(paper_load, rel=0.05)
+    assert model.stores_bytes / 1e9 == pytest.approx(paper_store, rel=0.05)
+
+
+def test_traffic_model_speed(benchmark):
+    benchmark(lambda: version_traffic(1000, 100_000, 2))

@@ -1,0 +1,154 @@
+"""Reproduction scoreboard — every paper claim, one pass/fail line.
+
+Collects the quantitative shape claims of the paper's evaluation and
+checks each live, writing a single ``SUMMARY.txt`` scoreboard.  This is the
+file to read first when judging the reproduction.
+"""
+
+import numpy as np
+
+from repro.bench import Table, default_field
+from repro.core import (
+    BSplineSpec,
+    GinkgoSplineBuilder,
+    SplineBuilder,
+    classify_matrix,
+    expected_type,
+)
+from repro.core.bsplines import split_cyclic_banded
+from repro.core.spec import paper_configurations
+from repro.perfmodel import PAPER_DEVICES, pennycook_metric
+from repro.perfmodel.counters import solver_traffic, version_traffic
+from repro.perfmodel.devicesim import paper_simulators
+
+PAPER_TABLE3 = {
+    "Icelake": (145.8, 112.1, 82.0),
+    "A100": (11.39, 5.06, 2.98),
+    "MI250X": (16.14, 11.34, 3.22),
+}
+
+
+def checks(nx: int, nv: int):
+    """Yield (claim, passed, evidence) triples."""
+    # -- Table I ------------------------------------------------------------
+    ok = all(
+        classify_matrix(split_cyclic_banded(s.make_space().collocation_matrix()).q)
+        is expected_type(s.degree, s.uniform)
+        for s in paper_configurations(nx)
+    )
+    yield "Table I: all six Q classifications match", ok, "6/6 configs"
+
+    # -- Fig. 1 -------------------------------------------------------------
+    a = BSplineSpec(degree=3, n_points=nx).make_space().collocation_matrix()
+    blocks = split_cyclic_banded(a)
+    nnz_lam = int(np.count_nonzero(np.abs(blocks.lam) > 1e-14))
+    yield ("Fig. 1/§IV-D: degree-3 λ corner has exactly 2 non-zeros",
+           nnz_lam == 2, f"nnz = {nnz_lam}")
+
+    # -- §IV byte counts -------------------------------------------------------
+    base = solver_traffic(1000, 100_000, "pttrs", 3)
+    fused = version_traffic(1000, 100_000, 1)
+    spmv = version_traffic(1000, 100_000, 2)
+    ok = (
+        abs(base.loads_bytes / 1e9 - 1.58) / 1.58 < 0.05
+        and abs(fused.loads_bytes / 1e9 - 3.16) / 3.16 < 0.05
+        and abs(spmv.loads_bytes / 1e9 - 1.60) / 1.60 < 0.05
+    )
+    yield ("§IV: traffic model reproduces Nsight byte counts within 5%", ok,
+           f"{base.loads_bytes / 1e9:.2f}/{fused.loads_bytes / 1e9:.2f}/"
+           f"{spmv.loads_bytes / 1e9:.2f} GB vs 1.58/3.16/1.60")
+
+    # -- Table III: host measured ladder -----------------------------------
+    import time
+
+    host_ms = []
+    for version in (0, 1, 2):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx),
+                                version=version)
+        f = default_field(builder.interpolation_points(), nv).T.copy()
+        best = float("inf")
+        for _ in range(3):
+            w = f.copy()
+            t0 = time.perf_counter()
+            builder.solve(w, in_place=True)
+            best = min(best, time.perf_counter() - t0)
+        host_ms.append(best * 1e3)
+    ok = host_ms[2] < host_ms[1] < host_ms[0] * 1.05
+    yield ("Table III: v0 > v1 > v2 ladder measured on host", ok,
+           f"{host_ms[0]:.1f} > {host_ms[1]:.1f} > {host_ms[2]:.1f} ms")
+
+    # -- Table III: device model within 5% -----------------------------------
+    sims = paper_simulators()
+    worst = max(
+        abs(sims[d].solve_time(1000, 100_000, version=v) * 1e3 - PAPER_TABLE3[d][v])
+        / PAPER_TABLE3[d][v]
+        for d in PAPER_TABLE3
+        for v in (0, 1, 2)
+    )
+    yield ("Table III: device model within 5% of all nine cells",
+           worst < 0.05, f"worst {worst * 100:.1f}%")
+
+    # -- §IV-E asymmetries ----------------------------------------------------
+    fusion = {d: sims[d].solve_time(1000, 100_000, 0)
+              / sims[d].solve_time(1000, 100_000, 1) for d in PAPER_TABLE3}
+    spmv_gain = {d: sims[d].solve_time(1000, 100_000, 1)
+                 / sims[d].solve_time(1000, 100_000, 2) for d in PAPER_TABLE3}
+    yield ("§IV-E: fusion helps A100 most; spmv helps MI250X most",
+           fusion["A100"] == max(fusion.values())
+           and spmv_gain["MI250X"] == max(spmv_gain.values()),
+           f"fusion {fusion['A100']:.2f}x vs {fusion['MI250X']:.2f}x; "
+           f"spmv {spmv_gain['MI250X']:.2f}x vs {spmv_gain['A100']:.2f}x")
+
+    # -- Table IV shape ------------------------------------------------------
+    iters = {}
+    for spec in paper_configurations(min(nx, 256)):
+        b = GinkgoSplineBuilder(spec, solver="bicgstab", tolerance=1e-15,
+                                cols_per_chunk=64)
+        f = default_field(b.interpolation_points(), 64).T.copy()
+        b.solve(np.ascontiguousarray(f))
+        iters[(spec.degree, spec.uniform)] = b.last_iterations
+    ok = (
+        iters[(5, True)] >= iters[(3, True)]
+        and iters[(5, False)] >= iters[(3, False)]
+        and iters[(5, False)] >= iters[(5, True)]
+    )
+    yield ("Table IV: iterations grow with degree and non-uniformity",
+           ok, str(iters))
+
+    # -- Table V orderings -----------------------------------------------------
+    metric = {}
+    for spec in paper_configurations(64):
+        effs = [
+            sims[d.name].solve_bandwidth_gbs(
+                1000, 100_000, degree=spec.degree, uniform=spec.uniform
+            ) / d.peak_bandwidth_gbs
+            for d in PAPER_DEVICES
+        ]
+        metric[(spec.degree, spec.uniform)] = pennycook_metric(effs)
+    ok = (max(metric, key=metric.get) == (3, True)
+          and min(metric, key=metric.get) == (5, False))
+    yield ("Table V: P(a,p,H) best for uniform d3, worst for non-uniform d5",
+           ok, f"P(3,uni) = {metric[(3, True)]:.3f} (paper 0.086), "
+               f"P(5,non) = {metric[(5, False)]:.3f} (paper 0.038)")
+
+    # -- Fig. 2 headline --------------------------------------------------------
+    gd = sims["A100"].glups(1024, 100_000)
+    gg = sims["A100"].glups(1024, 100_000, method="ginkgo", iterations=10)
+    yield ("Fig. 2: direct (Kokkos-kernels) beats iterative (Ginkgo)",
+           gd > gg, f"{gd:.2f} vs {gg:.3f} GLUPS (A100 model)")
+
+
+def render_scoreboard(nx: int, nv: int) -> str:
+    table = Table(
+        f"Reproduction scoreboard (host checks at N = {nx}, batch = {nv})",
+        ["claim", "status", "evidence"],
+    )
+    for claim, passed, evidence in checks(nx, nv):
+        table.add_row(claim, "PASS" if passed else "FAIL", evidence)
+    return table.render()
+
+
+def test_scoreboard(write_result, nx, nv):
+    report = render_scoreboard(nx, nv)
+    write_result("SUMMARY", report)
+    assert "FAIL" not in report

@@ -1,0 +1,69 @@
+"""Table I — type of sub-matrix Q per spline degree and uniformity.
+
+Regenerates the table by *classifying actually-assembled matrices*, and
+benchmarks the setup-phase factorization (the step the paper runs once on
+the host).
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.core import BSplineSpec, SchurSolver, classify_matrix, expected_type
+from repro.core.bsplines import split_cyclic_banded
+from repro.core.spec import paper_configurations
+
+PAPER_TABLE1 = {
+    (3, True): "PDS tridiagonal (pttrs)",
+    (4, True): "PDS banded (pbtrs)",
+    (5, True): "PDS banded (pbtrs)",
+    (3, False): "General banded (gbtrs)",
+    (4, False): "General banded (gbtrs)",
+    (5, False): "General banded (gbtrs)",
+}
+
+_PRETTY = {
+    "PDS_TRIDIAGONAL": "PDS tridiagonal",
+    "PDS_BANDED": "PDS banded",
+    "GENERAL_BANDED": "General banded",
+    "GENERAL": "General",
+}
+
+
+def render_table1(n: int = 256) -> str:
+    table = Table(
+        f"Table I — type of sub-matrix Q (measured by classification, N = {n})",
+        ["Degree", "Uniformity", "measured Q type", "solver", "paper"],
+    )
+    for spec in paper_configurations(n):
+        a = spec.make_space().collocation_matrix()
+        q = split_cyclic_banded(a).q
+        mtype = classify_matrix(q)
+        table.add_row(
+            spec.degree,
+            "Uniform" if spec.uniform else "Non-uniform",
+            _PRETTY[mtype.name],
+            mtype.lapack_solver,
+            PAPER_TABLE1[(spec.degree, spec.uniform)],
+        )
+    return table.render()
+
+
+def test_table1_report(write_result):
+    report = render_table1()
+    write_result("table1_matrix_types", report)
+
+
+@pytest.mark.parametrize("spec", list(paper_configurations(256)),
+                         ids=lambda s: s.label)
+def test_table1_matches_paper(spec):
+    a = spec.make_space().collocation_matrix()
+    q = split_cyclic_banded(a).q
+    assert classify_matrix(q) is expected_type(spec.degree, spec.uniform)
+
+
+@pytest.mark.parametrize("spec", list(paper_configurations(256)),
+                         ids=lambda s: s.label)
+def test_setup_factorization_speed(benchmark, spec):
+    """The once-per-run host factorization (§II-B1: 'negligible')."""
+    a = spec.make_space().collocation_matrix()
+    benchmark.pedantic(lambda: SchurSolver(a), rounds=3, iterations=1)

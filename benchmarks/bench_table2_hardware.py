@@ -1,0 +1,38 @@
+"""Table II — hardware description, plus a measured row for the actual host.
+
+The catalog is static (vendor data sheets, as in the paper); the host row
+is measured live so the real benchmark numbers elsewhere in the harness can
+be quoted against a meaningful roofline.
+"""
+
+from repro.bench import Table
+from repro.perfmodel import PAPER_DEVICES, measure_host_device
+
+
+def render_table2(host=None) -> str:
+    table = Table(
+        "Table II — hardware description for one processor",
+        [
+            "Processor", "FP64 cores", "Cache [MB]", "Peak [GFlops]",
+            "Peak B/W [GB/s]", "B/F", "SIMD", "Warp", "TDP [W]",
+            "Process [nm]", "Year", "Compilers",
+        ],
+    )
+    devices = list(PAPER_DEVICES) + ([host] if host is not None else [])
+    for dev in devices:
+        row = dev.row()
+        table.add_row(*[("-" if v is None else v) for v in row])
+    return table.render()
+
+
+def test_table2_report(write_result):
+    host = measure_host_device(size_mb=64.0)
+    report = render_table2(host)
+    write_result("table2_hardware", report)
+    assert "A100" in report and "MI250X" in report and "Icelake" in report
+
+
+def test_host_measurement_speed(benchmark):
+    benchmark.pedantic(
+        lambda: measure_host_device(size_mb=16.0, repeats=1), rounds=3, iterations=1
+    )

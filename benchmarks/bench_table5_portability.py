@@ -1,0 +1,118 @@
+"""Table V — achieved bandwidth and the Pennycook portability metric.
+
+For each of the six spline configurations: the §V-B bandwidth
+(``N_x·N_v·8/t``), the fraction of peak, and ``P(a, p, H)`` over
+{Icelake, A100, MI250X}.  Device rows come from the calibrated simulator;
+a *measured host* row (real wall-clock against the measured host roofline)
+is added for ground truth.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import Table, default_field
+from repro.core import BSplineSpec, SplineBuilder
+from repro.core.spec import paper_configurations
+from repro.perfmodel import (
+    PAPER_DEVICES,
+    achieved_bandwidth_gbs,
+    measure_host_device,
+    pennycook_metric,
+)
+from repro.perfmodel.devicesim import paper_simulators
+
+PAPER_TABLE5 = {
+    (3, True): ((9.75, 4.38), (268.6, 17.3), (247.8, 15.5), 0.086),
+    (4, True): ((3.83, 1.87), (252.6, 16.2), (154.6, 9.7), 0.043),
+    (5, True): ((3.83, 1.87), (251.3, 16.1), (153.5, 9.6), 0.043),
+    (3, False): ((5.37, 2.62), (208.4, 13.4), (123.5, 7.7), 0.051),
+    (4, False): ((5.15, 2.52), (169.9, 10.9), (81.8, 5.1), 0.044),
+    (5, False): ((4.96, 2.42), (142.2, 9.15), (59.2, 3.7), 0.038),
+}
+
+
+def _measure_host_bandwidth(spec, nv: int) -> float:
+    builder = SplineBuilder(spec, version=2)
+    f = default_field(builder.interpolation_points(), nv).T.copy()
+    best = float("inf")
+    for _ in range(3):
+        work = np.ascontiguousarray(f)
+        t0 = time.perf_counter()
+        builder.solve(work, in_place=True)
+        best = min(best, time.perf_counter() - t0)
+    return achieved_bandwidth_gbs(spec.n_points, nv, best)
+
+
+def render_table5(nx: int, nv: int) -> str:
+    sims = paper_simulators()
+    host = measure_host_device(size_mb=64.0)
+    table = Table(
+        "Table V — spline-building bandwidth (model at 1000x100000; "
+        f"host measured at {nx}x{nv})",
+        ["configuration", "Icelake GB/s (%)", "A100 GB/s (%)",
+         "MI250X GB/s (%)", "P(a,p,H)", "paper P", "host GB/s (%)"],
+    )
+    for spec in paper_configurations(nx):
+        effs = []
+        cells = []
+        for dev in PAPER_DEVICES:
+            bw = sims[dev.name].solve_bandwidth_gbs(
+                1000, 100_000, degree=spec.degree, uniform=spec.uniform
+            )
+            eff = bw / dev.peak_bandwidth_gbs
+            effs.append(eff)
+            cells.append(f"{bw:.1f} ({100 * eff:.2f}%)")
+        p_metric = pennycook_metric(effs)
+        paper_p = PAPER_TABLE5[(spec.degree, spec.uniform)][3]
+        host_bw = _measure_host_bandwidth(spec, nv)
+        host_eff = host_bw / host.peak_bandwidth_gbs
+        table.add_row(
+            spec.label, cells[0], cells[1], cells[2],
+            round(p_metric, 3), paper_p, f"{host_bw:.2f} ({100 * host_eff:.1f}%)",
+        )
+    return table.render()
+
+
+def test_table5_report(write_result, nx, nv):
+    write_result("table5_portability", render_table5(nx, nv))
+
+
+def test_uniform_degree3_has_best_portability():
+    """Table V: P(a,p,H) peaks at uniform degree 3."""
+    sims = paper_simulators()
+    metric = {}
+    for spec in paper_configurations(64):
+        effs = [
+            sims[d.name].solve_bandwidth_gbs(
+                1000, 100_000, degree=spec.degree, uniform=spec.uniform
+            ) / d.peak_bandwidth_gbs
+            for d in PAPER_DEVICES
+        ]
+        metric[(spec.degree, spec.uniform)] = pennycook_metric(effs)
+    best = max(metric, key=metric.get)
+    assert best == (3, True)
+    assert metric[(3, True)] == pytest.approx(0.086, rel=0.2)  # paper: 0.086
+
+
+def test_modeled_p_metric_matches_paper_order():
+    """Non-uniform degree 5 is the worst configuration (paper: 0.038)."""
+    sims = paper_simulators()
+    vals = {}
+    for spec in paper_configurations(64):
+        effs = [
+            sims[d.name].solve_bandwidth_gbs(
+                1000, 100_000, degree=spec.degree, uniform=spec.uniform
+            ) / d.peak_bandwidth_gbs
+            for d in PAPER_DEVICES
+        ]
+        vals[(spec.degree, spec.uniform)] = pennycook_metric(effs)
+    assert min(vals, key=vals.get) == (5, False)
+
+
+def test_host_bandwidth_measurement_speed(benchmark, nx):
+    spec = BSplineSpec(degree=3, n_points=nx)
+    benchmark.pedantic(
+        lambda: _measure_host_bandwidth(spec, 2000), rounds=2, iterations=1
+    )

@@ -1,0 +1,60 @@
+"""Shared configuration for the benchmark harness.
+
+Problem sizes default to host-friendly values so the whole harness runs in
+minutes on a laptop; set the environment variables to reproduce the paper's
+exact sizes:
+
+=============== ================= ======================
+ variable        default           paper value
+=============== ================= ======================
+ ``REPRO_NX``    256               1000 (§IV) / 1024 (§V)
+ ``REPRO_NV``    20000             100000
+ ``REPRO_FIG2_MAX_NV``  20000      100000
+=============== ================= ======================
+
+Every experiment writes its rendered table/series to ``results/<name>.txt``
+next to this file (and echoes it to stdout when pytest runs with ``-s``).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def nx() -> int:
+    """Matrix size N_x (paper: 1000 in §IV, 1024 in §V)."""
+    return env_int("REPRO_NX", 256)
+
+
+@pytest.fixture(scope="session")
+def nv() -> int:
+    """Batch size N_v (paper: 100000)."""
+    return env_int("REPRO_NV", 20_000)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write (and echo) a rendered experiment report."""
+
+    def _write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write

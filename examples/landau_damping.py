@@ -1,0 +1,57 @@
+"""Landau damping: the canonical Vlasov–Poisson validation run.
+
+A weak density perturbation on a Maxwellian plasma (k λ_D = 0.5) excites a
+Langmuir wave whose field energy decays at the analytic Landau rate
+γ ≈ 0.1533.  The run exercises the full production pipeline — two batched
+spline directions per step, built by the paper's optimized direct solver —
+and prints the measured rate next to theory plus an ASCII energy trace.
+
+Run:  python examples/landau_damping.py
+"""
+
+import numpy as np
+
+from repro.advection import VlasovPoisson1D1V
+
+GAMMA_THEORY = 0.1533  # Landau rate for k = 0.5, Maxwellian
+
+
+def ascii_plot(times, values, width=64, height=16, label="log10 E-energy"):
+    v = np.log10(np.maximum(np.asarray(values), 1e-30))
+    lo, hi = v.min(), v.max()
+    rows = [[" "] * width for _ in range(height)]
+    for i, (t, val) in enumerate(zip(times, v)):
+        col = int(i / max(len(v) - 1, 1) * (width - 1))
+        row = int((hi - val) / max(hi - lo, 1e-12) * (height - 1))
+        rows[row][col] = "*"
+    print(f"{label}  [{lo:.1f} .. {hi:.1f}],  t in [{times[0]:.1f}, {times[-1]:.1f}]")
+    for r in rows:
+        print("|" + "".join(r) + "|")
+
+
+def main() -> None:
+    solver = VlasovPoisson1D1V(nx=48, nv=96, lx=4.0 * np.pi, vmax=6.0, degree=3)
+    f = solver.landau_initial_condition(alpha=0.005, mode=1)
+    print("running 200 Strang-split steps (dt = 0.05) ...")
+    solver.run(f, dt=0.05, steps=200, record_every=1)
+
+    t = np.asarray(solver.diagnostics.times)
+    ee = np.asarray(solver.diagnostics.electric_energy)
+    ascii_plot(t, ee)
+
+    peaks = [
+        i for i in range(1, len(ee) - 1)
+        if ee[i] > ee[i - 1] and ee[i] > ee[i + 1] and t[i] < 8.0
+    ]
+    slope = np.polyfit(t[peaks], np.log(ee[peaks]), 1)[0]
+    gamma = -slope / 2.0
+    print(f"\nmeasured damping rate : γ = {gamma:.4f}")
+    print(f"analytic Landau rate  : γ = {GAMMA_THEORY:.4f}")
+    print(f"relative error        : {abs(gamma - GAMMA_THEORY) / GAMMA_THEORY:.1%}")
+
+    mass = np.asarray(solver.diagnostics.mass)
+    print(f"mass conservation     : max drift {np.max(np.abs(mass / mass[0] - 1)):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Performance-portability report: Tables II/III/V from the device model.
+
+Prints the paper's evaluation tables side by side with the calibrated
+analytical device model and a live measurement of this host — a compact
+view of everything the `benchmarks/` harness regenerates.
+
+Run:  python examples/portability_report.py
+"""
+
+from repro.bench import Table
+from repro.perfmodel import (
+    PAPER_DEVICES,
+    measure_host_device,
+    pennycook_metric,
+)
+from repro.perfmodel.devicesim import paper_simulators
+from repro.core.spec import paper_configurations
+
+PAPER_TABLE3 = {
+    "Icelake": (145.8, 112.1, 82.0),
+    "A100": (11.39, 5.06, 2.98),
+    "MI250X": (16.14, 11.34, 3.22),
+}
+
+
+def main() -> None:
+    host = measure_host_device(size_mb=64.0)
+    t2 = Table("Hardware (Table II + measured host)",
+               ["device", "peak GFlops", "peak GB/s", "B/F"])
+    for dev in list(PAPER_DEVICES) + [host]:
+        t2.add_row(dev.name, round(dev.peak_gflops, 1),
+                   round(dev.peak_bandwidth_gbs, 1), round(dev.bf_ratio, 3))
+    t2.print()
+
+    sims = paper_simulators()
+    t3 = Table("Optimization impact at (1000, 100000) — model vs paper [ms]",
+               ["device", "v0 model", "v0 paper", "v1 model", "v1 paper",
+                "v2 model", "v2 paper"])
+    for name, sim in sims.items():
+        m = [sim.solve_time(1000, 100_000, version=v) * 1e3 for v in (0, 1, 2)]
+        p = PAPER_TABLE3[name]
+        t3.add_row(name, m[0], p[0], m[1], p[1], m[2], p[2])
+    t3.print()
+
+    t5 = Table("Performance portability P(a, p, H) over {Icelake, A100, MI250X}",
+               ["configuration", "P model", "note"])
+    for spec in paper_configurations(64):
+        effs = [
+            sims[d.name].solve_bandwidth_gbs(
+                1000, 100_000, degree=spec.degree, uniform=spec.uniform
+            ) / d.peak_bandwidth_gbs
+            for d in PAPER_DEVICES
+        ]
+        t5.add_row(spec.label, round(pennycook_metric(effs), 3),
+                   "best" if (spec.degree, spec.uniform) == (3, True) else "")
+    t5.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: build periodic splines, solve batched systems, evaluate.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import BSplineSpec, GinkgoSplineBuilder, SplineBuilder, SplineEvaluator
+
+
+def main() -> None:
+    # 1. Describe the problem: degree-3 periodic splines on 128 uniform
+    #    points (one of the paper's Table-I configurations).
+    spec = BSplineSpec(degree=3, n_points=128, uniform=True)
+
+    # 2. The direct builder factorizes the spline matrix once (Schur
+    #    complement + the Table-I solver for the banded block) ...
+    builder = SplineBuilder(spec, version=2)  # version 2 = the spmv-optimized path
+    print(f"builder: {builder}")
+    print(f"Q block solver selected by classification: {builder.solver_name}")
+    print(f"corner-block non-zeros: {builder.solver.corner_nnz}")
+
+    # 3. ... and then turns samples into spline coefficients, batched: here
+    #    2048 right-hand sides at once, each a phase-shifted sine.
+    x = builder.interpolation_points()
+    phases = np.linspace(0.0, 2.0 * np.pi, 2048, endpoint=False)
+    values = np.sin(2.0 * np.pi * x[:, None] + phases[None, :])
+    coeffs = builder.solve(values)
+    print(f"solved {values.shape[1]} right-hand sides of size {values.shape[0]}")
+
+    # 4. Evaluate the splines anywhere (periodic).
+    evaluator = SplineEvaluator(builder.space_1d)
+    xs = np.linspace(0.0, 1.0, 1000, endpoint=False)
+    interpolated = evaluator(coeffs[:, 0], xs)
+    exact = np.sin(2.0 * np.pi * xs + phases[0])
+    print(f"max interpolation error vs sin: {np.max(np.abs(interpolated - exact)):.2e}")
+
+    # 5. The iterative (Ginkgo-style) builder solves the same problem with
+    #    BiCGStab + block-Jacobi, chunk-pipelined.
+    iterative = GinkgoSplineBuilder(spec, solver="bicgstab", tolerance=1e-14)
+    coeffs_it = iterative.solve(values[:, :64])
+    print(
+        f"iterative builder: {iterative.last_iterations} BiCGStab iterations, "
+        f"max |direct - iterative| = "
+        f"{np.max(np.abs(coeffs_it - coeffs[:, :64])):.2e}"
+    )
+
+
+if __name__ == "__main__":
+    main()

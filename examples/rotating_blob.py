@@ -1,0 +1,48 @@
+"""2-D semi-Lagrangian rotation: a Gaussian blob making a full revolution.
+
+Genuinely two-dimensional spline interpolation per step (tensor-product
+build + scattered evaluation at rotated feet), the classic validation of an
+SL stack.  Prints ASCII snapshots at quarter turns and the final
+return-to-start error.
+
+Run:  python examples/rotating_blob.py
+"""
+
+import numpy as np
+
+from repro.advection import RotationAdvection2D
+
+
+def ascii_frame(f: np.ndarray, width: int = 48, height: int = 24) -> str:
+    shades = " .:-=+*#%@"
+    xi = np.linspace(0, f.shape[0] - 1, width).astype(int)
+    yi = np.linspace(0, f.shape[1] - 1, height).astype(int)
+    sub = f[np.ix_(xi, yi)].T[::-1]
+    lo, hi = 0.0, max(f.max(), 1e-12)
+    rows = []
+    for row in sub:
+        rows.append("".join(
+            shades[int(np.clip((v - lo) / (hi - lo), 0, 1) * (len(shades) - 1))]
+            for v in row
+        ))
+    return "\n".join(rows)
+
+
+def main(n: int = 96, steps_per_quarter: int = 16) -> None:
+    rot = RotationAdvection2D(n=n, degree=3, omega=2.0 * np.pi)
+    f0 = rot.gaussian(x0=0.72, y0=0.5, sigma=0.05)
+    dt = 0.25 / steps_per_quarter
+    f = f0.copy()
+    print("solid-body rotation, 64 steps per revolution, degree-3 splines\n")
+    for quarter in range(4):
+        print(f"t = {quarter / 4:.2f} revolutions:")
+        print(ascii_frame(f))
+        print()
+        f = rot.run(f, dt, steps_per_quarter)
+    err = np.max(np.abs(f - f0))
+    print(f"after one full revolution: max |f - f0| = {err:.2e}")
+    print(f"mass drift: {abs(f.sum() / f0.sum() - 1.0):.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""2-D tensor-product splines: a poloidal-cross-section-like field.
+
+§II-B: N-D splines are tensor products of 1-D splines, each direction a
+batched single-matrix solve.  This example fits a 2-D field with mixed
+directions — periodic (poloidal-angle-like) × clamped non-uniform
+(radial-like, refined toward the edge) — and reports accuracy on and off
+the interpolation grid plus which Table-I solver each direction used.
+
+Run:  python examples/spline2d_field.py
+"""
+
+import numpy as np
+
+from repro.core import BSplineSpec, SplineBuilder2D, SplineEvaluator2D
+
+
+def field(theta: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """A rotating-island-like pattern: poloidal harmonics with a radial
+    envelope steepening toward the edge."""
+    envelope = np.exp(-((r - 0.7) / 0.15) ** 2) + 0.3 * (1 - r**2)
+    return np.cos(3.0 * theta)[:, None] * envelope[None, :]
+
+
+def main() -> None:
+    builder = SplineBuilder2D(
+        BSplineSpec(degree=3, n_points=64, xmin=0.0, xmax=2.0 * np.pi),
+        BSplineSpec(
+            degree=3, n_points=48, boundary="clamped", uniform=False,
+            nonuniform_kind="geometric", nonuniform_strength=0.8,
+        ),
+    )
+    print(f"builder: {builder}")
+    theta, r = builder.interpolation_points()
+
+    f = field(theta, r)
+    coeffs = builder.solve(f)
+    ev = SplineEvaluator2D(builder.space_x, builder.space_y)
+
+    # Exactness at the interpolation grid.
+    tt, rr = np.meshgrid(theta, r, indexing="ij")
+    on_grid = ev.eval_points(coeffs, tt.ravel(), rr.ravel()).reshape(f.shape)
+    print(f"max error at interpolation grid : {np.max(np.abs(on_grid - f)):.2e}")
+
+    # Off-grid accuracy on a fine tensor grid.
+    tg = np.linspace(0.0, 2.0 * np.pi, 300, endpoint=False)
+    rg = np.linspace(0.0, 1.0, 200)
+    fine = ev.eval_grid(coeffs, tg, rg)
+    exact = field(tg, rg)
+    print(f"max error off-grid              : {np.max(np.abs(fine - exact)):.2e}")
+
+    # Periodicity in the angle direction is inherited from the basis.
+    left = ev.eval_points(coeffs, np.zeros(5), np.linspace(0.1, 0.9, 5))
+    right = ev.eval_points(coeffs, 2.0 * np.pi * np.ones(5),
+                           np.linspace(0.1, 0.9, 5))
+    print(f"periodic seam mismatch          : {np.max(np.abs(left - right)):.2e}")
+    print(
+        f"\ndirection solvers: theta -> {builder.builder_x.solver_name} "
+        f"(cyclic, Schur), r -> {builder.builder_y.solver_name} (clamped, direct band)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so `pip install -e .`
+works in offline environments whose setuptools cannot build PEP-660 editable
+wheels (no `wheel` module available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Semi-Lagrangian advection — the paper's benchmark application.
+
+:class:`~repro.advection.semilag.BatchedAdvection1D` is Algorithm 2: one
+time step of 1-D advection of a batched distribution function
+``f(x_i, v_j)`` where every batch row ``v_j`` advects at its own constant
+speed — the x-advection sub-step of a split Vlasov solve.  It strings
+together the full spline-interpolation pipeline: transpose → build splines
+→ transpose back → evaluate at the feet of the characteristics.
+
+:class:`~repro.advection.vlasov.VlasovPoisson1D1V` composes two of those
+advections with an FFT Poisson solve into the actual physics application
+GYSELA's intro motivates: a 1D1V Vlasov–Poisson solver (Landau damping,
+two-stream instability), using Strang splitting.
+"""
+
+from repro.advection.characteristics import feet_constant_advection
+from repro.advection.transpose import transpose_to_batch_major, transpose_to_x_major
+from repro.advection.semilag import AdvectionResult, BatchedAdvection1D
+from repro.advection.ndbatch import AxisAdvection
+from repro.advection.rotation2d import RotationAdvection2D
+from repro.advection.variable import VariableSpeedAdvection1D
+from repro.advection.vlasov import VlasovDiagnostics, VlasovPoisson1D1V
+
+__all__ = [
+    "feet_constant_advection",
+    "transpose_to_batch_major",
+    "transpose_to_x_major",
+    "BatchedAdvection1D",
+    "AdvectionResult",
+    "AxisAdvection",
+    "RotationAdvection2D",
+    "VariableSpeedAdvection1D",
+    "VlasovPoisson1D1V",
+    "VlasovDiagnostics",
+]

@@ -1,0 +1,30 @@
+"""Layout transposes around the spline solve (Algorithm 2, lines 3 & 5).
+
+The distribution function is stored batch-major — ``f[v_j, x_i]`` with the
+``x`` dimension contiguous per batch row, the "contiguous row-major layout"
+the paper keeps for both CPUs and GPUs — while the batched solvers want the
+``(n, batch)`` orientation with the *batch* contiguous.  The paper pays two
+explicit transpose kernels per step for this; we reproduce them as real
+materializing copies (``np.ascontiguousarray`` of the transpose) so the
+benchmark's timed pipeline has the same stages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def transpose_to_x_major(f_batch_major: np.ndarray) -> np.ndarray:
+    """``f[v, x] → f_T[x, v]`` with a contiguous copy (solver orientation)."""
+    if f_batch_major.ndim != 2:
+        raise ShapeError(f"expected a 2-D field, got shape {f_batch_major.shape}")
+    return np.ascontiguousarray(f_batch_major.T)
+
+
+def transpose_to_batch_major(f_x_major: np.ndarray) -> np.ndarray:
+    """``f_T[x, v] → f[v, x]`` with a contiguous copy (storage orientation)."""
+    if f_x_major.ndim != 2:
+        raise ShapeError(f"expected a 2-D field, got shape {f_x_major.shape}")
+    return np.ascontiguousarray(f_x_major.T)

@@ -1,0 +1,286 @@
+"""1D1V Vlasov–Poisson solver — the physics application around the kernels.
+
+GYSELA solves a 5-D gyrokinetic Vlasov equation; its 1D1V reduction
+
+.. math::
+
+    \\partial_t f + v\\,\\partial_x f + E(x,t)\\,\\partial_v f = 0,
+    \\qquad \\partial_x E = \\int f\\,dv - 1,
+
+captures the same numerical structure: two directional advections, each a
+*batched 1-D spline interpolation* problem along one dimension with the
+other dimension embarrassingly parallel (§II-B).  Strang splitting is used:
+
+    half x-advection → full v-advection (with E from the mid-state) →
+    half x-advection.
+
+The velocity domain ``[-vmax, vmax]`` is treated as periodic; with ``f``
+decaying to ~0 well inside the boundary (Maxwellian tails) the periodic
+images are negligible, which the diagnostics verify (mass conservation).
+
+Classic test cases:
+
+* **Landau damping** — ``f₀ = (1 + α cos(kx)) M(v)``; the electric-field
+  energy decays at the analytic Landau rate.
+* **Two-stream instability** — two counter-propagating beams; the field
+  energy grows exponentially, then saturates into a phase-space vortex.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.advection.semilag import BatchedAdvection1D
+from repro.core.builder.builder import SplineBuilder
+from repro.core.evaluator.evaluator import SplineEvaluator
+from repro.core.spec import BSplineSpec
+from repro.exceptions import ShapeError
+
+
+@dataclass
+class VlasovDiagnostics:
+    """Time series of the conserved / monitored quantities.
+
+    Conservation expectations for the split semi-Lagrangian scheme:
+    mass exactly (up to interpolation round-off), momentum exactly for the
+    constant-E-per-column v-advection, total energy (kinetic + field) to
+    the splitting order O(Δt²) per unit time.
+    """
+
+    times: List[float] = field(default_factory=list)
+    mass: List[float] = field(default_factory=list)
+    l2_norm: List[float] = field(default_factory=list)
+    electric_energy: List[float] = field(default_factory=list)
+    momentum: List[float] = field(default_factory=list)
+    kinetic_energy: List[float] = field(default_factory=list)
+
+    def record(self, t: float, mass: float, l2: float, ee: float,
+               momentum: float = 0.0, kinetic: float = 0.0) -> None:
+        self.times.append(t)
+        self.mass.append(mass)
+        self.l2_norm.append(l2)
+        self.electric_energy.append(ee)
+        self.momentum.append(momentum)
+        self.kinetic_energy.append(kinetic)
+
+    @property
+    def total_energy(self) -> List[float]:
+        """Kinetic + electric field energy per recorded time."""
+        return [k + e for k, e in zip(self.kinetic_energy, self.electric_energy)]
+
+
+class VlasovPoisson1D1V:
+    """Strang-split semi-Lagrangian Vlasov–Poisson solver.
+
+    The state is ``f[ix, iv]`` on a tensor grid: ``nx`` periodic points in
+    ``x ∈ [0, Lx)`` and ``nv`` points in ``v ∈ [-vmax, vmax)``.
+
+    Parameters
+    ----------
+    nx, nv:
+        Grid sizes (each also the spline matrix size of one direction).
+    lx:
+        Spatial period.
+    vmax:
+        Velocity cut-off.
+    degree:
+        Spline degree used for both directions.
+    version, uniform:
+        Forwarded to the spline builders (the Vlasov solver exercises the
+        same optimization versions as the micro-benchmarks).
+    """
+
+    def __init__(
+        self,
+        nx: int = 64,
+        nv: int = 64,
+        lx: float = 4.0 * np.pi,
+        vmax: float = 6.0,
+        degree: int = 3,
+        version: int = 2,
+        uniform: bool = True,
+    ):
+        self.spec_x = BSplineSpec(degree=degree, n_points=nx, uniform=uniform,
+                                  xmin=0.0, xmax=lx)
+        self.spec_v = BSplineSpec(degree=degree, n_points=nv, uniform=uniform,
+                                  xmin=-vmax, xmax=vmax)
+        self.builder_x = SplineBuilder(self.spec_x, version=version)
+        self.builder_v = SplineBuilder(self.spec_v, version=version)
+        self.eval_x = SplineEvaluator(self.builder_x.space_1d)
+        self.eval_v = SplineEvaluator(self.builder_v.space_1d)
+        self.x = self.builder_x.interpolation_points()
+        self.v = self.builder_v.interpolation_points()
+        order_x = np.argsort(self.x)
+        order_v = np.argsort(self.v)
+        # Keep grids sorted for quadrature / FFT; remember the permutation
+        # back to builder ordering.
+        self.x = self.x[order_x]
+        self.v = self.v[order_v]
+        self._order_x, self._order_v = order_x, order_v
+        self.lx, self.vmax = float(lx), float(vmax)
+        self.nx, self.nv = int(nx), int(nv)
+        # Trapezoid weights on the (possibly non-uniform) sorted v grid,
+        # periodic-style (last interval wraps with negligible f).
+        dv = np.diff(np.concatenate([self.v, [self.v[0] + 2 * vmax]]))
+        self.wv = 0.5 * (dv + np.roll(dv, 1))
+        dx = np.diff(np.concatenate([self.x, [self.x[0] + lx]]))
+        self.wx = 0.5 * (dx + np.roll(dx, 1))
+        self.diagnostics = VlasovDiagnostics()
+        self.time = 0.0
+
+    # -- field solve -------------------------------------------------------
+    def charge_density(self, f: np.ndarray) -> np.ndarray:
+        """``ρ(x) = ∫ f dv`` by quadrature over the v grid."""
+        return f @ self.wv
+
+    def electric_field(self, f: np.ndarray) -> np.ndarray:
+        """Solve ``∂x E = ρ − ⟨ρ⟩`` spectrally (periodic, zero-mean E).
+
+        Uniform x grids use the FFT directly; non-uniform grids fall back
+        to cumulative trapezoid integration with the mean removed.
+        """
+        rho = self.charge_density(f)
+        rho = rho - np.sum(rho * self.wx) / self.lx  # neutralizing background
+        if self.spec_x.uniform:
+            k = 2.0 * np.pi * np.fft.rfftfreq(self.nx, d=self.lx / self.nx)
+            rho_hat = np.fft.rfft(rho)
+            e_hat = np.zeros_like(rho_hat)
+            e_hat[1:] = rho_hat[1:] / (1j * k[1:])
+            return np.fft.irfft(e_hat, n=self.nx)
+        # Non-uniform: E(x) = ∫_0^x ρ dx', shifted to zero mean.
+        dx = np.diff(self.x)
+        e = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (rho[1:] + rho[:-1]) * dx)]
+        )
+        return e - np.sum(e * self.wx) / self.lx
+
+    # -- split advections ----------------------------------------------------
+    def _advect_x(self, f: np.ndarray, dt: float) -> np.ndarray:
+        """x-advection at speed v (batched over v)."""
+        # Builder works on (nx, batch) with x in builder ordering.
+        coeffs = self.builder_x.solve(f[np.argsort(self._order_x)])
+        feet = self.x[:, None] - dt * self.v[None, :]
+        return self.eval_x.eval_batched(coeffs, feet)
+
+    def _advect_v(self, f: np.ndarray, e: np.ndarray, dt: float) -> np.ndarray:
+        """v-advection at acceleration ``E(x)`` (batched over x).
+
+        Convention (Cheng–Knorr): ``∂t f + v ∂x f + E ∂v f = 0`` with
+        ``∂x E = ρ − 1`` — the restoring combination that yields plasma
+        oscillations and Landau damping.
+        """
+        ft = np.ascontiguousarray(f.T)  # (nv, nx)
+        coeffs = self.builder_v.solve(ft[np.argsort(self._order_v)])
+        feet = self.v[:, None] - dt * e[None, :]
+        out_t = self.eval_v.eval_batched(coeffs, feet)
+        return np.ascontiguousarray(out_t.T)
+
+    def step(self, f: np.ndarray, dt: float) -> np.ndarray:
+        """One Strang-split step; returns the advanced ``f[ix, iv]``."""
+        if f.shape != (self.nx, self.nv):
+            raise ShapeError(
+                f"f must have shape ({self.nx}, {self.nv}), got {f.shape}"
+            )
+        f = self._advect_x(f, 0.5 * dt)
+        e = self.electric_field(f)
+        f = self._advect_v(f, e, dt)
+        f = self._advect_x(f, 0.5 * dt)
+        self.time += dt
+        return f
+
+    def run(
+        self,
+        f: np.ndarray,
+        dt: float,
+        steps: int,
+        record_every: int = 1,
+    ) -> np.ndarray:
+        """Advance *steps* steps, recording diagnostics every *record_every*."""
+        self._record(f)
+        for s in range(steps):
+            f = self.step(f, dt)
+            if (s + 1) % record_every == 0:
+                self._record(f)
+        return f
+
+    def _record(self, f: np.ndarray) -> None:
+        e = self.electric_field(f)
+        mass = float(self.wx @ (f @ self.wv))
+        l2 = float(np.sqrt(self.wx @ ((f * f) @ self.wv)))
+        ee = float(0.5 * np.sum(e * e * self.wx))
+        momentum = float(self.wx @ (f @ (self.wv * self.v)))
+        kinetic = float(0.5 * self.wx @ (f @ (self.wv * self.v**2)))
+        self.diagnostics.record(self.time, mass, l2, ee, momentum, kinetic)
+
+    # -- checkpoint / restart ---------------------------------------------
+    def save_checkpoint(self, path, f: np.ndarray) -> None:
+        """Write the state (field, clock, diagnostics, grid config) to an
+        ``.npz`` checkpoint for later restart."""
+        if f.shape != (self.nx, self.nv):
+            raise ShapeError(
+                f"f must have shape ({self.nx}, {self.nv}), got {f.shape}"
+            )
+        d = self.diagnostics
+        np.savez(
+            path,
+            f=f,
+            time=self.time,
+            config=np.array([self.nx, self.nv, self.spec_x.degree,
+                             int(self.spec_x.uniform)], dtype=np.int64),
+            domain=np.array([self.lx, self.vmax]),
+            diag_times=np.asarray(d.times),
+            diag_mass=np.asarray(d.mass),
+            diag_l2=np.asarray(d.l2_norm),
+            diag_ee=np.asarray(d.electric_energy),
+            diag_momentum=np.asarray(d.momentum),
+            diag_kinetic=np.asarray(d.kinetic_energy),
+        )
+
+    def load_checkpoint(self, path) -> np.ndarray:
+        """Restore clock and diagnostics from a checkpoint; returns the
+        field.  The checkpoint must match this solver's grid configuration
+        (a mismatch raises :class:`ShapeError` rather than silently
+        reinterpreting the data)."""
+        with np.load(path) as data:
+            config = data["config"]
+            expected = np.array([self.nx, self.nv, self.spec_x.degree,
+                                 int(self.spec_x.uniform)], dtype=np.int64)
+            if not np.array_equal(config, expected):
+                raise ShapeError(
+                    f"checkpoint grid config {config.tolist()} does not match "
+                    f"solver config {expected.tolist()}"
+                )
+            domain = data["domain"]
+            if not np.allclose(domain, [self.lx, self.vmax]):
+                raise ShapeError("checkpoint domain does not match solver domain")
+            self.time = float(data["time"])
+            d = self.diagnostics
+            d.times[:] = data["diag_times"].tolist()
+            d.mass[:] = data["diag_mass"].tolist()
+            d.l2_norm[:] = data["diag_l2"].tolist()
+            d.electric_energy[:] = data["diag_ee"].tolist()
+            d.momentum[:] = data["diag_momentum"].tolist()
+            d.kinetic_energy[:] = data["diag_kinetic"].tolist()
+            return np.array(data["f"])
+
+    # -- canonical initial conditions ----------------------------------------
+    def maxwellian(self, vth: float = 1.0) -> np.ndarray:
+        return np.exp(-0.5 * (self.v / vth) ** 2) / np.sqrt(2.0 * np.pi) / vth
+
+    def landau_initial_condition(self, alpha: float = 0.01, mode: int = 1) -> np.ndarray:
+        """``f₀ = (1 + α cos(k x)) M(v)`` with ``k = 2π·mode/Lx``."""
+        k = 2.0 * np.pi * mode / self.lx
+        return (1.0 + alpha * np.cos(k * self.x))[:, None] * self.maxwellian()[None, :]
+
+    def two_stream_initial_condition(
+        self, v0: float = 2.4, alpha: float = 0.001, mode: int = 1
+    ) -> np.ndarray:
+        """Two counter-propagating beams at ±v0 with a seed perturbation."""
+        k = 2.0 * np.pi * mode / self.lx
+        beams = 0.5 * (
+            np.exp(-0.5 * (self.v - v0) ** 2) + np.exp(-0.5 * (self.v + v0) ** 2)
+        ) / np.sqrt(2.0 * np.pi)
+        return (1.0 + alpha * np.cos(k * self.x))[:, None] * beams[None, :]

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness in ``benchmarks/``.
+
+* :mod:`~repro.bench.workloads` — the paper's workload generators (the
+  distribution-function fields, velocity grids and problem-size sweeps);
+* :mod:`~repro.bench.report` — fixed-width ASCII table / series rendering
+  so every benchmark prints rows directly comparable with the paper's
+  tables and figures.
+"""
+
+from repro.bench.workloads import (
+    PAPER_BATCH,
+    PAPER_NX,
+    default_field,
+    fig2_batch_sweep,
+    make_advection_workload,
+)
+from repro.bench.report import Table, format_series, format_sparsity_pattern
+from repro.bench.plot import ascii_loglog, parse_series_file, render_panels
+
+__all__ = [
+    "ascii_loglog",
+    "parse_series_file",
+    "render_panels",
+    "PAPER_NX",
+    "PAPER_BATCH",
+    "default_field",
+    "make_advection_workload",
+    "fig2_batch_sweep",
+    "Table",
+    "format_series",
+    "format_sparsity_pattern",
+]

@@ -1,0 +1,113 @@
+"""ASCII chart rendering for the figure benchmarks.
+
+The paper's artifact post-processes its benchmark JSON with a
+``comparison.py`` script into the six Fig. 2 panels; this module is the
+plotting half of our equivalent (``tools/comparison.py``): log-log ASCII
+charts with one glyph per curve, rendered from the series files the
+benchmarks write.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Sequence, Tuple
+
+GLYPHS = "ox*+#@%&"
+
+
+def parse_series_file(text: str) -> Dict[str, List[Tuple[float, float]]]:
+    """Parse the output of :func:`repro.bench.report.format_series` blocks.
+
+    Returns ``{label: [(x, y), ...]}``.  Blocks start with ``# <label>``,
+    followed by a ``# <xname> <yname>`` header and data lines.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    label = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            label = None
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            # The column-header line contains exactly two tokens and
+            # follows a label; anything else opens a new series.
+            if label is not None and len(body.split()) == 2 and label in series:
+                continue
+            label = body
+            series[label] = []
+            continue
+        if label is None:
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            try:
+                series[label].append((float(parts[0]), float(parts[1])))
+            except ValueError:
+                pass
+    return {k: v for k, v in series.items() if v}
+
+
+def ascii_loglog(
+    curves: Dict[str, Sequence[Tuple[float, float]]],
+    title: str,
+    width: int = 64,
+    height: int = 20,
+    x_name: str = "x",
+    y_name: str = "y",
+) -> str:
+    """Render a log-log ASCII chart of *curves* with a glyph legend."""
+    points = [(x, y) for pts in curves.values() for x, y in pts if x > 0 and y > 0]
+    if not points:
+        return f"{title}\n(no positive data)"
+    lx = [math.log10(x) for x, _ in points]
+    ly = [math.log10(y) for _, y in points]
+    x0, x1 = min(lx), max(lx)
+    y0, y1 = min(ly), max(ly)
+    x1 = x1 if x1 > x0 else x0 + 1.0
+    y1 = y1 if y1 > y0 else y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (label, pts) in enumerate(curves.items()):
+        glyph = GLYPHS[idx % len(GLYPHS)]
+        legend.append(f"  {glyph}  {label}")
+        for x, y in pts:
+            if x <= 0 or y <= 0:
+                continue
+            col = int((math.log10(x) - x0) / (x1 - x0) * (width - 1))
+            row = int((y1 - math.log10(y)) / (y1 - y0) * (height - 1))
+            grid[row][col] = glyph
+    lines = [title, "=" * min(len(title), width + 2)]
+    lines.append(f"10^{y1:.1f} +" + "-" * width + "+")
+    for r, row in enumerate(grid):
+        lines.append("       |" + "".join(row) + "|")
+    lines.append(f"10^{y0:.1f} +" + "-" * width + "+")
+    lines.append(f"        10^{x0:.1f} {x_name}  ...  10^{x1:.1f}   ({y_name}, log-log)")
+    lines.extend(legend)
+    return "\n".join(lines)
+
+
+def group_key(label: str) -> str:
+    """Panel key for a Fig.-2 series label ``device / library / config``."""
+    parts = [p.strip() for p in label.split("/")]
+    return " / ".join(parts[:2]) if len(parts) >= 2 else label
+
+
+def curve_key(label: str) -> str:
+    """Curve name within a panel (the spline configuration part)."""
+    parts = [p.strip() for p in label.split("/")]
+    return parts[-1] if parts else label
+
+
+def render_panels(series: Dict[str, List[Tuple[float, float]]],
+                  x_name: str = "Nv", y_name: str = "GLUPS") -> str:
+    """Group series into Fig.-2-style panels and render each as a chart."""
+    panels: Dict[str, Dict[str, List[Tuple[float, float]]]] = {}
+    for label, pts in series.items():
+        panels.setdefault(group_key(label), {})[curve_key(label)] = pts
+    chunks = []
+    for panel, curves in panels.items():
+        chunks.append(ascii_loglog(curves, f"Panel: {panel}",
+                                   x_name=x_name, y_name=y_name))
+    return "\n\n".join(chunks)

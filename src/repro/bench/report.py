@@ -1,0 +1,75 @@
+"""ASCII rendering of tables, series and sparsity patterns.
+
+Every benchmark prints its result in the same layout as the paper's table
+or figure so the comparison in EXPERIMENTS.md is a visual diff.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+
+class Table:
+    """A fixed-width ASCII table with a title (paper-table look-alike)."""
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        header = " | ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [self.title, "=" * max(len(self.title), len(header)), header, sep]
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console side effect
+        print(self.render())
+        print()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_series(
+    label: str, xs: Iterable, ys: Iterable, x_name: str = "x", y_name: str = "y"
+) -> str:
+    """One figure curve as aligned ``x y`` pairs (a printable Fig.-2 line)."""
+    lines = [f"# {label}", f"# {x_name:>12s} {y_name:>14s}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{_fmt(x):>14s} {_fmt(y):>14s}")
+    return "\n".join(lines)
+
+
+def format_sparsity_pattern(a: np.ndarray, tol: float = 1e-12) -> str:
+    """Render a matrix's sparsity pattern with ``x`` / ``.`` (Fig. 1)."""
+    if a.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {a.shape}")
+    rows = []
+    for i in range(a.shape[0]):
+        rows.append(" ".join("x" if abs(v) > tol else "." for v in a[i]))
+    return "\n".join(rows)

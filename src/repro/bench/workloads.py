@@ -1,0 +1,60 @@
+"""Workload generators matching the paper's benchmark settings.
+
+§IV fixes ``(N_x, N_v) = (1000, 100000)`` with 10 iterations for the
+optimization study; §V fixes ``N_x = 1024`` and sweeps
+``N_v ∈ [100, 100000]`` for Fig. 2.  Host-scale defaults are smaller so the
+pure-NumPy benchmarks finish in seconds; every benchmark accepts the paper
+sizes via environment variables (see ``benchmarks/README`` note in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.advection.semilag import BatchedAdvection1D
+from repro.core.builder.builder import SplineBuilder
+from repro.core.spec import BSplineSpec
+
+#: The paper's §IV problem size.
+PAPER_NX = 1000
+PAPER_BATCH = 100_000
+
+
+def default_field(x: np.ndarray, nv: int, seed: int = 0) -> np.ndarray:
+    """A smooth batched field ``f[v_j, x_i]``: per-batch phase-shifted
+    sine + Gaussian bump, the kind of profile the advection solver sees."""
+    rng = np.random.default_rng(seed)
+    phases = rng.uniform(0.0, 2.0 * np.pi, size=nv)
+    f = np.sin(2.0 * np.pi * x[None, :] + phases[:, None])
+    f += np.exp(-0.5 * ((x[None, :] - 0.5) / 0.1) ** 2)
+    return np.ascontiguousarray(f)
+
+
+def make_advection_workload(
+    nx: int,
+    nv: int,
+    degree: int = 3,
+    uniform: bool = True,
+    dt: float = 0.0123,
+    builder_cls=SplineBuilder,
+    **builder_kwargs,
+) -> Tuple[BatchedAdvection1D, np.ndarray]:
+    """Build the Algorithm-2 benchmark: an advection object plus its field."""
+    spec = BSplineSpec(degree=degree, n_points=nx, uniform=uniform)
+    builder = builder_cls(spec, **builder_kwargs)
+    velocities = np.linspace(-1.0, 1.0, nv)
+    adv = BatchedAdvection1D(builder, velocities, dt)
+    f = default_field(adv.x, nv)
+    return adv, f
+
+
+def fig2_batch_sweep(max_nv: int = 100_000, points_per_decade: int = 2) -> List[int]:
+    """The Fig. 2 ``N_v`` sweep: log-spaced between 100 and *max_nv*."""
+    lo, hi = 2.0, np.log10(max_nv)
+    count = max(2, int((hi - lo) * points_per_decade) + 1)
+    values = np.unique(np.rint(np.logspace(lo, hi, count)).astype(int))
+    values[-1] = max_nv  # logspace endpoint can round off by one ulp
+    return [int(v) for v in np.unique(values)]

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: performance-portable spline building.
+
+Public surface:
+
+* :class:`BSplineSpec` — problem description (degree / size / uniformity);
+* :class:`SplineBuilder` — the direct (Kokkos-kernels-style) builder with
+  the three optimization versions of §IV;
+* :class:`GinkgoSplineBuilder` — the iterative (Ginkgo-style) builder;
+* :class:`SplineEvaluator` — batched evaluation at arbitrary points;
+* :mod:`repro.core.bsplines` — the underlying spline-space machinery.
+"""
+
+from repro.core.spec import BSplineSpec, paper_configurations
+from repro.core.builder import (
+    DirectBandSolver,
+    GinkgoSplineBuilder,
+    HermiteSplineInterpolator,
+    SchurSolver,
+    SplineBuilder,
+    SplineBuilder2D,
+    make_plan,
+)
+from repro.core.evaluator import SplineEvaluator, SplineEvaluator2D
+from repro.core.bsplines import (
+    ClampedBSplines,
+    MatrixType,
+    PeriodicBSplines,
+    classify_matrix,
+    expected_type,
+)
+
+__all__ = [
+    "BSplineSpec",
+    "paper_configurations",
+    "SplineBuilder",
+    "SplineBuilder2D",
+    "GinkgoSplineBuilder",
+    "HermiteSplineInterpolator",
+    "SchurSolver",
+    "DirectBandSolver",
+    "make_plan",
+    "SplineEvaluator",
+    "SplineEvaluator2D",
+    "PeriodicBSplines",
+    "ClampedBSplines",
+    "MatrixType",
+    "classify_matrix",
+    "expected_type",
+]

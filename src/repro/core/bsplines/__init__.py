@@ -1,0 +1,49 @@
+"""Periodic B-spline spaces, interpolation matrices and their structure.
+
+This subpackage owns the *numerical* content of the paper's §II:
+
+* :mod:`~repro.core.bsplines.knots` — break-point generators (uniform and
+  the non-uniform meshes the new GYSELA needs for steep-gradient regions)
+  and periodic knot-vector construction;
+* :mod:`~repro.core.bsplines.basis` — Cox-de Boor evaluation of B-spline
+  basis functions and derivatives, scalar and vectorized;
+* :mod:`~repro.core.bsplines.space` — :class:`PeriodicBSplines`: a degree-d
+  periodic spline space with Greville interpolation points and collocation
+  (spline) matrix assembly (the matrix of Fig. 1);
+* :mod:`~repro.core.bsplines.classify` — structural classification of the
+  spline matrix reproducing Table I (which LAPACK solver fits which
+  degree/uniformity combination);
+* :mod:`~repro.core.bsplines.blocks` — the cyclic-band → Schur block
+  splitting ``A = [[Q, γ], [λ, δ]]`` of Eq. (3).
+"""
+
+from repro.core.bsplines.knots import (
+    make_breakpoints,
+    nonuniform_breakpoints,
+    periodic_knots,
+    uniform_breakpoints,
+)
+from repro.core.bsplines.basis import eval_basis, eval_basis_derivs, find_cell
+from repro.core.bsplines.space import PeriodicBSplines
+from repro.core.bsplines.nonperiodic import ClampedBSplines, clamped_knots
+from repro.core.bsplines.classify import MatrixType, classify_matrix, expected_type
+from repro.core.bsplines.blocks import CyclicBlocks, cyclic_bandwidth, split_cyclic_banded
+
+__all__ = [
+    "uniform_breakpoints",
+    "nonuniform_breakpoints",
+    "make_breakpoints",
+    "periodic_knots",
+    "find_cell",
+    "eval_basis",
+    "eval_basis_derivs",
+    "PeriodicBSplines",
+    "ClampedBSplines",
+    "clamped_knots",
+    "MatrixType",
+    "classify_matrix",
+    "expected_type",
+    "CyclicBlocks",
+    "cyclic_bandwidth",
+    "split_cyclic_banded",
+]

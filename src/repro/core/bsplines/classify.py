@@ -1,0 +1,90 @@
+"""Structural classification of spline matrices — Table I, computed.
+
+The paper's Table I asserts which LAPACK solver fits the Schur block ``Q``
+for each (degree, uniformity) combination.  Rather than hard-coding that
+table we *measure* it: :func:`classify_matrix` inspects symmetry, positive
+definiteness (by attempting our own Cholesky) and bandwidth, and maps the
+structure to the dedicated solver.  ``benchmarks/bench_table1_matrix_types``
+regenerates the table by classifying actually-assembled matrices, and the
+test suite asserts the paper's entries hold.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError, SingularMatrixError
+from repro.kbatched.band import dense_band_widths, spd_dense_to_band_lower
+from repro.kbatched.pbtrf import serial_pbtrf
+
+
+class MatrixType(enum.Enum):
+    """Structure classes with their dedicated LAPACK solvers (Table I)."""
+
+    PDS_TRIDIAGONAL = "pttrs"
+    PDS_BANDED = "pbtrs"
+    GENERAL_BANDED = "gbtrs"
+    GENERAL = "getrs"
+
+    @property
+    def lapack_solver(self) -> str:
+        """The LAPACK solve routine handling this class (Table I, parens)."""
+        return self.value
+
+    @property
+    def lapack_factorization(self) -> str:
+        return {"pttrs": "pttrf", "pbtrs": "pbtrf",
+                "gbtrs": "gbtrf", "getrs": "getrf"}[self.value]
+
+
+def _is_positive_definite(a: np.ndarray, kd: int) -> bool:
+    """Attempt our band Cholesky; success certifies positive definiteness."""
+    try:
+        serial_pbtrf(spd_dense_to_band_lower(a, kd))
+        return True
+    except (NotPositiveDefiniteError, SingularMatrixError):
+        return False
+
+
+def classify_matrix(
+    a: np.ndarray,
+    tol: float = 1e-12,
+    banded_fraction: float = 0.5,
+) -> MatrixType:
+    """Classify a dense square matrix into a :class:`MatrixType`.
+
+    Parameters
+    ----------
+    tol:
+        Absolute threshold below which entries count as structural zeros
+        (assembly noise from basis evaluation is ~1e-17).
+    banded_fraction:
+        A matrix only counts as *banded* if its bandwidth is below this
+        fraction of its size — a "banded" matrix with ``k ≈ n`` would gain
+        nothing from band solvers.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"expected a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    kl, ku = dense_band_widths(a, tol=tol)
+    banded = max(kl, ku) <= max(1, int(banded_fraction * n))
+    symmetric = kl == ku and np.allclose(a, a.T, atol=tol)
+    if symmetric and banded:
+        if _is_positive_definite(a, kl):
+            return MatrixType.PDS_TRIDIAGONAL if kl <= 1 else MatrixType.PDS_BANDED
+    if banded:
+        return MatrixType.GENERAL_BANDED
+    return MatrixType.GENERAL
+
+
+def expected_type(degree: int, uniform: bool) -> MatrixType:
+    """The paper's Table I entry for the sub-matrix ``Q``.
+
+    Used by tests to assert that classification of real assembled matrices
+    matches the published table.
+    """
+    if not uniform:
+        return MatrixType.GENERAL_BANDED
+    return MatrixType.PDS_TRIDIAGONAL if degree == 3 else MatrixType.PDS_BANDED

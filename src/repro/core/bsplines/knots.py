@@ -1,0 +1,121 @@
+"""Break points and periodic knot vectors.
+
+GYSELA's new version introduces non-uniform meshes to resolve steep
+equilibrium gradients (§II-A, ref. [30]); the solver stack must therefore
+handle arbitrary break-point distributions.  Three non-uniform families are
+provided, all smooth deformations of the uniform grid so the resulting
+spline matrices stay well conditioned (as the paper's matrices are):
+
+* ``"stretched"`` — points clustered near the domain centre by a sinusoidal
+  deformation (a sheath/pedestal-like refinement);
+* ``"geometric"`` — cell widths in geometric progression (boundary layer);
+* ``"random"`` — uniform grid with bounded random jitter (stress test).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def uniform_breakpoints(n_cells: int, xmin: float = 0.0, xmax: float = 1.0) -> np.ndarray:
+    """``n_cells + 1`` equally spaced break points spanning ``[xmin, xmax]``."""
+    if n_cells < 1:
+        raise ShapeError(f"need at least one cell, got {n_cells}")
+    if not xmax > xmin:
+        raise ShapeError(f"empty domain [{xmin}, {xmax}]")
+    return np.linspace(xmin, xmax, n_cells + 1)
+
+
+def nonuniform_breakpoints(
+    n_cells: int,
+    xmin: float = 0.0,
+    xmax: float = 1.0,
+    kind: str = "stretched",
+    strength: float = 0.5,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Non-uniform break points on ``[xmin, xmax]``.
+
+    Parameters
+    ----------
+    kind:
+        ``"stretched"`` / ``"geometric"`` / ``"random"`` (see module doc).
+    strength:
+        Deformation amplitude in ``[0, 1)``; 0 reproduces the uniform grid.
+    seed:
+        RNG seed for ``kind="random"``.
+    """
+    if not 0.0 <= strength < 1.0:
+        raise ValueError(f"strength must be in [0, 1), got {strength}")
+    s = np.linspace(0.0, 1.0, n_cells + 1)
+    if kind == "stretched":
+        # Monotone for strength < 1: ds/dx = 1 - strength*cos(2 pi s) > 0.
+        mapped = s - strength * np.sin(2.0 * np.pi * s) / (2.0 * np.pi)
+    elif kind == "geometric":
+        ratio = 1.0 + 2.0 * strength / max(n_cells, 1)
+        widths = ratio ** np.arange(n_cells)
+        mapped = np.concatenate(([0.0], np.cumsum(widths)))
+        mapped /= mapped[-1]
+    elif kind == "random":
+        rng = np.random.default_rng(seed)
+        h = 1.0 / n_cells
+        jitter = rng.uniform(-0.5 * strength * h, 0.5 * strength * h, n_cells + 1)
+        jitter[0] = jitter[-1] = 0.0
+        mapped = s + jitter
+        if np.any(np.diff(mapped) <= 0):  # paranoia for strength ~ 1
+            mapped = np.sort(mapped)
+    else:
+        raise ValueError(f"unknown non-uniform kind {kind!r}")
+    breaks = xmin + (xmax - xmin) * mapped
+    breaks[0], breaks[-1] = xmin, xmax  # exact endpoints
+    return breaks
+
+
+def make_breakpoints(
+    n_cells: int,
+    uniform: bool,
+    xmin: float = 0.0,
+    xmax: float = 1.0,
+    kind: str = "stretched",
+    strength: float = 0.5,
+    seed: Optional[int] = 0,
+) -> np.ndarray:
+    """Dispatch between :func:`uniform_breakpoints` and
+    :func:`nonuniform_breakpoints` on the *uniform* flag."""
+    if uniform:
+        return uniform_breakpoints(n_cells, xmin, xmax)
+    return nonuniform_breakpoints(n_cells, xmin, xmax, kind=kind,
+                                  strength=strength, seed=seed)
+
+
+def periodic_knots(breaks: np.ndarray, degree: int) -> np.ndarray:
+    """Periodic knot vector for break points *breaks* and *degree*.
+
+    Returns an array ``t`` of length ``n_cells + 2*degree + 1`` such that
+    ``t[j + degree] = breaks[j]`` for ``0 <= j <= n_cells`` and the
+    ``degree`` knots on either side are the periodic images
+    ``breaks[n-j] - L`` / ``breaks[j] + L``.
+    """
+    breaks = np.asarray(breaks, dtype=np.float64)
+    if breaks.ndim != 1 or breaks.size < 2:
+        raise ShapeError("breaks must be a 1-D array with at least 2 points")
+    if np.any(np.diff(breaks) <= 0.0):
+        raise ShapeError("breaks must be strictly increasing")
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    n = breaks.size - 1
+    if n < degree + 1:
+        raise ShapeError(
+            f"periodic degree-{degree} splines need at least {degree + 1} "
+            f"cells, got {n}"
+        )
+    period = breaks[-1] - breaks[0]
+    t = np.empty(n + 2 * degree + 1)
+    t[degree : n + degree + 1] = breaks
+    t[:degree] = breaks[n - degree : n] - period
+    t[n + degree + 1 :] = breaks[1 : degree + 1] + period
+    return t

@@ -1,0 +1,127 @@
+"""Non-periodic (clamped / open-knot) B-spline spaces.
+
+GYSELA's non-periodic directions (radial profiles, the sheath simulations
+of the paper's ref. [30]) interpolate on *clamped* B-splines: the knot
+vector repeats the end break points ``degree + 1`` times, giving
+``n_cells + degree`` basis functions whose Greville abscissae include the
+domain end points.  The collocation matrix is then **plain banded** (no
+cyclic corners), so the builder solves it directly with the Table-I band
+solvers — no Schur complement needed.  This class mirrors
+:class:`~repro.core.bsplines.space.PeriodicBSplines`' interface so the
+builder and evaluator work with either space.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.core.bsplines.basis import eval_basis, eval_basis_derivs, find_cell
+from repro.exceptions import ShapeError
+
+
+def clamped_knots(breaks: np.ndarray, degree: int) -> np.ndarray:
+    """Open (clamped) knot vector: end break points repeated ``d+1`` times."""
+    breaks = np.asarray(breaks, dtype=np.float64)
+    if breaks.ndim != 1 or breaks.size < 2:
+        raise ShapeError("breaks must be a 1-D array with at least 2 points")
+    if np.any(np.diff(breaks) <= 0.0):
+        raise ShapeError("breaks must be strictly increasing")
+    if degree < 1:
+        raise ValueError(f"degree must be >= 1, got {degree}")
+    return np.concatenate([
+        np.full(degree, breaks[0]),
+        breaks,
+        np.full(degree, breaks[-1]),
+    ])
+
+
+class ClampedBSplines:
+    """A clamped B-spline space of given *degree* over *breaks*.
+
+    ``nbasis = n_cells + degree``; basis ``j`` is supported on
+    ``[t_j, t_{j+d+1})`` of the open knot vector.  Unlike the periodic
+    space, evaluation outside the domain clamps to the end points (there
+    is no periodic image to wrap to).
+    """
+
+    def __init__(self, breaks: np.ndarray, degree: int):
+        self.breaks = np.asarray(breaks, dtype=np.float64)
+        self.degree = int(degree)
+        self.knots = clamped_knots(self.breaks, self.degree)
+        self.ncells = self.breaks.size - 1
+        self.nbasis = self.ncells + self.degree
+        self.xmin = float(self.breaks[0])
+        self.xmax = float(self.breaks[-1])
+        self.period = None  # non-periodic
+
+    def wrap(self, x) -> np.ndarray:
+        """Clamp *x* into the domain (the non-periodic analogue of wrap)."""
+        return np.clip(np.asarray(x, dtype=np.float64), self.xmin, self.xmax)
+
+    @cached_property
+    def greville(self) -> np.ndarray:
+        """Greville abscissae ``g_j = mean(t[j+1 .. j+d])`` — ``nbasis``
+        points including both domain end points."""
+        d = self.degree
+        pts = np.empty(self.nbasis)
+        for j in range(self.nbasis):
+            pts[j] = np.mean(self.knots[j + 1 : j + d + 1])
+        return pts
+
+    @cached_property
+    def quadrature_weights(self) -> np.ndarray:
+        """Exact integrals of the basis functions over the domain:
+        ``∫ B_j = (t_{j+d+1} − t_j) / (d + 1)`` on the clamped knots."""
+        d = self.degree
+        j = np.arange(self.nbasis)
+        return (self.knots[j + d + 1] - self.knots[j]) / (d + 1)
+
+    def eval_nonzero_basis(self, x):
+        """``(indices, values)`` of the ``d+1`` non-zero basis functions.
+
+        Indices are plain (no modulo); points outside the domain are
+        clamped first.
+        """
+        xw = self.wrap(x)
+        cells = find_cell(self.breaks, xw)
+        spans = cells + self.degree
+        values = eval_basis(self.knots, self.degree, spans, xw)
+        offsets = np.arange(self.degree + 1, dtype=np.int64)
+        if np.ndim(cells) == 0:
+            indices = int(cells) + offsets
+        else:
+            indices = np.asarray(cells)[None, :] + offsets[:, None]
+        return indices, values
+
+    def eval_nonzero_basis_derivs(self, x):
+        """Like :meth:`eval_nonzero_basis` plus first derivatives."""
+        xw = self.wrap(x)
+        cells = find_cell(self.breaks, xw)
+        spans = cells + self.degree
+        values, derivs = eval_basis_derivs(self.knots, self.degree, spans, xw)
+        offsets = np.arange(self.degree + 1, dtype=np.int64)
+        if np.ndim(cells) == 0:
+            indices = int(cells) + offsets
+        else:
+            indices = np.asarray(cells)[None, :] + offsets[:, None]
+        return indices, values, derivs
+
+    def collocation_matrix(self, points: np.ndarray = None) -> np.ndarray:
+        """Dense ``(nbasis, nbasis)`` banded collocation matrix at the
+        Greville points (or at custom *points*)."""
+        pts = self.greville if points is None else np.asarray(points, dtype=np.float64)
+        if pts.ndim != 1:
+            raise ShapeError(f"points must be 1-D, got shape {pts.shape}")
+        a = np.zeros((pts.size, self.nbasis))
+        indices, values = self.eval_nonzero_basis(pts)
+        rows = np.broadcast_to(np.arange(pts.size)[None, :], indices.shape)
+        np.add.at(a, (rows.ravel(), indices.ravel()), values.ravel())
+        return a
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClampedBSplines(degree={self.degree}, ncells={self.ncells}, "
+            f"domain=[{self.xmin}, {self.xmax}])"
+        )

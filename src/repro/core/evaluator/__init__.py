@@ -1,0 +1,6 @@
+"""Spline evaluation at arbitrary points (1-D batched and 2-D tensor)."""
+
+from repro.core.evaluator.evaluator import SplineEvaluator
+from repro.core.evaluator.evaluator2d import SplineEvaluator2D
+
+__all__ = ["SplineEvaluator", "SplineEvaluator2D"]

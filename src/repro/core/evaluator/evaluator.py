@@ -1,0 +1,139 @@
+"""Batched spline evaluation — the second half of spline interpolation.
+
+The semi-Lagrangian benchmark (Algorithm 2) evaluates the freshly built
+spline at the foot of every characteristic.  Feet differ per batch column
+(each ``v_j`` advects at a different speed), so the evaluator supports
+both shared points (``x`` of shape ``(npts,)`` applied to every batch
+column) and per-column points (``x`` of shape ``(npts, batch)``).
+
+Per-column evaluation is processed in batch chunks: the Cox-de Boor
+recurrence runs on the flattened chunk and coefficients are gathered with
+one fancy-indexing pass per basis offset, keeping temporaries bounded at
+``(degree + 1) x npts x chunk`` regardless of the total batch size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bsplines.space import PeriodicBSplines
+from repro.exceptions import ShapeError
+
+#: Batch-chunk width for per-column evaluation.
+DEFAULT_EVAL_CHUNK = 4096
+
+
+class SplineEvaluator:
+    """Evaluates periodic splines given their coefficient blocks."""
+
+    def __init__(self, space: PeriodicBSplines, chunk: int = DEFAULT_EVAL_CHUNK):
+        if chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {chunk}")
+        self.space = space
+        self.chunk = int(chunk)
+
+    # -- single coefficient vector -----------------------------------------
+    def eval_1d(self, coeffs: np.ndarray, x) -> np.ndarray:
+        """Evaluate one spline (``coeffs`` of length ``n``) at points *x*."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.ndim != 1 or coeffs.shape[0] != self.space.nbasis:
+            raise ShapeError(
+                f"coeffs must have length {self.space.nbasis}, got {coeffs.shape}"
+            )
+        indices, values = self.space.eval_nonzero_basis(x)
+        return np.sum(values * coeffs[indices], axis=0)
+
+    def eval_deriv_1d(self, coeffs: np.ndarray, x) -> np.ndarray:
+        """First derivative of one spline at points *x*."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.ndim != 1 or coeffs.shape[0] != self.space.nbasis:
+            raise ShapeError(
+                f"coeffs must have length {self.space.nbasis}, got {coeffs.shape}"
+            )
+        indices, _, derivs = self.space.eval_nonzero_basis_derivs(x)
+        return np.sum(derivs * coeffs[indices], axis=0)
+
+    def integrate(self, coeffs: np.ndarray) -> np.ndarray:
+        """Exact integral of the spline(s) over the domain.
+
+        ``coeffs`` of shape ``(n,)`` returns a scalar; ``(n, batch)``
+        returns per-column integrals.  Exact because B-spline integrals
+        are knot differences (see ``quadrature_weights``).
+        """
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.shape[0] != self.space.nbasis:
+            raise ShapeError(
+                f"coeffs must have leading extent {self.space.nbasis}, "
+                f"got {coeffs.shape}"
+            )
+        w = self.space.quadrature_weights
+        if coeffs.ndim == 1:
+            return float(w @ coeffs)
+        return w @ coeffs
+
+    # -- batched ---------------------------------------------------------
+    def eval_batched(
+        self,
+        coeffs: np.ndarray,
+        x: np.ndarray,
+        coeffs_batch_major: bool = False,
+    ) -> np.ndarray:
+        """Evaluate a coefficient block at points *x*.
+
+        ``x`` of shape ``(npts,)``: the same points for every column —
+        returns ``(npts, batch)``.  ``x`` of shape ``(npts, batch)``:
+        per-column points — returns ``(npts, batch)``.
+
+        ``coeffs`` is ``(n, batch)`` by default; with
+        ``coeffs_batch_major=True`` it is ``(batch, n)`` — the storage
+        layout the transpose-fused solve path
+        (:meth:`~repro.core.SplineBuilder.solve_transposed`) produces, so
+        no full transpose is needed between solving and evaluating.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        n_axis = 1 if coeffs_batch_major else 0
+        if coeffs.ndim != 2 or coeffs.shape[n_axis] != self.space.nbasis:
+            raise ShapeError(
+                f"coeffs must have {self.space.nbasis} entries on axis "
+                f"{n_axis}, got shape {coeffs.shape}"
+            )
+        nbatch = coeffs.shape[1 - n_axis]
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            indices, values = self.space.eval_nonzero_basis(x)
+            # (d+1, npts) basis values contracted against the coefficient
+            # gathers, (d+1, npts, batch) or (batch, d+1, npts).
+            if coeffs_batch_major:
+                return np.einsum("rp,brp->pb", values, coeffs[:, indices])
+            return np.einsum("rp,rpb->pb", values, coeffs[indices])
+        if x.ndim != 2 or x.shape[1] != nbatch:
+            raise ShapeError(
+                f"per-column points must have shape (npts, batch={nbatch}), "
+                f"got {x.shape}"
+            )
+        npts, batch = x.shape
+        out = np.empty((npts, batch))
+        for lo in range(0, batch, self.chunk):
+            hi = min(lo + self.chunk, batch)
+            xc = x[:, lo:hi]
+            flat = xc.reshape(-1)
+            indices, values = self.space.eval_nonzero_basis(flat)
+            # indices/values: (d+1, npts*(hi-lo)).  Column index of every
+            # flattened point, for gathering the right coefficient column.
+            cols = np.broadcast_to(
+                np.arange(lo, hi)[None, :], xc.shape
+            ).reshape(-1)
+            if coeffs_batch_major:
+                gathered = coeffs[cols[None, :], indices]
+            else:
+                gathered = coeffs[indices, cols[None, :]]
+            out[:, lo:hi] = np.sum(values * gathered, axis=0).reshape(npts, hi - lo)
+        return out
+
+    def __call__(self, coeffs: np.ndarray, x) -> np.ndarray:
+        """Dispatch on coefficient rank: 1-D → :meth:`eval_1d`, 2-D →
+        :meth:`eval_batched`."""
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        if coeffs.ndim == 1:
+            return self.eval_1d(coeffs, x)
+        return self.eval_batched(coeffs, x)

@@ -1,0 +1,106 @@
+"""Problem specification: which spline space to build.
+
+A :class:`BSplineSpec` captures the paper's experimental axes — degree
+(3/4/5) and uniformity — plus the domain and the non-uniform mesh family,
+and constructs the matching :class:`~repro.core.bsplines.PeriodicBSplines`
+space.  Benchmarks sweep over these specs exactly like the paper sweeps its
+six spline configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+from repro.core.bsplines.knots import make_breakpoints
+from repro.core.bsplines.nonperiodic import ClampedBSplines
+from repro.core.bsplines.space import PeriodicBSplines
+
+
+@dataclass(frozen=True)
+class BSplineSpec:
+    """Degree / size / uniformity of a spline interpolation problem.
+
+    Attributes
+    ----------
+    degree:
+        Spline degree; the paper evaluates 3, 4 and 5.
+    n_points:
+        Number of interpolation points == number of basis functions ==
+        matrix size ``N_x`` (for periodic splines this equals the cell
+        count; for clamped splines it is ``cells + degree``).
+    uniform:
+        Uniform vs non-uniform break points (Table I's second axis).
+    xmin, xmax:
+        The domain (period for the periodic boundary).
+    boundary:
+        ``"periodic"`` (the paper's benchmark case, cyclic-banded matrix)
+        or ``"clamped"`` (open knots — GYSELA's non-periodic directions,
+        plain banded matrix).
+    nonuniform_kind, nonuniform_strength, seed:
+        Parameters of the non-uniform mesh generator (ignored when
+        *uniform*); see :func:`repro.core.bsplines.nonuniform_breakpoints`.
+    """
+
+    degree: int = 3
+    n_points: int = 64
+    uniform: bool = True
+    xmin: float = 0.0
+    xmax: float = 1.0
+    boundary: str = "periodic"
+    nonuniform_kind: str = "stretched"
+    nonuniform_strength: float = 0.5
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.boundary not in ("periodic", "clamped"):
+            raise ValueError(
+                f"boundary must be 'periodic' or 'clamped', got {self.boundary!r}"
+            )
+        min_points = self.degree + 2 if self.boundary == "periodic" else self.degree + 1
+        if self.n_points < min_points:
+            raise ValueError(
+                f"n_points={self.n_points} too small for {self.boundary} degree "
+                f"{self.degree} splines (need >= {min_points})"
+            )
+
+    @property
+    def n_cells(self) -> int:
+        """Break-point cell count implied by *n_points* and *boundary*."""
+        if self.boundary == "periodic":
+            return self.n_points
+        return self.n_points - self.degree
+
+    def make_space(self):
+        """Construct the spline space this spec describes."""
+        breaks = make_breakpoints(
+            self.n_cells,
+            self.uniform,
+            self.xmin,
+            self.xmax,
+            kind=self.nonuniform_kind,
+            strength=self.nonuniform_strength,
+            seed=self.seed,
+        )
+        if self.boundary == "periodic":
+            return PeriodicBSplines(breaks, self.degree)
+        return ClampedBSplines(breaks, self.degree)
+
+    def with_size(self, n_points: int) -> "BSplineSpec":
+        """Copy of this spec with a different matrix size (sweep helper)."""
+        return replace(self, n_points=n_points)
+
+    @property
+    def label(self) -> str:
+        """Human-readable label as used in the paper's tables/figures."""
+        u = "uniform" if self.uniform else "non-uniform"
+        return f"{u} (Degree {self.degree})"
+
+
+def paper_configurations(n_points: int = 64) -> Iterator[BSplineSpec]:
+    """The six (degree, uniformity) combinations of Tables I/IV/V & Fig. 2."""
+    for uniform in (True, False):
+        for degree in (3, 4, 5):
+            yield BSplineSpec(degree=degree, n_points=n_points, uniform=uniform)

@@ -1,0 +1,33 @@
+"""Simulated distributed-memory decomposition — the exa-scale context.
+
+GYSELA's 5-D distribution function is MPI-decomposed; the paper's batched
+spline problem is the *per-node* workload ("assuming we have 10³ grid
+points in each dimension and do not apply MPI decomposition, the number of
+batches can be 10¹²", §II-B).  Real MPI is unavailable here (no mpi4py in
+the environment), so this subpackage provides a **simulated** communicator:
+ranks execute sequentially in-process, every exchanged byte is counted, and
+a latency/bandwidth network model turns the counts into communication-time
+estimates for scaling studies.
+
+Two decomposition regimes for the 1-D batched advection:
+
+* **batch-decomposed** — the advected dimension is local to every rank;
+  the solve is embarrassingly parallel (zero communication), exactly the
+  regime the paper's kernels assume;
+* **line-decomposed** — the advected dimension itself is split across
+  ranks; the spline solve then needs an all-to-all *redistribution* into
+  batch-decomposed layout and back (the classic GYSELA transpose), whose
+  cost the network model quantifies.
+"""
+
+from repro.distributed.comm import NetworkModel, SimulatedComm
+from repro.distributed.decompose import Decomposition, redistribute_alltoall
+from repro.distributed.advection import DistributedAdvection1D
+
+__all__ = [
+    "SimulatedComm",
+    "NetworkModel",
+    "Decomposition",
+    "redistribute_alltoall",
+    "DistributedAdvection1D",
+]

@@ -1,0 +1,113 @@
+"""Simulated communicator and network-cost model.
+
+A :class:`SimulatedComm` owns ``size`` per-rank mailboxes and executes rank
+bodies sequentially; sends copy arrays into mailboxes, receives pop them.
+Every transferred byte is tallied so a :class:`NetworkModel` (the classic
+``latency + bytes / bandwidth`` alpha-beta model) can convert a run's
+traffic into an estimated communication time on a real interconnect.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta interconnect model: ``t(msg) = latency + bytes/bandwidth``.
+
+    Defaults approximate a Slingshot/InfiniBand-class HPC fabric
+    (~2 µs latency, ~25 GB/s per-NIC bandwidth).
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_gbs: float = 25.0
+
+    def message_time(self, nbytes: int) -> float:
+        return self.latency_s + nbytes / (self.bandwidth_gbs * 1e9)
+
+    def alltoall_time(self, ranks: int, total_bytes: int) -> float:
+        """Pairwise-exchange all-to-all: ``ranks - 1`` rounds, each moving
+        ``total_bytes / ranks²`` per pair, per-rank serialized."""
+        if ranks <= 1:
+            return 0.0
+        per_pair = total_bytes / ranks / ranks
+        return (ranks - 1) * self.message_time(per_pair)
+
+
+class SimulatedComm:
+    """An in-process, sequential-rank communicator with byte accounting."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ShapeError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self._mailboxes: Dict[Tuple[int, int, int], deque] = {}
+        #: Total bytes sent (all ranks, all messages).
+        self.bytes_sent = 0
+        #: Number of point-to-point messages.
+        self.messages = 0
+
+    def _box(self, src: int, dst: int, tag: int) -> deque:
+        return self._mailboxes.setdefault((src, dst, tag), deque())
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ShapeError(f"rank {rank} out of range [0, {self.size})")
+
+    # -- point to point ----------------------------------------------------
+    def send(self, src: int, dst: int, array: np.ndarray, tag: int = 0) -> None:
+        """Copy *array* into the (src → dst, tag) mailbox."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = np.array(array, copy=True)
+        self.bytes_sent += payload.nbytes
+        self.messages += 1
+        self._box(src, dst, tag).append(payload)
+
+    def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
+        """Pop the oldest message from the (src → dst, tag) mailbox."""
+        box = self._box(src, dst, tag)
+        if not box:
+            raise ShapeError(
+                f"no message from rank {src} to rank {dst} with tag {tag}"
+            )
+        return box.popleft()
+
+    # -- collectives ---------------------------------------------------------
+    def alltoall(self, chunks_per_rank: List[List[np.ndarray]]) -> List[List[np.ndarray]]:
+        """Exchange ``chunks_per_rank[src][dst]`` → ``out[dst][src]``.
+
+        The diagonal (src == dst) is a local copy and is not counted as
+        network traffic, matching MPI implementations' self-sends.
+        """
+        if len(chunks_per_rank) != self.size or any(
+            len(row) != self.size for row in chunks_per_rank
+        ):
+            raise ShapeError("alltoall needs a size x size matrix of chunks")
+        out: List[List[np.ndarray]] = [
+            [None] * self.size for _ in range(self.size)
+        ]
+        for src in range(self.size):
+            for dst in range(self.size):
+                payload = np.array(chunks_per_rank[src][dst], copy=True)
+                if src != dst:
+                    self.bytes_sent += payload.nbytes
+                    self.messages += 1
+                out[dst][src] = payload
+        return out
+
+    def run_ranks(self, body: Callable[[int], object]) -> List[object]:
+        """Execute ``body(rank)`` for every rank (sequentially) and collect
+        the return values — the SPMD driver."""
+        return [body(rank) for rank in range(self.size)]
+
+    def reset_counters(self) -> None:
+        self.bytes_sent = 0
+        self.messages = 0

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, while
+shape/validation problems still also subclass the matching built-ins
+(``ValueError`` etc.) for idiomatic use.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has an incompatible shape or layout."""
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """A factorization encountered an (numerically) singular matrix."""
+
+    def __init__(self, message: str, index: int = -1):
+        super().__init__(message)
+        #: Zero-based row/pivot index at which the factorization broke down,
+        #: or ``-1`` when not applicable.
+        self.index = index
+
+
+class NotPositiveDefiniteError(SingularMatrixError):
+    """A Cholesky-type factorization (pbtrf/pttrf) met a non-positive pivot."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+    def __init__(self, message: str, iterations: int = -1, residual: float = float("nan")):
+        super().__init__(message)
+        #: Number of iterations performed before giving up.
+        self.iterations = iterations
+        #: Final relative residual norm (worst column for multi-RHS solves).
+        self.residual = residual
+
+
+class BackendError(ReproError, ValueError):
+    """An unknown backend / execution-space name was requested."""

@@ -1,0 +1,167 @@
+"""CSR (compressed sparse row) matrix storage with multi-RHS products.
+
+Ginkgo stores the spline matrix in CSR (§III-B).  Only what the solvers
+need is implemented: construction from dense/COO, ``spmm`` over an
+``(n, batch)`` block, transpose (for BiCG), and diagonal / diagonal-block
+extraction (for the Jacobi-type preconditioners).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kbatched.coo import Coo
+
+
+class Csr:
+    """A CSR sparse matrix: ``indptr`` / ``indices`` / ``data`` arrays."""
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+    ):
+        self.nrows, self.ncols = int(shape[0]), int(shape[1])
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.indptr.shape != (self.nrows + 1,):
+            raise ShapeError(
+                f"indptr must have length nrows+1={self.nrows + 1}, "
+                f"got {self.indptr.shape}"
+            )
+        if self.indices.shape != self.data.shape:
+            raise ShapeError("indices and data must have identical length")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.data.size:
+            raise ShapeError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ShapeError("indptr must be non-decreasing")
+        if self.data.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.ncols
+        ):
+            raise ShapeError("column index out of range")
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def from_dense(cls, a: np.ndarray, drop_tol: float = 0.0) -> "Csr":
+        """Compress a dense matrix, dropping ``|v| <= drop_tol`` entries."""
+        if a.ndim != 2:
+            raise ShapeError(f"expected 2-D matrix, got shape {a.shape}")
+        mask = np.abs(a) > drop_tol
+        indptr = np.zeros(a.shape[0] + 1, dtype=np.int64)
+        np.cumsum(mask.sum(axis=1), out=indptr[1:])
+        rows, cols = np.nonzero(mask)
+        return cls(a.shape, indptr, cols, a[rows, cols])
+
+    @classmethod
+    def from_coo(cls, coo: Coo) -> "Csr":
+        """Convert COO → CSR (duplicate coordinates are summed)."""
+        order = np.lexsort((coo.cols_idx, coo.rows_idx))
+        rows = coo.rows_idx[order]
+        cols = coo.cols_idx[order]
+        vals = coo.values[order]
+        # Merge duplicates.
+        if rows.size:
+            keep = np.ones(rows.size, dtype=bool)
+            dup = (rows[1:] == rows[:-1]) & (cols[1:] == cols[:-1])
+            # Accumulate runs of duplicates into the first element.
+            for i in np.nonzero(dup)[0]:
+                vals[i + 1] += vals[i]
+                keep[i] = False
+            rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        indptr = np.zeros(coo.nrows + 1, dtype=np.int64)
+        np.add.at(indptr, rows + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(coo.shape, indptr, cols, vals)
+
+    # -- properties -------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for r in range(self.nrows):
+            sl = slice(self.indptr[r], self.indptr[r + 1])
+            out[r, self.indices[sl]] += self.data[sl]
+        return out
+
+    # -- products ----------------------------------------------------------
+    def spmm(self, x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+        """Return ``A @ x`` for ``x`` of shape ``(ncols,)`` or ``(ncols, batch)``.
+
+        Uses a gather + segmented reduction: each stored entry contributes
+        ``data * x[indices]``, summed per row with ``np.add.reduceat``.
+        Rows with no entries are fixed up to zero (``reduceat`` repeats the
+        next segment for empty ones).
+        """
+        if x.shape[0] != self.ncols:
+            raise ShapeError(
+                f"operand has leading extent {x.shape[0]}, expected {self.ncols}"
+            )
+        gathered = (
+            self.data[:, None] * x[self.indices]
+            if x.ndim == 2
+            else self.data * x[self.indices]
+        )
+        row_counts = np.diff(self.indptr)
+        if out is None:
+            out_shape = (self.nrows,) + x.shape[1:]
+            out = np.empty(out_shape)
+        out[...] = 0.0
+        # reduceat needs strictly valid segment starts: restrict to rows
+        # that actually own entries (consecutive non-empty rows have
+        # back-to-back segments, so each reduceat slice is exactly one row).
+        nonzero_rows = np.nonzero(row_counts)[0]
+        if nonzero_rows.size:
+            sums = np.add.reduceat(gathered, self.indptr[nonzero_rows], axis=0)
+            out[nonzero_rows] = sums
+        return out
+
+    def transpose(self) -> "Csr":
+        """Return ``Aᵀ`` as a new CSR matrix (used by BiCG)."""
+        coo_rows = np.repeat(np.arange(self.nrows, dtype=np.int64),
+                             np.diff(self.indptr))
+        coo = Coo(self.ncols, self.nrows, self.indices.copy(), coo_rows,
+                  self.data.copy())
+        return Csr.from_coo(coo)
+
+    # -- extraction (preconditioners) ---------------------------------------
+    def diagonal(self) -> np.ndarray:
+        """Return the main diagonal as a dense vector."""
+        d = np.zeros(min(self.nrows, self.ncols))
+        for r in range(d.size):
+            sl = slice(self.indptr[r], self.indptr[r + 1])
+            hit = np.nonzero(self.indices[sl] == r)[0]
+            if hit.size:
+                d[r] = self.data[sl][hit].sum()
+        return d
+
+    def diagonal_blocks(self, block_starts: np.ndarray) -> List[np.ndarray]:
+        """Extract dense diagonal blocks partitioned by *block_starts*.
+
+        ``block_starts`` is the sorted array of first-row indices, with an
+        implicit final boundary at ``nrows``.  Off-block entries are
+        ignored, exactly like Ginkgo's block-Jacobi extraction.
+        """
+        bounds = list(block_starts) + [self.nrows]
+        blocks = []
+        for b in range(len(block_starts)):
+            lo, hi = bounds[b], bounds[b + 1]
+            blk = np.zeros((hi - lo, hi - lo))
+            for r in range(lo, hi):
+                sl = slice(self.indptr[r], self.indptr[r + 1])
+                cols = self.indices[sl]
+                inside = (cols >= lo) & (cols < hi)
+                blk[r - lo, cols[inside] - lo] += self.data[sl][inside]
+            blocks.append(blk)
+        return blocks

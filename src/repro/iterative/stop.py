@@ -1,0 +1,52 @@
+"""Stopping criteria for the iterative solvers.
+
+Mirrors Ginkgo's combined criterion: a *residual-reduction* rule
+(``‖r‖ / ‖b‖ < reduction_factor``, evaluated per right-hand-side column)
+together with an iteration cap.  The paper sets the reduction factor to
+``1e-15`` (§III-B) — effectively "solve to machine precision", which is
+feasible because the spline interpolation matrix is well conditioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class StoppingCriterion:
+    """Combined residual-reduction + iteration-limit criterion.
+
+    Parameters
+    ----------
+    reduction_factor:
+        Target for ``‖r‖₂ / ‖b‖₂`` per column (paper default ``1e-15``).
+    max_iterations:
+        Hard cap on solver iterations.
+    """
+
+    reduction_factor: float = 1e-15
+    max_iterations: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.reduction_factor <= 0:
+            raise ValueError("reduction_factor must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+
+    def targets(self, b: np.ndarray) -> np.ndarray:
+        """Per-column absolute residual-norm targets.
+
+        A zero right-hand side column gets an absolute target so ``x = 0``
+        converges immediately instead of dividing by zero.
+        """
+        norms = np.linalg.norm(b, axis=0) if b.ndim == 2 else np.atleast_1d(np.linalg.norm(b))
+        targets = self.reduction_factor * norms
+        tiny = np.finfo(b.dtype).tiny if np.issubdtype(b.dtype, np.floating) else 0.0
+        targets[norms == 0.0] = max(self.reduction_factor, tiny)
+        return targets
+
+    def exhausted(self, iteration: int) -> bool:
+        """True once the iteration cap is reached."""
+        return iteration >= self.max_iterations

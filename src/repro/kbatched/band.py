@@ -1,0 +1,127 @@
+"""LAPACK band-storage helpers.
+
+Band matrices are stored column-wise in the LAPACK convention so the
+kernels here are directly comparable with the LAPACK routines they mirror
+(and cross-checkable against SciPy in the test suite):
+
+* **General band** (for ``gbtrf``/``gbtrs``): ``ab[kl + ku + i - j, j] =
+  A[i, j]``, with ``kl`` extra rows of head-room on top for the fill-in that
+  partial pivoting creates, giving a ``(2*kl + ku + 1, n)`` array.
+* **Symmetric positive-definite band, lower** (for ``pbtrf``/``pbtrs``):
+  ``ab[i - j, j] = A[i, j]`` for ``j <= i <= j + kd``, a ``(kd + 1, n)``
+  array whose row 0 is the diagonal.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def dense_band_widths(a: np.ndarray, tol: float = 0.0) -> Tuple[int, int]:
+    """Return ``(kl, ku)``: number of sub- and super-diagonals of *a*.
+
+    Entries with ``|a[i, j]| <= tol`` count as zero.  A zero matrix reports
+    ``(0, 0)``.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"expected a square matrix, got shape {a.shape}")
+    n = a.shape[0]
+    rows, cols = np.nonzero(np.abs(a) > tol)
+    if rows.size == 0:
+        return 0, 0
+    kl = int(np.max(rows - cols).clip(0))
+    ku = int(np.max(cols - rows).clip(0))
+    return kl, ku
+
+
+def dense_to_band(a: np.ndarray, kl: int, ku: int) -> np.ndarray:
+    """Pack dense *a* into ``(kl + ku + 1, n)`` LAPACK band storage."""
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ShapeError(f"expected square matrix, got {a.shape}")
+    ab = np.zeros((kl + ku + 1, n), dtype=a.dtype)
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(n, j + kl + 1)
+        ab[ku + lo - j : ku + hi - j, j] = a[lo:hi, j]
+    return ab
+
+
+def dense_to_lu_band(a: np.ndarray, kl: int, ku: int) -> np.ndarray:
+    """Pack *a* into ``(2*kl + ku + 1, n)`` storage with fill-in head-room.
+
+    Rows ``0..kl-1`` are the zero-initialized fill area that ``gbtrf``'s row
+    interchanges populate; the matrix itself sits in rows ``kl..2*kl+ku``.
+    """
+    n = a.shape[0]
+    ab = np.zeros((2 * kl + ku + 1, n), dtype=a.dtype)
+    ab[kl:, :] = dense_to_band(a, kl, ku)
+    return ab
+
+
+def band_to_dense(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
+    """Unpack ``(kl + ku + 1, n)`` band storage back to a dense matrix."""
+    if ab.shape[0] != kl + ku + 1:
+        raise ShapeError(
+            f"band storage has {ab.shape[0]} rows, expected kl+ku+1={kl + ku + 1}"
+        )
+    n = ab.shape[1]
+    a = np.zeros((n, n), dtype=ab.dtype)
+    for j in range(n):
+        lo = max(0, j - ku)
+        hi = min(n, j + kl + 1)
+        a[lo:hi, j] = ab[ku + lo - j : ku + hi - j, j]
+    return a
+
+
+def spd_dense_to_band_lower(a: np.ndarray, kd: int) -> np.ndarray:
+    """Pack the lower triangle of SPD *a* into ``(kd + 1, n)`` storage."""
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ShapeError(f"expected square matrix, got {a.shape}")
+    ab = np.zeros((kd + 1, n), dtype=a.dtype)
+    for j in range(n):
+        hi = min(n, j + kd + 1)
+        ab[0 : hi - j, j] = a[j:hi, j]
+    return ab
+
+
+def spd_dense_to_band_upper(a: np.ndarray, kd: int) -> np.ndarray:
+    """Pack the upper triangle of SPD *a* into ``(kd + 1, n)`` storage,
+    with ``ab[kd + i - j, j] = A[i, j]`` (row ``kd`` = the diagonal)."""
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ShapeError(f"expected square matrix, got {a.shape}")
+    ab = np.zeros((kd + 1, n), dtype=a.dtype)
+    for j in range(n):
+        lo = max(0, j - kd)
+        ab[kd + lo - j : kd + 1, j] = a[lo : j + 1, j]
+    return ab
+
+
+def spd_band_upper_to_dense(ab: np.ndarray) -> np.ndarray:
+    """Unpack upper SPD band storage to a dense symmetric matrix."""
+    kd = ab.shape[0] - 1
+    n = ab.shape[1]
+    a = np.zeros((n, n), dtype=ab.dtype)
+    for j in range(n):
+        lo = max(0, j - kd)
+        a[lo : j + 1, j] = ab[kd + lo - j : kd + 1, j]
+        a[j, lo : j + 1] = ab[kd + lo - j : kd + 1, j]
+    return a
+
+
+def spd_band_lower_to_dense(ab: np.ndarray) -> np.ndarray:
+    """Unpack lower SPD band storage to a dense symmetric matrix."""
+    kd = ab.shape[0] - 1
+    n = ab.shape[1]
+    a = np.zeros((n, n), dtype=ab.dtype)
+    for j in range(n):
+        hi = min(n, j + kd + 1)
+        a[j:hi, j] = ab[0 : hi - j, j]
+        a[j, j:hi] = ab[0 : hi - j, j]
+    return a

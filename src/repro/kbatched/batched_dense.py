@@ -1,0 +1,150 @@
+"""Multi-matrix batched solvers — the *standard* batched regime.
+
+§II-B: "most of the batched solvers are optimized to deal with multiple
+matrices as well as multiple right-hand sides" — cuBLAS-style batches where
+every problem has its own matrix ``A[i]``.  The paper's whole point is that
+its problem is *not* this shape (one fixed matrix, enormous RHS batch), and
+that forcing it into this shape wastes memory and factorization work.
+
+This module implements the standard regime anyway — vectorized across the
+matrix batch, the way a batched library would — so the repository can
+*demonstrate* the contrast quantitatively
+(``benchmarks/bench_ablation_multimatrix.py``): replicating the spline
+matrix into a multi-matrix batch costs ``n×`` the memory and refactorizes
+the same matrix ``batch`` times.
+
+It is also independently useful whenever the matrices genuinely differ per
+batch entry (e.g. spatially varying collision operators).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError, SingularMatrixError
+
+
+def _check_batch_square(a: np.ndarray) -> Tuple[int, int]:
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ShapeError(
+            f"expected a (batch, n, n) matrix batch, got shape {a.shape}"
+        )
+    return a.shape[0], a.shape[1]
+
+
+def batched_getrf(a: np.ndarray) -> np.ndarray:
+    """LU-factorize every matrix of a ``(batch, n, n)`` stack in place.
+
+    Partial pivoting is applied per matrix; the elimination loop runs over
+    the (shared, small) matrix dimension with every arithmetic step
+    vectorized across the batch — the standard batched-library layout.
+
+    Returns ``ipiv`` of shape ``(batch, n)``.
+
+    Raises
+    ------
+    SingularMatrixError
+        If any matrix in the batch hits an exactly-zero pivot (the index
+        attribute holds the elimination step).
+    """
+    batch, n = _check_batch_square(a)
+    ipiv = np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n)).copy()
+    rows = np.arange(batch)
+    for j in range(n):
+        # Per-matrix pivot search in column j, rows j..n-1.
+        jp = j + np.argmax(np.abs(a[:, j:, j]), axis=1)
+        pivots = a[rows, jp, j]
+        if np.any(pivots == 0.0):
+            raise SingularMatrixError(
+                f"zero pivot at column {j} in at least one batch entry",
+                index=j,
+            )
+        ipiv[:, j] = jp
+        # Swap rows j <-> jp per matrix (no-ops where jp == j).
+        rj = a[rows, j, :].copy()
+        a[rows, j, :] = a[rows, jp, :]
+        a[rows, jp, :] = rj
+        if j < n - 1:
+            a[:, j + 1 :, j] /= a[:, j : j + 1, j]
+            a[:, j + 1 :, j + 1 :] -= (
+                a[:, j + 1 :, j : j + 1] * a[:, j : j + 1, j + 1 :]
+            )
+    return ipiv
+
+
+def batched_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray) -> None:
+    """Solve every system of the stack in place on ``b``.
+
+    ``b`` has shape ``(batch, n)`` (one RHS per matrix, the cuBLAS
+    ``getrsBatched`` shape) or ``(batch, n, nrhs)``.
+    """
+    batch, n = _check_batch_square(a)
+    if ipiv.shape != (batch, n):
+        raise ShapeError(f"ipiv must have shape ({batch}, {n}), got {ipiv.shape}")
+    squeeze = b.ndim == 2
+    bb = b[:, :, None] if squeeze else b
+    if bb.shape[0] != batch or bb.shape[1] != n:
+        raise ShapeError(
+            f"b must have shape ({batch}, {n}[, nrhs]), got {b.shape}"
+        )
+    rows = np.arange(batch)
+    for j in range(n):
+        jp = ipiv[:, j]
+        rj = bb[rows, j, :].copy()
+        bb[rows, j, :] = bb[rows, jp, :]
+        bb[rows, jp, :] = rj
+    for i in range(1, n):
+        bb[:, i, :] -= np.einsum("bk,bkr->br", a[:, i, :i], bb[:, :i, :])
+    for i in range(n - 1, -1, -1):
+        if i < n - 1:
+            bb[:, i, :] -= np.einsum(
+                "bk,bkr->br", a[:, i, i + 1 :], bb[:, i + 1 :, :]
+            )
+        bb[:, i, :] /= a[:, i : i + 1, i]
+    if squeeze:
+        b[...] = bb[:, :, 0]
+
+
+def batched_pttrf(d: np.ndarray, e: np.ndarray) -> None:
+    """LDLᵀ-factorize a stack of SPD tridiagonal matrices in place.
+
+    ``d`` is ``(batch, n)`` diagonals, ``e`` is ``(batch, n-1)``
+    off-diagonals — the multi-matrix analogue of
+    :func:`repro.kbatched.pttrf`.
+    """
+    if d.ndim != 2 or e.ndim != 2 or e.shape != (d.shape[0], max(d.shape[1] - 1, 0)):
+        raise ShapeError(
+            f"expected d (batch, n) and e (batch, n-1), got {d.shape} / {e.shape}"
+        )
+    n = d.shape[1]
+    if n == 0:
+        return
+    if np.any(d[:, 0] <= 0.0):
+        raise SingularMatrixError("non-positive leading pivot in batch", index=0)
+    for i in range(n - 1):
+        ei = e[:, i].copy()
+        e[:, i] = ei / d[:, i]
+        d[:, i + 1] -= e[:, i] * ei
+        if np.any(d[:, i + 1] <= 0.0):
+            raise SingularMatrixError(
+                f"non-positive pivot at step {i + 1} in at least one batch entry",
+                index=i + 1,
+            )
+
+
+def batched_pttrs(d: np.ndarray, e: np.ndarray, b: np.ndarray) -> None:
+    """Solve every tridiagonal system of the stack in place on ``b``
+    (shape ``(batch, n)``)."""
+    if b.shape != d.shape:
+        raise ShapeError(f"b must have shape {d.shape}, got {b.shape}")
+    n = d.shape[1]
+    if n == 0:
+        return
+    for i in range(1, n):
+        b[:, i] -= e[:, i - 1] * b[:, i - 1]
+    b[:, n - 1] /= d[:, n - 1]
+    for i in range(n - 2, -1, -1):
+        b[:, i] /= d[:, i]
+        b[:, i] -= e[:, i] * b[:, i + 1]

@@ -1,0 +1,125 @@
+"""Dense BLAS kernels used by the spline builder.
+
+``gemm``/``gemv`` mirror ``KokkosBlas::gemm`` / ``KokkosBatched::SerialGemv``
+(the building blocks of the paper's Listings 2 and 4).  The vectorized
+variants delegate the arithmetic to NumPy's BLAS but keep the exact
+``C = alpha·op(A)·B + beta·C`` update semantics, in place on the output —
+the in-place property is what lets the builder run without per-step
+allocations.
+
+The ``serial_*`` variants are scalar-loop reference implementations used
+for per-batch fused kernels and for the test oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kbatched.types import Trans
+
+
+def _op(a: np.ndarray, trans: Trans) -> np.ndarray:
+    return a if trans is Trans.NO_TRANSPOSE else a.T
+
+
+def gemm(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float,
+    c: np.ndarray,
+    trans_a: Trans = Trans.NO_TRANSPOSE,
+    trans_b: Trans = Trans.NO_TRANSPOSE,
+) -> None:
+    """``C <- alpha * op(A) @ op(B) + beta * C`` in place on *c*."""
+    opa, opb = _op(a, trans_a), _op(b, trans_b)
+    if opa.shape[1] != opb.shape[0] or c.shape != (opa.shape[0], opb.shape[1]):
+        raise ShapeError(
+            f"gemm shape mismatch: op(A){opa.shape} op(B){opb.shape} C{c.shape}"
+        )
+    prod = opa @ opb
+    if beta == 0.0:
+        np.multiply(prod, alpha, out=c)
+    else:
+        c *= beta
+        c += alpha * prod
+
+
+def gemv(
+    alpha: float,
+    a: np.ndarray,
+    x: np.ndarray,
+    beta: float,
+    y: np.ndarray,
+    trans: Trans = Trans.NO_TRANSPOSE,
+) -> None:
+    """``y <- alpha * op(A) @ x + beta * y`` in place on *y*.
+
+    ``x``/``y`` may be 1-D vectors or ``(len, batch)`` blocks; in the block
+    case the product broadcasts across the batch axis, which is how the
+    dense corner-block updates of the *fused* builder version are applied
+    to all right-hand sides at once.
+    """
+    opa = _op(a, trans)
+    if x.shape[0] != opa.shape[1] or y.shape[0] != opa.shape[0]:
+        raise ShapeError(
+            f"gemv shape mismatch: op(A){opa.shape} x{x.shape} y{y.shape}"
+        )
+    prod = opa @ x
+    if beta == 0.0:
+        np.multiply(prod, alpha, out=y)
+    else:
+        y *= beta
+        y += alpha * prod
+
+
+def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> None:
+    """``y <- alpha * x + y`` in place on *y*."""
+    if x.shape != y.shape:
+        raise ShapeError(f"axpy shape mismatch: x{x.shape} y{y.shape}")
+    y += alpha * x
+
+
+def serial_gemv(
+    alpha: float,
+    a: np.ndarray,
+    x: np.ndarray,
+    beta: float,
+    y: np.ndarray,
+    trans: Trans = Trans.NO_TRANSPOSE,
+) -> int:
+    """Scalar-loop ``gemv`` on a single vector pair (KokkosBatched serial)."""
+    opa = _op(a, trans)
+    m, n = opa.shape
+    if x.shape[0] != n or y.shape[0] != m:
+        raise ShapeError(
+            f"serial_gemv shape mismatch: op(A){opa.shape} x{x.shape} y{y.shape}"
+        )
+    for i in range(m):
+        acc = 0.0
+        for k in range(n):
+            acc += opa[i, k] * x[k]
+        y[i] = alpha * acc + beta * y[i]
+    return 0
+
+
+def serial_gemm(
+    alpha: float,
+    a: np.ndarray,
+    b: np.ndarray,
+    beta: float,
+    c: np.ndarray,
+) -> int:
+    """Scalar-loop ``gemm`` (reference oracle; no transpose modes)."""
+    m, k = a.shape
+    k2, n = b.shape
+    if k != k2 or c.shape != (m, n):
+        raise ShapeError(f"serial_gemm shape mismatch: A{a.shape} B{b.shape} C{c.shape}")
+    for i in range(m):
+        for j in range(n):
+            acc = 0.0
+            for p in range(k):
+                acc += a[i, p] * b[p, j]
+            c[i, j] = alpha * acc + beta * c[i, j]
+    return 0

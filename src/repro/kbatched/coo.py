@@ -1,0 +1,85 @@
+"""COO (coordinate-list) sparse storage — the paper's Listing 5.
+
+The builder's corner blocks (``λ`` and the precomputed ``β = Q⁻¹γ``) are
+tiny and extremely sparse (§IV-D: for degree 3 / N=1000 the (1, 999)
+bottom-left block has 2 non-zeros and the (999, 1) top-right block 48).
+COO was chosen in the paper precisely to serve both the row-access and the
+column-access side without maintaining CSR *and* CSC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+@dataclass
+class Coo:
+    """A COO sparse matrix: parallel arrays of row index / col index / value.
+
+    Mirrors the paper's ``Coo`` struct: ``m_nrows``/``m_ncols`` extents,
+    ``m_rows_idx``/``m_cols_idx`` coordinates and ``m_values`` entries, all
+    accessible inside kernels.
+    """
+
+    nrows: int
+    ncols: int
+    rows_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    cols_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def __post_init__(self) -> None:
+        self.rows_idx = np.asarray(self.rows_idx, dtype=np.int64)
+        self.cols_idx = np.asarray(self.cols_idx, dtype=np.int64)
+        values = np.asarray(self.values)
+        # Preserve floating dtypes (float32 solve paths); promote the rest.
+        if not np.issubdtype(values.dtype, np.floating):
+            values = values.astype(np.float64)
+        self.values = values
+        if not (self.rows_idx.shape == self.cols_idx.shape == self.values.shape):
+            raise ShapeError(
+                "rows_idx / cols_idx / values must have identical shapes, got "
+                f"{self.rows_idx.shape}/{self.cols_idx.shape}/{self.values.shape}"
+            )
+        if self.values.size:
+            if self.rows_idx.min(initial=0) < 0 or self.rows_idx.max(initial=0) >= self.nrows:
+                raise ShapeError("row index out of range")
+            if self.cols_idx.min(initial=0) < 0 or self.cols_idx.max(initial=0) >= self.ncols:
+                raise ShapeError("column index out of range")
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(self.values.size)
+
+    @property
+    def shape(self):
+        return (self.nrows, self.ncols)
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, drop_tol: float = 0.0) -> "Coo":
+        """Build from a dense matrix, dropping entries with ``|v| <= drop_tol``.
+
+        The drop tolerance is how the exponentially-decaying ``β`` block is
+        compressed to its ~48 significant entries (see
+        ``benchmarks/bench_ablation_droptol.py`` for the accuracy/nnz
+        trade-off).
+        """
+        if a.ndim != 2:
+            raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
+        rows, cols = np.nonzero(np.abs(a) > drop_tol)
+        return cls(a.shape[0], a.shape[1], rows, cols, a[rows, cols])
+
+    def to_dense(self) -> np.ndarray:
+        """Expand to a dense matrix (summing duplicate coordinates)."""
+        out = np.zeros(self.shape, dtype=self.values.dtype)
+        np.add.at(out, (self.rows_idx, self.cols_idx), self.values)
+        return out
+
+    def transpose(self) -> "Coo":
+        """Return the transpose; COO makes this a metadata swap."""
+        return Coo(self.ncols, self.nrows, self.cols_idx.copy(),
+                   self.rows_idx.copy(), self.values.copy())

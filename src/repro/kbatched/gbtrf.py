@@ -1,0 +1,71 @@
+"""``gbtrf`` — LU factorization of a general band matrix with partial
+pivoting (LAPACK ``dgbtf2``, unblocked).
+
+Storage is the LAPACK convention produced by
+:func:`repro.kbatched.band.dense_to_lu_band`: ``ab`` has shape
+``(2*kl + ku + 1, n)`` with ``A[i, j]`` at ``ab[kl + ku + i - j, j]``; the
+top ``kl`` rows are head-room for the fill-in created by row interchanges.
+On exit the band of ``U`` occupies rows ``0..kl+ku`` and the multipliers of
+``L`` rows ``kl+ku+1..2*kl+ku``; ``ipiv`` records the interchanges.
+
+This factorization handles the *non-uniform* spline matrices (Table I:
+general banded for every non-uniform degree) and runs once at setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, SingularMatrixError
+
+
+def serial_gbtrf(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
+    """Factorize in place and return the pivot index array ``ipiv``.
+
+    ``ipiv[j] = p`` means rows ``j`` and ``p`` (zero-based, ``p >= j``) were
+    swapped at step ``j``.
+
+    Raises
+    ------
+    SingularMatrixError
+        If an exactly-zero pivot is met (``U[j, j] == 0``).
+    """
+    if ab.ndim != 2 or ab.shape[0] != 2 * kl + ku + 1:
+        raise ShapeError(
+            f"LU band storage must have 2*kl+ku+1={2 * kl + ku + 1} rows, "
+            f"got shape {ab.shape}"
+        )
+    n = ab.shape[1]
+    kv = kl + ku  # superdiagonals of U, including fill-in
+    ipiv = np.arange(n, dtype=np.int64)
+    ju = 0  # last column affected by interchanges so far
+    for j in range(n):
+        km = min(kl, n - 1 - j)  # sub-diagonal entries in column j
+        col = ab[kv : kv + km + 1, j]
+        jp = int(np.argmax(np.abs(col)))
+        ipiv[j] = j + jp
+        if col[jp] == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {j}", index=j)
+        ju = max(ju, min(j + ku + jp, n - 1))
+        if jp != 0:
+            # Swap matrix rows j and j+jp over columns j..ju; in band
+            # storage a matrix row is an anti-diagonal of ``ab``.
+            cs = np.arange(j, ju + 1)
+            r1 = kv + j - cs
+            r2 = kv + j + jp - cs
+            tmp = ab[r1, cs].copy()
+            ab[r1, cs] = ab[r2, cs]
+            ab[r2, cs] = tmp
+        if km > 0:
+            ab[kv + 1 : kv + km + 1, j] /= ab[kv, j]
+            for c in range(j + 1, ju + 1):
+                ujc = ab[kv + j - c, c]
+                if ujc != 0.0:
+                    lo = kv + j - c + 1
+                    ab[lo : lo + km, c] -= ujc * ab[kv + 1 : kv + km + 1, j]
+    return ipiv
+
+
+def gbtrf(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
+    """Alias of :func:`serial_gbtrf`; the factorization is inherently serial."""
+    return serial_gbtrf(ab, kl, ku)

@@ -1,0 +1,129 @@
+"""``gbtrs`` — solve ``A x = b`` from the band LU factorization of
+``gbtrf`` (LAPACK ``dgbtrs``, no-transpose): apply the recorded row
+interchanges and the banded ``L`` forward sweep, then back-substitute with
+the banded ``U`` (bandwidth ``kl + ku`` after fill-in).  In place on ``b``.
+
+:func:`serial_gbtrs` is the per-RHS serial kernel; :func:`gbtrs` is the
+batch-vectorized variant operating on ``(n, batch)`` blocks.  These solve
+the non-uniform spline systems every time step, so unlike the
+factorization they are performance-critical (Table V's non-uniform rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.kbatched.types import Trans
+
+
+def _check(ab: np.ndarray, kl: int, ku: int, b: np.ndarray, trans: Trans) -> int:
+    del trans
+    if ab.shape[0] != 2 * kl + ku + 1:
+        raise ShapeError(
+            f"LU band storage must have 2*kl+ku+1={2 * kl + ku + 1} rows, "
+            f"got shape {ab.shape}"
+        )
+    n = ab.shape[1]
+    if b.shape[0] != n:
+        raise ShapeError(f"b has leading extent {b.shape[0]}, expected n={n}")
+    return n
+
+
+def serial_gbtrs(
+    ab: np.ndarray,
+    ipiv: np.ndarray,
+    b: np.ndarray,
+    kl: int,
+    ku: int,
+    trans: Trans = Trans.NO_TRANSPOSE,
+) -> int:
+    """Solve for a single right-hand side, in place. Returns 0 on success.
+
+    ``trans=TRANSPOSE`` solves ``Aᵀ x = b``: forward sweep with ``Uᵀ``,
+    then the ``L`` multipliers applied transposed with the row
+    interchanges undone in reverse order (LAPACK ``dgbtrs('T', ...)``).
+    """
+    n = _check(ab, kl, ku, b, trans)
+    kv = kl + ku
+    if trans is Trans.TRANSPOSE:
+        for j in range(n):
+            lm = min(kv, j)
+            for r in range(1, lm + 1):
+                b[j] -= ab[kv - r, j] * b[j - r]
+            b[j] /= ab[kv, j]
+        if kl > 0:
+            for j in range(n - 2, -1, -1):
+                km = min(kl, n - 1 - j)
+                for r in range(1, km + 1):
+                    b[j] -= ab[kv + r, j] * b[j + r]
+                jp = int(ipiv[j])
+                if jp != j:
+                    b[j], b[jp] = b[jp], b[j]
+        return 0
+    if kl > 0:
+        for j in range(n - 1):
+            jp = int(ipiv[j])
+            if jp != j:
+                b[j], b[jp] = b[jp], b[j]
+            km = min(kl, n - 1 - j)
+            for r in range(1, km + 1):
+                b[j + r] -= ab[kv + r, j] * b[j]
+    for j in range(n - 1, -1, -1):
+        b[j] /= ab[kv, j]
+        lm = min(kv, j)
+        for r in range(1, lm + 1):
+            b[j - r] -= ab[kv - r, j] * b[j]
+    return 0
+
+
+def gbtrs(
+    ab: np.ndarray,
+    ipiv: np.ndarray,
+    b: np.ndarray,
+    kl: int,
+    ku: int,
+    trans: Trans = Trans.NO_TRANSPOSE,
+) -> int:
+    """Solve for an ``(n, batch)`` right-hand-side block, in place.
+
+    Row interchanges become row swaps of the block; every elimination step
+    is a rank-1 update of at most ``max(kl, kl + ku)`` block rows.
+    """
+    n = _check(ab, kl, ku, b, trans)
+    if b.ndim != 2:
+        raise ShapeError(f"b must have shape (n, batch), got {b.shape}")
+    kv = kl + ku
+    if trans is Trans.TRANSPOSE:
+        for j in range(n):
+            lm = min(kv, j)
+            if lm > 0:
+                b[j] -= ab[kv - lm : kv, j] @ b[j - lm : j]
+            b[j] /= ab[kv, j]
+        if kl > 0:
+            for j in range(n - 2, -1, -1):
+                km = min(kl, n - 1 - j)
+                if km > 0:
+                    b[j] -= ab[kv + 1 : kv + km + 1, j] @ b[j + 1 : j + km + 1]
+                jp = int(ipiv[j])
+                if jp != j:
+                    tmp = b[j].copy()
+                    b[j] = b[jp]
+                    b[jp] = tmp
+        return 0
+    if kl > 0:
+        for j in range(n - 1):
+            jp = int(ipiv[j])
+            if jp != j:
+                tmp = b[j].copy()
+                b[j] = b[jp]
+                b[jp] = tmp
+            km = min(kl, n - 1 - j)
+            if km > 0:
+                b[j + 1 : j + km + 1] -= np.outer(ab[kv + 1 : kv + km + 1, j], b[j])
+    for j in range(n - 1, -1, -1):
+        b[j] /= ab[kv, j]
+        lm = min(kv, j)
+        if lm > 0:
+            b[j - lm : j] -= np.outer(ab[kv - lm : kv, j], b[j])
+    return 0

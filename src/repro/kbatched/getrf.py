@@ -1,0 +1,97 @@
+"""``getrf`` — dense LU factorization with partial pivoting.
+
+Two variants, selected by the ``algo`` tag as in KokkosBatched:
+
+* ``Algo.UNBLOCKED`` — LAPACK ``dgetf2``: the rank-1-update loop.  In the
+  spline builder this factorizes the tiny dense Schur complement ``δ'``
+  (size = corner-block width, at most the spline degree), once at setup.
+* ``Algo.BLOCKED`` — LAPACK ``dgetrf``-style right-looking blocked LU:
+  panel factorization + triangular solve + GEMM trailing update.  The
+  paper names cache-blocked solver variants as a future optimization
+  (§V-B); this is the factorization-side counterpart.  It applies the
+  same partial-pivoting strategy, so the factors agree with the
+  unblocked variant to round-off (the trailing update is a single GEMM
+  instead of a sequence of rank-1 updates, which reorders the sums).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.kbatched.trsm import trsm
+from repro.kbatched.types import Algo, Diag, Uplo
+
+#: Default panel width of the blocked algorithm.
+DEFAULT_BLOCK = 32
+
+
+def _getf2_panel(a: np.ndarray, col0: int, col1: int, ipiv: np.ndarray) -> None:
+    """Factor the panel ``a[col0:, col0:col1]`` in place, swapping *full*
+    rows of ``a`` (so previously-factored columns and the trailing block
+    receive the interchanges immediately, as ``dgetrf`` does)."""
+    n = a.shape[0]
+    for j in range(col0, col1):
+        jp = j + int(np.argmax(np.abs(a[j:, j])))
+        ipiv[j] = jp
+        if a[jp, j] == 0.0:
+            raise SingularMatrixError(f"zero pivot at column {j}", index=j)
+        if jp != j:
+            tmp = a[j].copy()
+            a[j] = a[jp]
+            a[jp] = tmp
+        if j < n - 1:
+            a[j + 1 :, j] /= a[j, j]
+            if j + 1 < col1:
+                a[j + 1 :, j + 1 : col1] -= np.outer(
+                    a[j + 1 :, j], a[j, j + 1 : col1]
+                )
+
+
+def serial_getrf(
+    a: np.ndarray,
+    algo: Algo = Algo.UNBLOCKED,
+    block_size: int = DEFAULT_BLOCK,
+) -> np.ndarray:
+    """Factorize square *a* in place; return the pivot array ``ipiv``.
+
+    On exit the strictly lower triangle of ``a`` holds the multipliers of
+    the unit-lower ``L`` and the upper triangle holds ``U``;
+    ``ipiv[j] = p`` records the row interchange performed at step ``j``.
+
+    Raises
+    ------
+    SingularMatrixError
+        On an exactly-zero pivot.
+    """
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"getrf expects a square matrix, got shape {a.shape}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    n = a.shape[0]
+    ipiv = np.arange(n, dtype=np.int64)
+    if algo is Algo.UNBLOCKED or n <= block_size:
+        _getf2_panel(a, 0, n, ipiv)
+        return ipiv
+    for k in range(0, n, block_size):
+        kb = min(block_size, n - k)
+        # Panel LU (full-row interchanges happen inside).
+        _getf2_panel(a, k, k + kb, ipiv)
+        if k + kb < n:
+            # TRSM: U12 = L11^{-1} A12 (unit lower triangular solve).
+            trsm(a[k : k + kb, k : k + kb], a[k : k + kb, k + kb :],
+                 uplo=Uplo.LOWER, diag=Diag.UNIT)
+            # GEMM trailing update: A22 -= L21 @ U12.
+            a[k + kb :, k + kb :] -= (
+                a[k + kb :, k : k + kb] @ a[k : k + kb, k + kb :]
+            )
+    return ipiv
+
+
+def getrf(
+    a: np.ndarray,
+    algo: Algo = Algo.UNBLOCKED,
+    block_size: int = DEFAULT_BLOCK,
+) -> np.ndarray:
+    """Alias of :func:`serial_getrf`; the factorization is inherently serial."""
+    return serial_getrf(a, algo=algo, block_size=block_size)

@@ -1,0 +1,81 @@
+"""``pbtrf`` — Cholesky factorization of a symmetric positive-definite band
+matrix (LAPACK ``dpbtf2``, unblocked).
+
+Both LAPACK storage modes are supported:
+
+* **lower** — ``ab[i - j, j] = A[i, j]`` (row 0 = diagonal); on exit
+  ``ab`` holds the band of ``L`` with ``A = L Lᵀ``;
+* **upper** — ``ab[kd + i - j, j] = A[i, j]`` (row ``kd`` = diagonal); on
+  exit ``ab`` holds the band of ``U`` with ``A = Uᵀ U``.
+
+Like ``pttrf``, this runs once at setup on the host (§II-B1), so only the
+serial variant exists.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+from repro.kbatched.types import Uplo
+
+
+def serial_pbtrf(ab: np.ndarray, uplo: Uplo = Uplo.LOWER) -> None:
+    """Factorize in place (``L Lᵀ`` for lower storage, ``Uᵀ U`` for upper)."""
+    if ab.ndim != 2:
+        raise ShapeError(f"band storage must be 2-D, got shape {ab.shape}")
+    if uplo is Uplo.UPPER:
+        _pbtf2_upper(ab)
+        return
+    kd = ab.shape[0] - 1
+    n = ab.shape[1]
+    for j in range(n):
+        ajj = ab[0, j]
+        if ajj <= 0.0:
+            raise NotPositiveDefiniteError(
+                f"pivot {j} is not positive during Cholesky", index=j
+            )
+        ajj = math.sqrt(ajj)
+        ab[0, j] = ajj
+        kn = min(kd, n - 1 - j)  # sub-diagonal entries present in column j
+        if kn > 0:
+            ab[1 : kn + 1, j] /= ajj
+            # Rank-1 update of the trailing (kn x kn) band block:
+            # A[j+r, j+c] -= L[j+r, j] * L[j+c, j]  for 1 <= c <= r <= kn.
+            for c in range(1, kn + 1):
+                ab[0 : kn - c + 1, j + c] -= ab[c, j] * ab[c : kn + 1, j]
+
+
+def _pbtf2_upper(ab: np.ndarray) -> None:
+    """Upper-storage variant: row ``kd`` is the diagonal, ``U[j, j+c]`` sits
+    at ``ab[kd - c, j + c]``."""
+    kd = ab.shape[0] - 1
+    n = ab.shape[1]
+    for j in range(n):
+        ajj = ab[kd, j]
+        if ajj <= 0.0:
+            raise NotPositiveDefiniteError(
+                f"pivot {j} is not positive during Cholesky", index=j
+            )
+        ajj = math.sqrt(ajj)
+        ab[kd, j] = ajj
+        kn = min(kd, n - 1 - j)
+        if kn > 0:
+            # Scale row j of U: U[j, j+c] at ab[kd - c, j + c].
+            for c in range(1, kn + 1):
+                ab[kd - c, j + c] /= ajj
+            # Update A[j+r, j+c] -= U[j, j+r] * U[j, j+c], 1 <= r <= c <= kn.
+            for c in range(1, kn + 1):
+                ucj = ab[kd - c, j + c]
+                if ucj != 0.0:
+                    # Targets ab[kd-c+r, j+c] for r = 1..c; sources
+                    # U[j, j+r] = ab[kd - r, j + r].
+                    for r in range(1, c + 1):
+                        ab[kd - c + r, j + c] -= ab[kd - r, j + r] * ucj
+
+
+def pbtrf(ab: np.ndarray, uplo: Uplo = Uplo.LOWER) -> None:
+    """Alias of :func:`serial_pbtrf`; the factorization is inherently serial."""
+    serial_pbtrf(ab, uplo=uplo)

@@ -1,0 +1,49 @@
+"""``pttrf`` — LDLᵀ factorization of a symmetric positive-definite
+tridiagonal matrix (LAPACK ``dpttrf``).
+
+The matrix is described by its diagonal ``d`` (length ``n``) and
+off-diagonal ``e`` (length ``n - 1``).  On exit ``d`` holds the diagonal of
+``D`` and ``e`` the sub-diagonal multipliers of the unit-bidiagonal ``L``
+such that ``A = L · diag(d) · Lᵀ``.
+
+The factorization runs once at setup, on the host, as the paper does
+(§II-B1: "we take advantage of existing CPU libraries to factorize the
+matrix and copy the result to the device") — so only a serial version is
+needed; the batched work lives entirely in :mod:`repro.kbatched.pttrs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+
+
+def serial_pttrf(d: np.ndarray, e: np.ndarray) -> None:
+    """Factorize in place. ``d``/``e`` are overwritten with ``D`` and ``L``.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If a pivot is not strictly positive (the matrix is not SPD).
+    """
+    n = d.shape[0]
+    if e.shape[0] != max(n - 1, 0):
+        raise ShapeError(f"e has length {e.shape[0]}, expected n-1={n - 1}")
+    if n == 0:
+        return
+    if d[0] <= 0.0:
+        raise NotPositiveDefiniteError("leading pivot is not positive", index=0)
+    for i in range(n - 1):
+        ei = e[i]
+        e[i] = ei / d[i]
+        d[i + 1] -= e[i] * ei
+        if d[i + 1] <= 0.0:
+            raise NotPositiveDefiniteError(
+                f"pivot {i + 1} is not positive after elimination", index=i + 1
+            )
+
+
+def pttrf(d: np.ndarray, e: np.ndarray) -> None:
+    """Alias of :func:`serial_pttrf`; the factorization is inherently serial."""
+    serial_pttrf(d, e)

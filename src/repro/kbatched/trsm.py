@@ -1,0 +1,81 @@
+"""Triangular solves: ``trsv`` (single RHS) and ``trsm`` (RHS block).
+
+The building blocks the factorization-solve pairs are composed of, exposed
+as public kernels with the KokkosBatched tag-dispatch API.  ``trsm`` is
+also what the blocked ``getrf`` uses for its panel update (``U₁₂ =
+L₁₁⁻¹ A₁₂``).
+
+Only left-side solves are implemented (`op(A) X = B`); that is all the
+spline stack needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.kbatched.types import Diag, Trans, Uplo
+
+
+def _check(a: np.ndarray, b: np.ndarray) -> int:
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"triangular matrix must be square, got {a.shape}")
+    if b.shape[0] != a.shape[0]:
+        raise ShapeError(
+            f"rhs leading extent {b.shape[0]} != matrix size {a.shape[0]}"
+        )
+    return a.shape[0]
+
+
+def trsm(
+    a: np.ndarray,
+    b: np.ndarray,
+    uplo: Uplo = Uplo.LOWER,
+    trans: Trans = Trans.NO_TRANSPOSE,
+    diag: Diag = Diag.NON_UNIT,
+) -> None:
+    """Solve ``op(A) X = B`` in place on *b* (vector or ``(n, batch)``).
+
+    Only the relevant triangle of *a* is read; with ``diag=UNIT`` the
+    diagonal is taken as 1 without being read (LAPACK convention).
+    """
+    n = _check(a, b)
+    lower = (uplo is Uplo.LOWER) != (trans is Trans.TRANSPOSE)
+    read = (lambda i, k: a[k, i]) if trans is Trans.TRANSPOSE else (
+        lambda i, k: a[i, k]
+    )
+    unit = diag is Diag.UNIT
+    if not unit:
+        for i in range(n):
+            if read(i, i) == 0.0:
+                raise SingularMatrixError(f"zero diagonal at row {i}", index=i)
+    if lower:
+        for i in range(n):
+            for k in range(i):
+                v = read(i, k)
+                if v != 0.0:
+                    b[i] = b[i] - v * b[k]
+            if not unit:
+                b[i] = b[i] / read(i, i)
+    else:
+        for i in range(n - 1, -1, -1):
+            for k in range(i + 1, n):
+                v = read(i, k)
+                if v != 0.0:
+                    b[i] = b[i] - v * b[k]
+            if not unit:
+                b[i] = b[i] / read(i, i)
+
+
+def serial_trsv(
+    a: np.ndarray,
+    b: np.ndarray,
+    uplo: Uplo = Uplo.LOWER,
+    trans: Trans = Trans.NO_TRANSPOSE,
+    diag: Diag = Diag.NON_UNIT,
+) -> int:
+    """Single-RHS triangular solve (KokkosBatched serial kernel)."""
+    if b.ndim != 1:
+        raise ShapeError(f"trsv expects a vector rhs, got shape {b.shape}")
+    trsm(a, b, uplo=uplo, trans=trans, diag=diag)
+    return 0

@@ -1,0 +1,249 @@
+"""Analytical device simulator — the stand-in for A100 / MI250X hardware.
+
+**What this is.**  We cannot run on the paper's machines, so Tables III/V
+and Fig. 2's device rows are regenerated from a timing model:
+
+    t(kernel) = overhead + bytes(kernel) / (BW_peak · eff · util(batch))
+
+with
+
+* ``bytes`` from the first-principles traffic model of
+  :mod:`repro.perfmodel.counters` (which independently reproduces the
+  paper's Nsight byte counts),
+* ``eff`` a per-device efficiency for each kernel *class* (streaming
+  banded solve / dense corner ``gemv`` inside the fused kernel / separate
+  dense ``gemm`` kernels / Krylov sweeps), **calibrated once** against the
+  paper's Table III — three numbers per device; every other prediction
+  (other versions, other sizes, Fig. 2's sweep, Table V's six rows) then
+  follows from the model,
+* a degradation factor ``decay^cost_units`` capturing the extra
+  divergence/latency of wider-band and pivoted solvers (Table V's
+  degradation with degree and non-uniformity),
+* ``util(batch) = batch / (batch + batch_half)`` — a saturation curve for
+  the under-filled-device regime that shapes the left side of Fig. 2,
+* per-kernel-launch ``overhead``.
+
+**What this is not:** a cycle-accurate GPU model.  It reproduces *shape* —
+orderings, ratios, crossovers — not third-digit timings; EXPERIMENTS.md
+reports model-vs-paper numbers side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.perfmodel.counters import (
+    KernelTraffic,
+    dense_corner_traffic,
+    ideal_traffic,
+    iterative_traffic,
+    solver_traffic,
+    sparse_corner_traffic,
+)
+from repro.perfmodel.hardware import A100, ICELAKE, MI250X, Device
+
+#: Relative difficulty of each (degree, uniform) spline configuration for
+#: the batched Q solver: 0 = cyclic tridiagonal (pttrs), growing with band
+#: width and with the pivoting/fill-in of gbtrs.  Drives the monotone
+#: degradation seen across Table V's rows.
+SPLINE_CONFIG_COST_UNITS: Dict[Tuple[int, bool], int] = {
+    (3, True): 0,
+    (4, True): 1,
+    (5, True): 1,  # same band width as degree 4 (kd = 2)
+    (3, False): 2,
+    (4, False): 3,
+    (5, False): 4,
+}
+
+#: Table-I solver for each configuration (mirrors the builder's choice).
+CONFIG_SOLVER: Dict[Tuple[int, bool], str] = {
+    (3, True): "pttrs",
+    (4, True): "pbtrs",
+    (5, True): "pbtrs",
+    (3, False): "gbtrs",
+    (4, False): "gbtrs",
+    (5, False): "gbtrs",
+}
+
+
+@dataclass(frozen=True)
+class EfficiencyModel:
+    """Per-device kernel-class efficiencies (fractions of peak bandwidth)."""
+
+    stream: float  # fused banded-solve / spmv / transpose kernels
+    gemv: float  # dense corner updates inside the fused kernel (v1)
+    gemm: float  # separate dense gemm kernels (v0)
+    iterative: float  # Krylov block-vector sweeps
+    config_decay: float  # efficiency multiplier per config cost unit
+    launch_overhead_s: float  # per kernel launch
+    batch_half: float  # batch size at which the device is half-utilized
+
+
+#: Calibrated against Table III (see module docstring).  The three *_eff
+#: numbers per device are the only fitted values; the decay factors come
+#: from Table V's uniform-degree-3 → non-uniform-degree-5 ratio.
+EFFICIENCY: Dict[str, EfficiencyModel] = {
+    "Icelake": EfficiencyModel(
+        stream=0.198, gemv=0.35, gemm=0.175, iterative=0.15,
+        config_decay=0.80, launch_overhead_s=2e-6, batch_half=256.0,
+    ),
+    "A100": EfficiencyModel(
+        stream=0.775, gemv=0.76, gemm=0.196, iterative=0.45,
+        config_decay=0.853, launch_overhead_s=5e-6, batch_half=8192.0,
+    ),
+    "MI250X": EfficiencyModel(
+        stream=0.70, gemv=0.197, gemm=0.125, iterative=0.35,
+        config_decay=0.70, launch_overhead_s=8e-6, batch_half=8192.0,
+    ),
+}
+
+
+class DeviceSimulator:
+    """Predicts kernel and pipeline times for one catalog device."""
+
+    def __init__(self, device: Device, model: Optional[EfficiencyModel] = None):
+        self.device = device
+        if model is None:
+            if device.name not in EFFICIENCY:
+                raise KeyError(
+                    f"no calibrated efficiency model for device {device.name!r}; "
+                    "pass one explicitly"
+                )
+            model = EFFICIENCY[device.name]
+        self.model = model
+
+    # -- primitive ---------------------------------------------------------
+    def kernel_time(
+        self, traffic: KernelTraffic, eff: float, batch: int, launches: int = 1
+    ) -> float:
+        """Time of one kernel class moving *traffic* at efficiency *eff*."""
+        if eff <= 0:
+            raise ValueError("efficiency must be positive")
+        util = batch / (batch + self.model.batch_half)
+        bw = self.device.peak_bandwidth_gbs * 1e9 * eff * util
+        return launches * self.model.launch_overhead_s + traffic.total_bytes / bw
+
+    def _config_eff(self, base: float, degree: int, uniform: bool) -> float:
+        units = SPLINE_CONFIG_COST_UNITS[(degree, bool(uniform))]
+        return base * self.model.config_decay**units
+
+    # -- the spline builder (Table III / Table V) ---------------------------
+    def solve_time(
+        self,
+        n: int,
+        batch: int,
+        version: int = 2,
+        degree: int = 3,
+        uniform: bool = True,
+        nnz_lambda: int = 2,
+        nnz_beta: int = 48,
+    ) -> float:
+        """Predicted time of one batched spline solve (Algorithm 1)."""
+        solver = CONFIG_SOLVER[(degree, bool(uniform))]
+        stream_eff = self._config_eff(self.model.stream, degree, uniform)
+        base = self.kernel_time(
+            solver_traffic(n, batch, solver, degree), stream_eff, batch
+        )
+        if version == 2:
+            corner = self.kernel_time(
+                sparse_corner_traffic(batch, nnz_lambda, nnz_beta),
+                stream_eff,
+                batch,
+                launches=0,  # fused into the same kernel
+            )
+        elif version == 1:
+            corner = self.kernel_time(
+                dense_corner_traffic(n, batch), self.model.gemv, batch, launches=0
+            )
+        elif version == 0:
+            corner = self.kernel_time(
+                dense_corner_traffic(n, batch), self.model.gemm, batch, launches=3
+            )
+        else:
+            raise ValueError(f"unknown version {version}")
+        return base + corner
+
+    def solve_bandwidth_gbs(self, n: int, batch: int, **kwargs) -> float:
+        """Table V's metric: ideal bytes / predicted solve time."""
+        t = self.solve_time(n, batch, **kwargs)
+        # §V-B counts N_x · N_v · 8 bytes total (one pass of the block).
+        return n * batch * 8.0 / t / 1e9
+
+    # -- the iterative path (Fig. 2 bottom row) ------------------------------
+    def iterative_solve_time(
+        self,
+        n: int,
+        batch: int,
+        iterations: int,
+        nnz_per_row: float,
+        solver: str = "bicgstab",
+        cols_per_chunk: int = 65535,
+    ) -> float:
+        """Predicted time of the chunk-pipelined Krylov solve (Listing 3)."""
+        chunks = max(1, -(-batch // cols_per_chunk))
+        per_chunk_batch = min(batch, cols_per_chunk)
+        traffic = iterative_traffic(
+            n, per_chunk_batch, iterations, nnz_per_row, solver
+        )
+        kernels_per_iter = 10 if solver == "bicgstab" else 6
+        # Staging copies in/out of the chunk buffers (Listing 3's deep_copys).
+        staging = KernelTraffic(
+            3.0 * n * per_chunk_batch * 8.0, 3.0 * n * per_chunk_batch * 8.0, 0.0
+        )
+        per_chunk = self.kernel_time(
+            traffic, self.model.iterative, per_chunk_batch,
+            launches=kernels_per_iter * max(iterations, 1),
+        ) + self.kernel_time(staging, self.model.stream, per_chunk_batch)
+        return chunks * per_chunk
+
+    # -- the whole advection step (Fig. 2) ----------------------------------
+    def advection_time(
+        self,
+        n: int,
+        batch: int,
+        version: int = 2,
+        degree: int = 3,
+        uniform: bool = True,
+        method: str = "direct",
+        iterations: int = 0,
+        nnz_per_row: float = 3.0,
+        solver: str = "bicgstab",
+        cols_per_chunk: int = 65535,
+        fuse_transpose: bool = False,
+    ) -> float:
+        """One Algorithm-2 step: transposes + spline solve + interpolation.
+
+        ``fuse_transpose=True`` models the §V-C optimization: the two
+        materializing transposes collapse into in-kernel staging, leaving
+        only one layout-changing pass (the post-evaluation write-back).
+        """
+        block = float(n) * batch * 8.0
+        transpose_passes = 1 if fuse_transpose else 2
+        transpose = self.kernel_time(
+            KernelTraffic(transpose_passes * block, transpose_passes * block, 0.0),
+            self.model.stream, batch, launches=transpose_passes,
+        )
+        interp = self.kernel_time(
+            KernelTraffic((degree + 2.0) * block, block, 0.0),
+            self.model.stream,
+            batch,
+        )
+        if method == "direct":
+            solve = self.solve_time(n, batch, version, degree, uniform)
+        elif method == "ginkgo":
+            solve = self.iterative_solve_time(
+                n, batch, iterations, nnz_per_row, solver, cols_per_chunk
+            )
+        else:
+            raise ValueError(f"unknown method {method!r}")
+        return transpose + solve + interp
+
+    def glups(self, n: int, batch: int, **kwargs) -> float:
+        """Predicted GLUPS of one advection step (Eq. 7)."""
+        return n * batch * 1e-9 / self.advection_time(n, batch, **kwargs)
+
+
+def paper_simulators() -> Dict[str, DeviceSimulator]:
+    """Simulators for the three Table II devices."""
+    return {d.name: DeviceSimulator(d) for d in (ICELAKE, A100, MI250X)}

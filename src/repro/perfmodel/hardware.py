@@ -1,0 +1,143 @@
+"""Hardware descriptors — the paper's Table II.
+
+Numbers are taken verbatim from Table II (which itself extracts them from
+the vendor data sheets).  For MI250X the paper treats each Graphics Compute
+Die as a single GPU, so the TDP is listed as 500/2 W.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Device:
+    """One processor's roofline-relevant description (Table II row set)."""
+
+    name: str
+    peak_gflops: float  # FP64 peak [GFlops]
+    peak_bandwidth_gbs: float  # peak memory bandwidth [GB/s]
+    shared_cache_mb: float
+    tdp_watts: float
+    year: int
+    process_nm: int
+    fp64_cores: Optional[int] = None
+    simd_bits: Optional[int] = None
+    warp_size: Optional[int] = None
+    compiler: str = ""
+
+    @property
+    def bf_ratio(self) -> float:
+        """Byte-per-flop ratio ``B/F`` (Table II's B/F row)."""
+        return self.peak_bandwidth_gbs / self.peak_gflops
+
+    def row(self) -> Tuple:
+        """Values in Table II's row order (for the table benchmark)."""
+        return (
+            self.name,
+            self.fp64_cores,
+            self.shared_cache_mb,
+            self.peak_gflops,
+            self.peak_bandwidth_gbs,
+            round(self.bf_ratio, 3),
+            self.simd_bits,
+            self.warp_size,
+            self.tdp_watts,
+            self.process_nm,
+            self.year,
+            self.compiler,
+        )
+
+
+#: Intel Xeon Gold 6346 (one socket) — Table II column 1.
+ICELAKE = Device(
+    name="Icelake",
+    fp64_cores=32,
+    shared_cache_mb=36.0,
+    peak_gflops=3174.4,
+    peak_bandwidth_gbs=204.8,
+    simd_bits=512,
+    warp_size=None,
+    tdp_watts=205.0,
+    process_nm=10,
+    year=2021,
+    compiler="gcc 11.0",
+)
+
+#: NVIDIA A100 (PCIe 40 GB) — Table II column 2.
+A100 = Device(
+    name="A100",
+    fp64_cores=3456,
+    shared_cache_mb=40.0,
+    peak_gflops=9700.0,
+    peak_bandwidth_gbs=1555.0,
+    simd_bits=None,
+    warp_size=32,
+    tdp_watts=400.0,
+    process_nm=7,
+    year=2020,
+    compiler="CUDA/12.2.128",
+)
+
+#: AMD MI250X, one GCD — Table II column 3.
+MI250X = Device(
+    name="MI250X",
+    fp64_cores=None,
+    shared_cache_mb=16.0 / 2.0,
+    peak_gflops=26500.0,
+    peak_bandwidth_gbs=1600.0,
+    simd_bits=None,
+    warp_size=64,
+    tdp_watts=500.0 / 2.0,
+    process_nm=6,
+    year=2021,
+    compiler="rocm 5.7.0",
+)
+
+#: The paper's evaluation set H (Eq. 8).
+PAPER_DEVICES = (ICELAKE, A100, MI250X)
+
+
+def measure_host_device(size_mb: float = 256.0, repeats: int = 3) -> Device:
+    """Estimate the *actual* host machine as a :class:`Device`.
+
+    Peak bandwidth is estimated with a STREAM-triad-like sweep (the usual
+    ~80% of theoretical peak on real machines); peak flops with a chunked
+    fused-multiply-add sweep through NumPy.  Both are order-of-magnitude
+    calibrations so measured kernel efficiencies on the host can be quoted
+    against a meaningful roofline; they are **not** vendor-sheet numbers.
+    """
+    n = int(size_mb * 1e6 / 8 / 3)
+    a = np.zeros(n)
+    b = np.ones(n)
+    c = np.full(n, 2.0)
+    best_bw = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        np.multiply(b, 3.0, out=a)
+        a += c
+        dt = time.perf_counter() - t0
+        # Triad traffic: read b, read c, write a twice (two passes).
+        best_bw = max(best_bw, 4.0 * n * 8.0 / dt / 1e9)
+    m = 512
+    x = np.random.default_rng(0).standard_normal((m, m))
+    best_fl = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        x @ x
+        dt = time.perf_counter() - t0
+        best_fl = max(best_fl, 2.0 * m**3 / dt / 1e9)
+    return Device(
+        name="host",
+        peak_gflops=best_fl,
+        peak_bandwidth_gbs=best_bw,
+        shared_cache_mb=0.0,
+        tdp_watts=0.0,
+        year=0,
+        process_nm=0,
+        compiler="numpy",
+    )

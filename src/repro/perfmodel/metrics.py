@@ -1,0 +1,51 @@
+"""Performance metrics: GLUPS (Eq. 7), achieved bandwidth (§V-B),
+architectural efficiency (Eq. 9)."""
+
+from __future__ import annotations
+
+from repro.perfmodel.hardware import Device
+
+
+def glups(nx: int, nv: int, seconds: float, steps: int = 1) -> float:
+    """Giga lattice updates per second: ``N_x · N_v · steps · 1e-9 / t``."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return nx * nv * steps * 1e-9 / seconds
+
+
+def achieved_bandwidth_gbs(nx: int, nv: int, seconds: float, steps: int = 1) -> float:
+    """The paper's §V-B bandwidth: one load + store of the RHS per solve,
+    ``N_x · N_v · 8 / t`` (perfect-cache idealization) in GB/s.
+
+    Note the paper's formula counts ``8`` bytes per lattice point — one
+    double moved once; the load and the store are *not* double-counted.
+    """
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return nx * nv * 8.0 * steps / seconds / 1e9
+
+
+def efficiency(achieved_gbs: float, device: Device) -> float:
+    """Fraction of the device's peak bandwidth achieved (Table V's %)."""
+    return achieved_gbs / device.peak_bandwidth_gbs
+
+
+def energy_joules(device: Device, seconds: float) -> float:
+    """TDP-bound energy estimate of running *seconds* on *device*.
+
+    Table II lists each processor's TDP; multiplying by wall-clock gives
+    the standard upper-bound energy estimate used for GLUPS/W comparisons
+    (real draw is lower, but relative orderings are preserved for
+    similarly-utilized kernels).
+    """
+    if seconds < 0:
+        raise ValueError("elapsed time must be non-negative")
+    return device.tdp_watts * seconds
+
+
+def glups_per_watt(nx: int, nv: int, seconds: float, device: Device,
+                   steps: int = 1) -> float:
+    """Energy efficiency: lattice updates per second per watt (GLUPS/W)."""
+    if device.tdp_watts <= 0:
+        raise ValueError("device TDP unknown (zero); cannot compute GLUPS/W")
+    return glups(nx, nv, seconds, steps) / device.tdp_watts

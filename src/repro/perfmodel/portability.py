@@ -1,0 +1,26 @@
+"""The Pennycook performance-portability metric — Eqs. (8)-(9).
+
+``P(a, p, H)`` is the harmonic mean of the application's architectural
+efficiency over the platform set ``H``, and zero if any platform is
+unsupported.  The paper reports it per spline configuration in Table V,
+with efficiencies measured against the bandwidth roofline (all kernels are
+memory bound).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def pennycook_metric(efficiencies: Iterable[Optional[float]]) -> float:
+    """Harmonic mean of *efficiencies* (fractions in (0, 1]); 0 if any
+    platform is unsupported (``None``) or the set is empty.
+
+    Matches Eq. (8): ``|H| / Σ 1/e_i`` when every ``i ∈ H`` is supported.
+    """
+    effs = list(efficiencies)
+    if not effs or any(e is None for e in effs):
+        return 0.0
+    if any(e <= 0 for e in effs):
+        raise ValueError("efficiencies must be positive fractions")
+    return len(effs) / sum(1.0 / e for e in effs)

@@ -1,0 +1,31 @@
+"""Roofline model (Williams et al.) — Eq. (10) of the paper."""
+
+from __future__ import annotations
+
+from repro.perfmodel.counters import KernelTraffic
+from repro.perfmodel.hardware import Device
+
+
+def arithmetic_intensity(traffic: KernelTraffic) -> float:
+    """Flops per byte of a kernel, from the hand-counted traffic."""
+    return traffic.arithmetic_intensity
+
+
+def attainable_gflops(device: Device, ai_flops_per_byte: float) -> float:
+    """``R = min(F, B · f/b)`` — the roofline ceiling at intensity *ai*.
+
+    ``ai`` is the kernel's flops-per-byte ratio ``f_a / b_a``; kernels
+    left of the machine-balance point are bandwidth-limited.
+    """
+    if ai_flops_per_byte < 0:
+        raise ValueError("arithmetic intensity must be non-negative")
+    return min(
+        device.peak_gflops, device.peak_bandwidth_gbs * ai_flops_per_byte
+    )
+
+
+def is_memory_bound(device: Device, traffic: KernelTraffic) -> bool:
+    """True when the roofline at this kernel's intensity is the bandwidth
+    slope (AI below the machine balance ``F/B``)."""
+    balance = device.peak_gflops / device.peak_bandwidth_gbs
+    return traffic.arithmetic_intensity < balance

@@ -1,0 +1,62 @@
+"""Miniature Kokkos-like execution substrate.
+
+The paper builds on Kokkos' two central abstractions:
+
+* **Views** — multi-dimensional arrays carrying an explicit memory *layout*
+  (``LayoutRight`` = row-major / C, ``LayoutLeft`` = column-major / Fortran),
+  sliced with ``subview`` without copying; and
+* **execution spaces** — where a ``parallel_for`` over an index range runs
+  (a GPU, an OpenMP thread pool, or a serial loop).
+
+This subpackage reproduces just enough of that machinery for the batched
+solvers in :mod:`repro.kbatched` to be written the same way as the paper's
+Listings 2/4/6: a *serial* per-batch kernel dispatched by ``parallel_for``
+over the batch dimension.  Two host execution spaces are provided — a serial
+space and a thread-pool space — plus the hooks the performance model uses to
+attribute simulated device timings.
+
+The layout abstraction matters for fidelity: the paper explicitly blames the
+poor CPU numbers on parallelizing over the *contiguous* dimension and leaves
+a layout abstraction as future work.  Our Views let benchmarks measure both
+layouts (see ``benchmarks/bench_ablation_layout.py``).
+"""
+
+from repro.xspace.layout import Layout, LayoutLeft, LayoutRight, layout_of
+from repro.xspace.view import View, create_mirror_view, deep_copy, subview
+from repro.xspace.spaces import (
+    DefaultExecutionSpace,
+    ExecutionSpace,
+    SerialSpace,
+    ThreadsSpace,
+    get_execution_space,
+)
+from repro.xspace.parallel import (
+    MDRangePolicy,
+    RangePolicy,
+    parallel_for,
+    parallel_for_md,
+    parallel_reduce,
+    parallel_scan,
+)
+
+__all__ = [
+    "Layout",
+    "LayoutRight",
+    "LayoutLeft",
+    "layout_of",
+    "View",
+    "subview",
+    "deep_copy",
+    "create_mirror_view",
+    "ExecutionSpace",
+    "SerialSpace",
+    "ThreadsSpace",
+    "DefaultExecutionSpace",
+    "get_execution_space",
+    "RangePolicy",
+    "MDRangePolicy",
+    "parallel_for",
+    "parallel_for_md",
+    "parallel_reduce",
+    "parallel_scan",
+]

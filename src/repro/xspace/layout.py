@@ -1,0 +1,61 @@
+"""Memory-layout tags mirroring ``Kokkos::LayoutRight`` / ``LayoutLeft``.
+
+A layout decides which dimension of a 2-D (matrix-size x batch) array is
+contiguous in memory.  The paper's Fig. 2 discussion hinges on this: the
+GPU-friendly layout keeps the *batch* dimension contiguous so adjacent
+threads touch adjacent words, whereas the CPU-friendly layout would keep the
+*matrix* dimension contiguous per batch column.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class Layout(enum.Enum):
+    """Memory layout of a view.
+
+    ``RIGHT`` is row-major (C order, last index fastest), ``LEFT`` is
+    column-major (Fortran order, first index fastest).
+    """
+
+    RIGHT = "LayoutRight"
+    LEFT = "LayoutLeft"
+
+    @property
+    def numpy_order(self) -> str:
+        """The ``order=`` string NumPy uses for this layout."""
+        return "C" if self is Layout.RIGHT else "F"
+
+
+#: Row-major layout (C order) — ``Kokkos::LayoutRight``.
+LayoutRight = Layout.RIGHT
+#: Column-major layout (Fortran order) — ``Kokkos::LayoutLeft``.
+LayoutLeft = Layout.LEFT
+
+
+def layout_of(array: np.ndarray) -> Layout:
+    """Return the :class:`Layout` of *array*.
+
+    1-D and 0-D arrays, and arrays contiguous in both senses (e.g. shapes
+    with a unit extent), report :data:`LayoutRight`.  Non-contiguous arrays
+    raise :class:`ValueError` because a strided array has no single layout
+    tag in this model.
+    """
+    if array.flags["C_CONTIGUOUS"]:
+        return Layout.RIGHT
+    if array.flags["F_CONTIGUOUS"]:
+        return Layout.LEFT
+    raise ValueError(
+        "array is neither C- nor F-contiguous; materialize it with "
+        "numpy.ascontiguousarray / asfortranarray before tagging a layout"
+    )
+
+
+def with_layout(array: np.ndarray, layout: Layout) -> np.ndarray:
+    """Return *array* in the requested *layout*, copying only if needed."""
+    if layout is Layout.RIGHT:
+        return np.ascontiguousarray(array)
+    return np.asfortranarray(array)

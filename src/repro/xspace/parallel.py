@@ -1,0 +1,168 @@
+"""``parallel_for`` / ``parallel_reduce`` dispatch, mirroring Kokkos.
+
+The batched solver kernels are expressed exactly as in the paper's
+Listing 2::
+
+    parallel_for("KokkosBatched::SerialPttrs", batch, functor)
+
+where ``functor(i)`` operates on batch column ``i``.  The policy object
+carries the execution space and optional kernel-name label; labels feed the
+lightweight profiling region stack used by the benchmark harness (the
+Kokkos-tools analogue).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.xspace.spaces import DefaultExecutionSpace, ExecutionSpace
+
+
+@dataclass
+class RangePolicy:
+    """A 1-D iteration range bound to an execution space."""
+
+    begin: int
+    end: int
+    space: ExecutionSpace = field(default_factory=lambda: DefaultExecutionSpace)
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ValueError(f"empty-negative range [{self.begin}, {self.end})")
+
+
+class _RegionTimer:
+    """Accumulates wall-clock per labelled kernel region (kp_reader analogue)."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    def record(self, label: str, seconds: float) -> None:
+        self.totals[label] = self.totals.get(label, 0.0) + seconds
+        self.counts[label] = self.counts.get(label, 0) + 1
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def report(self) -> List[str]:
+        lines = []
+        for label in sorted(self.totals):
+            total = self.totals[label]
+            n = self.counts[label]
+            lines.append(
+                f"{label} (REGION) {total:.6f} {n} {total / n:.6f}"
+            )
+        return lines
+
+
+#: Process-global kernel timer, drained by the benchmark harness.
+profiler = _RegionTimer()
+
+
+@contextmanager
+def profiling_region(label: str) -> Iterator[None]:
+    """Time a labelled region, like ``Kokkos::Profiling::pushRegion``."""
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        profiler.record(label, time.perf_counter() - t0)
+
+
+def _resolve(policy: Union[int, RangePolicy]) -> RangePolicy:
+    if isinstance(policy, RangePolicy):
+        return policy
+    return RangePolicy(0, int(policy))
+
+
+def parallel_for(
+    label: str,
+    policy: Union[int, RangePolicy],
+    functor: Callable[[int], None],
+    space: Optional[ExecutionSpace] = None,
+) -> None:
+    """Run ``functor(i)`` for every ``i`` in the policy's range.
+
+    ``policy`` may be a bare count ``n`` (meaning ``range(0, n)``), as in the
+    paper's listings.  An explicit *space* overrides the policy's space.
+    """
+    pol = _resolve(policy)
+    exec_space = space or pol.space
+    with profiling_region(label):
+        exec_space.run(pol.begin, pol.end, functor)
+
+
+def parallel_reduce(
+    label: str,
+    policy: Union[int, RangePolicy],
+    functor: Callable[[int], float],
+    space: Optional[ExecutionSpace] = None,
+) -> float:
+    """Sum ``functor(i)`` over the policy's range and return the total."""
+    pol = _resolve(policy)
+    exec_space = space or pol.space
+    with profiling_region(label):
+        return exec_space.reduce(pol.begin, pol.end, functor)
+
+
+def parallel_scan(
+    label: str,
+    policy: Union[int, RangePolicy],
+    functor: Callable[[int, float, bool], float],
+) -> float:
+    """Inclusive prefix scan, Kokkos-style: ``functor(i, partial, final)``
+    returns the contribution of index ``i``; on the ``final`` pass
+    ``partial`` holds the *exclusive* prefix sum.  Returns the total.
+
+    Scans are inherently ordered; like Kokkos' serial backend this runs the
+    two-pass protocol sequentially (one discovery pass, one final pass), so
+    functors written for Kokkos port directly.
+    """
+    pol = _resolve(policy)
+    with profiling_region(label):
+        running = 0.0
+        for i in range(pol.begin, pol.end):
+            running += functor(i, running, False)
+        total = running
+        running = 0.0
+        for i in range(pol.begin, pol.end):
+            running += functor(i, running, True)
+        return total
+
+
+@dataclass
+class MDRangePolicy:
+    """A 2-D iteration rectangle (``Kokkos::MDRangePolicy<Rank<2>>``)."""
+
+    begin0: int
+    end0: int
+    begin1: int
+    end1: int
+    space: ExecutionSpace = field(default_factory=lambda: DefaultExecutionSpace)
+
+    def __post_init__(self) -> None:
+        if self.end0 < self.begin0 or self.end1 < self.begin1:
+            raise ValueError("empty-negative MD range")
+
+
+def parallel_for_md(
+    label: str,
+    policy: MDRangePolicy,
+    functor: Callable[[int, int], None],
+) -> None:
+    """Run ``functor(i, j)`` over the 2-D rectangle.  The outer dimension
+    is distributed over the policy's execution space; the inner loop runs
+    within the worker (the common Kokkos tiling for row-major data)."""
+    extent1 = policy.end1 - policy.begin1
+
+    def row(i: int) -> None:
+        for j in range(policy.begin1, policy.begin1 + extent1):
+            functor(i, j)
+
+    with profiling_region(label):
+        policy.space.run(policy.begin0, policy.end0, row)

@@ -1,0 +1,166 @@
+"""Execution spaces: where a ``parallel_for`` runs.
+
+Two host spaces are implemented:
+
+* :class:`SerialSpace` — a plain Python loop.  This is the reference
+  backend; every batched kernel in :mod:`repro.kbatched` has a serial
+  variant that is a line-by-line port of the paper's C++ listings.
+* :class:`ThreadsSpace` — a ``ThreadPoolExecutor`` fan-out over index
+  chunks.  NumPy releases the GIL inside its ufunc loops, so chunked
+  vector work does scale; pure-Python per-element kernels do not, which is
+  itself a faithful analogue of the paper's observation that the serial
+  per-batch formulation only pays off when the per-batch work is compiled.
+
+Device spaces (A100 / MI250X) cannot execute here — they exist as *timing
+models* in :mod:`repro.perfmodel.devicesim`.  ``get_execution_space`` keeps
+a registry so the builders accept space names, mirroring how the paper's
+CMake flags pick a Kokkos backend.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.exceptions import BackendError
+
+
+class ExecutionSpace:
+    """Abstract execution space.
+
+    Subclasses implement :meth:`run` (a ``parallel_for`` body over
+    ``range(begin, end)``) and may override :meth:`fence` for asynchronous
+    spaces.
+    """
+
+    #: Registry name, e.g. ``"serial"``.
+    name: str = "abstract"
+
+    def run(self, begin: int, end: int, functor: Callable[[int], None]) -> None:
+        raise NotImplementedError
+
+    def reduce(
+        self, begin: int, end: int, functor: Callable[[int], float]
+    ) -> float:
+        """Sum-reduce ``functor(i)`` over the range (``parallel_reduce``)."""
+        raise NotImplementedError
+
+    def fence(self) -> None:
+        """Wait for outstanding work; host spaces are synchronous."""
+
+    @property
+    def concurrency(self) -> int:
+        """Number of workers this space can run concurrently."""
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(concurrency={self.concurrency})"
+
+
+class SerialSpace(ExecutionSpace):
+    """Run the functor in a plain sequential loop."""
+
+    name = "serial"
+
+    def run(self, begin: int, end: int, functor: Callable[[int], None]) -> None:
+        for i in range(begin, end):
+            functor(i)
+
+    def reduce(self, begin: int, end: int, functor: Callable[[int], float]) -> float:
+        total = 0.0
+        for i in range(begin, end):
+            total += functor(i)
+        return total
+
+
+class ThreadsSpace(ExecutionSpace):
+    """Fan the index range out over a thread pool in contiguous chunks.
+
+    Chunks (rather than single indices) keep the Python dispatch overhead
+    amortized; the chunk count defaults to 4x the worker count for load
+    balance, the same heuristic Kokkos' dynamic schedule uses.
+    """
+
+    name = "threads"
+
+    def __init__(self, num_threads: Optional[int] = None):
+        if num_threads is None:
+            num_threads = os.cpu_count() or 1
+        self._num_threads = int(num_threads)
+        if self._num_threads < 1:
+            raise BackendError(f"num_threads must be >= 1, got {self._num_threads}")
+        self._pool = ThreadPoolExecutor(max_workers=self._num_threads)
+
+    @property
+    def concurrency(self) -> int:
+        return self._num_threads
+
+    def _chunks(self, begin: int, end: int) -> List[Tuple[int, int]]:
+        n = end - begin
+        if n <= 0:
+            return []
+        pieces = min(n, self._num_threads * 4)
+        step = -(-n // pieces)
+        return [(b, min(b + step, end)) for b in range(begin, end, step)]
+
+    def run(self, begin: int, end: int, functor: Callable[[int], None]) -> None:
+        chunks = self._chunks(begin, end)
+        if len(chunks) <= 1:
+            for i in range(begin, end):
+                functor(i)
+            return
+
+        def body(bounds: Tuple[int, int]) -> None:
+            for i in range(bounds[0], bounds[1]):
+                functor(i)
+
+        # list() propagates the first worker exception to the caller.
+        list(self._pool.map(body, chunks))
+
+    def reduce(self, begin: int, end: int, functor: Callable[[int], float]) -> float:
+        chunks = self._chunks(begin, end)
+
+        def body(bounds: Tuple[int, int]) -> float:
+            total = 0.0
+            for i in range(bounds[0], bounds[1]):
+                total += functor(i)
+            return total
+
+        if len(chunks) <= 1:
+            return body((begin, end))
+        return sum(self._pool.map(body, chunks))
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+_REGISTRY: Dict[str, Callable[[], ExecutionSpace]] = {
+    "serial": SerialSpace,
+    "threads": ThreadsSpace,
+}
+
+_INSTANCES: Dict[str, ExecutionSpace] = {}
+
+
+def get_execution_space(name: str = "serial") -> ExecutionSpace:
+    """Return a (cached) execution space by registry name.
+
+    Raises
+    ------
+    BackendError
+        If *name* is not one of ``serial`` / ``threads``.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise BackendError(
+            f"unknown execution space {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    if key not in _INSTANCES:
+        _INSTANCES[key] = _REGISTRY[key]()
+    return _INSTANCES[key]
+
+
+#: Default host execution space (serial), mirroring
+#: ``Kokkos::DefaultHostExecutionSpace`` for a serial build.
+DefaultExecutionSpace = get_execution_space("serial")

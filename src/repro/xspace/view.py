@@ -1,0 +1,151 @@
+"""A thin Kokkos-``View``-like wrapper over NumPy arrays.
+
+Views add three things on top of a bare ndarray:
+
+* an explicit :class:`~repro.xspace.layout.Layout` tag checked at
+  construction (catching accidental stride surprises early, the way Kokkos'
+  template system does at compile time);
+* a *label*, used by the profiling hooks in :mod:`repro.perfmodel` to
+  attribute memory traffic to kernels;
+* Kokkos-style helpers — :func:`subview`, :func:`deep_copy`,
+  :func:`create_mirror_view` — so ported kernels read like the paper's
+  listings.
+
+A ``View`` intentionally is **not** an ndarray subclass: arithmetic goes
+through ``.data`` explicitly, which keeps the boundary between "Kokkos
+world" and plain NumPy visible in the solver code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.xspace.layout import Layout, LayoutRight, layout_of, with_layout
+
+IndexExpr = Union[int, slice, type(Ellipsis)]
+
+
+class View:
+    """A labelled, layout-tagged array.
+
+    Parameters
+    ----------
+    shape_or_data:
+        Either a shape tuple (a new zero-initialized array is allocated with
+        the requested layout) or an existing ndarray (wrapped without copy if
+        its layout already matches, otherwise copied).
+    label:
+        Human-readable name, as in ``Kokkos::View``'s first constructor
+        argument.
+    layout:
+        Desired memory layout; defaults to :data:`LayoutRight`.
+    dtype:
+        Element type for new allocations (default ``float64``).
+    """
+
+    __slots__ = ("data", "label", "layout")
+
+    def __init__(
+        self,
+        shape_or_data: Union[Tuple[int, ...], np.ndarray],
+        label: str = "",
+        layout: Layout = LayoutRight,
+        dtype: np.dtype = np.float64,
+    ):
+        if isinstance(shape_or_data, np.ndarray):
+            self.data = with_layout(shape_or_data, layout)
+        else:
+            shape = tuple(int(n) for n in shape_or_data)
+            if any(n < 0 for n in shape):
+                raise ShapeError(f"negative extent in shape {shape}")
+            self.data = np.zeros(shape, dtype=dtype, order=layout.numpy_order)
+        self.label = label
+        self.layout = layout
+
+    # -- Kokkos-like introspection -------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def extent(self, axis: int) -> int:
+        """Extent along *axis* (``view.extent(1)`` as in the listings)."""
+        return self.data.shape[axis]
+
+    @property
+    def rank(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def span_bytes(self) -> int:
+        """Bytes spanned by the allocation (used by the byte counters)."""
+        return self.data.nbytes
+
+    # -- element access -------------------------------------------------
+    def __getitem__(self, idx):
+        return self.data[idx]
+
+    def __setitem__(self, idx, value):
+        self.data[idx] = value
+
+    def __array__(self, dtype=None):
+        return np.asarray(self.data, dtype=dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"View(label={self.label!r}, shape={self.shape}, "
+            f"layout={self.layout.value}, dtype={self.dtype})"
+        )
+
+    def fill(self, value: float) -> None:
+        """Assign *value* to every element (``Kokkos::deep_copy(v, value)``)."""
+        self.data.fill(value)
+
+
+def subview(view: Union[View, np.ndarray], *index: IndexExpr) -> np.ndarray:
+    """Return a non-owning slice of *view*, like ``Kokkos::subview``.
+
+    Accepts ``slice(None)`` (the analogue of ``Kokkos::ALL``), integers and
+    ``(begin, end)`` pairs expressed as slices.  The result is a plain NumPy
+    view — mutation is visible through the parent, which the in-place solver
+    kernels rely on.
+    """
+    data = view.data if isinstance(view, View) else view
+    return data[tuple(index)]
+
+
+def deep_copy(dst: Union[View, np.ndarray], src: Union[View, np.ndarray, float]) -> None:
+    """Copy *src* into *dst* element-wise (``Kokkos::deep_copy``)."""
+    dst_data = dst.data if isinstance(dst, View) else dst
+    if isinstance(src, (int, float)):
+        dst_data.fill(src)
+        return
+    src_data = src.data if isinstance(src, View) else src
+    if dst_data.shape != src_data.shape:
+        raise ShapeError(
+            f"deep_copy shape mismatch: dst {dst_data.shape} vs src {src_data.shape}"
+        )
+    np.copyto(dst_data, src_data)
+
+
+def create_mirror_view(view: View, layout: Optional[Layout] = None) -> View:
+    """Allocate a host mirror of *view* with the same extents.
+
+    On real hardware this creates host-accessible memory for a device view;
+    here it is an allocation helper that optionally changes layout (the
+    pattern the paper uses to stage the factorized matrix from host LAPACK
+    to the device).
+    """
+    out = View(view.shape, label=view.label + "_mirror",
+               layout=layout or view.layout, dtype=view.dtype)
+    return out

@@ -1,0 +1,129 @@
+"""Cross-cutting algebraic property tests (hypothesis).
+
+These assert identities that must hold for *any* valid configuration —
+linearity of the solve and evaluation operators, inverse consistency
+between the direct and iterative paths, and translation invariance of the
+periodic machinery.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSplineSpec, SplineBuilder, SplineEvaluator
+
+from conftest import rng_for
+
+
+def builder_for(degree, n, uniform, boundary="periodic"):
+    spec = BSplineSpec(degree=degree, n_points=n, uniform=uniform,
+                       boundary=boundary)
+    return SplineBuilder(spec)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    degree=st.integers(3, 5),
+    n=st.integers(16, 48),
+    uniform=st.booleans(),
+    alpha=st.floats(-3.0, 3.0),
+    beta=st.floats(-3.0, 3.0),
+    seed=st.integers(0, 2**31),
+)
+def test_solve_is_linear(degree, n, uniform, alpha, beta, seed):
+    """solve(αf + βg) == α·solve(f) + β·solve(g)."""
+    rng = rng_for(seed)
+    builder = builder_for(degree, n, uniform)
+    f = rng.standard_normal(n)
+    g = rng.standard_normal(n)
+    combined = builder.solve(alpha * f + beta * g)
+    separate = alpha * builder.solve(f) + beta * builder.solve(g)
+    assert np.allclose(combined, separate, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    degree=st.integers(1, 5),
+    n=st.integers(12, 40),
+    seed=st.integers(0, 2**31),
+)
+def test_evaluation_is_linear_in_coefficients(degree, n, seed):
+    rng = rng_for(seed)
+    builder = builder_for(degree, n, uniform=True)
+    ev = SplineEvaluator(builder.space_1d)
+    c1 = rng.standard_normal(n)
+    c2 = rng.standard_normal(n)
+    xs = rng.uniform(0.0, 1.0, 20)
+    assert np.allclose(
+        ev(c1 + 2.0 * c2, xs), ev(c1, xs) + 2.0 * ev(c2, xs), atol=1e-11
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    degree=st.integers(3, 5),
+    n=st.integers(16, 40),
+    shift_cells=st.integers(1, 10),
+    seed=st.integers(0, 2**31),
+)
+def test_uniform_periodic_translation_invariance(degree, n, shift_cells, seed):
+    """On a uniform periodic grid, solving a cyclically shifted field gives
+    cyclically shifted coefficients (the matrix is circulant)."""
+    rng = rng_for(seed)
+    builder = builder_for(degree, n, uniform=True)
+    f = rng.standard_normal(n)
+    c = builder.solve(f)
+    c_shifted = builder.solve(np.roll(f, shift_cells))
+    assert np.allclose(c_shifted, np.roll(c, shift_cells), atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    degree=st.integers(3, 5),
+    n=st.integers(16, 40),
+    uniform=st.booleans(),
+    seed=st.integers(0, 2**31),
+)
+def test_solve_inverts_matmul(degree, n, uniform, seed):
+    """solve(A @ c) == c: the builder is a genuine inverse of the
+    assembled matrix."""
+    rng = rng_for(seed)
+    builder = builder_for(degree, n, uniform)
+    c = rng.standard_normal((n, 2))
+    assert np.allclose(builder.solve(builder.matrix @ c), c, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    degree=st.integers(3, 5),
+    n=st.integers(20, 40),
+    seed=st.integers(0, 2**31),
+)
+def test_direct_and_iterative_agree(degree, n, seed):
+    from repro.core import GinkgoSplineBuilder
+
+    rng = rng_for(seed)
+    spec = BSplineSpec(degree=degree, n_points=n)
+    direct = SplineBuilder(spec)
+    iterative = GinkgoSplineBuilder(spec, solver="bicgstab", tolerance=1e-13)
+    f = rng.standard_normal((n, 2))
+    assert np.allclose(iterative.solve(f), direct.solve(f), atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    degree=st.integers(1, 5),
+    n=st.integers(12, 40),
+    uniform=st.booleans(),
+    seed=st.integers(0, 2**31),
+)
+def test_integral_positive_for_positive_coefficients(degree, n, uniform, seed):
+    """B-splines are non-negative, so positive coefficients give a
+    positive spline and a positive integral."""
+    rng = rng_for(seed)
+    builder = builder_for(degree, n, uniform)
+    ev = SplineEvaluator(builder.space_1d)
+    c = rng.uniform(0.1, 1.0, n)
+    assert ev.integrate(c) > 0.0
+    xs = rng.uniform(0.0, 1.0, 30)
+    assert np.all(ev(c, xs) > 0.0)

@@ -1,0 +1,145 @@
+"""Tests for the multi-matrix batched solvers (the standard batched regime)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.kbatched import (
+    batched_getrf,
+    batched_getrs,
+    batched_pttrf,
+    batched_pttrs,
+    getrf,
+    serial_pttrf,
+)
+
+from conftest import random_general, random_spd_tridiagonal, rng_for, tridiagonal_to_dense
+
+
+def random_batch(batch, n, rng):
+    return np.stack([random_general(n, rng) for _ in range(batch)])
+
+
+class TestBatchedGetrf:
+    def test_matches_per_matrix_getrf(self, rng):
+        batch, n = 7, 9
+        a = random_batch(batch, n, rng)
+        lu_batch = a.copy()
+        ipiv_batch = batched_getrf(lu_batch)
+        for i in range(batch):
+            lu_i = a[i].copy()
+            ipiv_i = getrf(lu_i)
+            np.testing.assert_allclose(lu_batch[i], lu_i, rtol=1e-12)
+            np.testing.assert_array_equal(ipiv_batch[i], ipiv_i)
+
+    def test_solve_roundtrip(self, rng):
+        batch, n = 11, 12
+        a = random_batch(batch, n, rng)
+        lu = a.copy()
+        ipiv = batched_getrf(lu)
+        x_true = rng.standard_normal((batch, n))
+        b = np.einsum("bij,bj->bi", a, x_true)
+        batched_getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+
+    def test_multiple_rhs_per_matrix(self, rng):
+        batch, n, nrhs = 4, 8, 3
+        a = random_batch(batch, n, rng)
+        lu = a.copy()
+        ipiv = batched_getrf(lu)
+        x_true = rng.standard_normal((batch, n, nrhs))
+        b = np.einsum("bij,bjr->bir", a, x_true)
+        batched_getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+
+    def test_different_pivots_per_matrix(self, rng):
+        """Each matrix pivots independently."""
+        a = random_batch(2, 4, rng)
+        a[0, 0, 0] = 1e-300  # matrix 0 must pivot at step 0
+        lu = a.copy()
+        ipiv = batched_getrf(lu)
+        assert ipiv[0, 0] != 0
+        x = rng.standard_normal((2, 4))
+        b = np.einsum("bij,bj->bi", a, x)
+        batched_getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x, rtol=1e-6)
+
+    def test_singular_entry_detected(self, rng):
+        a = random_batch(3, 4, rng)
+        a[1, :, 2] = 0.0  # matrix 1 singular
+        with pytest.raises(SingularMatrixError):
+            batched_getrf(a.copy())
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            batched_getrf(np.ones((3, 4, 5)))
+        a = random_batch(2, 4, rng)
+        lu = a.copy()
+        ipiv = batched_getrf(lu)
+        with pytest.raises(ShapeError):
+            batched_getrs(lu, ipiv[:, :2], np.ones((2, 4)))
+        with pytest.raises(ShapeError):
+            batched_getrs(lu, ipiv, np.ones((2, 5)))
+
+
+class TestBatchedPttrf:
+    def test_matches_per_matrix_pttrf(self, rng):
+        batch, n = 6, 15
+        ds, es = [], []
+        for _ in range(batch):
+            d, e = random_spd_tridiagonal(n, rng)
+            ds.append(d)
+            es.append(e)
+        d_batch = np.stack(ds)
+        e_batch = np.stack(es)
+        d_ref, e_ref = d_batch.copy(), e_batch.copy()
+        batched_pttrf(d_batch, e_batch)
+        for i in range(batch):
+            di, ei = d_ref[i].copy(), e_ref[i].copy()
+            serial_pttrf(di, ei)
+            np.testing.assert_allclose(d_batch[i], di, rtol=1e-12)
+            np.testing.assert_allclose(e_batch[i], ei, rtol=1e-12)
+
+    def test_solve_roundtrip(self, rng):
+        batch, n = 5, 20
+        ds, es, mats = [], [], []
+        for _ in range(batch):
+            d, e = random_spd_tridiagonal(n, rng)
+            mats.append(tridiagonal_to_dense(d, e))
+            ds.append(d)
+            es.append(e)
+        d_batch, e_batch = np.stack(ds), np.stack(es)
+        x_true = rng.standard_normal((batch, n))
+        b = np.stack([mats[i] @ x_true[i] for i in range(batch)])
+        batched_pttrf(d_batch, e_batch)
+        batched_pttrs(d_batch, e_batch, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_non_spd_entry_detected(self, rng):
+        d, e = random_spd_tridiagonal(6, rng)
+        d_batch = np.stack([d, d.copy()])
+        e_batch = np.stack([e, e.copy()])
+        d_batch[1, 3] = -1.0
+        with pytest.raises(SingularMatrixError):
+            batched_pttrf(d_batch, e_batch)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            batched_pttrf(np.ones((2, 5)), np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            batched_pttrs(np.ones((2, 5)), np.ones((2, 4)), np.ones((2, 4)))
+
+
+@settings(max_examples=25, deadline=None)
+@given(batch=st.integers(1, 8), n=st.integers(1, 12), seed=st.integers(0, 2**31))
+def test_property_batched_lu_roundtrip(batch, n, seed):
+    rng = rng_for(seed)
+    a = np.stack([random_general(n, rng) for _ in range(batch)])
+    lu = a.copy()
+    ipiv = batched_getrf(lu)
+    x_true = rng.standard_normal((batch, n))
+    b = np.einsum("bij,bj->bi", a, x_true)
+    batched_getrs(lu, ipiv, b)
+    assert np.allclose(b, x_true, rtol=1e-6, atol=1e-8)

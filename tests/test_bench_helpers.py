@@ -1,0 +1,88 @@
+"""Tests for the shared benchmark helpers (workloads + reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    PAPER_BATCH,
+    PAPER_NX,
+    Table,
+    default_field,
+    fig2_batch_sweep,
+    format_series,
+    format_sparsity_pattern,
+    make_advection_workload,
+)
+from repro.core import GinkgoSplineBuilder
+
+
+class TestWorkloads:
+    def test_paper_sizes(self):
+        assert (PAPER_NX, PAPER_BATCH) == (1000, 100_000)
+
+    def test_default_field_shape_and_smoothness(self):
+        x = np.linspace(0.0, 1.0, 64, endpoint=False)
+        f = default_field(x, nv=10)
+        assert f.shape == (10, 64)
+        assert f.flags["C_CONTIGUOUS"]
+        assert np.all(np.isfinite(f))
+        # Deterministic for a fixed seed.
+        np.testing.assert_array_equal(f, default_field(x, nv=10))
+
+    def test_make_advection_workload(self):
+        adv, f = make_advection_workload(nx=64, nv=8)
+        assert f.shape == (8, 64)
+        assert adv.nx == 64 and adv.nv == 8
+        out = adv.step(f)
+        assert out.shape == f.shape
+
+    def test_make_advection_workload_iterative(self):
+        adv, f = make_advection_workload(
+            nx=32, nv=4, builder_cls=GinkgoSplineBuilder, solver="bicgstab"
+        )
+        out = adv.step(f)
+        assert np.all(np.isfinite(out))
+
+    def test_fig2_sweep_logspaced(self):
+        sweep = fig2_batch_sweep(100_000)
+        assert sweep[0] == 100
+        assert sweep[-1] == 100_000
+        assert all(a < b for a, b in zip(sweep, sweep[1:]))
+
+    def test_fig2_sweep_small_max(self):
+        sweep = fig2_batch_sweep(500)
+        assert sweep[0] == 100 and sweep[-1] == 500
+
+
+class TestReport:
+    def test_table_render(self):
+        t = Table("My table", ["a", "b"])
+        t.add_row(1, 2.5)
+        t.add_row("x", 0.00001)
+        text = t.render()
+        assert "My table" in text
+        assert "a" in text and "b" in text
+        assert "1e-05" in text  # small floats go scientific
+
+    def test_table_wrong_cell_count(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["col"])
+        assert "empty" in t.render()
+
+    def test_format_series(self):
+        text = format_series("curve", [1, 10], [0.5, 5.0], "Nv", "GLUPS")
+        lines = text.splitlines()
+        assert lines[0] == "# curve"
+        assert "Nv" in lines[1] and "GLUPS" in lines[1]
+        assert len(lines) == 4
+
+    def test_format_sparsity_pattern(self):
+        a = np.array([[1.0, 0.0], [1e-15, 2.0]])
+        text = format_sparsity_pattern(a)
+        assert text.splitlines() == ["x .", ". x"]
+        with pytest.raises(ValueError):
+            format_sparsity_pattern(np.zeros(3))

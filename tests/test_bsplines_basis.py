@@ -1,0 +1,177 @@
+"""Tests for knot vectors and Cox-de Boor basis evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bsplines import (
+    eval_basis,
+    eval_basis_derivs,
+    find_cell,
+    make_breakpoints,
+    nonuniform_breakpoints,
+    periodic_knots,
+    uniform_breakpoints,
+)
+from repro.exceptions import ShapeError
+
+
+class TestBreakpoints:
+    def test_uniform(self):
+        b = uniform_breakpoints(4, 0.0, 2.0)
+        np.testing.assert_allclose(b, [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_uniform_validation(self):
+        with pytest.raises(ShapeError):
+            uniform_breakpoints(0)
+        with pytest.raises(ShapeError):
+            uniform_breakpoints(4, 1.0, 1.0)
+
+    @pytest.mark.parametrize("kind", ["stretched", "geometric", "random"])
+    def test_nonuniform_monotone_and_bounded(self, kind):
+        b = nonuniform_breakpoints(32, -1.0, 3.0, kind=kind, strength=0.6)
+        assert b[0] == -1.0 and b[-1] == 3.0
+        assert np.all(np.diff(b) > 0)
+
+    @pytest.mark.parametrize("kind", ["stretched", "geometric", "random"])
+    def test_nonuniform_zero_strength_is_uniform(self, kind):
+        b = nonuniform_breakpoints(16, 0.0, 1.0, kind=kind, strength=0.0)
+        np.testing.assert_allclose(b, uniform_breakpoints(16), atol=1e-12)
+
+    def test_nonuniform_is_actually_nonuniform(self):
+        b = nonuniform_breakpoints(16, kind="stretched", strength=0.5)
+        widths = np.diff(b)
+        assert widths.max() / widths.min() > 1.5
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            nonuniform_breakpoints(8, kind="chebyshev")
+
+    def test_strength_validation(self):
+        with pytest.raises(ValueError):
+            nonuniform_breakpoints(8, strength=1.0)
+
+    def test_make_breakpoints_dispatch(self):
+        np.testing.assert_allclose(make_breakpoints(8, True), uniform_breakpoints(8))
+        b = make_breakpoints(8, False, kind="stretched", strength=0.3)
+        assert np.all(np.diff(b) > 0)
+
+
+class TestPeriodicKnots:
+    def test_uniform_extension(self):
+        breaks = uniform_breakpoints(8)
+        t = periodic_knots(breaks, 3)
+        assert t.size == 8 + 7
+        np.testing.assert_allclose(t[3:12], breaks)
+        np.testing.assert_allclose(np.diff(t), 1.0 / 8.0)  # uniform everywhere
+
+    def test_periodic_images(self):
+        breaks = nonuniform_breakpoints(12, 0.0, 2.0, strength=0.5)
+        t = periodic_knots(breaks, 4)
+        period = 2.0
+        np.testing.assert_allclose(t[:4], breaks[8:12] - period)
+        np.testing.assert_allclose(t[-4:], breaks[1:5] + period)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            periodic_knots(np.array([0.0, 1.0, 0.5]), 3)  # not increasing
+        with pytest.raises(ShapeError):
+            periodic_knots(np.array([0.0]), 3)
+        with pytest.raises(ValueError):
+            periodic_knots(uniform_breakpoints(8), 0)
+        with pytest.raises(ShapeError):
+            periodic_knots(uniform_breakpoints(3), 3)  # too few cells
+
+
+class TestFindCell:
+    def test_interior_points(self):
+        breaks = uniform_breakpoints(4)  # cells of width 0.25
+        np.testing.assert_array_equal(
+            find_cell(breaks, np.array([0.0, 0.1, 0.25, 0.6, 0.99])),
+            [0, 0, 1, 2, 3],
+        )
+
+    def test_right_edge_maps_to_last_cell(self):
+        breaks = uniform_breakpoints(4)
+        assert find_cell(breaks, 1.0) == 3
+
+    def test_nonuniform(self):
+        breaks = np.array([0.0, 0.1, 0.5, 1.0])
+        assert find_cell(breaks, 0.05) == 0
+        assert find_cell(breaks, 0.3) == 1
+        assert find_cell(breaks, 0.7) == 2
+
+
+@pytest.mark.parametrize("degree", [1, 2, 3, 4, 5])
+class TestBasisProperties:
+    def make(self, degree, uniform=True):
+        breaks = make_breakpoints(16, uniform, strength=0.5)
+        return breaks, periodic_knots(breaks, degree)
+
+    def test_partition_of_unity(self, degree):
+        breaks, t = self.make(degree, uniform=False)
+        xs = np.linspace(0.0, 1.0, 101, endpoint=False)
+        spans = find_cell(breaks, xs) + degree
+        values = eval_basis(t, degree, spans, xs)
+        np.testing.assert_allclose(values.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_non_negative(self, degree):
+        breaks, t = self.make(degree, uniform=False)
+        xs = np.linspace(0.0, 1.0, 101, endpoint=False)
+        spans = find_cell(breaks, xs) + degree
+        values = eval_basis(t, degree, spans, xs)
+        assert np.all(values >= -1e-14)
+
+    def test_scalar_matches_vector(self, degree):
+        breaks, t = self.make(degree)
+        x = 0.3217
+        span = int(find_cell(breaks, x)) + degree
+        scalar = eval_basis(t, degree, span, x)
+        vec = eval_basis(t, degree, np.array([span]), np.array([x]))
+        np.testing.assert_allclose(scalar, vec[:, 0])
+
+    def test_derivatives_sum_to_zero(self, degree):
+        """d/dx of the partition of unity is zero."""
+        breaks, t = self.make(degree, uniform=False)
+        xs = np.linspace(0.0, 1.0, 57, endpoint=False)
+        spans = find_cell(breaks, xs) + degree
+        _, derivs = eval_basis_derivs(t, degree, spans, xs)
+        np.testing.assert_allclose(derivs.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_derivatives_match_finite_differences(self, degree):
+        breaks, t = self.make(degree, uniform=False)
+        x = 0.4131
+        h = 1e-7
+        span = int(find_cell(breaks, x)) + degree
+        _, d = eval_basis_derivs(t, degree, span, x)
+        vp = eval_basis(t, degree, span, x + h)
+        vm = eval_basis(t, degree, span, x - h)
+        np.testing.assert_allclose(d, (vp - vm) / (2 * h), atol=1e-5)
+
+
+def test_uniform_degree3_knot_values():
+    """At a knot, the cubic B-spline values are the classic (1/6, 4/6, 1/6)."""
+    breaks = uniform_breakpoints(8)
+    t = periodic_knots(breaks, 3)
+    x = breaks[3]
+    span = int(find_cell(breaks, x)) + 3
+    vals = eval_basis(t, 3, span, x)
+    np.testing.assert_allclose(vals, [1 / 6, 4 / 6, 1 / 6, 0.0], atol=1e-14)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    degree=st.integers(1, 5),
+    n=st.integers(8, 32),
+    strength=st.floats(0.0, 0.8),
+    xfrac=st.floats(0.0, 1.0, exclude_max=True),
+)
+def test_property_partition_of_unity(degree, n, strength, xfrac):
+    breaks = nonuniform_breakpoints(n, kind="stretched", strength=strength)
+    t = periodic_knots(breaks, degree)
+    x = xfrac
+    span = int(find_cell(breaks, x)) + degree
+    vals = eval_basis(t, degree, span, x)
+    assert abs(vals.sum() - 1.0) < 1e-10
+    assert np.all(vals >= -1e-12)

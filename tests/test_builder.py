@@ -1,0 +1,242 @@
+"""Tests for the Schur solver, factorization plans and SplineBuilder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSplineSpec, MatrixType, SchurSolver, SplineBuilder, make_plan
+from repro.core.builder.plan import GbtrsPlan, GetrsPlan, PbtrsPlan, PttrsPlan
+from repro.core.spec import paper_configurations
+from repro.exceptions import BackendError, ShapeError
+from repro.xspace import get_execution_space
+
+from conftest import (
+    random_banded,
+    random_general,
+    random_spd_banded,
+    random_spd_tridiagonal,
+    rng_for,
+    tridiagonal_to_dense,
+)
+
+ALL_CONFIGS = list(paper_configurations(48))
+CONFIG_IDS = [s.label for s in ALL_CONFIGS]
+
+
+class TestPlans:
+    def test_make_plan_dispatch(self, rng):
+        d, e = random_spd_tridiagonal(12, rng)
+        assert isinstance(make_plan(tridiagonal_to_dense(d, e)), PttrsPlan)
+        assert isinstance(make_plan(random_spd_banded(12, 3, rng)), PbtrsPlan)
+        assert isinstance(make_plan(random_banded(12, 2, 3, rng)), GbtrsPlan)
+        assert isinstance(make_plan(random_general(12, rng)), GetrsPlan)
+
+    def test_force_override(self, rng):
+        d, e = random_spd_tridiagonal(12, rng)
+        a = tridiagonal_to_dense(d, e)
+        plan = make_plan(a, force=MatrixType.GENERAL)
+        assert isinstance(plan, GetrsPlan)
+
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda rng: tridiagonal_to_dense(*random_spd_tridiagonal(15, rng)),
+            lambda rng: random_spd_banded(15, 2, rng),
+            lambda rng: random_banded(15, 2, 3, rng),
+            lambda rng: random_general(15, rng),
+        ],
+        ids=["pttrs", "pbtrs", "gbtrs", "getrs"],
+    )
+    def test_plan_solves(self, maker, rng):
+        a = maker(rng)
+        plan = make_plan(a)
+        x_true = rng.standard_normal((15, 4))
+        b = a @ x_true
+        plan.solve(b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-7, atol=1e-9)
+        # serial path
+        b1 = a @ x_true[:, 0]
+        plan.solve_serial(b1)
+        np.testing.assert_allclose(b1, x_true[:, 0], rtol=1e-7, atol=1e-9)
+
+    def test_plan_shape_check(self, rng):
+        plan = make_plan(random_general(6, rng))
+        with pytest.raises(ShapeError):
+            plan.solve(np.ones((7, 2)))
+
+
+class TestSchurSolver:
+    @pytest.mark.parametrize("spec", ALL_CONFIGS, ids=CONFIG_IDS)
+    @pytest.mark.parametrize("version", [0, 1, 2])
+    def test_all_versions_match_dense_solve(self, spec, version, rng):
+        a = spec.make_space().collocation_matrix()
+        solver = SchurSolver(a)
+        x_true = rng.standard_normal((spec.n_points, 5))
+        b = a @ x_true
+        solver.solve(b, version=version)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8, atol=1e-11)
+
+    @pytest.mark.parametrize("spec", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_serial_fused_kernel(self, spec, rng):
+        a = spec.make_space().collocation_matrix()
+        solver = SchurSolver(a)
+        x_true = rng.standard_normal(spec.n_points)
+        b = a @ x_true
+        solver.solve_serial(b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8, atol=1e-11)
+
+    def test_selects_table1_solver(self):
+        for spec in ALL_CONFIGS:
+            a = spec.make_space().collocation_matrix()
+            solver = SchurSolver(a)
+            expected = {
+                (3, True): "pttrs",
+                (4, True): "pbtrs",
+                (5, True): "pbtrs",
+                (3, False): "gbtrs",
+                (4, False): "gbtrs",
+                (5, False): "gbtrs",
+            }[(spec.degree, spec.uniform)]
+            assert solver.solver_name == expected
+
+    def test_versions_agree_bitwise_closely(self, rng):
+        spec = BSplineSpec(degree=3, n_points=40)
+        a = spec.make_space().collocation_matrix()
+        solver = SchurSolver(a)
+        b = rng.standard_normal((40, 9))
+        outs = []
+        for v in (0, 1, 2):
+            w = b.copy()
+            solver.solve(w, version=v)
+            outs.append(w)
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-12)
+        np.testing.assert_allclose(outs[0], outs[2], rtol=1e-12)
+
+    def test_chunk_smaller_than_batch(self, rng):
+        spec = BSplineSpec(degree=4, n_points=32)
+        a = spec.make_space().collocation_matrix()
+        solver = SchurSolver(a, chunk=3)
+        x_true = rng.standard_normal((32, 10))
+        b = a @ x_true
+        solver.solve(b, version=2)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8, atol=1e-11)
+
+    def test_beta_decay_gives_sparse_corner(self):
+        """β decays exponentially, so nnz(β) << m (the 48-of-999 effect)."""
+        spec = BSplineSpec(degree=3, n_points=512)
+        a = spec.make_space().collocation_matrix()
+        solver = SchurSolver(a)
+        assert solver.lam_coo.nnz == 2
+        assert solver.beta_coo.nnz < 80  # paper: 48 at N=1000
+        assert solver.beta.shape == (511, 1)
+
+    def test_drop_tol_trades_nnz(self):
+        spec = BSplineSpec(degree=3, n_points=256)
+        a = spec.make_space().collocation_matrix()
+        loose = SchurSolver(a, drop_tol=1e-6)
+        tight = SchurSolver(a, drop_tol=1e-15)
+        assert loose.beta_coo.nnz < tight.beta_coo.nnz
+
+    def test_validation(self, rng):
+        spec = BSplineSpec(degree=3, n_points=24)
+        a = spec.make_space().collocation_matrix()
+        with pytest.raises(ShapeError):
+            SchurSolver(rng.standard_normal((3, 4)))
+        with pytest.raises(ValueError):
+            SchurSolver(a, chunk=0)
+        solver = SchurSolver(a)
+        with pytest.raises(ValueError):
+            solver.solve(np.ones((24, 2)), version=7)
+        with pytest.raises(ShapeError):
+            solver.solve(np.ones(24))
+        with pytest.raises(ShapeError):
+            solver.solve_serial(np.ones((24, 2)))
+        with pytest.raises(ShapeError):
+            solver.solve(np.ones((25, 2)))
+
+
+class TestSplineBuilder:
+    def test_reproduces_samples_at_interpolation_points(self):
+        spec = BSplineSpec(degree=3, n_points=48)
+        builder = SplineBuilder(spec)
+        pts = builder.interpolation_points()
+        f = np.cos(2 * np.pi * pts)
+        coeffs = builder.solve(f)
+        np.testing.assert_allclose(builder.matrix @ coeffs, f, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", ["vectorized", "serial"])
+    def test_backends_agree(self, backend, rng):
+        spec = BSplineSpec(degree=4, n_points=24, uniform=False)
+        builder = SplineBuilder(spec, backend=backend)
+        f = rng.standard_normal((24, 6))
+        coeffs = builder.solve(f)
+        ref = np.linalg.solve(builder.matrix, f)
+        np.testing.assert_allclose(coeffs, ref, rtol=1e-8, atol=1e-11)
+
+    def test_serial_backend_threads_space(self, rng):
+        spec = BSplineSpec(degree=3, n_points=24)
+        builder = SplineBuilder(
+            spec, backend="serial", space=get_execution_space("threads")
+        )
+        f = rng.standard_normal((24, 32))
+        ref = np.linalg.solve(builder.matrix, f)
+        np.testing.assert_allclose(builder.solve(f), ref, rtol=1e-8, atol=1e-11)
+
+    def test_in_place(self, rng):
+        spec = BSplineSpec(degree=3, n_points=24)
+        builder = SplineBuilder(spec)
+        f = rng.standard_normal((24, 4))
+        work = f.copy()
+        out = builder.solve(work, in_place=True)
+        assert out is work
+        ref = np.linalg.solve(builder.matrix, f)
+        np.testing.assert_allclose(work, ref, rtol=1e-8, atol=1e-11)
+
+    def test_in_place_rejects_wrong_dtype(self):
+        spec = BSplineSpec(degree=3, n_points=24)
+        builder = SplineBuilder(spec)
+        with pytest.raises(ShapeError):
+            builder.solve(np.ones((24, 2), dtype=np.float32), in_place=True)
+        with pytest.raises(ShapeError):
+            builder.solve(np.ones(24), in_place=True)
+
+    def test_1d_input_returns_1d(self):
+        spec = BSplineSpec(degree=3, n_points=24)
+        builder = SplineBuilder(spec)
+        out = builder.solve(np.ones(24))
+        assert out.shape == (24,)
+
+    def test_accepts_prebuilt_space(self):
+        space = BSplineSpec(degree=3, n_points=24).make_space()
+        builder = SplineBuilder(space)
+        assert builder.n == 24
+        assert builder.spec is None
+
+    def test_validation(self):
+        spec = BSplineSpec(degree=3, n_points=24)
+        with pytest.raises(BackendError):
+            SplineBuilder(spec, backend="cuda")
+        with pytest.raises(ValueError):
+            SplineBuilder(spec, version=3)
+        builder = SplineBuilder(spec)
+        with pytest.raises(ShapeError):
+            builder.solve(np.ones(23))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    degree=st.integers(3, 5),
+    n=st.integers(16, 64),
+    uniform=st.booleans(),
+    version=st.integers(0, 2),
+    seed=st.integers(0, 2**31),
+)
+def test_property_builder_solves_spline_system(degree, n, uniform, version, seed):
+    """A η = f holds for every configuration, version and random data."""
+    rng = rng_for(seed)
+    spec = BSplineSpec(degree=degree, n_points=n, uniform=uniform)
+    builder = SplineBuilder(spec, version=version)
+    f = rng.standard_normal((n, 3))
+    coeffs = builder.solve(f)
+    assert np.allclose(builder.matrix @ coeffs, f, atol=1e-9)

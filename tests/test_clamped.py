@@ -1,0 +1,168 @@
+"""Tests for clamped (non-periodic) B-spline spaces and their builder path."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BSplineSpec,
+    ClampedBSplines,
+    GinkgoSplineBuilder,
+    SplineBuilder,
+    SplineEvaluator,
+)
+from repro.core.builder import DirectBandSolver
+from repro.core.bsplines import clamped_knots, uniform_breakpoints
+from repro.exceptions import ShapeError
+
+from conftest import rng_for
+
+
+class TestClampedKnots:
+    def test_end_knots_repeated(self):
+        breaks = uniform_breakpoints(8)
+        t = clamped_knots(breaks, 3)
+        assert t.size == 9 + 6
+        np.testing.assert_allclose(t[:4], 0.0)
+        np.testing.assert_allclose(t[-4:], 1.0)
+        np.testing.assert_allclose(t[3:12], breaks)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            clamped_knots(np.array([1.0, 0.0]), 3)
+        with pytest.raises(ValueError):
+            clamped_knots(uniform_breakpoints(4), 0)
+
+
+class TestClampedSpace:
+    def test_basis_count(self):
+        space = ClampedBSplines(uniform_breakpoints(10), 3)
+        assert space.nbasis == 13  # cells + degree
+        assert space.ncells == 10
+
+    def test_greville_includes_endpoints(self):
+        space = ClampedBSplines(uniform_breakpoints(10), 3)
+        g = space.greville
+        assert g[0] == pytest.approx(0.0)
+        assert g[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(g) > 0)
+
+    def test_partition_of_unity_inside_domain(self):
+        space = ClampedBSplines(uniform_breakpoints(12), 4)
+        xs = np.linspace(0.0, 1.0, 101)  # endpoints included
+        _, values = space.eval_nonzero_basis(xs)
+        np.testing.assert_allclose(values.sum(axis=0), 1.0, atol=1e-12)
+
+    def test_evaluation_at_right_endpoint(self):
+        """The repeated end knots must not divide by zero at x = xmax."""
+        space = ClampedBSplines(uniform_breakpoints(8), 3)
+        idx, vals = space.eval_nonzero_basis(1.0)
+        assert np.all(np.isfinite(vals))
+        # At the clamped right end only the last basis function is non-zero.
+        np.testing.assert_allclose(vals[-1], 1.0, atol=1e-12)
+        assert idx[-1] == space.nbasis - 1
+
+    def test_wrap_clamps(self):
+        space = ClampedBSplines(uniform_breakpoints(8), 3)
+        np.testing.assert_allclose(space.wrap(1.5), 1.0)
+        np.testing.assert_allclose(space.wrap(-0.5), 0.0)
+
+    def test_collocation_matrix_banded_no_corners(self):
+        space = ClampedBSplines(uniform_breakpoints(16), 3)
+        a = space.collocation_matrix()
+        assert a.shape == (19, 19)
+        # No cyclic wrap: corners must be structurally zero.
+        assert a[0, -1] == 0.0 and a[-1, 0] == 0.0
+        np.testing.assert_allclose(a.sum(axis=1), 1.0, atol=1e-12)
+        assert abs(np.linalg.det(a)) > 1e-12
+
+    def test_quadrature_weights_integrate_one(self):
+        space = ClampedBSplines(uniform_breakpoints(8, 0.0, 2.0), 4)
+        # The constant-1 spline has all coefficients 1 (partition of unity).
+        assert space.quadrature_weights.sum() == pytest.approx(2.0)
+
+
+class TestClampedBuilder:
+    @pytest.mark.parametrize("degree", [3, 4, 5])
+    @pytest.mark.parametrize("uniform", [True, False])
+    def test_builder_uses_direct_band_path(self, degree, uniform):
+        spec = BSplineSpec(degree=degree, n_points=32, uniform=uniform,
+                           boundary="clamped")
+        builder = SplineBuilder(spec)
+        assert isinstance(builder.solver, DirectBandSolver)
+        assert builder.solver.corner_width == 0
+
+    @pytest.mark.parametrize("degree", [3, 4, 5])
+    @pytest.mark.parametrize("version", [0, 1, 2])
+    def test_solves_system(self, degree, version, rng):
+        spec = BSplineSpec(degree=degree, n_points=32, boundary="clamped")
+        builder = SplineBuilder(spec, version=version)
+        f = rng.standard_normal((32, 5))
+        coeffs = builder.solve(f)
+        np.testing.assert_allclose(builder.matrix @ coeffs, f, atol=1e-10)
+
+    def test_serial_backend(self, rng):
+        spec = BSplineSpec(degree=3, n_points=24, boundary="clamped")
+        builder = SplineBuilder(spec, backend="serial")
+        f = rng.standard_normal((24, 3))
+        ref = np.linalg.solve(builder.matrix, f)
+        np.testing.assert_allclose(builder.solve(f), ref, rtol=1e-8, atol=1e-11)
+
+    def test_interpolates_non_periodic_function(self):
+        """A clamped spline can interpolate x (impossible periodically)."""
+        spec = BSplineSpec(degree=3, n_points=32, boundary="clamped")
+        builder = SplineBuilder(spec)
+        pts = builder.interpolation_points()
+        coeffs = builder.solve(pts.copy())  # f(x) = x
+        ev = SplineEvaluator(builder.space_1d)
+        xs = np.linspace(0.0, 1.0, 77)
+        np.testing.assert_allclose(ev(coeffs, xs), xs, atol=1e-12)
+
+    def test_ginkgo_builder_on_clamped(self, rng):
+        spec = BSplineSpec(degree=4, n_points=28, boundary="clamped")
+        direct = SplineBuilder(spec)
+        iterative = GinkgoSplineBuilder(spec, solver="bicgstab", tolerance=1e-13)
+        f = rng.standard_normal((28, 4))
+        np.testing.assert_allclose(
+            iterative.solve(f), direct.solve(f), rtol=1e-7, atol=1e-9
+        )
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            BSplineSpec(degree=3, n_points=3, boundary="clamped")
+        with pytest.raises(ValueError):
+            BSplineSpec(boundary="hermite")
+        spec = BSplineSpec(degree=3, n_points=16, boundary="clamped")
+        assert spec.n_cells == 13
+
+    def test_direct_solver_validation(self, rng):
+        spec = BSplineSpec(degree=3, n_points=24, boundary="clamped")
+        a = spec.make_space().collocation_matrix()
+        with pytest.raises(ValueError):
+            DirectBandSolver(a, chunk=0)
+        solver = DirectBandSolver(a)
+        with pytest.raises(ShapeError):
+            solver.solve(np.ones(24))
+        with pytest.raises(ValueError):
+            solver.solve(np.ones((24, 2)), version=5)
+        with pytest.raises(ShapeError):
+            solver.solve_serial(np.ones(25))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    degree=st.integers(1, 5),
+    n=st.integers(10, 48),
+    uniform=st.booleans(),
+    seed=st.integers(0, 2**31),
+)
+def test_property_clamped_interpolation_roundtrip(degree, n, uniform, seed):
+    rng = rng_for(seed)
+    spec = BSplineSpec(degree=degree, n_points=max(n, degree + 1), uniform=uniform,
+                       boundary="clamped")
+    builder = SplineBuilder(spec)
+    ev = SplineEvaluator(builder.space_1d)
+    f = rng.standard_normal(builder.n)
+    coeffs = builder.solve(f)
+    assert np.allclose(ev(coeffs, builder.interpolation_points()), f, atol=1e-8)

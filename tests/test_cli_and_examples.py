@@ -1,0 +1,98 @@
+"""Smoke tests for the CLI and the runnable examples.
+
+Examples are imported with small problem sizes (argv/env monkeypatched) so
+the public API paths they exercise stay green; the heavy physics runs are
+covered separately in test_vlasov.py.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+import repro.__main__ as cli
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert cli.main([]) == 0
+        out = capsys.readouterr().out
+        assert "info" in out and "demo" in out
+
+    def test_info(self, capsys):
+        assert cli.main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "pttrs" in out and "gbtrs" in out
+
+    def test_demo(self, capsys):
+        assert cli.main(["demo"]) == 0
+        assert "interpolation error" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert cli.main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "P(a, p, H)" in out
+        assert "uniform (Degree 3)" in out
+
+    def test_unknown_command(self, capsys):
+        assert cli.main(["frobnicate"]) == 1
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "pttrs" in out
+        assert "iterative builder" in out
+
+    def test_advection_1d(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["advection_1d.py", "64", "32", "2"])
+        load_example("advection_1d").main()
+        out = capsys.readouterr().out
+        assert "GLUPS" in out and "ginkgo" in out
+
+    def test_nonuniform_mesh_gain(self, capsys):
+        mod = load_example("nonuniform_mesh")
+        from repro.core import PeriodicBSplines, SplineBuilder
+
+        uni = SplineBuilder(
+            __import__("repro.core", fromlist=["BSplineSpec"]).BSplineSpec(
+                degree=3, n_points=128
+            )
+        )
+        refined = SplineBuilder(PeriodicBSplines(mod.refined_breakpoints(128), 3))
+        assert mod.interpolation_error(refined) < mod.interpolation_error(uni)
+
+    def test_characteristics_advection(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_NX", "64")
+        monkeypatch.setenv("REPRO_NV", "256")
+        monkeypatch.setattr(sys, "argv", ["characteristics_advection.py", "0", "3"])
+        load_example("characteristics_advection").main()
+        out = capsys.readouterr().out
+        assert "ddc_splines_solve_v2 (REGION)" in out
+
+    def test_spline2d_field(self, capsys):
+        load_example("spline2d_field").main()
+        out = capsys.readouterr().out
+        assert "periodic seam mismatch" in out
+
+    def test_rotating_blob(self, capsys):
+        load_example("rotating_blob").main(n=32, steps_per_quarter=2)
+        out = capsys.readouterr().out
+        assert "full revolution" in out
+
+    def test_portability_report(self, capsys):
+        load_example("portability_report").main()
+        out = capsys.readouterr().out
+        assert "Optimization impact" in out
+        assert "11.39" in out  # paper's A100 v0 cell is printed

@@ -1,0 +1,147 @@
+"""Tests for single-precision (float32) solve paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSplineSpec, SplineBuilder
+from repro.core.builder import DirectBandSolver, SchurSolver
+from repro.core.builder.plan import make_plan
+from repro.core.spec import paper_configurations
+
+from conftest import random_spd_banded
+
+
+class TestPlanDtype:
+    def test_factors_stored_in_requested_dtype(self, rng):
+        a = random_spd_banded(16, 2, rng)
+        plan = make_plan(a, dtype=np.float32)
+        assert plan.ab.dtype == np.float32
+
+    def test_float32_solve_accuracy(self, rng):
+        a = random_spd_banded(24, 2, rng)
+        plan = make_plan(a, dtype=np.float32)
+        x_true = rng.standard_normal((24, 4)).astype(np.float32)
+        b = (a @ x_true).astype(np.float32)
+        plan.solve(b)
+        assert b.dtype == np.float32
+        np.testing.assert_allclose(b, x_true, rtol=5e-4, atol=1e-4)
+
+
+class TestKernelDtypePreservation:
+    """The batched kernels must compute in the dtype they are given —
+    no silent float64 upcasting on the hot path."""
+
+    def test_pttrs_float32(self, rng):
+        from repro.kbatched import pttrs, serial_pttrf
+        from conftest import random_spd_tridiagonal, tridiagonal_to_dense
+
+        d, e = random_spd_tridiagonal(16, rng)
+        a = tridiagonal_to_dense(d, e)
+        serial_pttrf(d, e)
+        d32, e32 = d.astype(np.float32), e.astype(np.float32)
+        x_true = rng.standard_normal((16, 4)).astype(np.float32)
+        b = (a @ x_true).astype(np.float32)
+        pttrs(d32, e32, b)
+        assert b.dtype == np.float32
+        np.testing.assert_allclose(b, x_true, rtol=1e-3, atol=1e-4)
+
+    def test_gbtrs_float32(self, rng):
+        from conftest import random_banded
+        from repro.kbatched import gbtrs, serial_gbtrf
+        from repro.kbatched.band import dense_to_lu_band
+
+        a = random_banded(16, 2, 2, rng)
+        ab = dense_to_lu_band(a, 2, 2)
+        ipiv = serial_gbtrf(ab, 2, 2)
+        ab32 = ab.astype(np.float32)
+        x_true = rng.standard_normal((16, 3)).astype(np.float32)
+        b = (a @ x_true).astype(np.float32)
+        gbtrs(ab32, ipiv, b, 2, 2)
+        assert b.dtype == np.float32
+        np.testing.assert_allclose(b, x_true, rtol=5e-3, atol=1e-3)
+
+    def test_coo_spmm_float32(self, rng):
+        from repro.kbatched import Coo, coo_spmm
+
+        a = rng.standard_normal((6, 6)).astype(np.float32)
+        a[np.abs(a) < 0.8] = 0.0
+        coo = Coo.from_dense(a)
+        assert coo.values.dtype == np.float32
+        x = rng.standard_normal((6, 3)).astype(np.float32)
+        y = np.zeros((6, 3), dtype=np.float32)
+        coo_spmm(1.0, coo, x, y)
+        assert y.dtype == np.float32
+        np.testing.assert_allclose(y, a @ x, rtol=1e-5, atol=1e-6)
+
+
+class TestBuilderDtype:
+    @pytest.mark.parametrize("spec", list(paper_configurations(48)),
+                             ids=lambda s: s.label)
+    def test_float32_solve_all_configs(self, spec, rng):
+        builder = SplineBuilder(spec, dtype=np.float32)
+        assert builder.dtype == np.float32
+        f = rng.standard_normal((48, 8)).astype(np.float32)
+        coeffs = builder.solve(f)
+        assert coeffs.dtype == np.float32
+        ref = np.linalg.solve(builder.matrix, f.astype(np.float64))
+        np.testing.assert_allclose(coeffs, ref, rtol=2e-3, atol=5e-4)
+
+    def test_float32_in_place(self, rng):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32),
+                                dtype=np.float32)
+        f = rng.standard_normal((32, 4)).astype(np.float32)
+        out = builder.solve(f, in_place=True)
+        assert out is f
+
+    def test_in_place_rejects_wrong_dtype(self, rng):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32),
+                                dtype=np.float32)
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            builder.solve(np.ones((32, 2)), in_place=True)  # float64 input
+
+    def test_float32_clamped_path(self, rng):
+        spec = BSplineSpec(degree=3, n_points=32, boundary="clamped")
+        builder = SplineBuilder(spec, dtype=np.float32)
+        assert isinstance(builder.solver, DirectBandSolver)
+        f = rng.standard_normal((32, 3)).astype(np.float32)
+        coeffs = builder.solve(f)
+        ref = np.linalg.solve(builder.matrix, f.astype(np.float64))
+        np.testing.assert_allclose(coeffs, ref, rtol=2e-3, atol=5e-4)
+
+    def test_solve_transposed_float32(self, rng):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32),
+                                dtype=np.float32)
+        f = rng.standard_normal((10, 32)).astype(np.float32)
+        ref = np.linalg.solve(builder.matrix, f.T.astype(np.float64)).T
+        builder.solve_transposed(f)
+        np.testing.assert_allclose(f, ref, rtol=2e-3, atol=5e-4)
+
+    def test_no_silent_float64_temporaries(self, rng):
+        """The solve must stay in float32: spot-check the stored factors
+        and corner blocks of the Schur engine."""
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=48),
+                                dtype=np.float32)
+        solver = builder.solver
+        assert isinstance(solver, SchurSolver)
+        assert solver.q_plan.d.dtype == np.float32
+        assert solver.beta.dtype == np.float32
+        assert solver.beta_coo.values.dtype == np.float32
+        assert solver.delta_plan.lu.dtype == np.float32
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            SplineBuilder(BSplineSpec(degree=3, n_points=32), dtype=np.int32)
+
+    def test_float32_setup_accuracy_matches_double_setup(self, rng):
+        """Factorizing in double then casting must beat factorizing in
+        single precision end to end; compare against an all-double solve."""
+        spec = BSplineSpec(degree=5, n_points=64, uniform=False)
+        b64 = SplineBuilder(spec)
+        b32 = SplineBuilder(spec, dtype=np.float32)
+        f = rng.standard_normal((64, 4))
+        ref = b64.solve(f)
+        approx = b32.solve(f.astype(np.float32))
+        rel = np.max(np.abs(approx - ref)) / np.max(np.abs(ref))
+        assert rel < 5e-4  # a few ulps of float32

@@ -1,0 +1,175 @@
+"""Failure-injection and edge-case tests across the stack.
+
+These exercise the error paths a production user hits: degenerate inputs,
+non-finite data, deliberately broken matrices, and pathological parameter
+choices — asserting that failures are *loud and typed*, never silent
+corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.advection import BatchedAdvection1D, VlasovPoisson1D1V
+from repro.core import (
+    BSplineSpec,
+    GinkgoSplineBuilder,
+    SchurSolver,
+    SplineBuilder,
+    SplineEvaluator,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    NotPositiveDefiniteError,
+    ReproError,
+    ShapeError,
+    SingularMatrixError,
+)
+from repro.iterative import BiCgStab, Csr, StoppingCriterion
+from repro.kbatched import getrf, pttrf
+from repro.perfmodel.metrics import energy_joules, glups_per_watt
+from repro.perfmodel.hardware import A100, Device
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        assert issubclass(ShapeError, ReproError)
+        assert issubclass(SingularMatrixError, ReproError)
+        assert issubclass(NotPositiveDefiniteError, SingularMatrixError)
+        assert issubclass(ConvergenceError, ReproError)
+
+    def test_errors_also_subclass_builtins(self):
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(SingularMatrixError, ArithmeticError)
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_single_except_catches_everything(self):
+        with pytest.raises(ReproError):
+            pttrf(np.array([-1.0, 1.0]), np.array([0.1]))
+        with pytest.raises(ReproError):
+            getrf(np.zeros((2, 2)))
+
+
+class TestDegenerateInputs:
+    def test_zero_batch_everywhere(self, rng):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32))
+        out = builder.solve(np.empty((32, 0)))
+        assert out.shape == (32, 0)
+        g = GinkgoSplineBuilder(BSplineSpec(degree=3, n_points=32))
+        assert g.solve(np.empty((32, 0))).shape == (32, 0)
+
+    def test_single_batch_column(self, rng):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32))
+        f = rng.standard_normal((32, 1))
+        np.testing.assert_allclose(
+            builder.solve(f), np.linalg.solve(builder.matrix, f), atol=1e-10
+        )
+
+    def test_minimal_periodic_space(self):
+        # Smallest legal periodic problem: n_points = degree + 2.
+        spec = BSplineSpec(degree=3, n_points=5)
+        builder = SplineBuilder(spec)
+        f = np.ones(5)
+        coeffs = builder.solve(f)
+        np.testing.assert_allclose(builder.matrix @ coeffs, f, atol=1e-12)
+
+    def test_huge_advection_displacement_wraps(self):
+        """dt so large the feet wrap the periodic domain many times."""
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=64))
+        adv = BatchedAdvection1D(builder, np.array([1.0]), dt=17.25)
+        f0 = lambda x: np.sin(2 * np.pi * x)
+        f = f0(adv.x)[None, :]
+        out = adv.step(f)
+        exact = adv.exact_solution(f0, 17.25)
+        np.testing.assert_allclose(out, exact, atol=1e-5)
+
+    def test_evaluator_at_exact_domain_edges(self, rng):
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32))
+        ev = SplineEvaluator(builder.space_1d)
+        coeffs = builder.solve(rng.standard_normal(32))
+        vals = ev(coeffs, np.array([0.0, 1.0, -1.0, 2.0]))
+        assert np.all(np.isfinite(vals))
+        np.testing.assert_allclose(vals[0], vals[1], atol=1e-12)  # periodicity
+
+
+class TestNonFiniteData:
+    def test_nan_rhs_propagates_not_hangs(self):
+        """NaN inputs must produce NaN outputs (no hang, no exception)."""
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=32))
+        f = np.full((32, 2), np.nan)
+        out = builder.solve(f)
+        assert np.all(np.isnan(out))
+
+    def test_iterative_with_nan_rhs_stops_at_cap(self):
+        a = BSplineSpec(degree=3, n_points=16).make_space().collocation_matrix()
+        csr = Csr.from_dense(a)
+        solver = BiCgStab(csr, criterion=StoppingCriterion(1e-12, 5))
+        result = solver.apply(np.full((16, 1), np.nan))
+        assert not result.converged
+        assert result.iterations <= 5
+
+
+class TestBrokenMatrices:
+    def test_singular_spline_like_matrix(self):
+        a = np.zeros((8, 8))  # cyclic-banded but singular
+        a[np.arange(8), np.arange(8)] = 1.0
+        a[0] = a[1]  # duplicate rows
+        with pytest.raises(SingularMatrixError):
+            SchurSolver(a)
+
+    def test_indefinite_matrix_routed_to_gbtrs_not_crash(self):
+        """A symmetric *indefinite* cyclic band matrix must not be
+        misclassified as SPD: the classifier's Cholesky probe fails and the
+        general-banded path takes over."""
+        n = 16
+        a = np.zeros((n, n))
+        idx = np.arange(n)
+        a[idx, idx] = -2.5  # negative diagonal: symmetric, not PD
+        a[idx, (idx + 1) % n] = 1.0
+        a[idx, (idx - 1) % n] = 1.0
+        solver = SchurSolver(a)
+        assert solver.solver_name == "gbtrs"
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((n, 2))
+        b = a @ x
+        solver.solve(b, version=2)
+        np.testing.assert_allclose(b, x, atol=1e-10)
+
+    def test_strict_iterative_failure_has_diagnostics(self):
+        a = BSplineSpec(degree=5, n_points=64, uniform=False) \
+            .make_space().collocation_matrix()
+        csr = Csr.from_dense(a, drop_tol=1e-14)
+        solver = BiCgStab(csr, criterion=StoppingCriterion(1e-15, 1),
+                          strict=True)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConvergenceError) as exc:
+            solver.apply(rng.standard_normal((64, 2)))
+        assert exc.value.iterations == 1
+        assert np.isfinite(exc.value.residual)
+
+
+class TestVlasovEdges:
+    def test_zero_timestep_is_identity(self):
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        f = s.landau_initial_condition()
+        out = s.step(f.copy(), dt=0.0)
+        np.testing.assert_allclose(out, f, atol=1e-12)
+
+    def test_zero_field_free_streaming(self):
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        f = np.ones(s.nx)[:, None] * s.maxwellian()[None, :]
+        e = s.electric_field(f)
+        np.testing.assert_allclose(e, 0.0, atol=1e-10)
+
+
+class TestEnergyMetrics:
+    def test_energy_joules(self):
+        assert energy_joules(A100, 2.0) == pytest.approx(800.0)
+        with pytest.raises(ValueError):
+            energy_joules(A100, -1.0)
+
+    def test_glups_per_watt(self):
+        g = glups_per_watt(1000, 100_000, 0.01, A100)
+        assert g == pytest.approx(10.0 / 400.0)
+        unknown = Device("x", 1.0, 1.0, 0, 0.0, 0, 0)
+        with pytest.raises(ValueError):
+            glups_per_watt(10, 10, 1.0, unknown)

@@ -1,0 +1,119 @@
+"""Tests for the iterative (Ginkgo-style) spline builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSplineSpec, GinkgoSplineBuilder, SplineBuilder
+from repro.core.spec import paper_configurations
+from repro.exceptions import ShapeError
+from repro.iterative import ConvergenceLogger
+
+ALL_CONFIGS = list(paper_configurations(48))
+CONFIG_IDS = [s.label for s in ALL_CONFIGS]
+
+
+@pytest.mark.parametrize("spec", ALL_CONFIGS, ids=CONFIG_IDS)
+@pytest.mark.parametrize("solver", ["gmres", "bicgstab"])
+def test_matches_direct_builder(spec, solver, rng):
+    """The paper's two production solvers agree with the direct method."""
+    direct = SplineBuilder(spec)
+    iterative = GinkgoSplineBuilder(spec, solver=solver, tolerance=1e-14)
+    f = rng.standard_normal((spec.n_points, 6))
+    np.testing.assert_allclose(
+        iterative.solve(f), direct.solve(f), rtol=1e-8, atol=1e-10
+    )
+
+
+def test_warm_start_reduces_iterations(rng):
+    """Paper §V-A: the previous step's solution is a good initial guess."""
+    spec = BSplineSpec(degree=4, n_points=64, uniform=False)
+    builder = GinkgoSplineBuilder(spec, solver="bicgstab", tolerance=1e-12)
+    pts = builder.interpolation_points()
+    f = np.sin(2 * np.pi * pts)[:, None] * np.ones((1, 8))
+    builder.solve(f.copy())
+    cold_iters = builder.last_iterations
+    # A barely shifted field (one tiny advection step later): the previous
+    # coefficients are an excellent guess, so fewer iterations are needed.
+    f2 = np.sin(2 * np.pi * (pts - 1e-9))[:, None] * np.ones((1, 8))
+    builder.solve(f2.copy())
+    warm_iters = builder.last_iterations
+    assert warm_iters < cold_iters
+
+
+def test_reset_warm_start(rng):
+    spec = BSplineSpec(degree=3, n_points=32)
+    builder = GinkgoSplineBuilder(spec)
+    f = rng.standard_normal((32, 4))
+    builder.solve(f)
+    builder.reset_warm_start()
+    assert builder._previous is None
+
+
+def test_chunking_matches_single_apply(rng):
+    spec = BSplineSpec(degree=3, n_points=32)
+    f = rng.standard_normal((32, 20))
+    whole = GinkgoSplineBuilder(spec, cols_per_chunk=100).solve(f)
+    chunked = GinkgoSplineBuilder(spec, cols_per_chunk=3).solve(f)
+    np.testing.assert_allclose(whole, chunked, rtol=1e-9, atol=1e-12)
+
+
+def test_logger_records_chunks(rng):
+    spec = BSplineSpec(degree=3, n_points=32)
+    logger = ConvergenceLogger()
+    builder = GinkgoSplineBuilder(spec, cols_per_chunk=7, logger=logger)
+    builder.solve(rng.standard_normal((32, 20)))
+    assert logger.num_applies == 3  # ceil(20 / 7)
+    assert builder.last_iterations == logger.max_iterations
+    assert logger.all_converged
+
+
+def test_iterations_grow_with_degree(rng):
+    """Table IV shape: higher degree needs more iterations."""
+    iters = {}
+    for degree in (3, 5):
+        spec = BSplineSpec(degree=degree, n_points=64)
+        builder = GinkgoSplineBuilder(
+            spec, solver="bicgstab", max_block_size=1, tolerance=1e-14
+        )
+        f = rng.standard_normal((64, 4))
+        builder.solve(f)
+        iters[degree] = builder.last_iterations
+    assert iters[5] >= iters[3]
+
+
+def test_in_place_solve(rng):
+    spec = BSplineSpec(degree=3, n_points=32)
+    builder = GinkgoSplineBuilder(spec)
+    f = rng.standard_normal((32, 4))
+    ref = np.linalg.solve(builder.matrix_dense, f)
+    work = f.copy()
+    out = builder.solve(work, in_place=True)
+    assert out is work
+    np.testing.assert_allclose(work, ref, rtol=1e-8, atol=1e-10)
+    with pytest.raises(ShapeError):
+        builder.solve(np.ones(32), in_place=True)
+
+
+def test_1d_rhs(rng):
+    spec = BSplineSpec(degree=3, n_points=32)
+    builder = GinkgoSplineBuilder(spec)
+    f = rng.standard_normal(32)
+    out = builder.solve(f)
+    assert out.shape == (32,)
+    np.testing.assert_allclose(
+        out, np.linalg.solve(builder.matrix_dense, f), rtol=1e-8, atol=1e-10
+    )
+
+
+def test_solver_name_and_repr():
+    spec = BSplineSpec(degree=3, n_points=32)
+    builder = GinkgoSplineBuilder(spec, solver="gmres")
+    assert builder.solver_name == "gmres"
+    assert "gmres" in repr(builder)
+
+
+def test_bad_rhs_shape(rng):
+    spec = BSplineSpec(degree=3, n_points=32)
+    builder = GinkgoSplineBuilder(spec)
+    with pytest.raises(ShapeError):
+        builder.solve(rng.standard_normal((33, 2)))

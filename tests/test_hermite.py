@@ -1,0 +1,179 @@
+"""Tests for higher-order basis derivatives and Hermite-boundary splines."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSplineSpec, HermiteSplineInterpolator, SplineEvaluator
+from repro.core.bsplines import (
+    nonuniform_breakpoints,
+    periodic_knots,
+    uniform_breakpoints,
+)
+from repro.core.bsplines.basis import (
+    eval_basis,
+    eval_basis_all_derivs,
+    eval_basis_derivs,
+    find_cell,
+)
+from repro.core.bsplines.nonperiodic import clamped_knots
+from repro.exceptions import ShapeError
+
+
+class TestAllDerivs:
+    @pytest.mark.parametrize("degree", [1, 2, 3, 4, 5])
+    def test_order_zero_matches_eval_basis(self, degree):
+        breaks = nonuniform_breakpoints(12, strength=0.4)
+        t = periodic_knots(breaks, degree)
+        xs = np.linspace(0.0, 1.0, 23, endpoint=False)
+        spans = find_cell(breaks, xs) + degree
+        all_d = eval_basis_all_derivs(t, degree, spans, xs, nderiv=degree)
+        np.testing.assert_allclose(all_d[0], eval_basis(t, degree, spans, xs),
+                                   atol=1e-14)
+
+    @pytest.mark.parametrize("degree", [2, 3, 4, 5])
+    def test_order_one_matches_eval_basis_derivs(self, degree):
+        breaks = nonuniform_breakpoints(10, strength=0.3)
+        t = periodic_knots(breaks, degree)
+        xs = np.linspace(0.0, 1.0, 17, endpoint=False)
+        spans = find_cell(breaks, xs) + degree
+        all_d = eval_basis_all_derivs(t, degree, spans, xs, nderiv=1)
+        _, d1 = eval_basis_derivs(t, degree, spans, xs)
+        np.testing.assert_allclose(all_d[1], d1, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_finite_differences(self, order):
+        degree = 5
+        breaks = uniform_breakpoints(12)
+        t = periodic_knots(breaks, degree)
+        x = 0.437
+        span = int(find_cell(breaks, x)) + degree
+        h = 1e-3
+        stencil = np.arange(-3, 4)
+        # Central finite differences of the requested order from 7 samples.
+        from numpy.polynomial import polynomial as P
+
+        samples = np.stack(
+            [eval_basis(t, degree, span, x + s * h) for s in stencil]
+        )  # (7, d+1)
+        # Fit a degree-6 polynomial through the samples per basis function.
+        coeffs = np.polynomial.polynomial.polyfit(stencil * h, samples, 6)
+        deriv = P.polyder(coeffs, order)[0]  # value at 0
+        all_d = eval_basis_all_derivs(t, degree, span, x, nderiv=order)
+        np.testing.assert_allclose(all_d[order], deriv, rtol=1e-5, atol=1e-4)
+
+    def test_orders_above_degree_are_zero(self):
+        breaks = uniform_breakpoints(8)
+        t = periodic_knots(breaks, 2)
+        all_d = eval_basis_all_derivs(t, 2, 2 + 2, 0.3, nderiv=5)
+        assert all_d.shape == (6, 3)
+        np.testing.assert_allclose(all_d[3:], 0.0)
+
+    def test_derivative_sum_is_zero(self):
+        """Any derivative of the partition of unity vanishes."""
+        degree = 4
+        breaks = nonuniform_breakpoints(14, strength=0.5)
+        t = periodic_knots(breaks, degree)
+        xs = np.linspace(0.0, 1.0, 31, endpoint=False)
+        spans = find_cell(breaks, xs) + degree
+        all_d = eval_basis_all_derivs(t, degree, spans, xs, nderiv=3)
+        for k in range(1, 4):
+            np.testing.assert_allclose(all_d[k].sum(axis=0), 0.0, atol=1e-8)
+
+    def test_clamped_knots_no_nan(self):
+        """Repeated end knots must not produce NaNs in any order."""
+        breaks = uniform_breakpoints(8)
+        t = clamped_knots(breaks, 3)
+        all_d = eval_basis_all_derivs(t, 3, 3, 0.0, nderiv=3)
+        assert np.all(np.isfinite(all_d))
+
+    def test_negative_nderiv_raises(self):
+        breaks = uniform_breakpoints(8)
+        t = periodic_knots(breaks, 3)
+        with pytest.raises(ValueError):
+            eval_basis_all_derivs(t, 3, 5, 0.3, nderiv=-1)
+
+
+class TestHermiteInterpolator:
+    def test_matches_scipy_clamped_cubic(self):
+        scipy_interp = pytest.importorskip("scipy.interpolate")
+        breaks = uniform_breakpoints(16, 0.0, 2.0)
+        h = HermiteSplineInterpolator(breaks, 3)
+        f = np.sin(2.0 * breaks)
+        fp0, fpn = 2.0 * np.cos(0.0), 2.0 * np.cos(4.0)
+        c = h.solve(f, derivs_left=[fp0], derivs_right=[fpn])
+        ev = SplineEvaluator(h.space)
+        xs = np.linspace(0.0, 2.0, 501)
+        ref = scipy_interp.CubicSpline(breaks, f, bc_type=((1, fp0), (1, fpn)))
+        np.testing.assert_allclose(ev(c, xs), ref(xs), atol=1e-13)
+
+    def test_cubic_polynomial_exactness(self):
+        breaks = nonuniform_breakpoints(10, strength=0.4)
+        h = HermiteSplineInterpolator(breaks, 3)
+        p = np.polynomial.Polynomial([1.0, -2.0, 0.5, 3.0])
+        c = h.solve(p(breaks), derivs_left=[p.deriv()(0.0)],
+                    derivs_right=[p.deriv()(1.0)])
+        ev = SplineEvaluator(h.space)
+        xs = np.linspace(0.0, 1.0, 200)
+        np.testing.assert_allclose(ev(c, xs), p(xs), atol=1e-12)
+
+    def test_quintic_polynomial_exactness(self):
+        breaks = uniform_breakpoints(8)
+        h = HermiteSplineInterpolator(breaks, 5)
+        assert h.nbc == 2
+        p = np.polynomial.Polynomial([0.3, -1.0, 2.0, 0.5, -0.7, 1.1])
+        c = h.solve(
+            p(breaks),
+            derivs_left=[p.deriv(1)(0.0), p.deriv(2)(0.0)],
+            derivs_right=[p.deriv(1)(1.0), p.deriv(2)(1.0)],
+        )
+        ev = SplineEvaluator(h.space)
+        xs = np.linspace(0.0, 1.0, 300)
+        np.testing.assert_allclose(ev(c, xs), p(xs), atol=1e-12)
+
+    def test_batched_solve(self, rng):
+        breaks = uniform_breakpoints(12)
+        h = HermiteSplineInterpolator(breaks, 3)
+        f = rng.standard_normal((13, 5))
+        d0 = rng.standard_normal((1, 5))
+        d1 = rng.standard_normal((1, 5))
+        c = h.solve(f, derivs_left=d0, derivs_right=d1)
+        assert c.shape == (h.space.nbasis, 5)
+        for j in range(5):
+            cj = h.solve(f[:, j], derivs_left=d0[:, j], derivs_right=d1[:, j])
+            np.testing.assert_allclose(c[:, j], cj, atol=1e-12)
+
+    def test_default_zero_derivatives(self):
+        breaks = uniform_breakpoints(12)
+        h = HermiteSplineInterpolator(breaks, 3)
+        c = h.solve(np.ones(13))
+        ev = SplineEvaluator(h.space)
+        # f'(0) = 0 was imposed.
+        eps = 1e-6
+        slope = (ev(c, np.array([eps])) - ev(c, np.array([0.0]))) / eps
+        assert abs(slope[0]) < 1e-4
+
+    def test_even_degree_rejected(self):
+        with pytest.raises(ValueError):
+            HermiteSplineInterpolator(uniform_breakpoints(8), 4)
+
+    def test_from_spec(self):
+        spec = BSplineSpec(degree=3, n_points=19, uniform=False)
+        h = HermiteSplineInterpolator.from_spec(spec)
+        assert h.space.nbasis == 19
+        assert h.solver_name == "gbtrs"
+
+    def test_shape_validation(self, rng):
+        h = HermiteSplineInterpolator(uniform_breakpoints(8), 3)
+        with pytest.raises(ShapeError):
+            h.solve(np.ones(8))  # needs n_breaks = 9
+        with pytest.raises(ShapeError):
+            h.solve(np.ones(9), derivs_left=np.ones(2))
+
+    def test_interpolates_at_breakpoints(self, rng):
+        breaks = nonuniform_breakpoints(14, strength=0.5)
+        h = HermiteSplineInterpolator(breaks, 5)
+        f = rng.standard_normal(15)
+        c = h.solve(f, derivs_left=rng.standard_normal(2),
+                    derivs_right=rng.standard_normal(2))
+        ev = SplineEvaluator(h.space)
+        np.testing.assert_allclose(ev(c, breaks), f, atol=1e-10)

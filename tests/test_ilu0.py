@@ -1,0 +1,94 @@
+"""Tests for the ILU(0) preconditioner."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSplineSpec
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.iterative import (
+    BiCgStab,
+    Csr,
+    Gmres,
+    Ilu0,
+    Jacobi,
+    StoppingCriterion,
+    make_preconditioner,
+)
+
+from conftest import random_banded, random_spd_banded
+
+
+class TestFactorization:
+    def test_exact_lu_when_no_fill_would_occur(self, rng):
+        """For a tridiagonal matrix ILU(0) *is* the exact LU."""
+        a = random_banded(12, 1, 1, rng)
+        ilu = Ilu0.generate(Csr.from_dense(a))
+        ell, u = ilu.factors_dense()
+        np.testing.assert_allclose(ell @ u, a, atol=1e-12)
+
+    def test_factors_match_pattern(self, rng):
+        a = random_spd_banded(10, 2, rng)
+        csr = Csr.from_dense(a)
+        ilu = Ilu0.generate(csr)
+        ell, u = ilu.factors_dense()
+        pattern = np.abs(a) > 0
+        # L + U - I has no entries outside A's pattern.
+        combined = np.abs(ell - np.eye(10)) + np.abs(u)
+        assert np.all((combined > 1e-14) <= pattern)
+
+    def test_apply_inverts_lu(self, rng):
+        a = random_banded(14, 2, 2, rng)
+        ilu = Ilu0.generate(Csr.from_dense(a))
+        ell, u = ilu.factors_dense()
+        x = rng.standard_normal((14, 3))
+        y = ilu.apply(x)
+        np.testing.assert_allclose(ell @ u @ y, x, atol=1e-10)
+
+    def test_vector_apply(self, rng):
+        a = random_banded(8, 1, 1, rng)
+        ilu = Ilu0.generate(Csr.from_dense(a))
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(ilu.apply(x), ilu.apply(x[:, None])[:, 0])
+
+    def test_zero_pivot_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(SingularMatrixError):
+            Ilu0.generate(Csr.from_dense(a))
+
+    def test_non_square_raises(self, rng):
+        with pytest.raises(ShapeError):
+            Ilu0.generate(Csr.from_dense(rng.standard_normal((3, 4))))
+
+    def test_factory(self, rng):
+        csr = Csr.from_dense(random_spd_banded(6, 1, rng))
+        assert isinstance(make_preconditioner("ilu0", csr), Ilu0)
+
+
+class TestAsPreconditioner:
+    def test_spline_matrix_converges_in_very_few_iterations(self, rng):
+        """On the banded spline matrix ILU(0) is nearly exact: BiCGStab
+        should converge in a couple of iterations."""
+        a = BSplineSpec(degree=3, n_points=64).make_space().collocation_matrix()
+        csr = Csr.from_dense(a, drop_tol=1e-14)
+        solver = BiCgStab(
+            csr,
+            preconditioner=Ilu0.generate(csr),
+            criterion=StoppingCriterion(1e-13, 100),
+        )
+        x_true = rng.standard_normal((64, 4))
+        result = solver.apply(a @ x_true)
+        assert result.converged
+        assert result.iterations <= 3
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-7, atol=1e-9)
+
+    def test_beats_jacobi(self, rng):
+        a = random_spd_banded(48, 3, rng)
+        csr = Csr.from_dense(a)
+        x_true = rng.standard_normal((48, 2))
+        b = a @ x_true
+        crit = StoppingCriterion(1e-12, 500)
+        it_jacobi = Gmres(csr, preconditioner=Jacobi.generate(csr),
+                          criterion=crit).apply(b).iterations
+        it_ilu = Gmres(csr, preconditioner=Ilu0.generate(csr),
+                       criterion=crit).apply(b).iterations
+        assert it_ilu <= it_jacobi

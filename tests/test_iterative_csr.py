@@ -1,0 +1,127 @@
+"""Tests for CSR storage, products, transpose and block extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.iterative import Csr
+from repro.kbatched import Coo
+
+from conftest import rng_for
+
+
+def random_sparse(m, n, density, rng):
+    a = rng.standard_normal((m, n))
+    a[rng.uniform(size=(m, n)) > density] = 0.0
+    return a
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        a = random_sparse(7, 5, 0.4, rng)
+        csr = Csr.from_dense(a)
+        assert csr.nnz == np.count_nonzero(a)
+        np.testing.assert_allclose(csr.to_dense(), a)
+
+    def test_from_dense_drop_tol(self):
+        a = np.array([[1.0, 1e-18], [0.0, 2.0]])
+        csr = Csr.from_dense(a, drop_tol=1e-15)
+        assert csr.nnz == 2
+
+    def test_from_coo(self, rng):
+        a = random_sparse(6, 6, 0.3, rng)
+        coo = Coo.from_dense(a)
+        csr = Csr.from_coo(coo)
+        np.testing.assert_allclose(csr.to_dense(), a)
+
+    def test_from_coo_merges_duplicates(self):
+        coo = Coo(2, 2, [0, 0, 1], [1, 1, 0], [1.0, 2.0, 5.0])
+        csr = Csr.from_coo(coo)
+        assert csr.nnz == 2
+        assert csr.to_dense()[0, 1] == pytest.approx(3.0)
+
+    def test_empty_matrix(self):
+        csr = Csr.from_dense(np.zeros((3, 4)))
+        assert csr.nnz == 0
+        np.testing.assert_allclose(csr.spmm(np.ones(4)), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            Csr((2, 2), np.array([0, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ShapeError):
+            Csr((2, 2), np.array([0, 2, 1]), np.array([0]), np.array([1.0]))
+        with pytest.raises(ShapeError):
+            Csr((2, 2), np.array([0, 1, 2]), np.array([0, 5]), np.array([1.0, 1.0]))
+
+
+class TestSpmm:
+    def test_vector(self, rng):
+        a = random_sparse(8, 8, 0.4, rng)
+        csr = Csr.from_dense(a)
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(csr.spmm(x), a @ x, rtol=1e-12)
+
+    def test_block(self, rng):
+        a = random_sparse(9, 6, 0.5, rng)
+        csr = Csr.from_dense(a)
+        x = rng.standard_normal((6, 11))
+        np.testing.assert_allclose(csr.spmm(x), a @ x, rtol=1e-12)
+
+    def test_out_parameter(self, rng):
+        a = random_sparse(5, 5, 0.6, rng)
+        csr = Csr.from_dense(a)
+        x = rng.standard_normal((5, 3))
+        out = np.empty((5, 3))
+        ret = csr.spmm(x, out=out)
+        assert ret is out
+        np.testing.assert_allclose(out, a @ x, rtol=1e-12)
+
+    def test_empty_rows(self, rng):
+        a = np.zeros((4, 4))
+        a[1, 2] = 3.0  # rows 0, 2, 3 empty
+        csr = Csr.from_dense(a)
+        x = rng.standard_normal((4, 2))
+        np.testing.assert_allclose(csr.spmm(x), a @ x)
+
+    def test_shape_error(self, rng):
+        csr = Csr.from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            csr.spmm(np.ones(4))
+
+
+class TestTransposeAndExtraction:
+    def test_transpose(self, rng):
+        a = random_sparse(6, 9, 0.4, rng)
+        csr = Csr.from_dense(a)
+        np.testing.assert_allclose(csr.transpose().to_dense(), a.T)
+
+    def test_diagonal(self, rng):
+        a = random_sparse(7, 7, 0.5, rng)
+        csr = Csr.from_dense(a)
+        np.testing.assert_allclose(csr.diagonal(), np.diag(a))
+
+    def test_diagonal_blocks(self, rng):
+        a = random_sparse(7, 7, 0.8, rng)
+        csr = Csr.from_dense(a)
+        starts = np.array([0, 3, 6])
+        blocks = csr.diagonal_blocks(starts)
+        np.testing.assert_allclose(blocks[0], a[0:3, 0:3])
+        np.testing.assert_allclose(blocks[1], a[3:6, 3:6])
+        np.testing.assert_allclose(blocks[2], a[6:7, 6:7])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(1, 15),
+    n=st.integers(1, 15),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_property_spmm_matches_dense(m, n, density, seed):
+    rng = rng_for(seed)
+    a = random_sparse(m, n, density, rng)
+    csr = Csr.from_dense(a)
+    x = rng.standard_normal((n, 3))
+    assert np.allclose(csr.spmm(x), a @ x, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,99 @@
+"""Hypothesis property tests for the iterative stack.
+
+Random well-conditioned systems × random solver/preconditioner choices:
+convergence must be declared honestly (converged ⇒ residual below target)
+and the answer must solve the system.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iterative import (
+    BiCg,
+    BiCgStab,
+    Cg,
+    Csr,
+    Gmres,
+    StoppingCriterion,
+    make_preconditioner,
+)
+
+from conftest import random_banded, random_spd_banded, rng_for
+
+SOLVERS_SPD = [Cg, BiCg, BiCgStab, Gmres]
+SOLVERS_GENERAL = [BiCg, BiCgStab, Gmres]
+PRECONDS = ["identity", "jacobi", "block_jacobi", "ilu0"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(8, 40),
+    kd=st.integers(1, 3),
+    solver_idx=st.integers(0, len(SOLVERS_SPD) - 1),
+    precond=st.sampled_from(PRECONDS),
+    batch=st.integers(1, 4),
+    seed=st.integers(0, 2**31),
+)
+def test_spd_systems_solved_honestly(n, kd, solver_idx, precond, batch, seed):
+    rng = rng_for(seed)
+    kd = min(kd, n - 1)
+    a = random_spd_banded(n, kd, rng)
+    csr = Csr.from_dense(a)
+    solver = SOLVERS_SPD[solver_idx](
+        csr,
+        preconditioner=make_preconditioner(precond, csr, 4),
+        criterion=StoppingCriterion(1e-11, 500),
+    )
+    x_true = rng.standard_normal((n, batch))
+    result = solver.apply(a @ x_true)
+    assert result.converged
+    # Honesty: the declared residuals must match recomputed ones.
+    recomputed = np.linalg.norm(a @ result.x - a @ x_true, axis=0)
+    assert np.all(recomputed <= 1e-8 * np.linalg.norm(a @ x_true, axis=0) + 1e-10)
+    assert np.allclose(result.x, x_true, rtol=1e-5, atol=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(8, 35),
+    kl=st.integers(1, 3),
+    ku=st.integers(1, 3),
+    solver_idx=st.integers(0, len(SOLVERS_GENERAL) - 1),
+    precond=st.sampled_from(PRECONDS),
+    seed=st.integers(0, 2**31),
+)
+def test_general_systems_solved(n, kl, ku, solver_idx, precond, seed):
+    rng = rng_for(seed)
+    kl, ku = min(kl, n - 1), min(ku, n - 1)
+    a = random_banded(n, kl, ku, rng)
+    csr = Csr.from_dense(a)
+    solver = SOLVERS_GENERAL[solver_idx](
+        csr,
+        preconditioner=make_preconditioner(precond, csr, 4),
+        criterion=StoppingCriterion(1e-11, 800),
+    )
+    x_true = rng.standard_normal((n, 2))
+    result = solver.apply(a @ x_true)
+    assert result.converged
+    assert np.allclose(result.x, x_true, rtol=1e-4, atol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(8, 30),
+    seed=st.integers(0, 2**31),
+    chunk=st.integers(1, 7),
+)
+def test_chunked_equals_unchunked(n, seed, chunk):
+    from repro.iterative import ChunkedSolver
+
+    rng = rng_for(seed)
+    a = random_spd_banded(n, 2, rng)
+    csr = Csr.from_dense(a)
+    x_true = rng.standard_normal((n, 9))
+    b = a @ x_true
+    solver = BiCgStab(csr, criterion=StoppingCriterion(1e-12, 500))
+    whole = solver.apply(b).x
+    chunked = ChunkedSolver(solver, cols_per_chunk=chunk).apply(b)
+    assert np.allclose(whole, chunked, rtol=1e-6, atol=1e-8)

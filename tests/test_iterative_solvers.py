@@ -1,0 +1,358 @@
+"""Tests for the Krylov solvers, preconditioners, stopping and logging."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConvergenceError, ShapeError, SingularMatrixError
+from repro.iterative import (
+    BiCg,
+    BiCgStab,
+    Cg,
+    ChunkedSolver,
+    ConvergenceLogger,
+    Csr,
+    Gmres,
+    StoppingCriterion,
+    make_preconditioner,
+    make_solver,
+)
+from repro.iterative.preconditioner import BlockJacobi, Identity, Jacobi
+
+from conftest import random_banded, random_spd_banded
+
+TOL = 1e-12
+
+
+def spd_system(rng, n=30, kd=2, batch=4):
+    a = random_spd_banded(n, kd, rng)
+    x_true = rng.standard_normal((n, batch))
+    return Csr.from_dense(a), x_true, a @ x_true
+
+
+def general_system(rng, n=30, kl=2, ku=3, batch=4):
+    a = random_banded(n, kl, ku, rng)
+    x_true = rng.standard_normal((n, batch))
+    return Csr.from_dense(a), x_true, a @ x_true
+
+
+class TestPreconditioners:
+    def test_identity(self, rng):
+        csr, _, b = spd_system(rng)
+        p = Identity.generate(csr)
+        np.testing.assert_allclose(p.apply(b), b)
+
+    def test_jacobi_matches_diagonal_solve(self, rng):
+        csr, _, b = spd_system(rng)
+        p = Jacobi.generate(csr)
+        np.testing.assert_allclose(p.apply(b), b / csr.diagonal()[:, None])
+
+    def test_jacobi_zero_diagonal_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(SingularMatrixError):
+            Jacobi.generate(Csr.from_dense(a))
+
+    @pytest.mark.parametrize("bs", [1, 3, 7, 32])
+    def test_block_jacobi_matches_explicit_block_solve(self, bs, rng):
+        n = 20
+        a = random_spd_banded(n, 2, rng)
+        csr = Csr.from_dense(a)
+        p = BlockJacobi.generate(csr, max_block_size=bs)
+        x = rng.standard_normal((n, 3))
+        expected = np.empty_like(x)
+        for lo in range(0, n, bs):
+            hi = min(lo + bs, n)
+            expected[lo:hi] = np.linalg.solve(a[lo:hi, lo:hi], x[lo:hi])
+        np.testing.assert_allclose(p.apply(x), expected, rtol=1e-10)
+
+    def test_block_jacobi_vector_apply(self, rng):
+        csr, _, b = spd_system(rng)
+        p = BlockJacobi.generate(csr, max_block_size=4)
+        one = p.apply(b[:, 0])
+        blk = p.apply(b)
+        np.testing.assert_allclose(one, blk[:, 0], rtol=1e-12)
+
+    def test_block_size_limits(self, rng):
+        csr, _, _ = spd_system(rng)
+        with pytest.raises(ValueError):
+            BlockJacobi.generate(csr, max_block_size=0)
+        with pytest.raises(ValueError):
+            BlockJacobi.generate(csr, max_block_size=33)
+
+    def test_apply_transpose_is_transpose_of_apply(self, rng):
+        """M⁻ᵀ from apply_transpose must equal (M⁻¹)ᵀ for every
+        preconditioner (BiCG's shadow recurrence depends on it)."""
+        from repro.iterative import Ilu0
+
+        csr, _, _ = general_system(rng, n=16)
+        eye = np.eye(16)
+        for p in (Identity.generate(csr), Jacobi.generate(csr),
+                  BlockJacobi.generate(csr, 5), Ilu0.generate(csr)):
+            minv = p.apply(eye)
+            minv_t = p.apply_transpose(eye)
+            np.testing.assert_allclose(minv_t, minv.T, atol=1e-10,
+                                       err_msg=type(p).__name__)
+
+    def test_bicg_with_nonsymmetric_preconditioner(self, rng):
+        """BiCG + block-Jacobi on a nonsymmetric system: the shadow
+        recurrence needs the true M⁻ᵀ."""
+        csr, x_true, b = general_system(rng, n=40, kl=3, ku=2)
+        solver = BiCg(
+            csr,
+            preconditioner=BlockJacobi.generate(csr, 6),
+            criterion=StoppingCriterion(TOL, 1000),
+        )
+        result = solver.apply(b)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6, atol=1e-8)
+
+    def test_factory(self, rng):
+        csr, _, _ = spd_system(rng)
+        assert isinstance(make_preconditioner("identity", csr), Identity)
+        assert isinstance(make_preconditioner("jacobi", csr), Jacobi)
+        assert isinstance(make_preconditioner("block_jacobi", csr, 4), BlockJacobi)
+        with pytest.raises(ValueError):
+            make_preconditioner("amg", csr)
+
+
+class TestStoppingCriterion:
+    def test_targets(self):
+        crit = StoppingCriterion(reduction_factor=1e-10)
+        b = np.array([[3.0, 0.0], [4.0, 0.0]])
+        t = crit.targets(b)
+        assert t[0] == pytest.approx(5e-10)
+        assert t[1] > 0.0  # zero column gets absolute target
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StoppingCriterion(reduction_factor=0.0)
+        with pytest.raises(ValueError):
+            StoppingCriterion(max_iterations=0)
+
+    def test_exhausted(self):
+        crit = StoppingCriterion(max_iterations=5)
+        assert not crit.exhausted(4)
+        assert crit.exhausted(5)
+
+
+@pytest.mark.parametrize("solver_cls", [Cg, BiCg, BiCgStab, Gmres])
+class TestSolversOnSpd:
+    def test_converges_to_solution(self, solver_cls, rng):
+        csr, x_true, b = spd_system(rng)
+        solver = solver_cls(csr, criterion=StoppingCriterion(TOL, 500))
+        result = solver.apply(b)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-7, atol=1e-9)
+
+    def test_single_rhs_shape(self, solver_cls, rng):
+        csr, x_true, b = spd_system(rng, batch=1)
+        solver = solver_cls(csr, criterion=StoppingCriterion(TOL, 500))
+        result = solver.apply(b[:, 0])
+        assert result.x.ndim == 1
+        np.testing.assert_allclose(result.x, x_true[:, 0], rtol=1e-7, atol=1e-9)
+
+    def test_warm_start_zero_iterations(self, solver_cls, rng):
+        csr, x_true, b = spd_system(rng)
+        solver = solver_cls(csr, criterion=StoppingCriterion(1e-10, 500))
+        result = solver.apply(b, x0=x_true.copy())
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_preconditioner_reduces_iterations(self, solver_cls, rng):
+        csr, _, b = spd_system(rng, n=60, kd=3, batch=2)
+        plain = solver_cls(csr, criterion=StoppingCriterion(TOL, 2000))
+        pre = solver_cls(
+            csr,
+            preconditioner=make_preconditioner("block_jacobi", csr, 8),
+            criterion=StoppingCriterion(TOL, 2000),
+        )
+        it_plain = plain.apply(b).iterations
+        it_pre = pre.apply(b).iterations
+        assert it_pre <= it_plain
+
+
+@pytest.mark.parametrize("solver_cls", [BiCg, BiCgStab, Gmres])
+class TestSolversOnGeneral:
+    def test_nonsymmetric_system(self, solver_cls, rng):
+        csr, x_true, b = general_system(rng)
+        solver = solver_cls(csr, criterion=StoppingCriterion(TOL, 1000))
+        result = solver.apply(b)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6, atol=1e-8)
+
+
+class TestSolverBehaviour:
+    def test_strict_raises_on_stall(self, rng):
+        csr, _, b = spd_system(rng, n=50, kd=3)
+        solver = Cg(csr, criterion=StoppingCriterion(1e-15, 2), strict=True)
+        with pytest.raises(ConvergenceError) as exc:
+            solver.apply(b)
+        assert exc.value.iterations == 2
+
+    def test_non_strict_reports_not_converged(self, rng):
+        csr, _, b = spd_system(rng, n=50, kd=3)
+        solver = Cg(csr, criterion=StoppingCriterion(1e-15, 2))
+        result = solver.apply(b)
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_logger_records(self, rng):
+        csr, _, b = spd_system(rng)
+        logger = ConvergenceLogger()
+        solver = BiCgStab(csr, criterion=StoppingCriterion(TOL, 500), logger=logger)
+        solver.apply(b)
+        solver.apply(b)
+        assert logger.num_applies == 2
+        assert logger.max_iterations >= 1
+        assert logger.all_converged
+        logger.clear()
+        assert logger.num_applies == 0
+
+    def test_per_column_iterations_monotone(self, rng):
+        csr, x_true, b = spd_system(rng, batch=3)
+        # Column 0 starts at the exact solution: converges at iteration 0.
+        x0 = np.zeros_like(b)
+        x0[:, 0] = x_true[:, 0]
+        solver = Cg(csr, criterion=StoppingCriterion(TOL, 500))
+        result = solver.apply(b, x0=x0)
+        assert result.per_column_iterations[0] == 0
+        assert result.per_column_iterations.max() == result.iterations
+
+    def test_gmres_restart(self, rng):
+        csr, x_true, b = spd_system(rng, n=40, kd=2, batch=2)
+        solver = Gmres(csr, criterion=StoppingCriterion(TOL, 2000), restart=5)
+        result = solver.apply(b)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, rtol=1e-6, atol=1e-8)
+
+    def test_gmres_restart_validation(self, rng):
+        csr, _, _ = spd_system(rng)
+        with pytest.raises(ValueError):
+            Gmres(csr, restart=0)
+
+    def test_gmres_memory_guard(self, rng):
+        """§III-B's failure mode surfaces as a clear error, not a crash."""
+        csr, _, b = spd_system(rng, n=30, batch=50)
+        solver = Gmres(csr, restart=20, memory_limit_gb=1e-6)
+        with pytest.raises(MemoryError, match="cols_per_chunk"):
+            solver.apply(b)
+        # Chunking (the paper's remedy) or lifting the limit both work.
+        solver_ok = Gmres(csr, restart=20, memory_limit_gb=None,
+                          criterion=StoppingCriterion(TOL, 500))
+        assert solver_ok.apply(b).converged
+
+    def test_factory(self, rng):
+        csr, _, _ = spd_system(rng)
+        for name, cls in [("cg", Cg), ("bicg", BiCg), ("bicgstab", BiCgStab),
+                          ("gmres", Gmres)]:
+            assert isinstance(make_solver(name, csr), cls)
+        with pytest.raises(ValueError):
+            make_solver("minres", csr)
+
+    def test_rhs_shape_errors(self, rng):
+        csr, _, b = spd_system(rng)
+        solver = Cg(csr)
+        with pytest.raises(ShapeError):
+            solver.apply(np.ones(csr.nrows + 1))
+        with pytest.raises(ShapeError):
+            solver.apply(b, x0=np.ones((csr.nrows, b.shape[1] + 1)))
+
+    def test_non_square_matrix_rejected(self, rng):
+        csr = Csr.from_dense(rng.standard_normal((3, 4)))
+        with pytest.raises(ShapeError):
+            Cg(csr)
+
+    def test_zero_rhs_converges_immediately(self, rng):
+        csr, _, _ = spd_system(rng)
+        solver = Cg(csr, criterion=StoppingCriterion(TOL, 100))
+        result = solver.apply(np.zeros((csr.nrows, 3)))
+        assert result.converged
+        assert result.iterations == 0
+        np.testing.assert_allclose(result.x, 0.0)
+
+
+class TestScipyOracle:
+    """Independent cross-checks against SciPy's Krylov implementations."""
+
+    def test_gmres_matches_scipy(self, rng):
+        sla = pytest.importorskip("scipy.sparse.linalg")
+        csr, x_true, b = general_system(rng, n=40, batch=1)
+        ours = Gmres(csr, criterion=StoppingCriterion(1e-12, 1000),
+                     restart=20).apply(b[:, 0])
+        ref, info = sla.gmres(csr.to_dense(), b[:, 0], rtol=1e-12,
+                              restart=20, maxiter=1000)
+        assert info == 0
+        np.testing.assert_allclose(ours.x, ref, rtol=1e-8, atol=1e-10)
+
+    def test_bicgstab_matches_scipy(self, rng):
+        sla = pytest.importorskip("scipy.sparse.linalg")
+        csr, x_true, b = spd_system(rng, n=35, batch=1)
+        ours = BiCgStab(csr, criterion=StoppingCriterion(1e-12, 1000)).apply(b[:, 0])
+        ref, info = sla.bicgstab(csr.to_dense(), b[:, 0], rtol=1e-12,
+                                 maxiter=1000)
+        assert info == 0
+        np.testing.assert_allclose(ours.x, ref, rtol=1e-7, atol=1e-9)
+
+    def test_cg_matches_scipy(self, rng):
+        sla = pytest.importorskip("scipy.sparse.linalg")
+        csr, x_true, b = spd_system(rng, n=35, batch=1)
+        ours = Cg(csr, criterion=StoppingCriterion(1e-12, 1000)).apply(b[:, 0])
+        ref, info = sla.cg(csr.to_dense(), b[:, 0], rtol=1e-12, maxiter=1000)
+        assert info == 0
+        np.testing.assert_allclose(ours.x, ref, rtol=1e-7, atol=1e-9)
+
+
+class TestChunkedSolver:
+    def test_matches_unchunked(self, rng):
+        csr, x_true, b = spd_system(rng, n=25, kd=2, batch=50)
+        solver = BiCgStab(csr, criterion=StoppingCriterion(TOL, 500))
+        chunked = ChunkedSolver(solver, cols_per_chunk=7)
+        out = chunked.apply(b)
+        np.testing.assert_allclose(out, x_true, rtol=1e-7, atol=1e-9)
+
+    def test_in_place_overwrites_rhs(self, rng):
+        csr, x_true, b = spd_system(rng, n=20, kd=1, batch=13)
+        solver = Gmres(csr, criterion=StoppingCriterion(TOL, 500))
+        chunked = ChunkedSolver(solver, cols_per_chunk=5)
+        work = b.copy()
+        worst = chunked.apply_in_place(work)
+        assert worst >= 1
+        np.testing.assert_allclose(work, x_true, rtol=1e-7, atol=1e-9)
+
+    def test_chunk_boundary_cases(self, rng):
+        csr, x_true, b = spd_system(rng, n=15, kd=1, batch=8)
+        solver = Cg(csr, criterion=StoppingCriterion(TOL, 500))
+        for chunk in (1, 8, 3, 100):  # exact, single, ragged, oversized
+            out = ChunkedSolver(solver, cols_per_chunk=chunk).apply(b)
+            np.testing.assert_allclose(out, x_true, rtol=1e-7, atol=1e-9)
+
+    def test_logger_one_record_per_chunk(self, rng):
+        csr, _, b = spd_system(rng, n=15, kd=1, batch=10)
+        logger = ConvergenceLogger()
+        solver = Cg(csr, criterion=StoppingCriterion(TOL, 500), logger=logger)
+        ChunkedSolver(solver, cols_per_chunk=4).apply(b)
+        assert logger.num_applies == 3  # 4 + 4 + 2
+
+    def test_explicit_warm_start(self, rng):
+        csr, x_true, b = spd_system(rng, n=15, kd=1, batch=6)
+        solver = Cg(csr, criterion=StoppingCriterion(1e-10, 500))
+        chunked = ChunkedSolver(solver, cols_per_chunk=4)
+        worst = ChunkedSolver(solver, cols_per_chunk=4).apply_in_place(
+            b.copy(), x0=x_true.copy()
+        )
+        assert worst == 0  # exact guess converges instantly
+        del chunked
+
+    def test_validation(self, rng):
+        csr, _, b = spd_system(rng)
+        solver = Cg(csr)
+        with pytest.raises(ValueError):
+            ChunkedSolver(solver, cols_per_chunk=0)
+        with pytest.raises(ShapeError):
+            ChunkedSolver(solver).apply_in_place(np.ones(3))
+
+    def test_zero_batch(self, rng):
+        csr, _, _ = spd_system(rng)
+        solver = Cg(csr)
+        chunked = ChunkedSolver(solver)
+        work = np.empty((csr.nrows, 0))
+        assert chunked.apply_in_place(work) == 0

@@ -1,0 +1,79 @@
+"""Tests for the LAPACK band-storage helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.kbatched.band import (
+    band_to_dense,
+    dense_band_widths,
+    dense_to_band,
+    dense_to_lu_band,
+    spd_band_lower_to_dense,
+    spd_dense_to_band_lower,
+)
+
+from conftest import random_banded, random_spd_banded, rng_for
+
+
+class TestBandWidths:
+    def test_tridiagonal(self):
+        a = np.diag(np.ones(4)) + np.diag(np.ones(3), 1) + np.diag(np.ones(3), -1)
+        assert dense_band_widths(a) == (1, 1)
+
+    def test_asymmetric(self):
+        a = np.zeros((5, 5))
+        a[np.diag_indices(5)] = 1.0
+        a[4, 1] = 2.0  # kl = 3
+        a[0, 2] = 3.0  # ku = 2
+        assert dense_band_widths(a) == (3, 2)
+
+    def test_zero_matrix(self):
+        assert dense_band_widths(np.zeros((3, 3))) == (0, 0)
+
+    def test_tolerance(self):
+        a = np.eye(4)
+        a[3, 0] = 1e-18
+        assert dense_band_widths(a, tol=1e-15) == (0, 0)
+        assert dense_band_widths(a) == (3, 0)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ShapeError):
+            dense_band_widths(np.zeros((2, 3)))
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("n,kl,ku", [(6, 1, 1), (8, 2, 3), (5, 0, 2), (7, 4, 0)])
+    def test_general_band_roundtrip(self, n, kl, ku, rng):
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_band(a, kl, ku)
+        np.testing.assert_allclose(band_to_dense(ab, kl, ku), a)
+
+    def test_lu_band_has_headroom(self, rng):
+        a = random_banded(6, 2, 1, rng)
+        ab = dense_to_lu_band(a, 2, 1)
+        assert ab.shape == (2 * 2 + 1 + 1, 6)
+        np.testing.assert_allclose(ab[:2], 0.0)  # fill rows zeroed
+        np.testing.assert_allclose(band_to_dense(ab[2:], 2, 1), a)
+
+    @pytest.mark.parametrize("n,kd", [(6, 1), (9, 3)])
+    def test_spd_band_roundtrip(self, n, kd, rng):
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_lower(a, kd)
+        np.testing.assert_allclose(spd_band_lower_to_dense(ab), a)
+
+    def test_band_to_dense_row_check(self):
+        with pytest.raises(ShapeError):
+            band_to_dense(np.zeros((3, 5)), kl=2, ku=2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 15), kl=st.integers(0, 4), ku=st.integers(0, 4),
+       seed=st.integers(0, 2**31))
+def test_property_pack_unpack_identity(n, kl, ku, seed):
+    rng = rng_for(seed)
+    kl, ku = min(kl, n - 1), min(ku, n - 1)
+    a = random_banded(n, kl, ku, rng)
+    assert np.allclose(band_to_dense(dense_to_band(a, kl, ku), kl, ku), a)

@@ -1,0 +1,198 @@
+"""Tests for the BLAS kernels, COO storage and COO spmv/spmm."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.kbatched import (
+    Coo,
+    axpy,
+    coo_spmm,
+    gemm,
+    gemv,
+    serial_coo_spmv,
+    serial_gemm,
+    serial_gemv,
+)
+from repro.kbatched.types import Trans
+
+from conftest import rng_for
+
+
+class TestGemm:
+    def test_basic_update(self, rng):
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((3, 5))
+        c = rng.standard_normal((4, 5))
+        expected = -1.0 * a @ b + 2.0 * c
+        gemm(-1.0, a, b, 2.0, c)
+        np.testing.assert_allclose(c, expected, rtol=1e-12)
+
+    def test_beta_zero_overwrites(self, rng):
+        a = rng.standard_normal((3, 3))
+        b = rng.standard_normal((3, 3))
+        c = np.full((3, 3), np.nan)  # beta=0 must not read old C (NaN-safe)
+        gemm(1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+    def test_transpose_modes(self, rng):
+        a = rng.standard_normal((3, 4))
+        b = rng.standard_normal((5, 3))
+        c = np.zeros((4, 5))
+        gemm(1.0, a, b, 0.0, c, trans_a=Trans.TRANSPOSE, trans_b=Trans.TRANSPOSE)
+        np.testing.assert_allclose(c, a.T @ b.T, rtol=1e-12)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeError):
+            gemm(1.0, np.ones((2, 3)), np.ones((4, 2)), 0.0, np.ones((2, 2)))
+
+    def test_serial_gemm_matches(self, rng):
+        a = rng.standard_normal((4, 3))
+        b = rng.standard_normal((3, 2))
+        c1 = rng.standard_normal((4, 2))
+        c2 = c1.copy()
+        gemm(0.5, a, b, -1.0, c1)
+        serial_gemm(0.5, a, b, -1.0, c2)
+        np.testing.assert_allclose(c1, c2, rtol=1e-12)
+
+
+class TestGemv:
+    def test_vector(self, rng):
+        a = rng.standard_normal((5, 4))
+        x = rng.standard_normal(4)
+        y = rng.standard_normal(5)
+        expected = -1.0 * a @ x + 1.0 * y
+        gemv(-1.0, a, x, 1.0, y)
+        np.testing.assert_allclose(y, expected, rtol=1e-12)
+
+    def test_block_broadcast(self, rng):
+        """gemv applied to an (len, batch) block updates every column."""
+        a = rng.standard_normal((5, 4))
+        x = rng.standard_normal((4, 7))
+        y = rng.standard_normal((5, 7))
+        expected = 2.0 * a @ x + y
+        gemv(2.0, a, x, 1.0, y)
+        np.testing.assert_allclose(y, expected, rtol=1e-12)
+
+    def test_transpose(self, rng):
+        a = rng.standard_normal((5, 4))
+        x = rng.standard_normal(5)
+        y = np.zeros(4)
+        gemv(1.0, a, x, 0.0, y, trans=Trans.TRANSPOSE)
+        np.testing.assert_allclose(y, a.T @ x, rtol=1e-12)
+
+    def test_serial_gemv_matches(self, rng):
+        a = rng.standard_normal((4, 6))
+        x = rng.standard_normal(6)
+        y1 = rng.standard_normal(4)
+        y2 = y1.copy()
+        gemv(-1.0, a, x, 1.0, y1)
+        serial_gemv(-1.0, a, x, 1.0, y2)
+        np.testing.assert_allclose(y1, y2, rtol=1e-12)
+
+    def test_axpy(self, rng):
+        x = rng.standard_normal(8)
+        y = rng.standard_normal(8)
+        expected = 3.0 * x + y
+        axpy(3.0, x, y)
+        np.testing.assert_allclose(y, expected, rtol=1e-12)
+        with pytest.raises(ShapeError):
+            axpy(1.0, np.ones(3), np.ones(4))
+
+
+class TestCoo:
+    def test_from_dense_roundtrip(self, rng):
+        a = rng.standard_normal((6, 4))
+        a[np.abs(a) < 0.7] = 0.0
+        coo = Coo.from_dense(a)
+        assert coo.nnz == np.count_nonzero(a)
+        np.testing.assert_allclose(coo.to_dense(), a)
+
+    def test_drop_tolerance(self):
+        a = np.array([[1.0, 1e-18], [0.0, 2.0]])
+        coo = Coo.from_dense(a, drop_tol=1e-15)
+        assert coo.nnz == 2
+        dense = coo.to_dense()
+        assert dense[0, 1] == 0.0
+
+    def test_transpose(self, rng):
+        a = rng.standard_normal((3, 5))
+        coo = Coo.from_dense(a)
+        np.testing.assert_allclose(coo.transpose().to_dense(), a.T)
+
+    def test_duplicate_coordinates_accumulate(self):
+        coo = Coo(2, 2, [0, 0], [1, 1], [1.5, 2.5])
+        assert coo.to_dense()[0, 1] == pytest.approx(4.0)
+
+    def test_index_validation(self):
+        with pytest.raises(ShapeError):
+            Coo(2, 2, [0, 5], [0, 0], [1.0, 1.0])
+        with pytest.raises(ShapeError):
+            Coo(2, 2, [0], [0, 1], [1.0, 1.0])
+
+    def test_empty(self):
+        coo = Coo(3, 3)
+        assert coo.nnz == 0
+        np.testing.assert_allclose(coo.to_dense(), np.zeros((3, 3)))
+
+
+class TestSpmv:
+    def test_serial_matches_dense(self, rng):
+        a = rng.standard_normal((7, 5))
+        a[np.abs(a) < 0.8] = 0.0
+        coo = Coo.from_dense(a)
+        x = rng.standard_normal(5)
+        y = rng.standard_normal(7)
+        expected = y - 1.0 * a @ x
+        serial_coo_spmv(-1.0, coo, x, y)
+        np.testing.assert_allclose(y, expected, rtol=1e-12)
+
+    def test_spmm_matches_dense(self, rng):
+        a = rng.standard_normal((6, 9))
+        a[np.abs(a) < 1.0] = 0.0
+        coo = Coo.from_dense(a)
+        x = rng.standard_normal((9, 4))
+        y = rng.standard_normal((6, 4))
+        expected = y + 2.0 * a @ x
+        coo_spmm(2.0, coo, x, y)
+        np.testing.assert_allclose(y, expected, rtol=1e-12)
+
+    def test_duplicates_accumulate_in_spmm(self, rng):
+        coo = Coo(2, 3, [1, 1], [0, 2], [1.0, 1.0])
+        x = np.arange(6, dtype=float).reshape(3, 2)
+        y = np.zeros((2, 2))
+        coo_spmm(1.0, coo, x, y)
+        np.testing.assert_allclose(y[1], x[0] + x[2])
+
+    def test_shape_errors(self):
+        coo = Coo(2, 3, [0], [0], [1.0])
+        with pytest.raises(ShapeError):
+            serial_coo_spmv(1.0, coo, np.ones(2), np.ones(2))
+        with pytest.raises(ShapeError):
+            coo_spmm(1.0, coo, np.ones((3, 2)), np.ones((2, 3)))
+        with pytest.raises(ShapeError):
+            coo_spmm(1.0, coo, np.ones(3), np.ones(2))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(1, 12),
+    n=st.integers(1, 12),
+    batch=st.integers(1, 5),
+    density=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_property_spmm_equals_gemm(m, n, batch, density, seed):
+    """COO spmm == dense gemm for any sparsity pattern (§IV-D equivalence)."""
+    rng = rng_for(seed)
+    a = rng.standard_normal((m, n))
+    a[rng.uniform(size=(m, n)) > density] = 0.0
+    coo = Coo.from_dense(a)
+    x = rng.standard_normal((n, batch))
+    y1 = rng.standard_normal((m, batch))
+    y2 = y1.copy()
+    coo_spmm(-1.0, coo, x, y1)
+    gemm(-1.0, a, x, 1.0, y2)
+    assert np.allclose(y1, y2, rtol=1e-10, atol=1e-12)

@@ -1,0 +1,160 @@
+"""Tests for gbtrf/gbtrs: general band LU with partial pivoting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.kbatched import gbtrf, gbtrs, serial_gbtrf, serial_gbtrs
+from repro.kbatched.band import dense_to_lu_band
+from repro.kbatched.types import Trans
+
+from conftest import random_banded, rng_for
+
+
+class TestGbtrf:
+    @pytest.mark.parametrize("n,kl,ku", [(10, 1, 1), (15, 2, 3), (20, 3, 1), (9, 4, 4)])
+    def test_solve_roundtrip(self, n, kl, ku, rng):
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_gbtrs(ab, ipiv, b, kl, ku)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+
+    def test_matches_scipy_solve_banded(self, rng):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        n, kl, ku = 30, 2, 2
+        a = random_banded(n, kl, ku, rng)
+        b0 = rng.standard_normal(n)
+        # scipy solve_banded uses (ku + kl + 1, n) storage without headroom.
+        ab_scipy = np.zeros((kl + ku + 1, n))
+        for j in range(n):
+            lo, hi = max(0, j - ku), min(n, j + kl + 1)
+            ab_scipy[ku + lo - j : ku + hi - j, j] = a[lo:hi, j]
+        x_ref = scipy_linalg.solve_banded((kl, ku), ab_scipy, b0)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        b = b0.copy()
+        serial_gbtrs(ab, ipiv, b, kl, ku)
+        np.testing.assert_allclose(b, x_ref, rtol=1e-9)
+
+    def test_pivoting_needed(self, rng):
+        """A matrix whose natural pivot is tiny — partial pivoting must engage."""
+        n, kl, ku = 6, 1, 1
+        a = random_banded(n, kl, ku, rng)
+        a[0, 0] = 1e-300  # forces a row interchange at step 0
+        a[1, 0] = 2.0
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        assert ipiv[0] == 1  # pivot row was swapped
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_gbtrs(ab, ipiv, b, kl, ku)
+        np.testing.assert_allclose(b, x_true, rtol=1e-7)
+
+    def test_singular_matrix_raises(self):
+        n, kl, ku = 4, 1, 1
+        a = np.zeros((n, n))
+        a[0, 1] = 1.0  # column 0 entirely zero
+        ab = dense_to_lu_band(a, kl, ku)
+        with pytest.raises(SingularMatrixError) as exc:
+            gbtrf(ab, kl, ku)
+        assert exc.value.index == 0
+
+    def test_wrong_storage_rows_raises(self, rng):
+        a = random_banded(5, 1, 1, rng)
+        ab = dense_to_lu_band(a, 1, 1)
+        with pytest.raises(ShapeError):
+            gbtrf(ab, 2, 1)  # claims kl=2 but storage has rows for kl=1
+
+    def test_tridiagonal_against_dense_lu(self, rng):
+        n, kl, ku = 12, 1, 1
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = serial_gbtrf(ab, kl, ku)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_gbtrs(ab, ipiv, b, kl, ku)
+        x_ref = np.linalg.solve(a, a @ x_true)
+        np.testing.assert_allclose(b, x_ref, rtol=1e-8)
+
+
+class TestGbtrs:
+    def test_batched_matches_serial(self, rng):
+        n, kl, ku, batch = 14, 2, 2, 5
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        b = rng.standard_normal((n, batch))
+        expected = b.copy()
+        for j in range(batch):
+            col = expected[:, j].copy()
+            serial_gbtrs(ab, ipiv, col, kl, ku)
+            expected[:, j] = col
+        gbtrs(ab, ipiv, b, kl, ku)
+        np.testing.assert_allclose(b, expected, rtol=1e-12)
+
+    def test_batched_solve(self, rng):
+        n, kl, ku, batch = 22, 3, 2, 8
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        x_true = rng.standard_normal((n, batch))
+        b = a @ x_true
+        gbtrs(ab, ipiv, b, kl, ku)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+
+    def test_kl_zero_upper_triangular_band(self, rng):
+        """kl=0 skips the forward sweep entirely."""
+        n, kl, ku = 10, 0, 2
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        x_true = rng.standard_normal((n, 3))
+        b = a @ x_true
+        gbtrs(ab, ipiv, b, kl, ku)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+
+    @pytest.mark.parametrize("n,kl,ku", [(10, 1, 1), (16, 2, 3), (12, 3, 0)])
+    def test_transpose_solve(self, n, kl, ku, rng):
+        """gbtrs('T') solves Aᵀ x = b from the same factorization."""
+        a = random_banded(n, kl, ku, rng)
+        ab = dense_to_lu_band(a, kl, ku)
+        ipiv = gbtrf(ab, kl, ku)
+        x_true = rng.standard_normal((n, 4))
+        b = a.T @ x_true
+        gbtrs(ab, ipiv, b, kl, ku, trans=Trans.TRANSPOSE)
+        np.testing.assert_allclose(b, x_true, rtol=1e-8)
+        b1 = a.T @ x_true[:, 0]
+        serial_gbtrs(ab, ipiv, b1, kl, ku, trans=Trans.TRANSPOSE)
+        np.testing.assert_allclose(b1, x_true[:, 0], rtol=1e-8)
+
+    def test_rhs_shape_error(self, rng):
+        a = random_banded(5, 1, 1, rng)
+        ab = dense_to_lu_band(a, 1, 1)
+        ipiv = gbtrf(ab, 1, 1)
+        with pytest.raises(ShapeError):
+            gbtrs(ab, ipiv, np.ones((6, 1)), 1, 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 25),
+    kl=st.integers(0, 4),
+    ku=st.integers(0, 4),
+    seed=st.integers(0, 2**31),
+)
+def test_property_roundtrip(n, kl, ku, seed):
+    """gbtrs(gbtrf(A), A @ x) == x for random band systems of any widths."""
+    rng = rng_for(seed)
+    kl, ku = min(kl, n - 1), min(ku, n - 1)
+    a = random_banded(n, kl, ku, rng)
+    ab = dense_to_lu_band(a, kl, ku)
+    ipiv = gbtrf(ab, kl, ku)
+    x_true = rng.standard_normal((n, 2))
+    b = a @ x_true
+    gbtrs(ab, ipiv, b, kl, ku)
+    assert np.allclose(b, x_true, rtol=1e-6, atol=1e-8)

@@ -1,0 +1,190 @@
+"""Tests for getrf/getrs: dense LU with partial pivoting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.kbatched import getrf, getrs, serial_getrf, serial_getrs
+from repro.kbatched.types import Trans
+
+from conftest import random_general, rng_for
+
+
+class TestGetrf:
+    def test_lu_reconstructs_permuted_matrix(self, rng):
+        n = 10
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = getrf(lu)
+        ell = np.tril(lu, -1) + np.eye(n)
+        u = np.triu(lu)
+        # Apply the recorded interchanges to A.
+        pa = a.copy()
+        for j in range(n):
+            if ipiv[j] != j:
+                pa[[j, ipiv[j]]] = pa[[ipiv[j], j]]
+        np.testing.assert_allclose(ell @ u, pa, atol=1e-10)
+
+    def test_matches_scipy_lu_factor(self, rng):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        n = 15
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = getrf(lu)
+        lu_ref, piv_ref = scipy_linalg.lu_factor(a)
+        np.testing.assert_allclose(lu, lu_ref, rtol=1e-10)
+        np.testing.assert_array_equal(ipiv, piv_ref)
+
+    def test_pivoting_on_zero_leading_entry(self, rng):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        lu = a.copy()
+        ipiv = getrf(lu)
+        assert ipiv[0] == 1
+        b = np.array([2.0, 3.0])
+        serial_getrs(lu, ipiv, b)
+        np.testing.assert_allclose(a @ b, [2.0, 3.0])
+
+    def test_singular_raises(self):
+        a = np.ones((3, 3))
+        with pytest.raises(SingularMatrixError):
+            getrf(a.copy())
+
+    def test_non_square_raises(self):
+        with pytest.raises(ShapeError):
+            getrf(np.ones((3, 4)))
+
+    def test_one_by_one(self):
+        a = np.array([[5.0]])
+        ipiv = getrf(a)
+        assert ipiv[0] == 0
+        b = np.array([10.0])
+        serial_getrs(a, ipiv, b)
+        assert b[0] == pytest.approx(2.0)
+
+
+class TestBlockedGetrf:
+    @pytest.mark.parametrize("n", [5, 32, 33, 64, 100])
+    def test_blocked_matches_unblocked(self, n, rng):
+        from repro.kbatched.types import Algo
+
+        a = random_general(n, rng)
+        lu_u = a.copy()
+        piv_u = getrf(lu_u, algo=Algo.UNBLOCKED)
+        lu_b = a.copy()
+        piv_b = getrf(lu_b, algo=Algo.BLOCKED, block_size=16)
+        np.testing.assert_array_equal(piv_u, piv_b)
+        np.testing.assert_allclose(lu_b, lu_u, rtol=1e-12, atol=1e-14)
+
+    def test_blocked_solve_roundtrip(self, rng):
+        from repro.kbatched.types import Algo
+
+        n = 70
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = getrf(lu, algo=Algo.BLOCKED, block_size=24)
+        x_true = rng.standard_normal((n, 3))
+        b = a @ x_true
+        getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_blocked_with_pivoting_rows(self, rng):
+        from repro.kbatched.types import Algo
+
+        n = 40
+        a = random_general(n, rng)
+        a[0, 0] = 1e-300  # force an interchange in the first panel
+        lu = a.copy()
+        ipiv = getrf(lu, algo=Algo.BLOCKED, block_size=8)
+        assert ipiv[0] != 0
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-7)
+
+    def test_block_size_validation(self, rng):
+        from repro.kbatched.types import Algo
+
+        with pytest.raises(ValueError):
+            getrf(random_general(4, rng), algo=Algo.BLOCKED, block_size=0)
+
+
+class TestGetrs:
+    def test_serial_solve(self, rng):
+        n = 12
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = serial_getrf(lu)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_batched_matches_serial(self, rng):
+        n, batch = 9, 6
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = getrf(lu)
+        b = rng.standard_normal((n, batch))
+        expected = b.copy()
+        for j in range(batch):
+            col = expected[:, j].copy()
+            serial_getrs(lu, ipiv, col)
+            expected[:, j] = col
+        getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, expected, rtol=1e-12)
+
+    def test_batched_solve(self, rng):
+        n, batch = 16, 10
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = getrf(lu)
+        x_true = rng.standard_normal((n, batch))
+        b = a @ x_true
+        getrs(lu, ipiv, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_transpose_solve(self, rng):
+        """getrs('T') solves Aᵀ x = b from the same factorization."""
+        n = 12
+        a = random_general(n, rng)
+        lu = a.copy()
+        ipiv = getrf(lu)
+        x_true = rng.standard_normal((n, 4))
+        b = a.T @ x_true
+        getrs(lu, ipiv, b, trans=Trans.TRANSPOSE)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+        b1 = a.T @ x_true[:, 0]
+        serial_getrs(lu, ipiv, b1, trans=Trans.TRANSPOSE)
+        np.testing.assert_allclose(b1, x_true[:, 0], rtol=1e-9)
+
+    def test_transpose_solve_with_pivoting(self, rng):
+        a = np.array([[0.0, 2.0], [3.0, 1.0]])
+        lu = a.copy()
+        ipiv = getrf(lu)
+        b = a.T @ np.array([1.0, -2.0])
+        serial_getrs(lu, ipiv, b, trans=Trans.TRANSPOSE)
+        np.testing.assert_allclose(b, [1.0, -2.0], rtol=1e-12)
+
+    def test_shape_errors(self, rng):
+        a = random_general(4, rng)
+        ipiv = getrf(a)
+        with pytest.raises(ShapeError):
+            getrs(a, ipiv, np.ones((5, 2)))
+        with pytest.raises(ShapeError):
+            getrs(a, ipiv[:2], np.ones((4, 2)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 20), seed=st.integers(0, 2**31))
+def test_property_roundtrip(n, seed):
+    """getrs(getrf(A), A @ x) == x for random well-conditioned matrices."""
+    rng = rng_for(seed)
+    a = random_general(n, rng)
+    lu = a.copy()
+    ipiv = getrf(lu)
+    x_true = rng.standard_normal((n, 2))
+    b = a @ x_true
+    getrs(lu, ipiv, b)
+    assert np.allclose(b, x_true, rtol=1e-7, atol=1e-9)

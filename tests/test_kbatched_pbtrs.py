@@ -1,0 +1,156 @@
+"""Tests for pbtrf/pbtrs: SPD band Cholesky and batched solve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+from repro.kbatched import pbtrf, pbtrs, serial_pbtrf, serial_pbtrs
+from repro.kbatched.band import spd_band_lower_to_dense, spd_dense_to_band_lower
+from repro.kbatched.types import Uplo
+
+from conftest import random_spd_banded, rng_for
+
+
+class TestPbtrf:
+    @pytest.mark.parametrize("n,kd", [(8, 1), (12, 2), (20, 3), (15, 5)])
+    def test_cholesky_reconstructs_matrix(self, n, kd, rng):
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_lower(a, kd)
+        pbtrf(ab)
+        ell = np.tril(spd_band_lower_to_dense(ab))
+        np.testing.assert_allclose(ell @ ell.T, a, atol=1e-10)
+
+    def test_matches_scipy_cholesky_banded(self, rng):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        n, kd = 25, 2
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_lower(a, kd)
+        ref = scipy_linalg.cholesky_banded(ab.copy(), lower=True)
+        pbtrf(ab)
+        np.testing.assert_allclose(ab, ref, rtol=1e-10)
+
+    def test_rejects_non_spd(self, rng):
+        n, kd = 6, 1
+        a = random_spd_banded(n, kd, rng)
+        a[3, 3] = -1.0
+        ab = spd_dense_to_band_lower(a, kd)
+        with pytest.raises(NotPositiveDefiniteError):
+            pbtrf(ab)
+
+    @pytest.mark.parametrize("n,kd", [(8, 1), (14, 3)])
+    def test_upper_storage_cholesky(self, n, kd, rng):
+        from repro.kbatched.band import spd_band_upper_to_dense, spd_dense_to_band_upper
+
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_upper(a, kd)
+        pbtrf(ab, uplo=Uplo.UPPER)
+        u = np.triu(spd_band_upper_to_dense(ab))
+        np.testing.assert_allclose(u.T @ u, a, atol=1e-10)
+
+    def test_upper_matches_scipy(self, rng):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        from repro.kbatched.band import spd_dense_to_band_upper
+
+        n, kd = 20, 2
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_upper(a, kd)
+        ref = scipy_linalg.cholesky_banded(ab.copy(), lower=False)
+        pbtrf(ab, uplo=Uplo.UPPER)
+        np.testing.assert_allclose(ab, ref, rtol=1e-10)
+
+    def test_kd_zero_is_diagonal(self):
+        ab = np.array([[4.0, 9.0, 16.0]])
+        pbtrf(ab)
+        np.testing.assert_allclose(ab[0], [2.0, 3.0, 4.0])
+
+
+class TestPbtrs:
+    @pytest.mark.parametrize("kd", [1, 2, 4])
+    def test_serial_solve(self, kd, rng):
+        n = 18
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_lower(a, kd)
+        serial_pbtrf(ab)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_pbtrs(ab, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    @pytest.mark.parametrize("kd", [1, 3])
+    def test_batched_matches_serial(self, kd, rng):
+        n, batch = 14, 6
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_lower(a, kd)
+        serial_pbtrf(ab)
+        b = rng.standard_normal((n, batch))
+        expected = b.copy()
+        for j in range(batch):
+            col = expected[:, j].copy()
+            serial_pbtrs(ab, col)
+            expected[:, j] = col
+        pbtrs(ab, b)
+        np.testing.assert_allclose(b, expected, rtol=1e-12)
+
+    def test_batched_solve(self, rng):
+        n, kd, batch = 24, 2, 9
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_lower(a, kd)
+        serial_pbtrf(ab)
+        x_true = rng.standard_normal((n, batch))
+        b = a @ x_true
+        pbtrs(ab, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_band_wider_than_matrix(self, rng):
+        # kd >= n: band storage degenerates but the solve must still work.
+        n, kd = 3, 4
+        a = random_spd_banded(n, 2, rng)
+        ab = np.zeros((kd + 1, n))
+        ab[: n, :] = spd_dense_to_band_lower(a, n - 1)[: n, :]
+        serial_pbtrf(ab)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        serial_pbtrs(ab, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_shape_errors(self, rng):
+        a = random_spd_banded(5, 1, rng)
+        ab = spd_dense_to_band_lower(a, 1)
+        serial_pbtrf(ab)
+        with pytest.raises(ShapeError):
+            serial_pbtrs(ab, np.ones(6))
+        with pytest.raises(ShapeError):
+            pbtrs(ab, np.ones(5))  # needs (n, batch)
+
+    @pytest.mark.parametrize("kd", [1, 2, 4])
+    def test_upper_storage_solve(self, kd, rng):
+        from repro.kbatched.band import spd_dense_to_band_upper
+
+        n, batch = 18, 5
+        a = random_spd_banded(n, kd, rng)
+        ab = spd_dense_to_band_upper(a, kd)
+        serial_pbtrf(ab, uplo=Uplo.UPPER)
+        x_true = rng.standard_normal((n, batch))
+        b = a @ x_true
+        pbtrs(ab, b, uplo=Uplo.UPPER)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+        b1 = a @ x_true[:, 0]
+        serial_pbtrs(ab, b1, uplo=Uplo.UPPER)
+        np.testing.assert_allclose(b1, x_true[:, 0], rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 25), kd=st.integers(1, 4), seed=st.integers(0, 2**31))
+def test_property_roundtrip(n, kd, seed):
+    """pbtrs(pbtrf(A), A @ x) == x for random SPD band systems."""
+    rng = rng_for(seed)
+    kd = min(kd, n - 1)
+    a = random_spd_banded(n, kd, rng)
+    ab = spd_dense_to_band_lower(a, kd)
+    serial_pbtrf(ab)
+    x_true = rng.standard_normal((n, 2))
+    b = a @ x_true
+    pbtrs(ab, b)
+    assert np.allclose(b, x_true, rtol=1e-7, atol=1e-9)

@@ -1,0 +1,151 @@
+"""Tests for pttrf/pttrs: SPD tridiagonal factorization and batched solve."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotPositiveDefiniteError, ShapeError
+from repro.kbatched import pttrf, pttrs, serial_pttrf, serial_pttrs
+
+from conftest import random_spd_tridiagonal, rng_for, tridiagonal_to_dense
+
+
+class TestPttrf:
+    def test_factorization_reconstructs_matrix(self, rng):
+        n = 12
+        d, e = random_spd_tridiagonal(n, rng)
+        a = tridiagonal_to_dense(d, e)
+        df, ef = d.copy(), e.copy()
+        pttrf(df, ef)
+        ell = np.eye(n) + np.diag(ef, -1)
+        np.testing.assert_allclose(ell @ np.diag(df) @ ell.T, a, atol=1e-12)
+
+    def test_matches_scipy(self, rng):
+        scipy_linalg = pytest.importorskip("scipy.linalg")
+        n = 50
+        d, e = random_spd_tridiagonal(n, rng)
+        df, ef = d.copy(), e.copy()
+        pttrf(df, ef)
+        a = tridiagonal_to_dense(d, e)
+        x_ref = scipy_linalg.solve(a, np.arange(n, dtype=float))
+        b = np.arange(n, dtype=float)
+        serial_pttrs(df, ef, b)
+        np.testing.assert_allclose(b, x_ref, rtol=1e-10)
+
+    def test_rejects_non_positive_definite(self):
+        d = np.array([1.0, -5.0, 1.0])
+        e = np.array([0.1, 0.1])
+        with pytest.raises(NotPositiveDefiniteError) as exc:
+            pttrf(d, e)
+        assert exc.value.index >= 0
+
+    def test_rejects_indefinite_from_elimination(self):
+        # Diagonal positive but matrix indefinite: pivot turns negative.
+        d = np.array([1.0, 1.0])
+        e = np.array([2.0])
+        with pytest.raises(NotPositiveDefiniteError):
+            pttrf(d, e)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            pttrf(np.ones(4), np.ones(4))
+
+    def test_empty_matrix_is_noop(self):
+        d = np.empty(0)
+        e = np.empty(0)
+        pttrf(d, e)  # must not raise
+
+    def test_size_one(self):
+        d = np.array([4.0])
+        e = np.empty(0)
+        pttrf(d, e)
+        b = np.array([8.0])
+        serial_pttrs(d, e, b)
+        assert b[0] == pytest.approx(2.0)
+
+
+class TestSerialPttrs:
+    def test_solves_single_rhs(self, rng):
+        n = 20
+        d, e = random_spd_tridiagonal(n, rng)
+        a = tridiagonal_to_dense(d, e)
+        x_true = rng.standard_normal(n)
+        b = a @ x_true
+        df, ef = d.copy(), e.copy()
+        serial_pttrf(df, ef)
+        serial_pttrs(df, ef, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-10)
+
+    def test_returns_zero_on_success(self, rng):
+        d, e = random_spd_tridiagonal(5, rng)
+        serial_pttrf(d, e)
+        assert serial_pttrs(d, e, np.ones(5)) == 0
+
+    def test_wrong_rhs_length_raises(self, rng):
+        d, e = random_spd_tridiagonal(5, rng)
+        serial_pttrf(d, e)
+        with pytest.raises(ShapeError):
+            serial_pttrs(d, e, np.ones(6))
+
+
+class TestBatchedPttrs:
+    def test_matches_serial_per_column(self, rng):
+        n, batch = 16, 7
+        d, e = random_spd_tridiagonal(n, rng)
+        serial_pttrf(d, e)
+        b = rng.standard_normal((n, batch))
+        expected = b.copy()
+        for j in range(batch):
+            col = expected[:, j].copy()
+            serial_pttrs(d, e, col)
+            expected[:, j] = col
+        pttrs(d, e, b)
+        np.testing.assert_allclose(b, expected, rtol=1e-12)
+
+    def test_solves_batched_system(self, rng):
+        n, batch = 30, 11
+        d, e = random_spd_tridiagonal(n, rng)
+        a = tridiagonal_to_dense(d, e)
+        x_true = rng.standard_normal((n, batch))
+        b = a @ x_true
+        serial_pttrf(d, e)
+        pttrs(d, e, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_batch_of_one(self, rng):
+        n = 8
+        d, e = random_spd_tridiagonal(n, rng)
+        a = tridiagonal_to_dense(d, e)
+        x_true = rng.standard_normal((n, 1))
+        b = a @ x_true
+        serial_pttrf(d, e)
+        pttrs(d, e, b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+    def test_zero_batch(self, rng):
+        n = 8
+        d, e = random_spd_tridiagonal(n, rng)
+        serial_pttrf(d, e)
+        b = np.empty((n, 0))
+        assert pttrs(d, e, b) == 0
+
+    def test_requires_2d_rhs(self, rng):
+        d, e = random_spd_tridiagonal(4, rng)
+        serial_pttrf(d, e)
+        with pytest.raises(ShapeError):
+            pttrs(d, e, np.ones(4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(2, 40), seed=st.integers(0, 2**32 - 1))
+def test_property_roundtrip(n, seed):
+    """solve(A, A @ x) == x for random SPD tridiagonal systems."""
+    rng = rng_for(seed)
+    d, e = random_spd_tridiagonal(n, rng)
+    a = tridiagonal_to_dense(d, e)
+    x_true = rng.standard_normal((n, 3))
+    b = a @ x_true
+    serial_pttrf(d, e)
+    pttrs(d, e, b)
+    assert np.allclose(b, x_true, rtol=1e-7, atol=1e-9)

@@ -1,0 +1,95 @@
+"""Tests for the triangular solve kernels (trsm / trsv)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError, SingularMatrixError
+from repro.kbatched import serial_trsv, trsm
+from repro.kbatched.types import Diag, Trans, Uplo
+
+from conftest import rng_for
+
+
+def tri(rng, n, lower=True, unit=False):
+    a = rng.standard_normal((n, n))
+    a = np.tril(a) if lower else np.triu(a)
+    a[np.diag_indices(n)] = rng.uniform(1.0, 2.0, n) * np.sign(
+        a[np.diag_indices(n)] + 0.5
+    )
+    if unit:
+        a[np.diag_indices(n)] = 1.0
+    return a
+
+
+MODES = [
+    (Uplo.LOWER, Trans.NO_TRANSPOSE, Diag.NON_UNIT),
+    (Uplo.LOWER, Trans.NO_TRANSPOSE, Diag.UNIT),
+    (Uplo.UPPER, Trans.NO_TRANSPOSE, Diag.NON_UNIT),
+    (Uplo.UPPER, Trans.NO_TRANSPOSE, Diag.UNIT),
+    (Uplo.LOWER, Trans.TRANSPOSE, Diag.NON_UNIT),
+    (Uplo.UPPER, Trans.TRANSPOSE, Diag.NON_UNIT),
+]
+
+
+@pytest.mark.parametrize("uplo,trans,diag", MODES)
+def test_trsm_all_modes(uplo, trans, diag, rng):
+    n, batch = 12, 5
+    a = tri(rng, n, lower=(uplo is Uplo.LOWER), unit=(diag is Diag.UNIT))
+    op = a.T if trans is Trans.TRANSPOSE else a
+    x_true = rng.standard_normal((n, batch))
+    b = op @ x_true
+    trsm(a, b, uplo=uplo, trans=trans, diag=diag)
+    np.testing.assert_allclose(b, x_true, rtol=1e-9, atol=1e-11)
+
+
+def test_trsv_vector(rng):
+    a = tri(rng, 9, lower=True)
+    x_true = rng.standard_normal(9)
+    b = a @ x_true
+    assert serial_trsv(a, b) == 0
+    np.testing.assert_allclose(b, x_true, rtol=1e-9)
+
+
+def test_unit_diag_ignores_stored_diagonal(rng):
+    """LAPACK convention: with Diag.UNIT the stored diagonal is not read."""
+    a = tri(rng, 8, lower=True, unit=True)
+    x_true = rng.standard_normal(8)
+    b = a @ x_true
+    a_poisoned = a.copy()
+    a_poisoned[np.diag_indices(8)] = np.nan
+    serial_trsv(a_poisoned, b, diag=Diag.UNIT)
+    np.testing.assert_allclose(b, x_true, rtol=1e-10)
+
+
+def test_zero_diagonal_raises(rng):
+    a = tri(rng, 5, lower=True)
+    a[2, 2] = 0.0
+    with pytest.raises(SingularMatrixError) as exc:
+        trsm(a, np.ones((5, 2)))
+    assert exc.value.index == 2
+
+
+def test_shape_errors(rng):
+    with pytest.raises(ShapeError):
+        trsm(np.ones((2, 3)), np.ones(2))
+    with pytest.raises(ShapeError):
+        trsm(np.eye(3), np.ones((4, 2)))
+    with pytest.raises(ShapeError):
+        serial_trsv(np.eye(3), np.ones((3, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 16), lower=st.booleans(), transpose=st.booleans(),
+       seed=st.integers(0, 2**31))
+def test_property_trsm_roundtrip(n, lower, transpose, seed):
+    rng = rng_for(seed)
+    a = tri(rng, n, lower=lower)
+    uplo = Uplo.LOWER if lower else Uplo.UPPER
+    trans = Trans.TRANSPOSE if transpose else Trans.NO_TRANSPOSE
+    op = a.T if transpose else a
+    x_true = rng.standard_normal((n, 2))
+    b = op @ x_true
+    trsm(a, b, uplo=uplo, trans=trans)
+    assert np.allclose(b, x_true, rtol=1e-6, atol=1e-8)

@@ -1,0 +1,90 @@
+"""Tests for N-dimensional axis advection (the 5-D GYSELA shape)."""
+
+import numpy as np
+import pytest
+
+from repro.advection import AxisAdvection, BatchedAdvection1D
+from repro.core import BSplineSpec, SplineBuilder
+from repro.exceptions import ShapeError
+
+
+def make(nx=48, axis=0):
+    return AxisAdvection(SplineBuilder(BSplineSpec(degree=3, n_points=nx)),
+                         axis=axis)
+
+
+class TestLayoutPlumbing:
+    @pytest.mark.parametrize("axis", [0, 1, 2, -1])
+    def test_zero_speed_is_near_identity(self, axis, rng):
+        adv = make(nx=32, axis=axis)
+        shape = [5, 6, 7]
+        shape[axis if axis >= 0 else 3 + axis] = 32
+        f = rng.standard_normal(shape)
+        out = adv.advect_constant(f, 0.0, dt=0.1)
+        np.testing.assert_allclose(out, f, atol=1e-9)
+
+    def test_wrong_axis_extent_raises(self, rng):
+        adv = make(nx=32, axis=1)
+        with pytest.raises(ShapeError):
+            adv.advect_constant(rng.standard_normal((4, 31)), 1.0, 0.1)
+
+    def test_axis_out_of_range(self, rng):
+        adv = make(nx=32, axis=5)
+        with pytest.raises(ShapeError):
+            adv.advect_constant(rng.standard_normal((32, 4)), 1.0, 0.1)
+
+
+class TestAgainstBatched1D:
+    def test_matches_batched_advection_on_2d(self):
+        nx, nv, dt = 64, 9, 0.02
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=nx))
+        velocities = np.linspace(-1.0, 1.0, nv)
+        ref_engine = BatchedAdvection1D(builder, velocities, dt)
+        f0 = np.sin(2 * np.pi * ref_engine.x)[None, :] * np.cosh(velocities)[:, None]
+        expected = ref_engine.step(f0.copy())  # f[v, x]
+        adv = AxisAdvection(builder, axis=1)
+        got = adv.advect_constant(f0, lambda iv: velocities[iv], dt)
+        np.testing.assert_allclose(got, expected, atol=1e-12)
+
+
+class TestHighDimensional:
+    def test_4d_field_advects_each_batch_cell_at_its_speed(self, rng):
+        """A 4-D field f[a, x, b, c]: GYSELA-like, advected along axis 1
+        with a speed depending on (a, b, c)."""
+        nx = 48
+        adv = make(nx=nx, axis=1)
+        x = adv.x
+        f = np.broadcast_to(
+            np.sin(2 * np.pi * x)[None, :, None, None], (3, nx, 2, 4)
+        ).copy()
+        speeds = rng.uniform(-1.0, 1.0, size=(3, 2, 4))
+        dt = 0.05
+        out = adv.advect_constant(f, lambda a, b, c: speeds[a, b, c], dt)
+        for a in range(3):
+            for b in range(2):
+                for c in range(4):
+                    exact = np.sin(2 * np.pi * (x - dt * speeds[a, b, c]))
+                    np.testing.assert_allclose(out[a, :, b, c], exact, atol=1e-6)
+
+    def test_interpolate_at_general_feet(self, rng):
+        """Fully general feet (dependent on every index)."""
+        nx = 48
+        adv = make(nx=nx, axis=0)
+        x = adv.x
+        f = np.sin(2 * np.pi * x)[:, None] * np.ones((1, 5))
+        shifts = rng.uniform(-0.3, 0.3, size=(nx, 5))
+        feet = x[:, None] - shifts
+        out = adv.interpolate_at(f, feet)
+        np.testing.assert_allclose(out, np.sin(2 * np.pi * feet), atol=1e-6)
+
+    def test_interpolate_at_shape_mismatch(self, rng):
+        adv = make(nx=32)
+        with pytest.raises(ShapeError):
+            adv.interpolate_at(np.ones((32, 4)), np.ones((32, 5)))
+
+    def test_scalar_and_array_speeds_agree(self, rng):
+        adv = make(nx=32, axis=0)
+        f = rng.standard_normal((32, 6))
+        a = adv.advect_constant(f, 0.37, dt=0.1)
+        b = adv.advect_constant(f, np.full(6, 0.37), dt=0.1)
+        np.testing.assert_allclose(a, b, atol=1e-13)

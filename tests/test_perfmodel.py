@@ -1,0 +1,251 @@
+"""Tests for the performance model: hardware, counters, roofline, metrics,
+portability and the calibrated device simulator."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    A100,
+    ICELAKE,
+    MI250X,
+    PAPER_DEVICES,
+    DeviceSimulator,
+    KernelTraffic,
+    achieved_bandwidth_gbs,
+    arithmetic_intensity,
+    attainable_gflops,
+    efficiency,
+    glups,
+    measure_host_device,
+    pennycook_metric,
+    version_traffic,
+)
+from repro.perfmodel.counters import (
+    advection_traffic,
+    dense_corner_traffic,
+    ideal_traffic,
+    iterative_traffic,
+    solver_traffic,
+    sparse_corner_traffic,
+)
+from repro.perfmodel.devicesim import (
+    EFFICIENCY,
+    SPLINE_CONFIG_COST_UNITS,
+    paper_simulators,
+)
+from repro.perfmodel.hardware import Device
+from repro.perfmodel.roofline import is_memory_bound
+
+
+class TestHardware:
+    def test_table2_values(self):
+        """Spot-check the catalog against Table II."""
+        assert ICELAKE.peak_gflops == 3174.4
+        assert ICELAKE.peak_bandwidth_gbs == 204.8
+        assert A100.peak_gflops == 9700.0
+        assert A100.peak_bandwidth_gbs == 1555.0
+        assert MI250X.peak_gflops == 26500.0
+        assert MI250X.peak_bandwidth_gbs == 1600.0
+
+    def test_bf_ratios_match_table2(self):
+        assert ICELAKE.bf_ratio == pytest.approx(0.064, abs=0.002)
+        assert A100.bf_ratio == pytest.approx(0.160, abs=0.002)
+        assert MI250X.bf_ratio == pytest.approx(0.060, abs=0.002)
+
+    def test_row_format(self):
+        row = A100.row()
+        assert row[0] == "A100"
+        assert len(row) == 12
+
+    def test_measure_host_device(self):
+        host = measure_host_device(size_mb=16.0, repeats=1)
+        assert host.peak_bandwidth_gbs > 0.5  # any real machine
+        assert host.peak_gflops > 0.5
+
+
+class TestCounters:
+    def test_paper_byte_counts_section4(self):
+        """The traffic model reproduces the Nsight numbers of §IV for
+        (Nx, Nv) = (1000, 100000), degree-3 uniform splines."""
+        n, batch = 1000, 100000
+        # §IV-B baseline: pttrs alone loads 1.58 GB / stores 1.56 GB.
+        base = solver_traffic(n, batch, "pttrs", 3)
+        assert base.loads_bytes == pytest.approx(1.58e9, rel=0.02)
+        assert base.stores_bytes == pytest.approx(1.56e9, rel=0.03)
+        # §IV-C fused: 3.16 GB load / 2.37 GB store.
+        fused = version_traffic(n, batch, version=1)
+        assert fused.loads_bytes == pytest.approx(3.16e9, rel=0.02)
+        assert fused.stores_bytes == pytest.approx(2.37e9, rel=0.02)
+        # §IV-D spmv: 1.60 GB load / 1.59 GB store.
+        spmv = version_traffic(n, batch, version=2)
+        assert spmv.loads_bytes == pytest.approx(1.60e9, rel=0.03)
+        assert spmv.stores_bytes == pytest.approx(1.59e9, rel=0.03)
+
+    def test_sparse_corner_much_smaller_than_dense(self):
+        n, batch = 1000, 100000
+        dense = dense_corner_traffic(n, batch)
+        sparse = sparse_corner_traffic(batch, 2, 48)
+        assert sparse.total_bytes < 0.05 * dense.total_bytes
+
+    def test_traffic_addition(self):
+        a = KernelTraffic(10.0, 20.0, 5.0)
+        b = KernelTraffic(1.0, 2.0, 3.0)
+        c = a + b
+        assert (c.loads_bytes, c.stores_bytes, c.flops) == (11.0, 22.0, 8.0)
+        assert c.total_bytes == 33.0
+
+    def test_ideal_traffic_is_section5_formula(self):
+        t = ideal_traffic(1000, 100000)
+        assert t.total_bytes == pytest.approx(2 * 0.8e9)
+
+    def test_iterative_traffic_scales_with_iterations(self):
+        t10 = iterative_traffic(1000, 1000, 10, 3.0)
+        t20 = iterative_traffic(1000, 1000, 20, 3.0)
+        assert t20.total_bytes == pytest.approx(2 * t10.total_bytes)
+
+    def test_advection_traffic_includes_all_stages(self):
+        solve = version_traffic(1000, 1000, 2)
+        adv = advection_traffic(1000, 1000, 2)
+        assert adv.total_bytes > solve.total_bytes
+
+    def test_all_spline_kernels_memory_bound(self):
+        """§V-B: 'All the evaluated kernels here are memory bound'."""
+        for device in PAPER_DEVICES:
+            for version in (0, 1, 2):
+                t = version_traffic(1000, 100000, version)
+                assert is_memory_bound(device, t)
+
+
+class TestRooflineAndMetrics:
+    def test_attainable_caps_at_peak(self):
+        assert attainable_gflops(A100, 1e9) == A100.peak_gflops
+        assert attainable_gflops(A100, 0.01) == pytest.approx(15.55)
+        with pytest.raises(ValueError):
+            attainable_gflops(A100, -1.0)
+
+    def test_arithmetic_intensity(self):
+        t = KernelTraffic(8.0, 8.0, 4.0)
+        assert arithmetic_intensity(t) == pytest.approx(0.25)
+
+    def test_glups_eq7(self):
+        # Eq. 7 with Nx=1024, Nv=100000, t=0.01 s.
+        assert glups(1024, 100000, 0.01) == pytest.approx(10.24)
+        with pytest.raises(ValueError):
+            glups(10, 10, 0.0)
+
+    def test_achieved_bandwidth_section5(self):
+        # 0.8 GB in 2.978 ms ≈ 268.6 GB/s (the paper's A100 uniform-deg-3).
+        bw = achieved_bandwidth_gbs(1000, 100000, 2.978e-3)
+        assert bw == pytest.approx(268.6, rel=0.01)
+
+    def test_efficiency(self):
+        assert efficiency(268.6, A100) == pytest.approx(0.173, abs=0.002)
+
+
+class TestPennycook:
+    def test_table5_first_row(self):
+        """Table V: uniform degree 3 efficiencies -> P = 0.086."""
+        effs = [0.0438, 0.173, 0.155]
+        assert pennycook_metric(effs) == pytest.approx(0.086, abs=0.002)
+
+    def test_unsupported_platform_gives_zero(self):
+        assert pennycook_metric([0.5, None, 0.7]) == 0.0
+        assert pennycook_metric([]) == 0.0
+
+    def test_harmonic_mean_dominated_by_worst(self):
+        assert pennycook_metric([0.01, 0.99]) < 0.02
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            pennycook_metric([0.5, 0.0])
+
+
+class TestDeviceSimulator:
+    @pytest.mark.parametrize(
+        "device_name,paper_ms",
+        [
+            ("Icelake", (145.8, 112.1, 82.0)),
+            ("A100", (11.39, 5.06, 2.98)),
+            ("MI250X", (16.14, 11.34, 3.22)),
+        ],
+    )
+    def test_reproduces_table3(self, device_name, paper_ms):
+        """Table III: model within 5% of every published cell."""
+        sim = paper_simulators()[device_name]
+        for version in (0, 1, 2):
+            t = sim.solve_time(1000, 100000, version=version) * 1e3
+            assert t == pytest.approx(paper_ms[version], rel=0.05)
+
+    def test_speedup_ordering_monotone(self):
+        """v0 > v1 > v2 on every device (Table III's headline)."""
+        for sim in paper_simulators().values():
+            t = [sim.solve_time(1000, 100000, version=v) for v in (0, 1, 2)]
+            assert t[0] > t[1] > t[2]
+
+    def test_fusion_helps_a100_more_than_mi250x(self):
+        """§IV-E: kernel-fusion speedup larger on A100 (bigger cache)."""
+        sims = paper_simulators()
+        speedup = {
+            name: sim.solve_time(1000, 100000, 0) / sim.solve_time(1000, 100000, 1)
+            for name, sim in sims.items()
+        }
+        assert speedup["A100"] > speedup["MI250X"]
+
+    def test_spmv_helps_mi250x_most(self):
+        """§IV-E: gemv→spmv speedup largest on MI250X."""
+        sims = paper_simulators()
+        speedup = {
+            name: sim.solve_time(1000, 100000, 1) / sim.solve_time(1000, 100000, 2)
+            for name, sim in sims.items()
+        }
+        assert speedup["MI250X"] > speedup["A100"] > 1.0
+        assert speedup["MI250X"] > speedup["Icelake"]
+
+    def test_table5_degradation_shape(self):
+        """Bandwidth degrades monotonically with config cost units on GPUs,
+        and uniform degree 3 is the best everywhere (Table V)."""
+        for name in ("A100", "MI250X"):
+            sim = paper_simulators()[name]
+            by_units = {}
+            for (deg, uni), units in SPLINE_CONFIG_COST_UNITS.items():
+                bw = sim.solve_bandwidth_gbs(1000, 100000, degree=deg, uniform=uni)
+                by_units[units] = bw
+            ordered = [by_units[u] for u in sorted(by_units)]
+            assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+    def test_glups_saturates_with_batch(self):
+        """Fig. 2 shape: GLUPS grows with Nv and saturates."""
+        sim = paper_simulators()["A100"]
+        g = [sim.glups(1024, nv) for nv in (100, 1000, 10000, 100000)]
+        assert g[0] < g[1] < g[2] < g[3]
+        assert g[3] / g[2] < g[1] / g[0]  # flattening
+
+    def test_direct_beats_iterative_everywhere(self):
+        """Fig. 2: Kokkos-kernels outperforms Ginkgo in every regime."""
+        for sim in paper_simulators().values():
+            for nv in (100, 10000, 100000):
+                gd = sim.glups(1024, nv, method="direct")
+                gg = sim.glups(1024, nv, method="ginkgo", iterations=10)
+                assert gd > gg
+
+    def test_iterative_time_grows_with_iterations(self):
+        sim = paper_simulators()["A100"]
+        t10 = sim.iterative_solve_time(1000, 100000, 10, 3.0)
+        t21 = sim.iterative_solve_time(1000, 100000, 21, 3.0)
+        assert t21 > 1.5 * t10
+
+    def test_unknown_device_requires_model(self):
+        dev = Device("weird", 1.0, 1.0, 0, 0, 0, 0)
+        with pytest.raises(KeyError):
+            DeviceSimulator(dev)
+        sim = DeviceSimulator(dev, EFFICIENCY["A100"])
+        assert sim.solve_time(100, 100) > 0
+
+    def test_validation(self):
+        sim = paper_simulators()["A100"]
+        with pytest.raises(ValueError):
+            sim.solve_time(100, 100, version=9)
+        with pytest.raises(ValueError):
+            sim.advection_time(100, 100, method="magic")
+        with pytest.raises(ValueError):
+            sim.kernel_time(KernelTraffic(1, 1, 1), eff=0.0, batch=1)

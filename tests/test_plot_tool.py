@@ -1,0 +1,97 @@
+"""Tests for the ASCII plotting helpers and the comparison tool."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench import format_series
+from repro.bench.plot import (
+    ascii_loglog,
+    curve_key,
+    group_key,
+    parse_series_file,
+    render_panels,
+)
+
+REPO = pathlib.Path(__file__).parent.parent
+
+
+class TestParse:
+    def test_roundtrip_with_format_series(self):
+        text = "\n\n".join([
+            format_series("A100 / Kokkos-kernels / degree 3", [100, 1000],
+                          [0.5, 2.0], "Nv", "GLUPS"),
+            format_series("A100 / Ginkgo / degree 3", [100, 1000],
+                          [0.05, 0.2], "Nv", "GLUPS"),
+        ])
+        series = parse_series_file(text)
+        assert set(series) == {
+            "A100 / Kokkos-kernels / degree 3",
+            "A100 / Ginkgo / degree 3",
+        }
+        assert series["A100 / Kokkos-kernels / degree 3"] == [
+            (100.0, 0.5), (1000.0, 2.0)
+        ]
+
+    def test_ignores_garbage_lines(self):
+        series = parse_series_file("# curve\n# x y\n1 2\nnot data\n3 4\n")
+        assert series["curve"] == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_empty_input(self):
+        assert parse_series_file("") == {}
+
+
+class TestAsciiLogLog:
+    def test_renders_all_curves_with_legend(self):
+        chart = ascii_loglog(
+            {"fast": [(100, 1.0), (1000, 10.0)],
+             "slow": [(100, 0.1), (1000, 0.5)]},
+            "My chart",
+        )
+        assert "My chart" in chart
+        assert "o  fast" in chart and "x  slow" in chart
+        assert "log-log" in chart
+
+    def test_handles_no_positive_data(self):
+        chart = ascii_loglog({"bad": [(0.0, 0.0)]}, "Empty")
+        assert "no positive data" in chart
+
+    def test_single_point(self):
+        chart = ascii_loglog({"pt": [(10.0, 1.0)]}, "One point")
+        assert "o" in chart
+
+
+class TestGrouping:
+    def test_group_and_curve_keys(self):
+        label = "A100 / Kokkos-kernels / uniform (Degree 3)"
+        assert group_key(label) == "A100 / Kokkos-kernels"
+        assert curve_key(label) == "uniform (Degree 3)"
+        assert group_key("plain") == "plain"
+
+    def test_render_panels_groups(self):
+        series = {
+            "A100 / KK / d3": [(100, 1.0)],
+            "A100 / KK / d5": [(100, 0.5)],
+            "MI250X / KK / d3": [(100, 0.8)],
+        }
+        out = render_panels(series)
+        assert out.count("Panel:") == 2
+        assert "Panel: A100 / KK" in out
+        assert "Panel: MI250X / KK" in out
+
+
+@pytest.mark.skipif(
+    not (REPO / "benchmarks" / "results" / "fig2_glups_model.txt").exists(),
+    reason="fig2 series not generated yet (run the benchmark harness first)",
+)
+def test_comparison_tool_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(REPO / "tools" / "comparison.py"),
+         "-dirname", str(REPO / "benchmarks" / "results")],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Panel:" in result.stdout
+    assert (REPO / "benchmarks" / "results" / "fig2_panels.txt").exists()

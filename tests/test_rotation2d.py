@@ -1,0 +1,75 @@
+"""Tests for the 2-D solid-body-rotation semi-Lagrangian solver."""
+
+import numpy as np
+import pytest
+
+from repro.advection import RotationAdvection2D
+from repro.exceptions import ShapeError
+
+
+@pytest.fixture(scope="module")
+def rot():
+    return RotationAdvection2D(n=64, degree=3)
+
+
+class TestFeet:
+    def test_zero_dt_identity(self, rot):
+        fx, fy = rot.feet(0.0)
+        np.testing.assert_allclose(fx, rot.xx, atol=1e-14)
+        np.testing.assert_allclose(fy, rot.yy, atol=1e-14)
+
+    def test_feet_preserve_radius(self, rot):
+        fx, fy = rot.feet(0.123)
+        r0 = np.hypot(rot.xx - 0.5, rot.yy - 0.5)
+        r1 = np.hypot(fx - 0.5, fy - 0.5)
+        np.testing.assert_allclose(r1, r0, atol=1e-12)
+
+    def test_full_period_returns_feet(self, rot):
+        fx, fy = rot.feet(1.0)  # omega = 2π: one full turn
+        np.testing.assert_allclose(fx, rot.xx, atol=1e-12)
+        np.testing.assert_allclose(fy, rot.yy, atol=1e-12)
+
+
+class TestRotation:
+    def test_quarter_turn_accuracy(self, rot):
+        f0 = rot.gaussian()
+        f = rot.run(f0.copy(), dt=0.25 / 16, steps=16)
+        np.testing.assert_allclose(f, rot.exact(0.25), atol=5e-3)
+
+    def test_full_revolution_returns_initial(self, rot):
+        f0 = rot.gaussian()
+        f = rot.run(f0.copy(), dt=1.0 / 32, steps=32)
+        np.testing.assert_allclose(f, f0, atol=1e-2)
+
+    def test_single_exact_rotation_step(self, rot):
+        """One step with the exact foot map: the only error is 2-D spline
+        interpolation error."""
+        f0 = rot.gaussian()
+        f = rot.step(f0.copy(), dt=0.1)
+        err = np.max(np.abs(f - rot.exact(0.1)))
+        assert err < 1e-2  # σ/h ≈ 3.8: marginally resolved blob
+
+    def test_higher_degree_more_accurate(self):
+        errs = {}
+        for degree in (3, 5):
+            rot = RotationAdvection2D(n=48, degree=degree)
+            f = rot.step(rot.gaussian(), dt=0.07)
+            errs[degree] = np.max(np.abs(f - rot.exact(0.07)))
+        assert errs[5] < errs[3]
+
+    def test_grid_refinement_converges(self):
+        errs = []
+        for n in (32, 64):
+            rot = RotationAdvection2D(n=n, degree=3)
+            f = rot.step(rot.gaussian(), dt=0.05)
+            errs.append(np.max(np.abs(f - rot.exact(0.05))))
+        assert errs[1] < errs[0] / 4  # at least 2nd-order drop observed
+
+    def test_mass_conserved(self, rot):
+        f0 = rot.gaussian()
+        f = rot.run(f0.copy(), dt=0.02, steps=10)
+        assert f.sum() == pytest.approx(f0.sum(), rel=1e-6)
+
+    def test_shape_validation(self, rot):
+        with pytest.raises(ShapeError):
+            rot.step(np.ones((3, 3)), dt=0.1)

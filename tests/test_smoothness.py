@@ -1,0 +1,77 @@
+"""Smoothness tests: a degree-d spline is C^{d-1} at every knot.
+
+These exercise the arbitrary-order derivative machinery end to end:
+derivatives up to ``d-1`` must be continuous across break points, and the
+``d``-th derivative must jump (it is piecewise constant for the polynomial
+pieces), which distinguishes a true spline from an accidental global
+polynomial.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BSplineSpec, SplineBuilder
+from repro.core.bsplines.basis import eval_basis_all_derivs, find_cell
+
+
+def spline_derivs_at(space, coeffs, x, nderiv, side):
+    """Evaluate the spline's derivatives at *x* approaching from one side
+    (force the cell choice to the left or right of a knot)."""
+    eps = 1e-12
+    xs = x - eps if side == "left" else x + eps
+    xs = space.wrap(xs)
+    cell = int(find_cell(space.breaks, xs))
+    span = cell + space.degree
+    all_d = eval_basis_all_derivs(space.knots, space.degree, span, xs, nderiv)
+    idx = (cell - space.degree + np.arange(space.degree + 1)) % space.nbasis
+    return all_d @ coeffs[idx]
+
+
+@pytest.mark.parametrize("degree", [3, 4, 5])
+@pytest.mark.parametrize("uniform", [True, False])
+def test_continuity_up_to_degree_minus_one(degree, uniform, rng):
+    spec = BSplineSpec(degree=degree, n_points=24, uniform=uniform)
+    builder = SplineBuilder(spec)
+    space = builder.space_1d
+    coeffs = builder.solve(rng.standard_normal(24))
+    for knot in space.breaks[3:8]:  # a few interior knots
+        left = spline_derivs_at(space, coeffs, knot, degree - 1, "left")
+        right = spline_derivs_at(space, coeffs, knot, degree - 1, "right")
+        scale = np.maximum(np.abs(left), 1.0)
+        np.testing.assert_allclose(left / scale, right / scale, atol=1e-5)
+
+
+@pytest.mark.parametrize("degree", [3, 4])
+def test_degree_th_derivative_jumps(degree, rng):
+    """The d-th derivative is discontinuous at knots for generic data —
+    the spline is genuinely piecewise."""
+    spec = BSplineSpec(degree=degree, n_points=16)
+    builder = SplineBuilder(spec)
+    space = builder.space_1d
+    coeffs = builder.solve(rng.standard_normal(16))
+    jumps = []
+    for knot in space.breaks[2:6]:
+        left = spline_derivs_at(space, coeffs, knot, degree, "left")[degree]
+        right = spline_derivs_at(space, coeffs, knot, degree, "right")[degree]
+        jumps.append(abs(left - right))
+    assert max(jumps) > 1e-3  # a real jump somewhere
+
+
+@pytest.mark.parametrize("degree", [3, 5])
+def test_clamped_spline_continuity(degree, rng):
+    from repro.core.bsplines import ClampedBSplines, uniform_breakpoints
+
+    space = ClampedBSplines(uniform_breakpoints(16), degree)
+    coeffs = rng.standard_normal(space.nbasis)
+    for knot in space.breaks[4:9]:
+        eps = 1e-12
+        for order in range(degree):
+            cell_l = int(find_cell(space.breaks, knot - eps))
+            cell_r = int(find_cell(space.breaks, knot + eps))
+            dl = eval_basis_all_derivs(space.knots, degree, cell_l + degree,
+                                       knot - eps, order)
+            dr = eval_basis_all_derivs(space.knots, degree, cell_r + degree,
+                                       knot + eps, order)
+            vl = dl[order] @ coeffs[cell_l + np.arange(degree + 1)]
+            vr = dr[order] @ coeffs[cell_r + np.arange(degree + 1)]
+            assert vl == pytest.approx(vr, rel=1e-4, abs=1e-5)

@@ -1,0 +1,89 @@
+"""Tests for variable-coefficient semi-Lagrangian advection."""
+
+import numpy as np
+import pytest
+
+from repro.advection import VariableSpeedAdvection1D
+from repro.core import BSplineSpec, SplineBuilder
+from repro.exceptions import ShapeError
+
+
+def make(integrator="midpoint", nx=128, dt=0.01,
+         velocity=lambda x: 1.0 + 0.5 * np.sin(2 * np.pi * x)):
+    builder = SplineBuilder(BSplineSpec(degree=5, n_points=nx))
+    return VariableSpeedAdvection1D(builder, velocity, dt, integrator=integrator)
+
+
+class TestFeet:
+    def test_constant_velocity_all_integrators_exact(self):
+        for integrator in ("euler", "midpoint", "rk4"):
+            adv = make(integrator=integrator, velocity=lambda x: 0.7 * np.ones_like(x))
+            np.testing.assert_allclose(adv.feet, adv.x - 0.7 * adv.dt, atol=1e-9)
+
+    def test_integrator_order_hierarchy(self):
+        """Foot error vs a refined reference: euler > midpoint > rk4."""
+        ref = make(integrator="rk4", dt=0.05).reference_feet(0.05)
+        errs = {}
+        for integrator in ("euler", "midpoint", "rk4"):
+            adv = make(integrator=integrator, dt=0.05)
+            errs[integrator] = np.max(np.abs(adv.feet - ref))
+        assert errs["euler"] > 5 * errs["midpoint"] > 5 * errs["rk4"]
+
+    def test_midpoint_is_second_order(self):
+        """Foot error scales like dt^3 locally (2nd-order scheme)."""
+        errs = []
+        for dt in (0.08, 0.04):
+            adv = make(integrator="midpoint", dt=dt)
+            errs.append(np.max(np.abs(adv.feet - adv.reference_feet(dt))))
+        order = np.log2(errs[0] / errs[1])
+        assert order > 2.5
+
+    def test_unknown_integrator(self):
+        with pytest.raises(ShapeError):
+            make(integrator="leapfrog")
+
+
+class TestAdvection:
+    def test_values_transported_along_characteristics(self):
+        """f(x, t) = f0(X(0; x, t)): compare against the refined
+        characteristic map after several steps."""
+        adv = make(integrator="rk4", nx=256, dt=0.01)
+        f0 = lambda x: np.exp(np.cos(2 * np.pi * x))
+        f = adv.run(f0(adv.x), steps=10)
+        feet_exact = adv.reference_feet(10 * adv.dt)
+        np.testing.assert_allclose(
+            f, f0(adv.builder.space_1d.wrap(feet_exact)), atol=5e-4
+        )
+
+    def test_extrema_not_amplified(self):
+        """Advection transports values, so the max must not grow (beyond
+        interpolation overshoot at round-off-ish levels)."""
+        adv = make(integrator="midpoint", nx=128, dt=0.02)
+        f0 = np.exp(-0.5 * ((adv.x - 0.5) / 0.08) ** 2)
+        f = adv.run(f0, steps=25)
+        assert f.max() <= f0.max() * 1.001
+        assert f.min() >= -1e-3
+
+    def test_batched_fields(self, rng):
+        adv = make(nx=96)
+        f = rng.standard_normal((96, 5))
+        out = adv.step(f)
+        assert out.shape == (96, 5)
+        for j in range(5):
+            np.testing.assert_allclose(out[:, j], adv.step(f[:, j]), atol=1e-12)
+
+    def test_shape_validation(self):
+        adv = make(nx=64)
+        with pytest.raises(ShapeError):
+            adv.step(np.ones(63))
+
+    def test_euler_less_accurate_than_rk4_in_solution(self):
+        f0 = lambda x: np.sin(2 * np.pi * x)
+        results = {}
+        for integrator in ("euler", "rk4"):
+            adv = make(integrator=integrator, nx=256, dt=0.05)
+            f = adv.run(f0(adv.x), steps=4)
+            feet_exact = adv.reference_feet(4 * adv.dt)
+            exact = f0(adv.builder.space_1d.wrap(feet_exact))
+            results[integrator] = np.max(np.abs(f - exact))
+        assert results["rk4"] < results["euler"]

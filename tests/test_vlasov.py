@@ -1,0 +1,177 @@
+"""Tests for the 1D1V Vlasov–Poisson application."""
+
+import numpy as np
+import pytest
+
+from repro.advection import VlasovPoisson1D1V
+from repro.exceptions import ShapeError
+
+
+@pytest.fixture(scope="module")
+def solver():
+    return VlasovPoisson1D1V(nx=32, nv=48, lx=4.0 * np.pi, vmax=6.0, degree=3)
+
+
+class TestFieldSolve:
+    def test_charge_density_of_maxwellian_is_one(self, solver):
+        f = np.ones(solver.nx)[:, None] * solver.maxwellian()[None, :]
+        rho = solver.charge_density(f)
+        np.testing.assert_allclose(rho, 1.0, atol=1e-6)
+
+    def test_electric_field_of_uniform_plasma_is_zero(self, solver):
+        f = np.ones(solver.nx)[:, None] * solver.maxwellian()[None, :]
+        e = solver.electric_field(f)
+        np.testing.assert_allclose(e, 0.0, atol=1e-8)
+
+    def test_electric_field_of_cosine_perturbation(self, solver):
+        """∂x E = α cos(kx) ⇒ E = (α/k) sin(kx)."""
+        alpha, mode = 0.05, 1
+        k = 2 * np.pi * mode / solver.lx
+        f = solver.landau_initial_condition(alpha=alpha, mode=mode)
+        e = solver.electric_field(f)
+        expected = (alpha / k) * np.sin(k * solver.x)
+        np.testing.assert_allclose(e, expected, atol=1e-5)
+
+    def test_nonuniform_field_solve_consistent(self):
+        uni = VlasovPoisson1D1V(nx=48, nv=32, degree=3, uniform=True)
+        non = VlasovPoisson1D1V(nx=48, nv=32, degree=3, uniform=False)
+        f_u = uni.landau_initial_condition(alpha=0.05)
+        f_n = non.landau_initial_condition(alpha=0.05)
+        e_u = uni.electric_field(f_u)
+        e_n = non.electric_field(f_n)
+        # Same physics on different grids: compare amplitude.
+        assert np.max(np.abs(e_n)) == pytest.approx(np.max(np.abs(e_u)), rel=0.05)
+
+
+class TestDynamics:
+    def test_free_streaming_conserves_mass_and_l2(self):
+        """With no field (uniform density) the advections must conserve."""
+        s = VlasovPoisson1D1V(nx=32, nv=48)
+        f = np.ones(s.nx)[:, None] * s.maxwellian()[None, :]
+        f = s.run(f, dt=0.1, steps=5)
+        d = s.diagnostics
+        np.testing.assert_allclose(d.mass, d.mass[0], rtol=1e-8)
+        np.testing.assert_allclose(d.l2_norm, d.l2_norm[0], rtol=1e-6)
+
+    def test_landau_damping_decays(self):
+        """The field energy of a weak perturbation must decay (strong Landau
+        damping regime k·λD = 0.5)."""
+        s = VlasovPoisson1D1V(nx=32, nv=64, lx=4.0 * np.pi, vmax=6.0)
+        f = s.landau_initial_condition(alpha=0.01)
+        s.run(f, dt=0.1, steps=60, record_every=5)
+        ee = np.asarray(s.diagnostics.electric_energy)
+        assert ee[-1] < 0.1 * ee[0]
+
+    def test_landau_damping_rate(self):
+        """Measured decay rate within ~20% of the analytic γ = 0.153 for
+        k = 0.5 (standard benchmark value)."""
+        s = VlasovPoisson1D1V(nx=48, nv=96, lx=4.0 * np.pi, vmax=6.0)
+        f = s.landau_initial_condition(alpha=0.005)
+        s.run(f, dt=0.05, steps=200, record_every=1)
+        t = np.asarray(s.diagnostics.times)
+        ee = np.asarray(s.diagnostics.electric_energy)
+        # The field energy oscillates at 2ω under an exp(-2γt) envelope:
+        # fit the envelope through the local maxima of the damping phase.
+        peaks = [
+            i
+            for i in range(1, len(ee) - 1)
+            if ee[i] > ee[i - 1] and ee[i] > ee[i + 1] and t[i] < 8.0
+        ]
+        slope = np.polyfit(t[peaks], np.log(ee[peaks]), 1)[0]
+        gamma = -slope / 2.0
+        assert gamma == pytest.approx(0.1533, rel=0.1)
+
+    def test_two_stream_instability_grows_and_saturates(self):
+        s = VlasovPoisson1D1V(nx=32, nv=64, lx=2 * np.pi / 0.2, vmax=8.0)
+        f = s.two_stream_initial_condition(v0=2.4, alpha=1e-3, mode=1)
+        s.run(f, dt=0.1, steps=380, record_every=10)
+        ee = np.asarray(s.diagnostics.electric_energy)
+        assert ee.max() > 1e3 * ee[0]  # exponential growth phase
+        assert ee[-1] < 2.0 * ee.max()  # nonlinear saturation, no blow-up
+
+    def test_mass_conserved_through_nonlinear_phase(self):
+        s = VlasovPoisson1D1V(nx=32, nv=64)
+        f = s.landau_initial_condition(alpha=0.1)
+        f = s.run(f, dt=0.1, steps=20)
+        d = s.diagnostics
+        np.testing.assert_allclose(d.mass, d.mass[0], rtol=1e-6)
+
+    def test_momentum_conserved(self):
+        """Total momentum (zero for the symmetric initial condition) must
+        stay at round-off through the dynamics."""
+        s = VlasovPoisson1D1V(nx=32, nv=64)
+        f = s.landau_initial_condition(alpha=0.05)
+        s.run(f, dt=0.1, steps=20, record_every=5)
+        p = np.asarray(s.diagnostics.momentum)
+        scale = s.diagnostics.mass[0]
+        assert np.max(np.abs(p)) < 1e-8 * scale
+
+    def test_total_energy_conserved_to_splitting_order(self):
+        """Kinetic + field energy drifts only at the Strang-splitting /
+        interpolation level (well under 1% over tens of plasma periods)."""
+        s = VlasovPoisson1D1V(nx=32, nv=96, vmax=7.0)
+        f = s.landau_initial_condition(alpha=0.05)
+        s.run(f, dt=0.05, steps=100, record_every=10)
+        te = np.asarray(s.diagnostics.total_energy)
+        drift = np.max(np.abs(te - te[0])) / te[0]
+        assert drift < 1e-2
+
+    def test_energy_exchanges_between_field_and_particles(self):
+        """During Landau damping the field energy lost must reappear as
+        kinetic energy (the damping mechanism)."""
+        s = VlasovPoisson1D1V(nx=32, nv=96, vmax=7.0)
+        f = s.landau_initial_condition(alpha=0.05)
+        s.run(f, dt=0.05, steps=100, record_every=100)
+        d = s.diagnostics
+        field_lost = d.electric_energy[0] - d.electric_energy[-1]
+        kinetic_gained = d.kinetic_energy[-1] - d.kinetic_energy[0]
+        assert field_lost > 0
+        assert kinetic_gained == pytest.approx(field_lost, rel=0.2)
+
+    def test_step_shape_validation(self, solver):
+        with pytest.raises(ShapeError):
+            solver.step(np.ones((3, 3)), dt=0.1)
+
+
+class TestCheckpointRestart:
+    def test_restart_continues_identically(self, tmp_path):
+        """Run 10 steps straight vs 5 + checkpoint/restore + 5: identical."""
+        path = tmp_path / "ckpt.npz"
+        s1 = VlasovPoisson1D1V(nx=16, nv=24)
+        f = s1.landau_initial_condition(alpha=0.05)
+        f_straight = s1.run(f.copy(), dt=0.1, steps=10)
+
+        s2 = VlasovPoisson1D1V(nx=16, nv=24)
+        f_half = s2.run(f.copy(), dt=0.1, steps=5)
+        s2.save_checkpoint(path, f_half)
+
+        s3 = VlasovPoisson1D1V(nx=16, nv=24)
+        f_restored = s3.load_checkpoint(path)
+        assert s3.time == pytest.approx(0.5)
+        f_resumed = s3.run(f_restored, dt=0.1, steps=5)
+        np.testing.assert_allclose(f_resumed, f_straight, atol=1e-13)
+
+    def test_diagnostics_survive_restart(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        f = s.run(s.landau_initial_condition(), dt=0.1, steps=3)
+        s.save_checkpoint(path, f)
+        s2 = VlasovPoisson1D1V(nx=16, nv=24)
+        s2.load_checkpoint(path)
+        assert s2.diagnostics.times == s.diagnostics.times
+        assert s2.diagnostics.mass == s.diagnostics.mass
+        assert s2.diagnostics.total_energy == s.diagnostics.total_energy
+
+    def test_config_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        s.save_checkpoint(path, s.landau_initial_condition())
+        with pytest.raises(ShapeError):
+            VlasovPoisson1D1V(nx=16, nv=32).load_checkpoint(path)
+        with pytest.raises(ShapeError):
+            VlasovPoisson1D1V(nx=16, nv=24, vmax=7.0).load_checkpoint(path)
+
+    def test_save_shape_validation(self, tmp_path):
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        with pytest.raises(ShapeError):
+            s.save_checkpoint(tmp_path / "x.npz", np.ones((3, 3)))

@@ -1,0 +1,99 @@
+"""Tests for the Sherman–Morrison–Woodbury alternative solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSplineSpec, SchurSolver
+from repro.core.builder import WoodburySolver
+from repro.core.builder.woodbury import split_wrap
+from repro.core.spec import paper_configurations
+from repro.exceptions import ShapeError
+
+from conftest import rng_for
+
+ALL_CONFIGS = list(paper_configurations(48))
+CONFIG_IDS = [s.label for s in ALL_CONFIGS]
+
+
+class TestSplitWrap:
+    def test_reassembles_exactly(self):
+        a = BSplineSpec(degree=4, n_points=32).make_space().collocation_matrix()
+        b, u, v = split_wrap(a)
+        np.testing.assert_allclose(b + u @ v.T, a, atol=1e-15)
+
+    def test_b_has_no_wrap(self):
+        a = BSplineSpec(degree=3, n_points=32).make_space().collocation_matrix()
+        b, _, _ = split_wrap(a)
+        assert b[0, 31] == 0.0 and b[31, 0] == 0.0
+
+    def test_rank_bounded_by_corner_rows(self):
+        a = BSplineSpec(degree=5, n_points=32).make_space().collocation_matrix()
+        _, u, _ = split_wrap(a)
+        assert u.shape[1] <= 4  # 2 corner rows per side
+
+    def test_non_square_raises(self):
+        with pytest.raises(ShapeError):
+            split_wrap(np.zeros((2, 3)))
+
+
+class TestWoodburySolver:
+    @pytest.mark.parametrize("spec", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_matches_dense_solve(self, spec, rng):
+        a = spec.make_space().collocation_matrix()
+        solver = WoodburySolver(a)
+        x_true = rng.standard_normal((spec.n_points, 6))
+        b = a @ x_true
+        solver.solve(b)
+        np.testing.assert_allclose(b, x_true, rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("spec", ALL_CONFIGS, ids=CONFIG_IDS)
+    def test_agrees_with_schur(self, spec, rng):
+        """The two algorithms must agree to round-off — an independent
+        cross-check of Algorithm 1."""
+        a = spec.make_space().collocation_matrix()
+        woodbury = WoodburySolver(a)
+        schur = SchurSolver(a)
+        f = rng.standard_normal((spec.n_points, 4))
+        b1, b2 = f.copy(), f.copy()
+        woodbury.solve(b1)
+        schur.solve(b2, version=2)
+        np.testing.assert_allclose(b1, b2, rtol=1e-10, atol=1e-13)
+
+    def test_selects_same_solver_family_as_table1(self):
+        for spec in ALL_CONFIGS:
+            a = spec.make_space().collocation_matrix()
+            assert WoodburySolver(a).solver_name == SchurSolver(a).solver_name
+
+    def test_rejects_plain_banded_matrix(self):
+        spec = BSplineSpec(degree=3, n_points=24, boundary="clamped")
+        a = spec.make_space().collocation_matrix()
+        with pytest.raises(ShapeError):
+            WoodburySolver(a)
+
+    def test_rhs_shape_validation(self, rng):
+        a = BSplineSpec(degree=3, n_points=24).make_space().collocation_matrix()
+        solver = WoodburySolver(a)
+        with pytest.raises(ShapeError):
+            solver.solve(np.ones(24))
+        with pytest.raises(ShapeError):
+            solver.solve(np.ones((25, 2)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    degree=st.integers(3, 5),
+    n=st.integers(16, 64),
+    uniform=st.booleans(),
+    seed=st.integers(0, 2**31),
+)
+def test_property_woodbury_solves_spline_system(degree, n, uniform, seed):
+    rng = rng_for(seed)
+    spec = BSplineSpec(degree=degree, n_points=n, uniform=uniform)
+    a = spec.make_space().collocation_matrix()
+    solver = WoodburySolver(a)
+    x_true = rng.standard_normal((n, 3))
+    b = a @ x_true
+    solver.solve(b)
+    assert np.allclose(b, x_true, rtol=1e-7, atol=1e-9)

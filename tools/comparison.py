@@ -1,0 +1,51 @@
+"""Render the Fig.-2 panels from benchmark series files — the analogue of
+the paper artifact's ``python comparison.py -dirname <dir>`` step.
+
+The artifact gathers google-benchmark JSON files and plots the six GLUPS
+panels as PNGs; here the ``benchmarks/bench_fig2_glups.py`` run writes
+series text files into ``benchmarks/results/`` and this tool renders them
+into ASCII log-log panels (``fig2_panels.txt``), one panel per
+device x library, one glyph per spline configuration.
+
+Usage:
+    python tools/comparison.py [-dirname benchmarks/results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.bench.plot import parse_series_file, render_panels  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-dirname", default="benchmarks/results",
+        help="directory containing fig2_*.txt series files",
+    )
+    args = parser.parse_args(argv)
+    dirname = pathlib.Path(args.dirname)
+    inputs = sorted(dirname.glob("fig2_glups_*.txt"))
+    inputs = [p for p in inputs if p.name != "fig2_panels.txt"]
+    if not inputs:
+        print(f"no fig2_glups_*.txt files under {dirname}; run "
+              "`pytest benchmarks/bench_fig2_glups.py --benchmark-disable` first")
+        return 1
+    series = {}
+    for path in inputs:
+        series.update(parse_series_file(path.read_text()))
+    out = render_panels(series)
+    target = dirname / "fig2_panels.txt"
+    target.write_text(out + "\n")
+    print(out)
+    print(f"\n[{len(series)} series from {len(inputs)} files -> {target}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
