@@ -7,8 +7,9 @@ PYTHON ?= python
 install:
 	pip install -e .
 
+# Same suite as bare `pytest` and CI: tests/ + benchmarks/ (testpaths).
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest -x -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

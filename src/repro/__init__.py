@@ -38,12 +38,18 @@ Quickstart::
 """
 
 from repro._version import __version__
-from repro.core import (
-    BSplineSpec,
-    GinkgoSplineBuilder,
-    SplineBuilder,
-    SplineEvaluator,
-)
+
+#: Lazy (PEP 562) re-exports.  Importing ``repro`` must stay cheap and —
+#: more importantly — must not make unrelated subpackages hostage to each
+#: other: ``import repro.xspace`` should succeed even if something inside
+#: ``repro.core`` is broken, so the heavy convenience names below resolve
+#: only on first attribute access.
+_LAZY_EXPORTS = {
+    "BSplineSpec": "repro.core",
+    "SplineBuilder": "repro.core",
+    "GinkgoSplineBuilder": "repro.core",
+    "SplineEvaluator": "repro.core",
+}
 
 __all__ = [
     "__version__",
@@ -52,3 +58,18 @@ __all__ = [
     "GinkgoSplineBuilder",
     "SplineEvaluator",
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_LAZY_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache: next access skips __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,54 @@
+"""Spline builders — the paper's Algorithm 1 and its §IV/§V variants.
+
+This subpackage is the headline contribution of the reproduction: the
+factor-once / solve-many spline coefficient builders.
+
+* :mod:`~repro.core.builder.plan` — :func:`make_plan` classifies a matrix
+  (Table I) and returns one of the four LAPACK factorization plans;
+* :mod:`~repro.core.builder.schur` — :class:`SchurSolver`, the
+  cyclic-banded Schur-complement direct method of Algorithm 1 with the
+  §IV optimization versions (fusion, sparse corners);
+* :mod:`~repro.core.builder.woodbury` — :class:`WoodburySolver`, the
+  Sherman–Morrison–Woodbury alternative (§II-B3), a cross-check;
+* :mod:`~repro.core.builder.direct` — :class:`DirectBandSolver` for
+  plain-banded clamped matrices;
+* :mod:`~repro.core.builder.builder` / ``builder2d`` — the user-facing
+  :class:`SplineBuilder` / :class:`SplineBuilder2D`;
+* :mod:`~repro.core.builder.ginkgo_builder` —
+  :class:`GinkgoSplineBuilder`, the iterative Krylov route (§III-B);
+* :mod:`~repro.core.builder.hermite` — :class:`HermiteSplineInterpolator`
+  for clamped splines with Hermite boundary conditions.
+"""
+
+from repro.core.builder.plan import (
+    FactorizationPlan,
+    GbtrsPlan,
+    GetrsPlan,
+    PbtrsPlan,
+    PttrsPlan,
+    make_plan,
+)
+from repro.core.builder.schur import SchurSolver
+from repro.core.builder.direct import DirectBandSolver
+from repro.core.builder.woodbury import WoodburySolver, split_wrap
+from repro.core.builder.builder import SplineBuilder
+from repro.core.builder.builder2d import SplineBuilder2D
+from repro.core.builder.ginkgo_builder import GinkgoSplineBuilder
+from repro.core.builder.hermite import HermiteSplineInterpolator
+
+__all__ = [
+    "FactorizationPlan",
+    "PttrsPlan",
+    "PbtrsPlan",
+    "GbtrsPlan",
+    "GetrsPlan",
+    "make_plan",
+    "SchurSolver",
+    "DirectBandSolver",
+    "WoodburySolver",
+    "split_wrap",
+    "SplineBuilder",
+    "SplineBuilder2D",
+    "GinkgoSplineBuilder",
+    "HermiteSplineInterpolator",
+]

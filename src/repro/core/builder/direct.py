@@ -1,0 +1,98 @@
+"""Direct banded solver for non-periodic (clamped) spline matrices.
+
+Clamped B-spline collocation matrices are plain banded — no cyclic wrap,
+no corner blocks — so Algorithm 1 degenerates to a single Table I solve.
+:class:`DirectBandSolver` mirrors the :class:`~repro.core.builder.schur.SchurSolver`
+interface (``solve``/``solve_serial``/``solver_name``/``corner_nnz``) so
+:class:`~repro.core.builder.builder.SplineBuilder` can dispatch on boundary
+conditions without branching downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder.plan import make_plan
+from repro.core.builder.schur import DEFAULT_CHUNK, _VERSIONS
+from repro.exceptions import ShapeError
+
+__all__ = ["DirectBandSolver"]
+
+
+class DirectBandSolver:
+    """Factor-once banded solver: the clamped counterpart of Algorithm 1.
+
+    The §IV version knob is accepted for interface parity: version 0 solves
+    the whole batch at once, versions 1 and 2 sweep it in ``chunk``-column
+    blocks (there are no corner products to sparsify here).
+    """
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        chunk: int = DEFAULT_CHUNK,
+        drop_tol: float = 0.0,
+        dtype=np.float64,
+        tol: float = 1e-12,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be a positive column count, got {chunk}")
+        a = np.asarray(a, dtype=np.float64)
+        plan64 = make_plan(a, tol=tol)
+        self.dtype = np.dtype(dtype)
+        self.plan = plan64.astype(self.dtype)
+        self.n = self.plan.n
+        self.chunk = int(chunk)
+        self.corner_width = 0
+        self.drop_tol = float(drop_tol)
+
+    @property
+    def solver_name(self) -> str:
+        return self.plan.name
+
+    @property
+    def corner_nnz(self) -> dict:
+        """No cyclic wrap — the corner operators are empty."""
+        return {"lambda": 0, "beta": 0}
+
+    def solve(self, b: np.ndarray, version: int = 2) -> np.ndarray:
+        """Solve in place for an ``(n, batch)`` right-hand-side block."""
+        if version not in _VERSIONS:
+            raise ValueError(
+                f"unknown optimization version {version}; expected one of {_VERSIONS}"
+            )
+        if b.ndim != 2:
+            raise ShapeError(
+                f"batched solve expects a 2-D (n, batch) block, got shape {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        if version == 0:
+            self.plan.solve(b)
+            return b
+        for start in range(0, b.shape[1], self.chunk):
+            self.plan.solve(b[:, start : start + self.chunk])
+        return b
+
+    def solve_serial(self, b: np.ndarray) -> np.ndarray:
+        """Solve in place for a single 1-D right-hand side."""
+        if b.ndim != 1:
+            raise ShapeError(
+                f"serial solve expects a 1-D right-hand side, got shape {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side length {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        self.plan.solve_serial(b)
+        return b
+
+    def __repr__(self) -> str:
+        return (
+            f"DirectBandSolver(n={self.n}, solver={self.solver_name}, "
+            f"chunk={self.chunk}, dtype={self.dtype})"
+        )

@@ -1,0 +1,147 @@
+"""Hermite-boundary spline interpolation for clamped (odd-degree) splines.
+
+GYSELA's non-periodic directions close the interpolation system with
+*Hermite* boundary conditions: a clamped degree-``d`` space has
+``n_cells + d`` basis functions but only ``n_cells + 1`` break points to
+interpolate at, so the remaining ``d − 1`` equations prescribe
+``nbc = (d − 1) / 2`` derivatives at each domain end (odd degrees only —
+even degrees cannot split the deficit symmetrically).  The resulting
+square system is plain banded apart from the derivative rows and goes
+through the same :func:`~repro.core.builder.plan.make_plan` machinery as
+every other builder matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.builder.plan import make_plan
+from repro.core.bsplines.basis import eval_basis_all_derivs
+from repro.core.bsplines.knots import make_breakpoints
+from repro.core.bsplines.nonperiodic import ClampedBSplines
+from repro.exceptions import ShapeError
+
+__all__ = ["HermiteSplineInterpolator"]
+
+
+class HermiteSplineInterpolator:
+    """Interpolate values at break points plus end derivatives (Hermite BC).
+
+    The system rows are, in order: derivative orders ``1..nbc`` at
+    ``xmin``, interpolation at every break point, derivative orders
+    ``1..nbc`` at ``xmax`` — mirroring the layout used by GYSELA and
+    ``scipy.interpolate.CubicSpline(bc_type="clamped")`` for degree 3.
+    """
+
+    def __init__(self, breaks: np.ndarray, degree: int, tol: float = 1e-12) -> None:
+        degree = int(degree)
+        if degree < 1 or degree % 2 == 0:
+            raise ValueError(
+                f"Hermite boundary conditions need an odd spline degree, "
+                f"got {degree}: only odd degrees split the {max(degree - 1, 0)} "
+                "missing equations evenly between the two ends"
+            )
+        self.space = ClampedBSplines(breaks, degree)
+        self.degree = degree
+        self.nbc = (degree - 1) // 2
+        self.n_breaks = self.space.breaks.size
+        self.matrix = self._assemble(tol)
+        self.plan = make_plan(self.matrix, tol=tol)
+
+    def _assemble(self, tol: float) -> np.ndarray:
+        space = self.space
+        d = self.degree
+        nbc = self.nbc
+        a = np.zeros((space.nbasis, space.nbasis))
+        # Left end: derivative orders 1..nbc of the d+1 bases alive in cell 0.
+        left = eval_basis_all_derivs(space.knots, d, d, space.xmin, nderiv=nbc)
+        for k in range(1, nbc + 1):
+            a[k - 1, 0 : d + 1] = left[k]
+        # Interpolation rows at every break point.
+        indices, values = space.eval_nonzero_basis(space.breaks)
+        rows = np.broadcast_to(
+            nbc + np.arange(self.n_breaks)[None, :], indices.shape
+        )
+        np.add.at(a, (rows.ravel(), indices.ravel()), values.ravel())
+        # Right end: derivatives in the last cell.
+        last_span = space.ncells - 1 + d
+        right = eval_basis_all_derivs(space.knots, d, last_span, space.xmax, nderiv=nbc)
+        for k in range(1, nbc + 1):
+            row = nbc + self.n_breaks + k - 1
+            a[row, space.nbasis - d - 1 : space.nbasis] = right[k]
+        return a
+
+    @classmethod
+    def from_spec(cls, spec) -> "HermiteSplineInterpolator":
+        """Build from a :class:`~repro.core.spec.BSplineSpec` — the spec is
+        reinterpreted with clamped boundaries (Hermite BCs are inherently
+        non-periodic)."""
+        s = replace(spec, boundary="clamped")
+        breaks = make_breakpoints(
+            s.n_cells,
+            s.uniform,
+            s.xmin,
+            s.xmax,
+            kind=s.nonuniform_kind,
+            strength=s.nonuniform_strength,
+            seed=s.seed,
+        )
+        return cls(breaks, s.degree)
+
+    @property
+    def solver_name(self) -> str:
+        return self.plan.name
+
+    def _coerce_derivs(self, derivs, batch: int, side: str) -> np.ndarray:
+        if derivs is None:
+            return np.zeros((self.nbc, batch))
+        derivs = np.asarray(derivs, dtype=np.float64)
+        if derivs.ndim == 1:
+            if derivs.shape[0] != self.nbc:
+                raise ShapeError(
+                    f"{side} derivatives must provide {self.nbc} orders, "
+                    f"got {derivs.shape[0]}"
+                )
+            return np.broadcast_to(derivs[:, None], (self.nbc, batch))
+        if derivs.ndim != 2 or derivs.shape != (self.nbc, batch):
+            raise ShapeError(
+                f"{side} derivatives must have shape ({self.nbc},) or "
+                f"({self.nbc}, {batch}), got {derivs.shape}"
+            )
+        return derivs
+
+    def solve(self, f, derivs_left=None, derivs_right=None) -> np.ndarray:
+        """Spline coefficients for break-point values *f* plus end derivatives.
+
+        *f* is ``(n_breaks,)`` or ``(n_breaks, batch)``; the derivative
+        arrays hold orders ``1..nbc`` (default: all zero, the "natural
+        clamped" choice).  Returns coefficients of matching dimensionality.
+        """
+        f = np.asarray(f, dtype=np.float64)
+        if f.ndim not in (1, 2):
+            raise ShapeError(f"expected 1-D or 2-D values, got shape {f.shape}")
+        if f.shape[0] != self.n_breaks:
+            raise ShapeError(
+                f"values must be sampled at the {self.n_breaks} break points, "
+                f"got leading extent {f.shape[0]}"
+            )
+        squeeze = f.ndim == 1
+        fb = f[:, None] if squeeze else f
+        batch = fb.shape[1]
+        dl = self._coerce_derivs(derivs_left, batch, "left")
+        dr = self._coerce_derivs(derivs_right, batch, "right")
+        rhs = np.empty((self.space.nbasis, batch))
+        rhs[: self.nbc] = dl
+        rhs[self.nbc : self.nbc + self.n_breaks] = fb
+        rhs[self.nbc + self.n_breaks :] = dr
+        self.plan.solve(rhs)
+        return rhs[:, 0] if squeeze else rhs
+
+    def __repr__(self) -> str:
+        return (
+            f"HermiteSplineInterpolator(degree={self.degree}, "
+            f"nbasis={self.space.nbasis}, nbc={self.nbc}, "
+            f"solver={self.solver_name})"
+        )

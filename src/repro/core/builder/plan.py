@@ -1,0 +1,277 @@
+"""Factorization plans — factor once, solve many (§II-B1, Table I).
+
+A *plan* owns the factorized form of one small host matrix and exposes the
+two solve backends of :mod:`repro.kbatched`:
+
+* :meth:`FactorizationPlan.solve` — batched, vectorized over an
+  ``(n, batch)`` right-hand-side block, in place;
+* :meth:`FactorizationPlan.solve_serial` — a single 1-D right-hand side
+  through the scalar ``serial_*`` kernels, in place.
+
+:func:`make_plan` measures the matrix structure with
+:func:`repro.core.bsplines.classify.classify_matrix` and picks the
+dedicated LAPACK pair of Table I — ``pttrf/s`` for positive-definite
+tridiagonal (uniform degree 3), ``pbtrf/s`` for positive-definite banded
+(uniform degree 4/5), ``gbtrf/s`` for general banded (non-uniform meshes)
+and ``getrf/s`` as the dense fallback.
+
+Factorization always runs in double precision; reduced-precision plans
+(``dtype=np.float32``) cast the *stored factors* afterwards so the setup
+phase keeps full accuracy (§IV-C of the paper's mixed-precision study).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bsplines.classify import MatrixType, classify_matrix
+from repro.exceptions import ShapeError
+from repro.kbatched import (
+    gbtrs,
+    getrs,
+    pbtrs,
+    pttrs,
+    serial_gbtrf,
+    serial_gbtrs,
+    serial_getrf,
+    serial_getrs,
+    serial_pbtrf,
+    serial_pbtrs,
+    serial_pttrf,
+    serial_pttrs,
+)
+from repro.kbatched.band import (
+    dense_band_widths,
+    dense_to_lu_band,
+    spd_dense_to_band_lower,
+)
+
+__all__ = [
+    "FactorizationPlan",
+    "PttrsPlan",
+    "PbtrsPlan",
+    "GbtrsPlan",
+    "GetrsPlan",
+    "make_plan",
+]
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def _check_dtype(dtype) -> np.dtype:
+    dt = np.dtype(dtype)
+    if dt not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dt}; factorization plans support "
+            "float32 and float64 only"
+        )
+    return dt
+
+
+class FactorizationPlan:
+    """Base class: a factorized matrix plus its two in-place solve backends.
+
+    Concrete subclasses store the factor arrays named after their LAPACK
+    layout (``d``/``e`` for pttrf, ``ab`` for the band factorizations,
+    ``lu`` for dense LU).
+    """
+
+    #: the :class:`MatrixType` this plan was built for
+    mtype: MatrixType
+
+    def __init__(self, n: int, dtype: np.dtype) -> None:
+        self.n = int(n)
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def name(self) -> str:
+        """The LAPACK solver name (Table I, parenthesized entries)."""
+        return self.mtype.lapack_solver
+
+    @property
+    def solver_name(self) -> str:
+        """Alias for :attr:`name`, matching the builder/solver interface."""
+        return self.mtype.lapack_solver
+
+    def _factor_arrays(self) -> dict:
+        raise NotImplementedError
+
+    def astype(self, dtype) -> "FactorizationPlan":
+        """A copy of this plan with the stored factors cast to *dtype*.
+
+        Casting an already-computed factorization is how reduced-precision
+        solvers keep a double-precision setup phase (§IV-C).
+        """
+        dt = _check_dtype(dtype)
+        clone = type(self).__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.dtype = dt
+        for key, value in self._factor_arrays().items():
+            setattr(clone, key, np.ascontiguousarray(value, dtype=dt))
+        return clone
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve in place for an ``(n, batch)`` right-hand-side block."""
+        if b.ndim != 2:
+            raise ShapeError(
+                f"batched solve expects a 2-D (n, batch) block, got {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        self._solve(b)
+        return b
+
+    def solve_serial(self, b: np.ndarray) -> np.ndarray:
+        """Solve in place for a single 1-D right-hand side."""
+        if b.ndim != 1:
+            raise ShapeError(
+                f"serial solve expects a 1-D right-hand side, got {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side length {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        self._solve_serial(b)
+        return b
+
+    def _solve(self, b: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _solve_serial(self, b: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={self.n}, dtype={self.dtype})"
+
+
+class PttrsPlan(FactorizationPlan):
+    """LDLᵀ plan for positive-definite symmetric tridiagonal matrices."""
+
+    mtype = MatrixType.PDS_TRIDIAGONAL
+
+    def __init__(self, a: np.ndarray, dtype=np.float64) -> None:
+        super().__init__(a.shape[0], _check_dtype(dtype))
+        d = np.ascontiguousarray(np.diag(a).copy())
+        e = np.ascontiguousarray(np.diag(a, k=-1).copy())
+        serial_pttrf(d, e)
+        self.d = d.astype(self.dtype, copy=False)
+        self.e = e.astype(self.dtype, copy=False)
+
+    def _factor_arrays(self) -> dict:
+        return {"d": self.d, "e": self.e}
+
+    def _solve(self, b: np.ndarray) -> None:
+        pttrs(self.d, self.e, b)
+
+    def _solve_serial(self, b: np.ndarray) -> None:
+        serial_pttrs(self.d, self.e, b)
+
+
+class PbtrsPlan(FactorizationPlan):
+    """Band-Cholesky plan for positive-definite symmetric banded matrices."""
+
+    mtype = MatrixType.PDS_BANDED
+
+    def __init__(self, a: np.ndarray, dtype=np.float64, tol: float = 1e-12) -> None:
+        super().__init__(a.shape[0], _check_dtype(dtype))
+        kl, _ = dense_band_widths(a, tol=tol)
+        self.kd = int(kl)
+        ab = spd_dense_to_band_lower(a, self.kd)
+        serial_pbtrf(ab)
+        self.ab = ab.astype(self.dtype, copy=False)
+
+    def _factor_arrays(self) -> dict:
+        return {"ab": self.ab}
+
+    def _solve(self, b: np.ndarray) -> None:
+        pbtrs(self.ab, b)
+
+    def _solve_serial(self, b: np.ndarray) -> None:
+        serial_pbtrs(self.ab, b)
+
+
+class GbtrsPlan(FactorizationPlan):
+    """Banded-LU plan (partial pivoting) for general banded matrices."""
+
+    mtype = MatrixType.GENERAL_BANDED
+
+    def __init__(self, a: np.ndarray, dtype=np.float64, tol: float = 1e-12) -> None:
+        super().__init__(a.shape[0], _check_dtype(dtype))
+        kl, ku = dense_band_widths(a, tol=tol)
+        self.kl = int(kl)
+        self.ku = int(ku)
+        ab = dense_to_lu_band(a, self.kl, self.ku)
+        self.ipiv = serial_gbtrf(ab, self.kl, self.ku)
+        self.ab = ab.astype(self.dtype, copy=False)
+
+    def _factor_arrays(self) -> dict:
+        return {"ab": self.ab}
+
+    def _solve(self, b: np.ndarray) -> None:
+        gbtrs(self.ab, self.ipiv, b, self.kl, self.ku)
+
+    def _solve_serial(self, b: np.ndarray) -> None:
+        serial_gbtrs(self.ab, self.ipiv, b, self.kl, self.ku)
+
+
+class GetrsPlan(FactorizationPlan):
+    """Dense-LU plan (partial pivoting) — the structure-agnostic fallback."""
+
+    mtype = MatrixType.GENERAL
+
+    def __init__(self, a: np.ndarray, dtype=np.float64) -> None:
+        super().__init__(a.shape[0], _check_dtype(dtype))
+        lu = np.ascontiguousarray(a, dtype=np.float64).copy()
+        self.ipiv = serial_getrf(lu)
+        self.lu = lu.astype(self.dtype, copy=False)
+
+    def _factor_arrays(self) -> dict:
+        return {"lu": self.lu}
+
+    def _solve(self, b: np.ndarray) -> None:
+        getrs(self.lu, self.ipiv, b)
+
+    def _solve_serial(self, b: np.ndarray) -> None:
+        serial_getrs(self.lu, self.ipiv, b)
+
+
+_PLAN_CLASSES = {
+    MatrixType.PDS_TRIDIAGONAL: PttrsPlan,
+    MatrixType.PDS_BANDED: PbtrsPlan,
+    MatrixType.GENERAL_BANDED: GbtrsPlan,
+    MatrixType.GENERAL: GetrsPlan,
+}
+
+
+def make_plan(
+    a: np.ndarray,
+    force: MatrixType | None = None,
+    dtype=np.float64,
+    tol: float = 1e-12,
+) -> FactorizationPlan:
+    """Classify *a* (Table I) and return the matching factorization plan.
+
+    Parameters
+    ----------
+    force:
+        Skip classification and use this :class:`MatrixType` directly —
+        e.g. the tiny Schur complement ``δ'`` is always solved dense.
+    dtype:
+        Precision of the *stored factors*.  Factorization itself always
+        runs in float64.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ShapeError(f"expected a square matrix, got shape {a.shape}")
+    dt = _check_dtype(dtype)
+    mtype = force if force is not None else classify_matrix(a, tol=tol)
+    cls = _PLAN_CLASSES[mtype]
+    if cls is GetrsPlan:
+        return GetrsPlan(a, dtype=dt)
+    if cls is PttrsPlan:
+        return PttrsPlan(a, dtype=dt)
+    return cls(a, dtype=dt, tol=tol)

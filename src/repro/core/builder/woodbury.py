@@ -1,0 +1,109 @@
+"""Sherman–Morrison–Woodbury alternative to the Schur split (§II-B3).
+
+The cyclic banded matrix is written as a banded core plus a low-rank
+correction, ``A = B + U Vᵀ``, where ``U`` selects the rows carrying
+wrap-around entries and ``V`` holds those rows' corner values.  The
+Woodbury identity then solves ``A x = b`` with one banded solve plus a
+rank-``k`` dense correction::
+
+        x = B⁻¹ b − W̃ C⁻¹ Vᵀ B⁻¹ b,   W̃ = B⁻¹ U,  C = I + Vᵀ W̃
+
+The rank ``k`` equals twice the cyclic bandwidth (≤ 4 for degree-5
+splines), so ``C`` is tiny.  Zeroing the wrap entries is symmetric, so
+``B`` keeps the structure that unlocks the Table I ``pttrs``/``pbtrs``
+fast paths; the paper still prefers the Schur route (the correction there
+touches only the ``b`` trailing rows instead of a rank-``2b`` update over
+the full vector), but Woodbury is an important cross-check: both must
+produce identical solutions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder.plan import make_plan
+from repro.core.bsplines.blocks import cyclic_bandwidth
+from repro.core.bsplines.classify import MatrixType
+from repro.exceptions import ShapeError
+
+__all__ = ["WoodburySolver", "split_wrap"]
+
+
+def split_wrap(a: np.ndarray, tol: float = 1e-12):
+    """Split cyclic banded *a* into ``(b, u, v)`` with ``a = b + u @ v.T``.
+
+    ``b`` is *a* with the wrap-around (corner) entries zeroed, ``u`` holds
+    one identity column per wrap-carrying row, and ``v`` the corresponding
+    rows of the wrap part — so the reassembly is exact to the last bit.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    bw = cyclic_bandwidth(a, tol=tol)  # raises ShapeError on non-square input
+    n = a.shape[0]
+    idx = np.arange(n)
+    dist = np.abs(idx[:, None] - idx[None, :])
+    wrap = np.where(dist > bw, a, 0.0)
+    core = a - wrap
+    rows = np.flatnonzero(np.any(wrap != 0.0, axis=1))
+    u = np.zeros((n, rows.size))
+    u[rows, np.arange(rows.size)] = 1.0
+    v = np.ascontiguousarray(wrap[rows].T)
+    return core, u, v
+
+
+class WoodburySolver:
+    """Cyclic banded solver via the Woodbury identity (§II-B3).
+
+    Raises :class:`ShapeError` when the matrix carries no wrap entries —
+    a plain banded system should go through
+    :class:`~repro.core.builder.direct.DirectBandSolver` instead.
+    """
+
+    def __init__(self, a: np.ndarray, dtype=np.float64, tol: float = 1e-12) -> None:
+        core, u, v = split_wrap(a, tol=tol)
+        if u.shape[1] == 0:
+            raise ShapeError(
+                "matrix has no cyclic wrap entries; use DirectBandSolver "
+                "for plain banded systems"
+            )
+        self.n = core.shape[0]
+        self.rank = u.shape[1]
+        self.dtype = np.dtype(dtype)
+
+        b_plan64 = make_plan(core, tol=tol)
+        w = np.ascontiguousarray(u).copy()
+        b_plan64.solve(w)  # W̃ = B⁻¹ U
+        capacitance = np.eye(self.rank) + v.T @ w  # C = I + Vᵀ W̃
+        cap_plan64 = make_plan(capacitance, force=MatrixType.GENERAL)
+
+        self.b_plan = b_plan64.astype(self.dtype)
+        self.cap_plan = cap_plan64.astype(self.dtype)
+        self.w = np.ascontiguousarray(w, dtype=self.dtype)
+        self.v = np.ascontiguousarray(v, dtype=self.dtype)
+
+    @property
+    def solver_name(self) -> str:
+        """Table I solver used for the banded core ``B``."""
+        return self.b_plan.name
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve in place for an ``(n, batch)`` right-hand-side block."""
+        if b.ndim != 2:
+            raise ShapeError(
+                f"batched solve expects a 2-D (n, batch) block, got shape {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        self.b_plan.solve(b)  # y = B⁻¹ b
+        t = np.ascontiguousarray(self.v.T @ b)  # Vᵀ y
+        self.cap_plan.solve(t)  # C z = Vᵀ y
+        b -= self.w @ t  # x = y − W̃ z
+        return b
+
+    def __repr__(self) -> str:
+        return (
+            f"WoodburySolver(n={self.n}, rank={self.rank}, "
+            f"solver={self.solver_name}, dtype={self.dtype})"
+        )

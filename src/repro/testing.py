@@ -1,0 +1,83 @@
+"""Test-support helpers: seeded RNGs and structured random matrices.
+
+Shared by the unit tests and the benchmark harness.  These live in the
+package (rather than a ``conftest.py``) so both suites can import them by
+a stable name — with ``tests/`` and ``benchmarks/`` collected in the same
+pytest run, a bare ``from conftest import ...`` is ambiguous between the
+two directories' conftest modules.
+
+Every generator is diagonally dominant by construction, so the matrices
+are guaranteed non-singular (and SPD where advertised) at any size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rng_for",
+    "random_spd_tridiagonal",
+    "tridiagonal_to_dense",
+    "random_spd_banded",
+    "random_banded",
+    "random_general",
+]
+
+
+def rng_for(seed: int = 0) -> np.random.Generator:
+    """A fresh deterministic generator for *seed*."""
+    return np.random.default_rng(seed)
+
+
+def random_spd_tridiagonal(n: int, rng: np.random.Generator):
+    """Return ``(d, e)`` of a strictly diagonally dominant SPD tridiagonal."""
+    e = rng.uniform(-1.0, 1.0, size=max(n - 1, 0))
+    d = np.empty(n)
+    for i in range(n):
+        neighbors = 0.0
+        if i > 0:
+            neighbors += abs(e[i - 1])
+        if i < n - 1:
+            neighbors += abs(e[i])
+        d[i] = neighbors + rng.uniform(0.5, 2.0)
+    return d, e
+
+
+def tridiagonal_to_dense(d: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Assemble the dense symmetric tridiagonal from its ``(d, e)`` bands."""
+    n = d.shape[0]
+    a = np.diag(d)
+    if n > 1:
+        a += np.diag(e, 1) + np.diag(e, -1)
+    return a
+
+
+def random_spd_banded(n: int, kd: int, rng: np.random.Generator) -> np.ndarray:
+    """Dense SPD matrix with half-bandwidth ``kd`` (diagonally dominant)."""
+    a = np.zeros((n, n))
+    for off in range(1, kd + 1):
+        vals = rng.uniform(-1.0, 1.0, size=n - off)
+        a += np.diag(vals, off) + np.diag(vals, -off)
+    row_sums = np.sum(np.abs(a), axis=1)
+    a[np.diag_indices(n)] = row_sums + rng.uniform(0.5, 2.0, size=n)
+    return a
+
+
+def random_banded(n: int, kl: int, ku: int, rng: np.random.Generator) -> np.ndarray:
+    """Dense general band matrix, diagonally dominant (hence non-singular)."""
+    a = np.zeros((n, n))
+    for off in range(1, ku + 1):
+        a += np.diag(rng.uniform(-1.0, 1.0, size=n - off), off)
+    for off in range(1, kl + 1):
+        a += np.diag(rng.uniform(-1.0, 1.0, size=n - off), -off)
+    row_sums = np.sum(np.abs(a), axis=1)
+    signs = np.where(rng.uniform(size=n) < 0.5, -1.0, 1.0)
+    a[np.diag_indices(n)] = signs * (row_sums + rng.uniform(0.5, 2.0, size=n))
+    return a
+
+
+def random_general(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Dense well-conditioned general matrix."""
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    a[np.diag_indices(n)] += n  # diagonally dominant
+    return a

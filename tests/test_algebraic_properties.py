@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.core import BSplineSpec, SplineBuilder, SplineEvaluator
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 
 def builder_for(degree, n, uniform, boundary="periodic"):

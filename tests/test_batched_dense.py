@@ -15,7 +15,7 @@ from repro.kbatched import (
     serial_pttrf,
 )
 
-from conftest import random_general, random_spd_tridiagonal, rng_for, tridiagonal_to_dense
+from repro.testing import random_general, random_spd_tridiagonal, rng_for, tridiagonal_to_dense
 
 
 def random_batch(batch, n, rng):

@@ -11,7 +11,7 @@ from repro.core.spec import paper_configurations
 from repro.exceptions import BackendError, ShapeError
 from repro.xspace import get_execution_space
 
-from conftest import (
+from repro.testing import (
     random_banded,
     random_general,
     random_spd_banded,

@@ -16,7 +16,7 @@ from repro.core.builder import DirectBandSolver
 from repro.core.bsplines import clamped_knots, uniform_breakpoints
 from repro.exceptions import ShapeError
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 
 class TestClampedKnots:

@@ -8,7 +8,7 @@ from repro.core.builder import DirectBandSolver, SchurSolver
 from repro.core.builder.plan import make_plan
 from repro.core.spec import paper_configurations
 
-from conftest import random_spd_banded
+from repro.testing import random_spd_banded
 
 
 class TestPlanDtype:
@@ -33,7 +33,7 @@ class TestKernelDtypePreservation:
 
     def test_pttrs_float32(self, rng):
         from repro.kbatched import pttrs, serial_pttrf
-        from conftest import random_spd_tridiagonal, tridiagonal_to_dense
+        from repro.testing import random_spd_tridiagonal, tridiagonal_to_dense
 
         d, e = random_spd_tridiagonal(16, rng)
         a = tridiagonal_to_dense(d, e)
@@ -46,7 +46,7 @@ class TestKernelDtypePreservation:
         np.testing.assert_allclose(b, x_true, rtol=1e-3, atol=1e-4)
 
     def test_gbtrs_float32(self, rng):
-        from conftest import random_banded
+        from repro.testing import random_banded
         from repro.kbatched import gbtrs, serial_gbtrf
         from repro.kbatched.band import dense_to_lu_band
 

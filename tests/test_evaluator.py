@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.core import BSplineSpec, SplineBuilder, SplineEvaluator
 from repro.exceptions import ShapeError
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 
 def build(degree=3, n=48, uniform=True):

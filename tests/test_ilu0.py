@@ -15,7 +15,7 @@ from repro.iterative import (
     make_preconditioner,
 )
 
-from conftest import random_banded, random_spd_banded
+from repro.testing import random_banded, random_spd_banded
 
 
 class TestFactorization:

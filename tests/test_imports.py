@@ -1,0 +1,54 @@
+"""Every repro submodule must import cleanly, on its own.
+
+The seed shipped with ``repro.core.builder`` missing, which surfaced as 39
+opaque collection errors instead of one precise failure.  This test walks
+the package tree so a future missing-module (or import-time) regression
+fails with the offending module named.  A second test pins the PEP 562
+isolation property: importing a leaf subpackage must not drag in (and be
+broken by) unrelated siblings.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+def _walk_module_names():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+@pytest.mark.parametrize("name", _walk_module_names())
+def test_submodule_imports_cleanly(name):
+    module = importlib.import_module(name)
+    assert module.__name__ == name
+
+
+def test_lazy_exports_resolve():
+    for attr in repro.__all__:
+        assert getattr(repro, attr) is not None
+    assert "SplineBuilder" in dir(repro)
+    with pytest.raises(AttributeError):
+        repro.definitely_not_an_export
+
+
+@pytest.mark.parametrize("leaf", ["repro.xspace", "repro.kbatched", "repro.iterative"])
+def test_leaf_subpackage_imports_in_isolation(leaf):
+    """A fresh interpreter importing only *leaf* must not touch repro.core."""
+    code = (
+        f"import {leaf}, sys; "
+        "assert 'repro.core' not in sys.modules, 'lazy isolation broken'"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr

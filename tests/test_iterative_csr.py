@@ -9,7 +9,7 @@ from repro.exceptions import ShapeError
 from repro.iterative import Csr
 from repro.kbatched import Coo
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 
 def random_sparse(m, n, density, rng):

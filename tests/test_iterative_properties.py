@@ -19,7 +19,7 @@ from repro.iterative import (
     make_preconditioner,
 )
 
-from conftest import random_banded, random_spd_banded, rng_for
+from repro.testing import random_banded, random_spd_banded, rng_for
 
 SOLVERS_SPD = [Cg, BiCg, BiCgStab, Gmres]
 SOLVERS_GENERAL = [BiCg, BiCgStab, Gmres]

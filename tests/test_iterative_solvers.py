@@ -18,7 +18,7 @@ from repro.iterative import (
 )
 from repro.iterative.preconditioner import BlockJacobi, Identity, Jacobi
 
-from conftest import random_banded, random_spd_banded
+from repro.testing import random_banded, random_spd_banded
 
 TOL = 1e-12
 

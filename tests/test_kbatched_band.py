@@ -15,7 +15,7 @@ from repro.kbatched.band import (
     spd_dense_to_band_lower,
 )
 
-from conftest import random_banded, random_spd_banded, rng_for
+from repro.testing import random_banded, random_spd_banded, rng_for
 
 
 class TestBandWidths:

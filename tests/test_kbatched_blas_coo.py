@@ -18,7 +18,7 @@ from repro.kbatched import (
 )
 from repro.kbatched.types import Trans
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 
 class TestGemm:

@@ -10,7 +10,7 @@ from repro.kbatched import gbtrf, gbtrs, serial_gbtrf, serial_gbtrs
 from repro.kbatched.band import dense_to_lu_band
 from repro.kbatched.types import Trans
 
-from conftest import random_banded, rng_for
+from repro.testing import random_banded, rng_for
 
 
 class TestGbtrf:

@@ -9,7 +9,7 @@ from repro.exceptions import ShapeError, SingularMatrixError
 from repro.kbatched import getrf, getrs, serial_getrf, serial_getrs
 from repro.kbatched.types import Trans
 
-from conftest import random_general, rng_for
+from repro.testing import random_general, rng_for
 
 
 class TestGetrf:

@@ -10,7 +10,7 @@ from repro.kbatched import pbtrf, pbtrs, serial_pbtrf, serial_pbtrs
 from repro.kbatched.band import spd_band_lower_to_dense, spd_dense_to_band_lower
 from repro.kbatched.types import Uplo
 
-from conftest import random_spd_banded, rng_for
+from repro.testing import random_spd_banded, rng_for
 
 
 class TestPbtrf:

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 from repro.exceptions import NotPositiveDefiniteError, ShapeError
 from repro.kbatched import pttrf, pttrs, serial_pttrf, serial_pttrs
 
-from conftest import random_spd_tridiagonal, rng_for, tridiagonal_to_dense
+from repro.testing import random_spd_tridiagonal, rng_for, tridiagonal_to_dense
 
 
 class TestPttrf:

@@ -9,7 +9,7 @@ from repro.exceptions import ShapeError, SingularMatrixError
 from repro.kbatched import serial_trsv, trsm
 from repro.kbatched.types import Diag, Trans, Uplo
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 
 def tri(rng, n, lower=True, unit=False):

@@ -11,7 +11,7 @@ from repro.core.builder.woodbury import split_wrap
 from repro.core.spec import paper_configurations
 from repro.exceptions import ShapeError
 
-from conftest import rng_for
+from repro.testing import rng_for
 
 ALL_CONFIGS = list(paper_configurations(48))
 CONFIG_IDS = [s.label for s in ALL_CONFIGS]
