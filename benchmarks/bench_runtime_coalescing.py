@@ -1,0 +1,150 @@
+"""Runtime engine — throughput vs. request granularity.
+
+The paper's premise is that the batched solve only pays off at large
+batch sizes; the runtime engine's premise is that *callers don't have*
+large batches — they have trickles of small requests.  This benchmark
+quantifies the gap the engine closes.  For each request granularity
+(columns per caller request) the same total column count is solved twice:
+
+* **naive** — what a caller without the engine does: construct a
+  :class:`SplineBuilder` (refactorizing the matrix) and solve its own
+  little batch;
+* **engine** — submit every request to one :class:`SolveEngine`, which
+  serves all of them from a single cached factorization and coalesces
+  them into ``max_batch``-column solves.
+
+The engine's advantage should *grow* as granularity shrinks: at one
+column per request the naive path pays a factorization per column, while
+the engine pays one factorization total and solves ~``total/max_batch``
+coalesced batches.
+
+Run standalone with ``--quick`` for the CI smoke sizes::
+
+    python benchmarks/bench_runtime_coalescing.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.bench import Table
+except ImportError:  # running as a script from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench import Table
+
+import numpy as np
+
+from repro.core.builder.builder import SplineBuilder
+from repro.core.spec import BSplineSpec
+from repro.runtime import SolveEngine
+
+GRANULARITIES = (1, 4, 16, 64)
+
+
+def _requests(n: int, total_cols: int, granularity: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    count = total_cols // granularity
+    if granularity == 1:
+        return [rng.standard_normal(n) for _ in range(count)]
+    return [rng.standard_normal((n, granularity)) for _ in range(count)]
+
+
+def _naive_time(spec: BSplineSpec, requests) -> float:
+    """Every request constructs its own builder — PR 1's caller pattern."""
+    t0 = time.perf_counter()
+    for rhs in requests:
+        SplineBuilder(spec, version=2).solve(rhs)
+    return time.perf_counter() - t0
+
+
+def _engine_time(engine: SolveEngine, spec: BSplineSpec, requests) -> float:
+    t0 = time.perf_counter()
+    futures = [engine.submit(spec, rhs) for rhs in requests]
+    engine.flush()
+    for f in futures:
+        f.result(timeout=120)
+    return time.perf_counter() - t0
+
+
+def render_coalescing(nx: int, total_cols: int, max_batch: int = 256) -> str:
+    spec = BSplineSpec(degree=3, n_points=nx)
+    table = Table(
+        f"Runtime coalescing: {total_cols} columns, N = {nx}, "
+        f"max_batch = {max_batch}",
+        [
+            "cols/request",
+            "requests",
+            "naive [ms]",
+            "engine [ms]",
+            "speedup",
+            "batched solves",
+            "mean batch cols",
+            "plan hit rate",
+        ],
+    )
+    for granularity in GRANULARITIES:
+        requests = _requests(nx, total_cols, granularity)
+        naive = _naive_time(spec, requests)
+        with SolveEngine(
+            max_batch=max_batch, max_linger=5e-3, num_workers=2
+        ) as engine:
+            engine_s = _engine_time(engine, spec, requests)
+            snap = engine.telemetry.snapshot()
+        batches = snap["counters"].get("engine.batches_dispatched", 0)
+        mean_cols = snap["series"]["coalescer.batch_cols"]["mean"]
+        hits = snap["counters"].get("plan_cache.hits", 0)
+        misses = snap["counters"].get("plan_cache.misses", 0)
+        table.add_row(
+            granularity,
+            len(requests),
+            naive * 1e3,
+            engine_s * 1e3,
+            naive / engine_s if engine_s else float("inf"),
+            batches,
+            mean_cols,
+            f"{hits}/{hits + misses}",
+        )
+    return table.render()
+
+
+def test_coalescing_report(write_result, nx):
+    report = render_coalescing(nx=min(nx, 128), total_cols=1024)
+    write_result("runtime_coalescing", report)
+    assert "cols/request" in report
+
+
+def test_engine_beats_naive_at_fine_granularity(nx):
+    """At one column per request the engine must win by a wide margin."""
+    n = min(nx, 128)
+    spec = BSplineSpec(degree=3, n_points=n)
+    requests = _requests(n, 256, 1)
+    naive = _naive_time(spec, requests)
+    with SolveEngine(max_batch=128, max_linger=5e-3) as engine:
+        engine_s = _engine_time(engine, spec, requests)
+    assert engine_s < naive
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizes (N = 64, 512 columns) instead of the full sweep",
+    )
+    parser.add_argument("--nx", type=int, default=256, help="matrix size N_x")
+    parser.add_argument(
+        "--total-cols", type=int, default=2048, help="columns solved per row"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.nx, args.total_cols = 64, 512
+    print(render_coalescing(args.nx, args.total_cols))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,10 @@ turbulence simulation" (Asahi et al., SC 2024):
   evaluation.
 * :mod:`repro.advection` — the benchmark application: 1-D batched
   semi-Lagrangian advection (Algorithm 2) and a 2-D Vlasov–Poisson solver.
+* :mod:`repro.runtime` — the batched solve engine: a plan cache (factor
+  once per spline-space configuration), request coalescing into
+  paper-scale batches, a bounded thread pool with backpressure and
+  deadlines, and telemetry.
 * :mod:`repro.perfmodel` — hardware catalog, roofline model, GLUPS /
   bandwidth metrics, the Pennycook performance-portability metric and an
   analytical device simulator standing in for A100 / MI250X hardware.
@@ -49,6 +53,10 @@ _LAZY_EXPORTS = {
     "SplineBuilder": "repro.core",
     "GinkgoSplineBuilder": "repro.core",
     "SplineEvaluator": "repro.core",
+    "SolveEngine": "repro.runtime",
+    "EngineConfig": "repro.runtime",
+    "PlanCache": "repro.runtime",
+    "Telemetry": "repro.runtime",
 }
 
 __all__ = [
@@ -57,6 +65,10 @@ __all__ = [
     "SplineBuilder",
     "GinkgoSplineBuilder",
     "SplineEvaluator",
+    "SolveEngine",
+    "EngineConfig",
+    "PlanCache",
+    "Telemetry",
 ]
 
 

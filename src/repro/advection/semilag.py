@@ -78,6 +78,16 @@ class BatchedAdvection1D:
         Per-batch advection speeds ``v_j``, shape ``(nv,)``.
     dt:
         Time-step size.
+    engine:
+        Optional :class:`~repro.runtime.SolveEngine`.  When given, the
+        per-step ``(nx, nv)`` spline build is routed through the engine's
+        bulk path (``map_batches``): the factorization comes from the
+        shared plan cache and the solve lands in the engine's telemetry
+        alongside every other caller's.  Requires a direct
+        :class:`~repro.core.SplineBuilder` constructed from a
+        :class:`~repro.core.spec.BSplineSpec`, and is mutually exclusive
+        with *fuse_transpose* (the fused path solves in the storage
+        layout, which the engine does not reorder).
     """
 
     def __init__(
@@ -87,12 +97,24 @@ class BatchedAdvection1D:
         dt: float,
         evaluator: Optional[SplineEvaluator] = None,
         fuse_transpose: bool = False,
+        engine=None,
     ):
         if fuse_transpose and not hasattr(builder, "solve_transposed"):
             raise ShapeError(
                 "fuse_transpose requires a builder with solve_transposed "
                 "(the direct SplineBuilder)"
             )
+        if engine is not None:
+            if fuse_transpose:
+                raise ValueError(
+                    "engine routing and fuse_transpose are mutually exclusive"
+                )
+            if getattr(builder, "spec", None) is None:
+                raise ValueError(
+                    "engine routing needs a SplineBuilder constructed from "
+                    "a BSplineSpec (so the plan cache can key it)"
+                )
+        self.engine = engine
         #: §V-C's proposed optimization: solve in the storage layout via
         #: cache-sized slabs, skipping the full materializing transposes.
         self.fuse_transpose = fuse_transpose
@@ -141,9 +163,19 @@ class BatchedAdvection1D:
             return out
         f_t = transpose_to_x_major(f)  # (nx, nv), batch contiguous
         t1 = time.perf_counter()
-        self.builder.solve(f_t, in_place=True)  # η_T overwrites f_T
+        if self.engine is not None:
+            # Bulk path: one (nx, nv) block through the shared engine.
+            eta = self.engine.map_batches(
+                self.builder.spec,
+                [f_t],
+                version=self.builder.version,
+                dtype=self.builder.dtype,
+                backend=self.builder.backend,
+            )[0]
+        else:
+            self.builder.solve(f_t, in_place=True)  # η_T overwrites f_T
+            eta = f_t
         t2 = time.perf_counter()
-        eta = f_t
         new_t = self.evaluator.eval_batched(eta, self.feet)  # (nx, nv)
         t3 = time.perf_counter()
         out = transpose_to_batch_major(new_t)

@@ -65,6 +65,14 @@ class SplineBuilder:
         Execution space for ``parallel_for`` dispatch (default serial).
     dtype:
         Working precision of the solve phase; setup always runs float64.
+    engine:
+        Optional :class:`~repro.runtime.SolveEngine`.  When given,
+        out-of-place :meth:`solve` calls are submitted to the engine —
+        coalescing with every other caller of the same spec — instead of
+        running the solver directly; in-place solves (already batched)
+        stay direct.  Requires a :class:`BSplineSpec` *spec* so the
+        engine can key its plan cache; this builder's own factorization
+        is donated to that cache so it is never repeated.
     """
 
     def __init__(
@@ -76,6 +84,7 @@ class SplineBuilder:
         dtype=np.float64,
         chunk: int = DEFAULT_CHUNK,
         drop_tol: float = DEFAULT_DROP_TOL,
+        engine=None,
     ) -> None:
         if version not in (0, 1, 2):
             raise ValueError(
@@ -91,6 +100,8 @@ class SplineBuilder:
         self.backend = backend
         self.exec_space = space if space is not None else DefaultExecutionSpace
         self.dtype = np.dtype(dtype)
+        self.chunk = int(chunk)
+        self.drop_tol = float(drop_tol)
         self.matrix = self.space_1d.collocation_matrix()
         periodic = getattr(self.space_1d, "period", None) is not None
         if periodic:
@@ -102,6 +113,34 @@ class SplineBuilder:
                 self.matrix, chunk=chunk, dtype=self.dtype
             )
         self.n = self.space_1d.nbasis
+        self.engine = engine
+        if engine is not None:
+            if self.spec is None:
+                raise ValueError(
+                    "engine routing needs a BSplineSpec (prebuilt spline "
+                    "spaces cannot key the engine's plan cache)"
+                )
+            # Donate this factorization so the engine never repeats it.
+            engine.plan_cache.put(self.plan_key(), self)
+
+    def plan_key(self):
+        """This builder's configuration as a plan-cache key.
+
+        Raises :class:`ValueError` for builders made from prebuilt spline
+        spaces, which have no hashable spec.
+        """
+        from repro.runtime.plan_cache import PlanKey
+
+        if self.spec is None:
+            raise ValueError("builders made from prebuilt spaces have no plan key")
+        return PlanKey.from_spec(
+            self.spec,
+            version=self.version,
+            dtype=self.dtype,
+            chunk=self.chunk,
+            drop_tol=self.drop_tol,
+            backend=self.backend,
+        )
 
     @property
     def solver_name(self) -> str:
@@ -169,9 +208,21 @@ class SplineBuilder:
         returned with matching dimensionality.  With ``in_place=True``,
         *f* must be a 2-D array of the builder's dtype; it is overwritten
         with the coefficients and returned.
+
+        When an engine is attached, out-of-place solves are submitted to
+        it (and may coalesce with other callers' requests); in-place
+        solves always run the solver directly.
         """
         f = np.asarray(f)
         self._check_rhs(f, in_place)
+        if self.engine is not None and not in_place:
+            return self.engine.solve(
+                self.spec,
+                f,
+                version=self.version,
+                dtype=self.dtype,
+                backend=self.backend,
+            )
         if in_place:
             work = f
         else:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.builder.builder import SplineBuilder
+from repro.core.spec import BSplineSpec
 from repro.exceptions import ShapeError
 
 __all__ = ["SplineBuilder2D"]
@@ -27,6 +28,12 @@ class SplineBuilder2D:
     instances or prebuilt spline spaces, independently — mixed periodic /
     clamped boundaries are supported since each axis dispatches to its own
     structure-matched solver.
+
+    With an *engine*, the per-axis builders are resolved through the
+    engine's :class:`~repro.runtime.PlanCache`, so every 2-D builder over
+    the same axis specs shares one factorization per axis (a poloidal
+    plane and its transpose-partner cost one setup, not four).  Requires
+    :class:`BSplineSpec` axis specs.
     """
 
     def __init__(
@@ -35,14 +42,46 @@ class SplineBuilder2D:
         spec_y,
         version: int = 2,
         dtype=np.float64,
+        engine=None,
         **builder_options,
     ) -> None:
-        self.builder_x = SplineBuilder(
-            spec_x, version=version, dtype=dtype, **builder_options
-        )
-        self.builder_y = SplineBuilder(
-            spec_y, version=version, dtype=dtype, **builder_options
-        )
+        self.engine = engine
+        if engine is not None:
+            if not (
+                isinstance(spec_x, BSplineSpec) and isinstance(spec_y, BSplineSpec)
+            ):
+                raise ValueError(
+                    "engine routing needs BSplineSpec axis specs (prebuilt "
+                    "spline spaces cannot key the engine's plan cache)"
+                )
+            from repro.core.builder.schur import DEFAULT_CHUNK, DEFAULT_DROP_TOL
+            from repro.runtime.plan_cache import PlanKey
+
+            def cached(spec):
+                key = PlanKey.from_spec(
+                    spec,
+                    version=version,
+                    dtype=dtype,
+                    chunk=builder_options.get("chunk", DEFAULT_CHUNK),
+                    drop_tol=builder_options.get("drop_tol", DEFAULT_DROP_TOL),
+                    backend=builder_options.get("backend", "vectorized"),
+                )
+                return engine.plan_cache.builder(
+                    key,
+                    factory=lambda: SplineBuilder(
+                        spec, version=version, dtype=dtype, **builder_options
+                    ),
+                )
+
+            self.builder_x = cached(spec_x)
+            self.builder_y = cached(spec_y)
+        else:
+            self.builder_x = SplineBuilder(
+                spec_x, version=version, dtype=dtype, **builder_options
+            )
+            self.builder_y = SplineBuilder(
+                spec_y, version=version, dtype=dtype, **builder_options
+            )
         self.space_x = self.builder_x.space_1d
         self.space_y = self.builder_y.space_1d
         self.nx = self.builder_x.n

@@ -1,0 +1,62 @@
+"""Runtime engine: batched solve scheduling between callers and solvers.
+
+The paper's result is that the spline solve only reaches the memory-
+bandwidth roofline when amortized over huge batches (matrix ~1000, batch
+1e5–1e12).  :mod:`repro.core` delivers that *per call*; this package
+delivers it *across calls* — the service layer a production deployment
+puts in front of the solver stack:
+
+* :class:`~repro.runtime.plan_cache.PlanCache` /
+  :class:`~repro.runtime.plan_cache.PlanKey` — an LRU of factorized
+  builders keyed by spline-space configuration, so no configuration is
+  ever factorized twice;
+* :class:`~repro.runtime.coalescer.RequestCoalescer` — aggregates many
+  small solve requests into one contiguous ``(n, B)`` batch (flush on
+  full batch or linger expiry), scattering results back per request;
+* :class:`~repro.runtime.engine.SolveEngine` — the bounded thread-pool
+  executor tying the two together, with backpressure (block / reject),
+  per-request deadlines, retry-once fallback, a synchronous
+  ``submit().result()`` API and a bulk ``map_batches`` API;
+* :class:`~repro.runtime.telemetry.Telemetry` — plan hits/misses,
+  coalesced batch widths, queue depth and p50/p99 latency, exportable as
+  a dict or a paper-style ASCII table.
+
+Quickstart::
+
+    from repro import BSplineSpec
+    from repro.runtime import SolveEngine
+
+    spec = BSplineSpec(degree=3, n_points=1000)
+    with SolveEngine(max_batch=256, max_linger=2e-3) as engine:
+        futures = [engine.submit(spec, rhs) for rhs in many_small_rhs]
+        coeffs = [f.result() for f in futures]   # solved as ~4 big batches
+        print(engine.telemetry_report())
+"""
+
+from repro.runtime.coalescer import CoalescedBatch, RequestCoalescer, SolveRequest
+from repro.runtime.engine import (
+    BackpressureError,
+    EngineClosedError,
+    EngineConfig,
+    EngineTimeoutError,
+    SolveEngine,
+)
+from repro.runtime.plan_cache import DEFAULT_MAX_PLANS, PlanCache, PlanKey
+from repro.runtime.telemetry import DEFAULT_MAX_SAMPLES, Telemetry, merged_counter
+
+__all__ = [
+    "SolveEngine",
+    "EngineConfig",
+    "BackpressureError",
+    "EngineClosedError",
+    "EngineTimeoutError",
+    "PlanCache",
+    "PlanKey",
+    "DEFAULT_MAX_PLANS",
+    "RequestCoalescer",
+    "CoalescedBatch",
+    "SolveRequest",
+    "Telemetry",
+    "merged_counter",
+    "DEFAULT_MAX_SAMPLES",
+]

@@ -1,0 +1,201 @@
+"""Request coalescing — many small solves become one paper-scale batch.
+
+The paper's central measurement is that the batched spline solve is
+bandwidth-bound and only reaches the roofline when the batch is large
+(§V: matrix ~1000, batch 1e5).  A caller holding a single right-hand side
+gets none of that; a thousand callers each holding one right-hand side
+*could*, if something stacked their columns.  :class:`RequestCoalescer`
+is that something: it buffers :class:`SolveRequest` objects against one
+spline-space key and cuts them into :class:`CoalescedBatch` units when
+
+* the buffered column count reaches ``max_batch`` (a full batch), or
+* the oldest buffered request has waited ``max_linger`` seconds (latency
+  bound — a lone request is never stranded).
+
+Assembly gathers the request columns into one contiguous ``(n, B)`` block
+(the exact layout the §II-C vectorized kernels want); scatter slices the
+solved block back per request and resolves each request's future.  Because
+every batched kernel in :mod:`repro.kbatched` treats columns
+independently, a coalesced solve is bitwise identical to solving each
+request alone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from concurrent.futures import Future
+
+from repro.exceptions import ShapeError
+
+__all__ = ["SolveRequest", "CoalescedBatch", "RequestCoalescer"]
+
+
+class SolveRequest:
+    """One caller's right-hand side awaiting a coalesced solve.
+
+    ``rhs`` is 1-D ``(n,)`` (one column) or 2-D ``(n, b)`` (a small block
+    that stays contiguous inside the coalesced batch).  ``future``
+    resolves to the coefficients with the same shape as ``rhs``.
+    """
+
+    __slots__ = ("rhs", "cols", "future", "enqueued_at", "deadline")
+
+    def __init__(self, rhs: np.ndarray, deadline: Optional[float] = None) -> None:
+        rhs = np.asarray(rhs)
+        if rhs.ndim not in (1, 2):
+            raise ShapeError(
+                f"expected a 1-D or 2-D right-hand side, got shape {rhs.shape}"
+            )
+        self.rhs = rhs
+        self.cols = 1 if rhs.ndim == 1 else int(rhs.shape[1])
+        self.future: Future = Future()
+        self.enqueued_at = time.perf_counter()
+        self.deadline = deadline
+
+    @property
+    def n(self) -> int:
+        return int(self.rhs.shape[0])
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.perf_counter()) >= self.deadline
+
+
+class CoalescedBatch:
+    """A group of requests solved as one ``(n, B)`` block."""
+
+    __slots__ = ("requests",)
+
+    def __init__(self, requests: List[SolveRequest]) -> None:
+        if not requests:
+            raise ValueError("a coalesced batch needs at least one request")
+        self.requests = requests
+
+    @property
+    def cols(self) -> int:
+        return sum(r.cols for r in self.requests)
+
+    @property
+    def n(self) -> int:
+        return self.requests[0].n
+
+    def assemble(self, dtype) -> np.ndarray:
+        """Gather all request columns into one contiguous ``(n, B)`` block."""
+        block = np.empty((self.n, self.cols), dtype=dtype, order="C")
+        offset = 0
+        for req in self.requests:
+            cols = req.rhs if req.rhs.ndim == 2 else req.rhs[:, None]
+            block[:, offset : offset + req.cols] = cols
+            offset += req.cols
+        return block
+
+    def scatter(self, block: np.ndarray) -> None:
+        """Slice the solved block back per request and resolve the futures."""
+        offset = 0
+        for req in self.requests:
+            out = np.ascontiguousarray(block[:, offset : offset + req.cols])
+            offset += req.cols
+            if not req.future.set_running_or_notify_cancel():
+                continue  # caller cancelled while we were solving
+            req.future.set_result(out[:, 0] if req.rhs.ndim == 1 else out)
+
+    def fail(self, exc: BaseException) -> None:
+        """Propagate *exc* to every request still waiting."""
+        for req in self.requests:
+            if req.future.set_running_or_notify_cancel():
+                req.future.set_exception(exc)
+
+
+class RequestCoalescer:
+    """Thread-safe buffer turning small requests into full batches.
+
+    Parameters
+    ----------
+    n:
+        Right-hand-side length every request must match.
+    max_batch:
+        Column count that triggers a flush.  A single request wider than
+        this is passed through as its own (oversized) batch rather than
+        split — the batched kernels handle any width.
+    max_linger:
+        Seconds the oldest request may wait before :meth:`poll` cuts a
+        partial batch.
+    """
+
+    def __init__(self, n: int, max_batch: int, max_linger: float) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_linger < 0:
+            raise ValueError(f"max_linger must be >= 0, got {max_linger}")
+        self.n = int(n)
+        self.max_batch = int(max_batch)
+        self.max_linger = float(max_linger)
+        self._lock = threading.Lock()
+        self._pending: List[SolveRequest] = []
+        self._pending_cols = 0
+
+    @property
+    def pending_cols(self) -> int:
+        with self._lock:
+            return self._pending_cols
+
+    def _cut_locked(self) -> CoalescedBatch:
+        """Pop up to ``max_batch`` columns of requests (whole requests only)."""
+        taken: List[SolveRequest] = []
+        cols = 0
+        while self._pending:
+            req = self._pending[0]
+            if taken and cols + req.cols > self.max_batch:
+                break
+            taken.append(self._pending.pop(0))
+            cols += req.cols
+            if cols >= self.max_batch:
+                break
+        self._pending_cols -= cols
+        return CoalescedBatch(taken)
+
+    def add(self, request: SolveRequest) -> Optional[CoalescedBatch]:
+        """Buffer *request*; return a batch when the buffer reaches a full one."""
+        if request.n != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {request.n} does not match "
+                f"the coalescer's {self.n}"
+            )
+        with self._lock:
+            self._pending.append(request)
+            self._pending_cols += request.cols
+            if self._pending_cols >= self.max_batch:
+                return self._cut_locked()
+        return None
+
+    def poll(self, now: Optional[float] = None) -> Optional[CoalescedBatch]:
+        """Cut a partial batch when the oldest request has lingered too long."""
+        now = now if now is not None else time.perf_counter()
+        with self._lock:
+            if not self._pending:
+                return None
+            if now - self._pending[0].enqueued_at < self.max_linger:
+                return None
+            return self._cut_locked()
+
+    def drain(self) -> Optional[CoalescedBatch]:
+        """Flush everything buffered, regardless of age or width."""
+        with self._lock:
+            if not self._pending:
+                return None
+            batch = CoalescedBatch(self._pending)
+            self._pending = []
+            self._pending_cols = 0
+            return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestCoalescer(n={self.n}, pending_cols={self.pending_cols}, "
+            f"max_batch={self.max_batch}, max_linger={self.max_linger})"
+        )

@@ -1,0 +1,464 @@
+"""The batched solve engine — plan cache + coalescer + bounded executor.
+
+:class:`SolveEngine` is the execution layer between callers (examples,
+:mod:`repro.advection`, :mod:`repro.distributed`, benchmarks) and the
+solver stack.  Callers hand it a :class:`~repro.core.spec.BSplineSpec`
+and right-hand sides; the engine
+
+1. resolves the factorized builder through its
+   :class:`~repro.runtime.plan_cache.PlanCache` (one factorization per
+   spline-space configuration, ever);
+2. coalesces small ``submit()`` requests against the same configuration
+   into paper-scale ``(n, B)`` batches
+   (:class:`~repro.runtime.coalescer.RequestCoalescer`), dispatching a
+   batch when it fills or when the oldest request has lingered;
+3. runs batches on a bounded thread pool with backpressure (``"block"``
+   or ``"reject"`` when the in-flight column budget is exhausted),
+   per-request deadlines, and one retry that falls back to per-request
+   solves so a single poisoned right-hand side cannot fail a whole batch;
+4. counts everything in :class:`~repro.runtime.telemetry.Telemetry`.
+
+Two entry points::
+
+    engine = SolveEngine(max_batch=256, max_linger=2e-3)
+    fut = engine.submit(spec, rhs)          # coalesced; fut.result() -> coeffs
+    outs = engine.map_batches(spec, blocks) # bulk blocks, plan-cached + pooled
+
+The engine is a context manager; ``shutdown()`` drains lingering partial
+batches before stopping the workers, so no accepted request is dropped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.spec import BSplineSpec
+from repro.exceptions import ReproError, ShapeError
+from repro.runtime.coalescer import CoalescedBatch, RequestCoalescer, SolveRequest
+from repro.runtime.plan_cache import PlanCache, PlanKey
+from repro.runtime.telemetry import Telemetry
+
+__all__ = [
+    "EngineConfig",
+    "SolveEngine",
+    "BackpressureError",
+    "EngineClosedError",
+    "EngineTimeoutError",
+]
+
+_BACKPRESSURE_POLICIES = ("block", "reject")
+
+
+class BackpressureError(ReproError, RuntimeError):
+    """The engine's in-flight budget is exhausted and the policy rejects."""
+
+
+class EngineClosedError(ReproError, RuntimeError):
+    """A request arrived after :meth:`SolveEngine.shutdown`."""
+
+
+class EngineTimeoutError(ReproError, TimeoutError):
+    """A request's deadline passed before its batch was solved."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunables of one :class:`SolveEngine`.
+
+    Attributes
+    ----------
+    max_batch:
+        Columns per coalesced batch; the flush trigger.
+    max_linger:
+        Seconds a lone request may wait for batch-mates before a partial
+        batch is cut (the latency/throughput trade-off knob).
+    num_workers:
+        Threads solving batches concurrently.
+    max_queue:
+        In-flight column budget (buffered + solving, across all lanes);
+        beyond it the *backpressure* policy applies.
+    backpressure:
+        ``"block"`` — wait (up to *submit_timeout*) for capacity;
+        ``"reject"`` — raise :class:`BackpressureError` immediately.
+    submit_timeout:
+        Seconds a blocked ``submit`` waits before raising
+        :class:`BackpressureError`; ``None`` waits forever.
+    default_timeout:
+        Default per-request deadline in seconds (``None`` — no deadline).
+        Expired requests are dropped from their batch with
+        :class:`EngineTimeoutError` before any solve work is spent.
+    retries:
+        After a failed batched solve, how many per-request fallback
+        attempts each member gets (the batch itself is never re-run).
+    """
+
+    max_batch: int = 256
+    max_linger: float = 2e-3
+    num_workers: int = 2
+    max_queue: int = 65536
+    backpressure: str = "block"
+    submit_timeout: Optional[float] = None
+    default_timeout: Optional[float] = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_linger < 0:
+            raise ValueError(f"max_linger must be >= 0, got {self.max_linger}")
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.backpressure not in _BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {self.backpressure!r}; "
+                f"expected one of {_BACKPRESSURE_POLICIES}"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+
+
+class _Lane:
+    """Per-:class:`PlanKey` state: the coalescer feeding one builder."""
+
+    __slots__ = ("key", "coalescer")
+
+    def __init__(self, key: PlanKey, n: int, config: EngineConfig) -> None:
+        self.key = key
+        self.coalescer = RequestCoalescer(
+            n, max_batch=config.max_batch, max_linger=config.max_linger
+        )
+
+
+class SolveEngine:
+    """Batched spline-solve engine: cache, coalesce, bound, measure.
+
+    Parameters
+    ----------
+    config:
+        An :class:`EngineConfig`; keyword overrides (``max_batch=...``)
+        may be given instead of / on top of it.
+    plan_cache, telemetry:
+        Optionally share these across engines (e.g. one process-wide
+        plan cache under several differently-tuned engines).
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
+        telemetry: Optional[Telemetry] = None,
+        **overrides,
+    ) -> None:
+        if overrides:
+            base = config or EngineConfig()
+            config = EngineConfig(
+                **{
+                    field: overrides.pop(field, getattr(base, field))
+                    for field in EngineConfig.__dataclass_fields__
+                }
+            )
+            if overrides:
+                raise TypeError(f"unknown EngineConfig fields: {sorted(overrides)}")
+        self.config = config or EngineConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.plan_cache = (
+            plan_cache
+            if plan_cache is not None
+            else PlanCache(telemetry=self.telemetry)
+        )
+        if self.plan_cache.telemetry is None:
+            self.plan_cache.telemetry = self.telemetry
+        self._lanes: Dict[PlanKey, _Lane] = {}
+        self._lanes_lock = threading.Lock()
+        self._capacity = threading.Condition()
+        self._inflight_cols = 0
+        self._closed = False
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.num_workers,
+            thread_name_prefix="repro-solve",
+        )
+        self._stop_flusher = threading.Event()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- capacity accounting --------------------------------------------
+
+    def _acquire(self, cols: int) -> None:
+        deadline = (
+            time.perf_counter() + self.config.submit_timeout
+            if self.config.submit_timeout is not None
+            else None
+        )
+        with self._capacity:
+            while self._inflight_cols + cols > self.config.max_queue:
+                self.telemetry.incr("engine.backpressure_events")
+                if self.config.backpressure == "reject":
+                    raise BackpressureError(
+                        f"in-flight budget exhausted: {self._inflight_cols} "
+                        f"columns queued, {cols} requested, "
+                        f"max_queue={self.config.max_queue}"
+                    )
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        raise BackpressureError(
+                            f"blocked submit timed out after "
+                            f"{self.config.submit_timeout}s waiting for capacity"
+                        )
+                self._capacity.wait(timeout=remaining)
+            self._inflight_cols += cols
+            self.telemetry.observe("engine.queue_depth_cols", self._inflight_cols)
+
+    def _release(self, cols: int) -> None:
+        with self._capacity:
+            self._inflight_cols -= cols
+            self._capacity.notify_all()
+
+    # -- lanes and dispatch ---------------------------------------------
+
+    def _key(self, spec: BSplineSpec, version: int, dtype, backend: str) -> PlanKey:
+        return PlanKey.from_spec(
+            spec, version=version, dtype=dtype, backend=backend
+        )
+
+    def _lane(self, key: PlanKey, n: int) -> _Lane:
+        with self._lanes_lock:
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = self._lanes[key] = _Lane(key, n, self.config)
+            return lane
+
+    def _dispatch(self, key: PlanKey, batch: CoalescedBatch) -> None:
+        self.telemetry.incr("engine.batches_dispatched")
+        self.telemetry.observe("coalescer.batch_cols", batch.cols)
+        self._pool.submit(self._run_batch, key, batch)
+
+    def _run_batch(self, key: PlanKey, batch: CoalescedBatch) -> None:
+        now = time.perf_counter()
+        live: List[SolveRequest] = []
+        for req in batch.requests:
+            if req.expired(now):
+                self.telemetry.incr("engine.requests_timed_out")
+                if req.future.set_running_or_notify_cancel():
+                    req.future.set_exception(
+                        EngineTimeoutError(
+                            "request deadline passed before its batch was solved"
+                        )
+                    )
+                self._release(req.cols)
+            else:
+                live.append(req)
+        if not live:
+            return
+        batch = CoalescedBatch(live)
+        builder = self.plan_cache.builder(key)
+        try:
+            block = batch.assemble(builder.dtype)
+            with self.telemetry.span("engine.batch_solve"):
+                builder.solve(block, in_place=True)
+            batch.scatter(block)
+            self.telemetry.incr("engine.requests_completed", len(live))
+        except Exception as exc:  # noqa: BLE001 - isolate per request below
+            self.telemetry.incr("engine.batch_failures")
+            self._retry_individually(builder, batch, exc)
+        finally:
+            done = time.perf_counter()
+            for req in live:
+                self.telemetry.observe(
+                    "engine.request_latency_seconds", done - req.enqueued_at
+                )
+                self._release(req.cols)
+
+    def _retry_individually(
+        self, builder, batch: CoalescedBatch, batch_exc: Exception
+    ) -> None:
+        """A failed batch falls back to per-request solves (retry-once)."""
+        for req in batch.requests:
+            if not req.future.set_running_or_notify_cancel():
+                continue
+            outcome: Optional[BaseException] = batch_exc
+            for _ in range(self.config.retries):
+                self.telemetry.incr("engine.request_retries")
+                try:
+                    work = np.array(
+                        req.rhs if req.rhs.ndim == 2 else req.rhs[:, None],
+                        dtype=builder.dtype,
+                        copy=True,
+                        order="C",
+                    )
+                    builder.solve(work, in_place=True)
+                    req.future.set_result(
+                        work[:, 0] if req.rhs.ndim == 1 else work
+                    )
+                    self.telemetry.incr("engine.requests_completed")
+                    outcome = None
+                    break
+                except Exception as exc:  # noqa: BLE001
+                    outcome = exc
+            if outcome is not None:
+                self.telemetry.incr("engine.requests_failed")
+                req.future.set_exception(outcome)
+
+    def _flush_loop(self) -> None:
+        tick = max(self.config.max_linger / 4.0, 5e-4)
+        while not self._stop_flusher.wait(timeout=tick):
+            now = time.perf_counter()
+            for lane in list(self._lanes.values()):
+                batch = lane.coalescer.poll(now)
+                if batch is not None:
+                    try:
+                        self._dispatch(lane.key, batch)
+                    except RuntimeError:  # pool shut down under us
+                        batch.fail(EngineClosedError("engine shut down"))
+                        return
+
+    # -- public API ------------------------------------------------------
+
+    def submit(
+        self,
+        spec: BSplineSpec,
+        rhs: np.ndarray,
+        *,
+        version: int = 2,
+        dtype=np.float64,
+        backend: str = "vectorized",
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Queue one right-hand side for a coalesced solve.
+
+        *rhs* is 1-D ``(n,)`` or 2-D ``(n, b)``; the returned future
+        resolves to the spline coefficients with the same shape.  The
+        request coalesces with every other in-flight request for the same
+        ``(spec, version, dtype, backend)`` configuration.
+        """
+        if self._closed:
+            raise EngineClosedError("submit() after engine shutdown")
+        key = self._key(spec, version, dtype, backend)
+        builder = self.plan_cache.builder(key)  # factor once, count every lookup
+        rhs = np.asarray(rhs)
+        if rhs.shape[0] != builder.n:
+            raise ShapeError(
+                f"right-hand side leading extent {rhs.shape[0]} does not "
+                f"match the {builder.n} basis functions of {spec}"
+            )
+        timeout = timeout if timeout is not None else self.config.default_timeout
+        deadline = time.perf_counter() + timeout if timeout is not None else None
+        request = SolveRequest(rhs, deadline=deadline)
+        self._acquire(request.cols)
+        self.telemetry.incr("engine.requests_submitted")
+        lane = self._lane(key, builder.n)
+        batch = lane.coalescer.add(request)
+        if batch is not None:
+            self._dispatch(key, batch)
+        return request.future
+
+    def solve(self, spec: BSplineSpec, rhs: np.ndarray, **kwargs) -> np.ndarray:
+        """Synchronous convenience: ``submit(...).result()``."""
+        timeout = kwargs.get("timeout")
+        return self.submit(spec, rhs, **kwargs).result(
+            timeout=None if timeout is None else timeout + 1.0
+        )
+
+    def map_batches(
+        self,
+        spec: BSplineSpec,
+        blocks: Sequence[np.ndarray],
+        *,
+        version: int = 2,
+        dtype=np.float64,
+        backend: str = "vectorized",
+    ) -> List[np.ndarray]:
+        """Solve several already-large ``(n, batch)`` blocks in bulk.
+
+        The bulk path skips the coalescer — each block is already a
+        paper-scale batch — but still goes through the plan cache, the
+        bounded pool and telemetry.  Results come back in input order;
+        a block that fails after the retry policy re-raises here.
+        """
+        if self._closed:
+            raise EngineClosedError("map_batches() after engine shutdown")
+        key = self._key(spec, version, dtype, backend)
+        futures = []
+        for block in blocks:
+            block = np.asarray(block)
+            if block.ndim != 2:
+                raise ShapeError(
+                    f"map_batches expects 2-D (n, batch) blocks, got {block.shape}"
+                )
+            self._acquire(block.shape[1])
+            self.telemetry.incr("engine.bulk_blocks_submitted")
+            futures.append(self._pool.submit(self._run_block, key, block))
+        return [f.result() for f in futures]
+
+    def _run_block(self, key: PlanKey, block: np.ndarray) -> np.ndarray:
+        builder = self.plan_cache.builder(key)
+        try:
+            work = np.array(block, dtype=builder.dtype, copy=True, order="C")
+            attempts = 1 + self.config.retries
+            for attempt in range(attempts):
+                try:
+                    with self.telemetry.span("engine.batch_solve"):
+                        builder.solve(work, in_place=True)
+                    return work
+                except Exception:  # noqa: BLE001
+                    if attempt + 1 >= attempts:
+                        self.telemetry.incr("engine.requests_failed")
+                        raise
+                    self.telemetry.incr("engine.request_retries")
+                    work = np.array(block, dtype=builder.dtype, copy=True, order="C")
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            self._release(block.shape[1])
+
+    def flush(self) -> None:
+        """Dispatch every lingering partial batch right now."""
+        for lane in list(self._lanes.values()):
+            batch = lane.coalescer.drain()
+            if batch is not None:
+                self._dispatch(lane.key, batch)
+
+    @property
+    def inflight_cols(self) -> int:
+        """Columns currently buffered or solving (the backpressure gauge)."""
+        with self._capacity:
+            return self._inflight_cols
+
+    def telemetry_report(self) -> str:
+        """The engine's telemetry as a paper-style ASCII table."""
+        return self.telemetry.render()
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Drain lingering batches, then stop the flusher and the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._stop_flusher.set()
+        self._flusher.join(timeout=1.0)
+        self.flush()
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "SolveEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SolveEngine(max_batch={self.config.max_batch}, "
+            f"max_linger={self.config.max_linger}, "
+            f"workers={self.config.num_workers}, "
+            f"inflight={self.inflight_cols}, lanes={len(self._lanes)}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,194 @@
+"""LRU cache of factorized spline builders — factor once, *globally*.
+
+PR 1 made each :class:`~repro.core.SplineBuilder` factor its matrix once
+and stream arbitrarily many right-hand sides through it.  That amortizes
+the setup *per builder* — but every caller that constructs its own builder
+for the same spline space still refactorizes.  At the paper's scale
+(matrix ~1000, batch 1e5–1e12) the factorization is pure overhead the
+moment any other caller has already paid for it.
+
+:class:`PlanCache` closes that gap: builders are cached under a
+:class:`PlanKey` — the hashable tuple of everything that determines the
+factorization and the solve semantics (the frozen
+:class:`~repro.core.spec.BSplineSpec`, the §IV solver version, the working
+dtype, the chunk width, the corner drop tolerance, and the dispatch
+backend).  Lookups are thread-safe; eviction is least-recently-used.
+
+The cache holds the *whole builder* rather than a bare
+:class:`~repro.core.builder.plan.FactorizationPlan` because the builder
+owns exactly one solver (``SchurSolver`` or ``DirectBandSolver``) built
+from one factorization — caching at this level deduplicates the
+factorization *and* the assembled collocation matrix and Greville points.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.builder.builder import SplineBuilder
+from repro.core.builder.schur import DEFAULT_CHUNK, DEFAULT_DROP_TOL
+from repro.core.spec import BSplineSpec
+
+__all__ = ["PlanKey", "PlanCache", "DEFAULT_MAX_PLANS"]
+
+#: default number of cached builders; a builder for an n-point space holds
+#: O(n · bandwidth) factor entries, so dozens are cheap to keep around
+DEFAULT_MAX_PLANS = 64
+
+
+@dataclass(frozen=True)
+class PlanKey:
+    """Everything that determines a factorized builder, as a hashable key.
+
+    ``spec`` (a frozen dataclass) carries degree, size, boundary condition
+    and mesh family; ``version``/``dtype``/``chunk``/``drop_tol`` pick the
+    §IV solve configuration; ``backend`` the dispatch strategy.  Two
+    callers with equal keys can share one factorization bit-for-bit.
+    """
+
+    spec: BSplineSpec
+    version: int = 2
+    dtype: str = "float64"
+    chunk: int = DEFAULT_CHUNK
+    drop_tol: float = DEFAULT_DROP_TOL
+    backend: str = "vectorized"
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: BSplineSpec,
+        version: int = 2,
+        dtype=np.float64,
+        chunk: int = DEFAULT_CHUNK,
+        drop_tol: float = DEFAULT_DROP_TOL,
+        backend: str = "vectorized",
+    ) -> "PlanKey":
+        if not isinstance(spec, BSplineSpec):
+            raise TypeError(
+                "plan caching needs a hashable BSplineSpec; builders made "
+                f"from prebuilt spline spaces cannot be keyed (got {type(spec).__name__})"
+            )
+        return cls(
+            spec=spec,
+            version=int(version),
+            dtype=np.dtype(dtype).name,
+            chunk=int(chunk),
+            drop_tol=float(drop_tol),
+            backend=backend,
+        )
+
+    def make_builder(self) -> SplineBuilder:
+        """Factor a fresh :class:`SplineBuilder` for this key."""
+        return SplineBuilder(
+            self.spec,
+            version=self.version,
+            backend=self.backend,
+            dtype=np.dtype(self.dtype),
+            chunk=self.chunk,
+            drop_tol=self.drop_tol,
+        )
+
+
+class PlanCache:
+    """Thread-safe LRU cache of factorized :class:`SplineBuilder` objects.
+
+    Parameters
+    ----------
+    max_plans:
+        Builders retained; the least recently used is evicted beyond this.
+    telemetry:
+        Optional :class:`~repro.runtime.telemetry.Telemetry`; when given,
+        ``plan_cache.hits`` / ``plan_cache.misses`` / ``plan_cache.evictions``
+        counters are kept there as well as locally.
+    """
+
+    def __init__(self, max_plans: int = DEFAULT_MAX_PLANS, telemetry=None) -> None:
+        if max_plans < 1:
+            raise ValueError(f"max_plans must be >= 1, got {max_plans}")
+        self.max_plans = int(max_plans)
+        self.telemetry = telemetry
+        self._lock = threading.RLock()
+        self._plans: "OrderedDict[PlanKey, SplineBuilder]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _count(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.incr(f"plan_cache.{name}")
+
+    def builder(
+        self,
+        key: PlanKey,
+        factory: Optional[Callable[[], SplineBuilder]] = None,
+    ) -> SplineBuilder:
+        """The cached builder for *key*, factoring it on first use.
+
+        The factorization (the default ``key.make_builder`` or the given
+        *factory*) runs under the cache lock, so concurrent first requests
+        for the same key pay exactly one factorization.
+        """
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                self._count("hits")
+                return cached
+            self.misses += 1
+            self._count("misses")
+            built = (factory or key.make_builder)()
+            self._plans[key] = built
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+            return built
+
+    def put(self, key: PlanKey, builder: SplineBuilder) -> None:
+        """Adopt an externally factored builder (no-op if *key* is cached).
+
+        Lets a caller that already paid for a factorization donate it, so
+        the engine never refactorizes what the caller holds.
+        """
+        with self._lock:
+            if key in self._plans:
+                self._plans.move_to_end(key)
+                return
+            self._plans[key] = builder
+            while len(self._plans) > self.max_plans:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+
+    def __contains__(self, key: PlanKey) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (NaN before any lookup)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else float("nan")
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"PlanCache(size={len(self._plans)}/{self.max_plans}, "
+                f"hits={self.hits}, misses={self.misses}, "
+                f"evictions={self.evictions})"
+            )

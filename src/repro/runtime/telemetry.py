@@ -1,0 +1,155 @@
+"""Engine telemetry — counters, distributions and span timings.
+
+Every moving part of the runtime engine reports here: the plan cache its
+hits/misses/evictions, the coalescer its assembled batch widths, the engine
+its queue depth and per-request latency.  A :class:`Telemetry` instance is
+a thread-safe bag of
+
+* **counters** — monotonically increasing integers (``incr``);
+* **series** — bounded sample reservoirs with running count/sum/max, from
+  which p50/p99 quantiles are read (``observe``);
+* **spans** — ``with telemetry.span("solve"):`` context timing, recorded
+  as a ``<name>.seconds`` series.
+
+``snapshot()`` exports everything as a plain dict (the exa-scale analogue
+would ship this to a metrics backend); ``render()`` prints it through the
+same :class:`repro.bench.report.Table` layout as the paper-table
+benchmarks, so engine runs and paper runs read alike.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.bench.report import Table
+
+__all__ = ["Telemetry", "merged_counter", "DEFAULT_MAX_SAMPLES"]
+
+#: samples retained per series; older observations only survive in the
+#: running count/sum/min/max aggregates
+DEFAULT_MAX_SAMPLES = 4096
+
+
+class _Series:
+    """One observed quantity: bounded reservoir + unbounded aggregates."""
+
+    __slots__ = ("samples", "count", "total", "minimum", "maximum")
+
+    def __init__(self, max_samples: int) -> None:
+        self.samples: deque = deque(maxlen=max_samples)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def quantile(self, q: float) -> float:
+        if not self.samples:
+            return float("nan")
+        return float(np.quantile(np.fromiter(self.samples, dtype=float), q))
+
+    def summary(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else float("nan")
+        return {
+            "count": self.count,
+            "mean": mean,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Telemetry:
+    """Thread-safe counters / series / span timings for the runtime engine."""
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = int(max_samples)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._series: Dict[str, _Series] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to the counter *name* (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the distribution *name*."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series(self.max_samples)
+            series.observe(float(value))
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a block; the duration lands in the ``<name>.seconds`` series."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(f"{name}.seconds", time.perf_counter() - t0)
+
+    # -- reading --------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def quantile(self, name: str, q: float) -> float:
+        with self._lock:
+            series = self._series.get(name)
+        return series.quantile(q) if series is not None else float("nan")
+
+    def snapshot(self) -> dict:
+        """Everything as a plain dict: ``{"counters": ..., "series": ...}``."""
+        with self._lock:
+            counters = dict(self._counters)
+            series = {name: s.summary() for name, s in self._series.items()}
+        return {"counters": counters, "series": series}
+
+    def render(self, title: str = "Runtime engine telemetry") -> str:
+        """Counters and series as one paper-style ASCII table."""
+        snap = self.snapshot()
+        table = Table(title, ["metric", "count", "mean", "p50", "p99", "max"])
+        for name in sorted(snap["counters"]):
+            table.add_row(name, snap["counters"][name], "", "", "", "")
+        for name in sorted(snap["series"]):
+            s = snap["series"][name]
+            table.add_row(name, s["count"], s["mean"], s["p50"], s["p99"], s["max"])
+        return table.render()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._series.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"Telemetry(counters={len(self._counters)}, "
+                f"series={len(self._series)})"
+            )
+
+
+def merged_counter(snapshot: dict, *names: str) -> int:
+    """Sum several counters out of a :meth:`Telemetry.snapshot` dict."""
+    counters = snapshot.get("counters", {})
+    return sum(int(counters.get(name, 0)) for name in names)

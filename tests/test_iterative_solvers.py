@@ -207,6 +207,46 @@ class TestSolverBehaviour:
         logger.clear()
         assert logger.num_applies == 0
 
+    def test_logger_max_history_caps_records_not_aggregates(self, rng):
+        from repro.iterative.logger import ApplyRecord
+
+        logger = ConvergenceLogger(max_history=4)
+        for i in range(20):
+            logger.log(
+                ApplyRecord(
+                    solver="cg",
+                    iterations=i + 1,
+                    final_residual=1e-12,
+                    converged=i != 7,
+                    batch=64,
+                )
+            )
+        # the retained list is bounded...
+        assert len(logger.records) == 4
+        assert logger.iterations_per_apply == [17, 18, 19, 20]
+        # ...but the paper-reported aggregates count every apply ever logged
+        assert logger.num_applies == 20
+        assert logger.total_iterations == sum(range(1, 21))
+        assert logger.max_iterations == 20
+        assert not logger.all_converged  # the trimmed failure still counts
+        logger.clear()
+        assert logger.num_applies == 0
+        assert logger.all_converged
+
+    def test_logger_max_history_in_chunked_run(self, rng):
+        csr, _, b = spd_system(rng)
+        logger = ConvergenceLogger(max_history=2)
+        solver = BiCgStab(csr, criterion=StoppingCriterion(TOL, 500), logger=logger)
+        for _ in range(5):
+            solver.apply(b)
+        assert logger.num_applies == 5
+        assert len(logger.records) == 2
+        assert logger.all_converged
+
+    def test_logger_max_history_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceLogger(max_history=0)
+
     def test_per_column_iterations_monotone(self, rng):
         csr, x_true, b = spd_system(rng, batch=3)
         # Column 0 starts at the exact solution: converges at iteration 0.

@@ -1,0 +1,103 @@
+"""Thread safety: shared builders and the engine under concurrent load.
+
+A factorized :class:`SplineBuilder` is read-only at solve time (all
+mutation happens on the caller's right-hand-side block), so one shared
+builder hammered from many threads must produce results bitwise identical
+to the same solves run serially.  The engine adds shared mutable state
+(coalescer buffers, the plan cache, capacity accounting) on top; the same
+bitwise guarantee must survive it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.builder.builder import SplineBuilder
+from repro.core.builder.builder2d import SplineBuilder2D
+from repro.core.spec import BSplineSpec
+from repro.runtime import SolveEngine
+
+SPEC = BSplineSpec(degree=3, n_points=64)
+N_THREADS = 8
+
+
+def _blocks(count, shape, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape) for _ in range(count)]
+
+
+def test_shared_builder_bitwise_identical_to_serial():
+    builder = SplineBuilder(SPEC, version=2)
+    blocks = _blocks(64, (64, 33), seed=21)
+    serial = [builder.solve(b) for b in blocks]
+    with ThreadPoolExecutor(N_THREADS) as pool:
+        threaded = list(pool.map(builder.solve, blocks))
+    for expect, got in zip(serial, threaded):
+        assert np.array_equal(expect, got)
+
+
+def test_shared_builder_all_versions_under_threads():
+    for version in (0, 1, 2):
+        builder = SplineBuilder(SPEC, version=version)
+        blocks = _blocks(24, (64, 9), seed=22 + version)
+        serial = [builder.solve(b) for b in blocks]
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            threaded = list(pool.map(builder.solve, blocks))
+        for expect, got in zip(serial, threaded):
+            assert np.array_equal(expect, got)
+
+
+def test_shared_builder2d_under_threads():
+    builder = SplineBuilder2D(
+        BSplineSpec(degree=3, n_points=16), BSplineSpec(degree=3, n_points=20)
+    )
+    fields = _blocks(24, (16, 20), seed=23)
+    serial = [builder.solve(f) for f in fields]
+    with ThreadPoolExecutor(N_THREADS) as pool:
+        threaded = list(pool.map(builder.solve, fields))
+    for expect, got in zip(serial, threaded):
+        assert np.array_equal(expect, got)
+
+
+def test_engine_hammered_from_many_threads():
+    direct = SplineBuilder(SPEC, version=2)
+    per_thread = 32
+    rhs = [
+        _blocks(per_thread, (64,), seed=100 + t) for t in range(N_THREADS)
+    ]
+    serial = [[direct.solve(r) for r in thread_rhs] for thread_rhs in rhs]
+
+    with SolveEngine(max_batch=64, max_linger=0.005, num_workers=4) as engine:
+
+        def hammer(thread_rhs):
+            return [engine.submit(SPEC, r).result(timeout=30) for r in thread_rhs]
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            threaded = list(pool.map(hammer, rhs))
+        snap = engine.telemetry.snapshot()
+
+    assert snap["counters"]["engine.requests_completed"] == N_THREADS * per_thread
+    assert snap["counters"]["plan_cache.misses"] == 1  # one factorization total
+    for expect_list, got_list in zip(serial, threaded):
+        for expect, got in zip(expect_list, got_list):
+            assert np.array_equal(expect, got)
+
+
+def test_engine_mixed_widths_under_threads():
+    direct = SplineBuilder(SPEC, version=2)
+    rng = np.random.default_rng(31)
+    jobs = [
+        rng.standard_normal(64) if i % 3 else rng.standard_normal((64, 5))
+        for i in range(48)
+    ]
+    serial = [direct.solve(j) for j in jobs]
+    with SolveEngine(max_batch=32, max_linger=0.005, num_workers=4) as engine:
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            threaded = list(
+                pool.map(lambda j: engine.submit(SPEC, j).result(timeout=30), jobs)
+            )
+    for expect, got in zip(serial, threaded):
+        assert expect.shape == got.shape
+        assert np.array_equal(expect, got)
