@@ -19,6 +19,7 @@ import pytest
 from repro.advection import BatchedAdvection1D
 from repro.bench import Table, default_field
 from repro.core import BSplineSpec, SplineBuilder
+from repro.testing import timing_tolerance
 from repro.xspace import get_execution_space
 
 
@@ -111,7 +112,7 @@ def test_backend_report(write_result, nx, nv):
 def test_fused_not_slower(nx, nv):
     t_std, _ = _advection_time(nx, nv, fuse=False)
     t_fused, _ = _advection_time(nx, nv, fuse=True)
-    assert t_fused <= t_std * 1.5  # fusion must not lose meaningfully
+    assert t_fused <= t_std * timing_tolerance(1.5)  # fusion must not lose meaningfully
 
 
 def test_vectorized_beats_serial_kernels(nx):
@@ -119,7 +120,7 @@ def test_vectorized_beats_serial_kernels(nx):
     f = default_field(np.linspace(0, 1, nx, endpoint=False), 64).T.copy()
     t_vec = _solve_time(SplineBuilder(spec), f)
     t_ser = _solve_time(SplineBuilder(spec, backend="serial"), f)
-    assert t_vec < t_ser
+    assert t_vec < t_ser * timing_tolerance(1.0)
 
 
 @pytest.mark.parametrize("fuse", [False, True], ids=["standard", "fused"])

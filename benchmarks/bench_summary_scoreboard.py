@@ -33,6 +33,7 @@ from repro.core.spec import paper_configurations
 from repro.perfmodel import PAPER_DEVICES, pennycook_metric
 from repro.perfmodel.counters import solver_traffic, version_traffic
 from repro.perfmodel.devicesim import paper_simulators
+from repro.testing import timing_tolerance
 
 PAPER_TABLE3 = {
     "Icelake": (145.8, 112.1, 82.0),
@@ -88,7 +89,10 @@ def checks(nx: int, nv: int):
         host_ms.append(best * 1e3)
     # v0 and v1 differ by only a few percent at host sizes, so allow
     # scheduler noise on that rung; v2 must beat both outright.
-    ok = host_ms[2] < min(host_ms[0], host_ms[1]) and host_ms[1] < host_ms[0] * 1.25
+    ok = (
+        host_ms[2] < min(host_ms[0], host_ms[1]) * timing_tolerance(1.0)
+        and host_ms[1] < host_ms[0] * timing_tolerance(1.25)
+    )
     yield ("Table III: v0 > v1 > v2 ladder measured on host", ok,
            f"{host_ms[0]:.1f} > {host_ms[1]:.1f} > {host_ms[2]:.1f} ms")
 

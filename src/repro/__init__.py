@@ -29,6 +29,10 @@ turbulence simulation" (Asahi et al., SC 2024):
 * :mod:`repro.perfmodel` — hardware catalog, roofline model, GLUPS /
   bandwidth metrics, the Pennycook performance-portability metric and an
   analytical device simulator standing in for A100 / MI250X hardware.
+* :mod:`repro.verify` — the numerical verification layer: backward-error
+  residual checks from the banded operator, Hager/Higham condition
+  estimation, differential oracles across backends / versions / solver
+  families, and the ``python -m repro.verify`` scoreboard sweep.
 
 Quickstart::
 
@@ -57,6 +61,10 @@ _LAZY_EXPORTS = {
     "EngineConfig": "repro.runtime",
     "PlanCache": "repro.runtime",
     "Telemetry": "repro.runtime",
+    "ResidualChecker": "repro.verify",
+    "BandedOperator": "repro.verify",
+    "run_oracles": "repro.verify",
+    "condest_from_solver": "repro.verify",
 }
 
 __all__ = [
@@ -69,6 +77,10 @@ __all__ = [
     "EngineConfig",
     "PlanCache",
     "Telemetry",
+    "ResidualChecker",
+    "BandedOperator",
+    "run_oracles",
+    "condest_from_solver",
 ]
 
 

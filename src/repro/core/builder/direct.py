@@ -38,6 +38,8 @@ class DirectBandSolver:
         if chunk < 1:
             raise ValueError(f"chunk must be a positive column count, got {chunk}")
         a = np.asarray(a, dtype=np.float64)
+        self.norm1 = float(np.max(np.sum(np.abs(a), axis=0)))
+        self.norm_inf = float(np.max(np.sum(np.abs(a), axis=1)))
         plan64 = make_plan(a, tol=tol)
         self.dtype = np.dtype(dtype)
         self.plan = plan64.astype(self.dtype)
@@ -75,6 +77,20 @@ class DirectBandSolver:
             return b
         for start in range(0, b.shape[1], self.chunk):
             self.plan.solve(b[:, start : start + self.chunk])
+        return b
+
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` in place (no wrap — one transposed band solve)."""
+        if b.ndim != 2:
+            raise ShapeError(
+                f"transpose solve expects a 2-D (n, batch) block, got {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        self.plan.solve_transpose(b)
         return b
 
     def solve_serial(self, b: np.ndarray) -> np.ndarray:

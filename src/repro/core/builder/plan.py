@@ -45,6 +45,7 @@ from repro.kbatched.band import (
     dense_to_lu_band,
     spd_dense_to_band_lower,
 )
+from repro.kbatched.types import Trans
 
 __all__ = [
     "FactorizationPlan",
@@ -68,6 +69,11 @@ def _check_dtype(dtype) -> np.dtype:
     return dt
 
 
+def _matrix_norm1(a: np.ndarray) -> float:
+    """1-norm (max column sum) of the matrix about to be factorized."""
+    return float(np.max(np.sum(np.abs(a), axis=0))) if a.size else 0.0
+
+
 class FactorizationPlan:
     """Base class: a factorized matrix plus its two in-place solve backends.
 
@@ -79,9 +85,14 @@ class FactorizationPlan:
     #: the :class:`MatrixType` this plan was built for
     mtype: MatrixType
 
-    def __init__(self, n: int, dtype: np.dtype) -> None:
+    def __init__(self, n: int, dtype: np.dtype, norm1: float = float("nan")) -> None:
         self.n = int(n)
         self.dtype = np.dtype(dtype)
+        #: 1-norm (max column sum) of the matrix that was factorized, kept
+        #: for condition estimation: ``κ₁ = ‖A‖₁ · ‖A⁻¹‖₁``.
+        self.norm1 = float(norm1)
+        #: cached Hager/Higham condition estimate (see :meth:`condest`)
+        self._kappa1: float | None = None
 
     @property
     def name(self) -> str:
@@ -138,10 +149,45 @@ class FactorizationPlan:
         self._solve_serial(b)
         return b
 
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` in place for an ``(n, batch)`` block.
+
+        Reuses the stored factorization: symmetric plans (pttrs/pbtrs)
+        solve with the same factors, LU plans run the transposed
+        substitution order (LAPACK's ``trans='T'``).  The transpose solve
+        is what the Hager/Higham 1-norm condition estimator needs.
+        """
+        if b.ndim != 2:
+            raise ShapeError(
+                f"transpose solve expects a 2-D (n, batch) block, got {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        self._solve_transpose(b)
+        return b
+
+    def condest(self, itmax: int = 5) -> float:
+        """Hager/Higham estimate of ``κ₁(A)``, cached after the first call.
+
+        Requires the 1-norm recorded at factorization time (plans built
+        before a matrix was available report NaN).
+        """
+        if self._kappa1 is None:
+            from repro.verify.condest import condest_from_plan
+
+            self._kappa1 = condest_from_plan(self, itmax=itmax)
+        return self._kappa1
+
     def _solve(self, b: np.ndarray) -> None:
         raise NotImplementedError
 
     def _solve_serial(self, b: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _solve_transpose(self, b: np.ndarray) -> None:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -154,7 +200,7 @@ class PttrsPlan(FactorizationPlan):
     mtype = MatrixType.PDS_TRIDIAGONAL
 
     def __init__(self, a: np.ndarray, dtype=np.float64) -> None:
-        super().__init__(a.shape[0], _check_dtype(dtype))
+        super().__init__(a.shape[0], _check_dtype(dtype), norm1=_matrix_norm1(a))
         d = np.ascontiguousarray(np.diag(a).copy())
         e = np.ascontiguousarray(np.diag(a, k=-1).copy())
         serial_pttrf(d, e)
@@ -170,6 +216,9 @@ class PttrsPlan(FactorizationPlan):
     def _solve_serial(self, b: np.ndarray) -> None:
         serial_pttrs(self.d, self.e, b)
 
+    def _solve_transpose(self, b: np.ndarray) -> None:
+        pttrs(self.d, self.e, b)  # symmetric: Aᵀ = A
+
 
 class PbtrsPlan(FactorizationPlan):
     """Band-Cholesky plan for positive-definite symmetric banded matrices."""
@@ -177,7 +226,7 @@ class PbtrsPlan(FactorizationPlan):
     mtype = MatrixType.PDS_BANDED
 
     def __init__(self, a: np.ndarray, dtype=np.float64, tol: float = 1e-12) -> None:
-        super().__init__(a.shape[0], _check_dtype(dtype))
+        super().__init__(a.shape[0], _check_dtype(dtype), norm1=_matrix_norm1(a))
         kl, _ = dense_band_widths(a, tol=tol)
         self.kd = int(kl)
         ab = spd_dense_to_band_lower(a, self.kd)
@@ -193,6 +242,9 @@ class PbtrsPlan(FactorizationPlan):
     def _solve_serial(self, b: np.ndarray) -> None:
         serial_pbtrs(self.ab, b)
 
+    def _solve_transpose(self, b: np.ndarray) -> None:
+        pbtrs(self.ab, b)  # symmetric: Aᵀ = A
+
 
 class GbtrsPlan(FactorizationPlan):
     """Banded-LU plan (partial pivoting) for general banded matrices."""
@@ -200,7 +252,7 @@ class GbtrsPlan(FactorizationPlan):
     mtype = MatrixType.GENERAL_BANDED
 
     def __init__(self, a: np.ndarray, dtype=np.float64, tol: float = 1e-12) -> None:
-        super().__init__(a.shape[0], _check_dtype(dtype))
+        super().__init__(a.shape[0], _check_dtype(dtype), norm1=_matrix_norm1(a))
         kl, ku = dense_band_widths(a, tol=tol)
         self.kl = int(kl)
         self.ku = int(ku)
@@ -217,6 +269,9 @@ class GbtrsPlan(FactorizationPlan):
     def _solve_serial(self, b: np.ndarray) -> None:
         serial_gbtrs(self.ab, self.ipiv, b, self.kl, self.ku)
 
+    def _solve_transpose(self, b: np.ndarray) -> None:
+        gbtrs(self.ab, self.ipiv, b, self.kl, self.ku, trans=Trans.TRANSPOSE)
+
 
 class GetrsPlan(FactorizationPlan):
     """Dense-LU plan (partial pivoting) — the structure-agnostic fallback."""
@@ -224,7 +279,7 @@ class GetrsPlan(FactorizationPlan):
     mtype = MatrixType.GENERAL
 
     def __init__(self, a: np.ndarray, dtype=np.float64) -> None:
-        super().__init__(a.shape[0], _check_dtype(dtype))
+        super().__init__(a.shape[0], _check_dtype(dtype), norm1=_matrix_norm1(a))
         lu = np.ascontiguousarray(a, dtype=np.float64).copy()
         self.ipiv = serial_getrf(lu)
         self.lu = lu.astype(self.dtype, copy=False)
@@ -237,6 +292,9 @@ class GetrsPlan(FactorizationPlan):
 
     def _solve_serial(self, b: np.ndarray) -> None:
         serial_getrs(self.lu, self.ipiv, b)
+
+    def _solve_transpose(self, b: np.ndarray) -> None:
+        getrs(self.lu, self.ipiv, b, trans=Trans.TRANSPOSE)
 
 
 _PLAN_CLASSES = {

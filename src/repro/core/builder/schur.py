@@ -78,6 +78,11 @@ class SchurSolver:
         if chunk < 1:
             raise ValueError(f"chunk must be a positive column count, got {chunk}")
         a = np.asarray(a, dtype=np.float64)
+        #: operator norms of the full cyclic matrix, for condition-aware
+        #: verification (‖A‖₁ feeds the Hager/Higham estimator, ‖A‖∞ the
+        #: backward-error denominator)
+        self.norm1 = float(np.max(np.sum(np.abs(a), axis=0)))
+        self.norm_inf = float(np.max(np.sum(np.abs(a), axis=1)))
         blocks = split_cyclic_banded(a, tol=tol)
         self.n = blocks.n
         self.m = blocks.q.shape[0]
@@ -148,6 +153,36 @@ class SchurSolver:
         sparse = version == 2
         for start in range(0, b.shape[1], self.chunk):
             self._solve_block(b[:, start : start + self.chunk], sparse=sparse)
+        return b
+
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``Aᵀ x = b`` in place from the same factorization.
+
+        The Schur complement of ``Qᵀ`` in ``Aᵀ`` is ``δ'ᵀ`` and
+        ``γᵀ Q⁻ᵀ = βᵀ``, so the transposed Algorithm 1 needs only the
+        stored operators::
+
+            δ'ᵀ x₁ = b₁ − βᵀ b₀
+            Qᵀ x₀ = b₀ − λᵀ x₁
+
+        Used by the Hager/Higham condition estimator; not a hot path, so
+        the corner products run dense.
+        """
+        if b.ndim != 2:
+            raise ShapeError(
+                f"transpose solve expects a 2-D (n, batch) block, got {b.shape}"
+            )
+        if b.shape[0] != self.n:
+            raise ShapeError(
+                f"right-hand side leading extent {b.shape[0]} does not match "
+                f"matrix size {self.n}"
+            )
+        b0 = b[: self.m]
+        b1 = b[self.m :]
+        b1 -= self.beta.T @ b0
+        self.delta_plan.solve_transpose(b1)
+        b0 -= self.lam.T @ b1
+        self.q_plan.solve_transpose(b0)
         return b
 
     def solve_serial(self, b: np.ndarray) -> np.ndarray:

@@ -42,3 +42,20 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class BackendError(ReproError, ValueError):
     """An unknown backend / execution-space name was requested."""
+
+
+class VerificationError(ReproError, ArithmeticError):
+    """A solve failed numerical verification (backward error above tolerance).
+
+    Raised by :mod:`repro.verify` checkers and by the runtime engine's
+    verify-on-solve sampling when a sampled batch exceeds its
+    condition-aware backward-error tolerance.
+    """
+
+    def __init__(self, message: str, backward_error: float = float("nan"),
+                 tol: float = float("nan")):
+        super().__init__(message)
+        #: Worst measured normwise backward error of the offending solve.
+        self.backward_error = backward_error
+        #: The condition-aware tolerance the error was checked against.
+        self.tol = tol

@@ -96,6 +96,20 @@ class EngineConfig:
     retries:
         After a failed batched solve, how many per-request fallback
         attempts each member gets (the batch itself is never re-run).
+    verify_every:
+        Sample every Nth solved batch through the backward-error check of
+        :class:`~repro.verify.residual.ResidualChecker` (0 — never).  A
+        failed check is routed through the poisoned-RHS retry path, where
+        each member is re-solved and re-verified individually so only the
+        culprit column(s) fail.
+    verify_cols:
+        Columns checked per sampled batch.  The banded residual product
+        costs the same order as the solve itself, so checking a bounded,
+        evenly-spaced sample keeps even ``verify_every=1`` cheap on
+        paper-scale batches.
+    verify_tol_factor:
+        Safety factor ``c`` of the condition-aware verification
+        tolerance ``c · κ₁ · ε(dtype)``.
     """
 
     max_batch: int = 256
@@ -106,6 +120,9 @@ class EngineConfig:
     submit_timeout: Optional[float] = None
     default_timeout: Optional[float] = None
     retries: int = 1
+    verify_every: int = 0
+    verify_cols: int = 16
+    verify_tol_factor: float = 64.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -123,6 +140,14 @@ class EngineConfig:
             )
         if self.retries < 0:
             raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.verify_every < 0:
+            raise ValueError(f"verify_every must be >= 0, got {self.verify_every}")
+        if self.verify_cols < 1:
+            raise ValueError(f"verify_cols must be >= 1, got {self.verify_cols}")
+        if self.verify_tol_factor <= 0:
+            raise ValueError(
+                f"verify_tol_factor must be > 0, got {self.verify_tol_factor}"
+            )
 
 
 class _Lane:
@@ -178,6 +203,9 @@ class SolveEngine:
             self.plan_cache.telemetry = self.telemetry
         self._lanes: Dict[PlanKey, _Lane] = {}
         self._lanes_lock = threading.Lock()
+        self._verify_lock = threading.Lock()
+        self._verify_seq = 0
+        self._checkers: Dict[PlanKey, object] = {}  # None = unverifiable builder
         self._capacity = threading.Condition()
         self._inflight_cols = 0
         self._closed = False
@@ -244,6 +272,64 @@ class SolveEngine:
         self.telemetry.observe("coalescer.batch_cols", batch.cols)
         self._pool.submit(self._run_batch, key, batch)
 
+    # -- verify-on-solve sampling ----------------------------------------
+
+    def _should_verify(self) -> bool:
+        """Every ``verify_every``-th dispatched solve is sampled."""
+        every = self.config.verify_every
+        if every <= 0:
+            return False
+        with self._verify_lock:
+            seq = self._verify_seq
+            self._verify_seq += 1
+        return seq % every == 0
+
+    def _checker_for(self, key: PlanKey, builder):
+        """Cached :class:`ResidualChecker` for *key*; None when the
+        builder cannot expose its matrix (e.g. test fakes)."""
+        with self._verify_lock:
+            if key in self._checkers:
+                checker = self._checkers[key]
+                if checker is None:
+                    self.telemetry.incr("verify.unsupported")
+                return checker
+        from repro.verify.residual import ResidualChecker
+
+        try:
+            checker = ResidualChecker(
+                builder, tol_factor=self.config.verify_tol_factor
+            )
+        except TypeError:
+            checker = None
+            self.telemetry.incr("verify.unsupported")
+        with self._verify_lock:
+            self._checkers.setdefault(key, checker)
+        return checker
+
+    def _sample_cols(self, cols: int) -> np.ndarray:
+        """Evenly spaced column sample, at most ``verify_cols`` wide."""
+        take = min(self.config.verify_cols, cols)
+        if take == cols:
+            return np.arange(cols)
+        return np.linspace(0, cols - 1, take).astype(int)
+
+    def _verify_sample(self, checker, x: np.ndarray, b: np.ndarray) -> None:
+        """Check solved sample *x* against pre-solve *b*; raise on failure."""
+        self.telemetry.incr("verify.checks")
+        with self.telemetry.span("engine.verify"):
+            report = checker.check(x, b)
+        # η is meaningful on [0, 1]; a NaN-poisoned column reports η = ∞,
+        # which is recorded as 1.0 to keep the telemetry percentiles finite.
+        self.telemetry.observe(
+            "verify.backward_error",
+            report.worst if np.isfinite(report.worst) else 1.0,
+        )
+        if report.passed:
+            self.telemetry.incr("verify.passes")
+        else:
+            self.telemetry.incr("verify.failures")
+        report.raise_if_failed()
+
     def _run_batch(self, key: PlanKey, batch: CoalescedBatch) -> None:
         now = time.perf_counter()
         live: List[SolveRequest] = []
@@ -263,15 +349,23 @@ class SolveEngine:
             return
         batch = CoalescedBatch(live)
         builder = self.plan_cache.builder(key)
+        checker = None
         try:
             block = batch.assemble(builder.dtype)
+            if self._should_verify():
+                checker = self._checker_for(key, builder)
+            if checker is not None:
+                sample = self._sample_cols(block.shape[1])
+                ref = block[:, sample].copy()  # pre-solve right-hand sides
             with self.telemetry.span("engine.batch_solve"):
                 builder.solve(block, in_place=True)
+            if checker is not None:
+                self._verify_sample(checker, block[:, sample], ref)
             batch.scatter(block)
             self.telemetry.incr("engine.requests_completed", len(live))
         except Exception as exc:  # noqa: BLE001 - isolate per request below
             self.telemetry.incr("engine.batch_failures")
-            self._retry_individually(builder, batch, exc)
+            self._retry_individually(builder, batch, exc, checker=checker)
         finally:
             done = time.perf_counter()
             for req in live:
@@ -281,9 +375,15 @@ class SolveEngine:
                 self._release(req.cols)
 
     def _retry_individually(
-        self, builder, batch: CoalescedBatch, batch_exc: Exception
+        self, builder, batch: CoalescedBatch, batch_exc: Exception, checker=None
     ) -> None:
-        """A failed batch falls back to per-request solves (retry-once)."""
+        """A failed batch falls back to per-request solves (retry-once).
+
+        When the batch failed its sampled verification (*checker* given),
+        every fallback solve is re-verified over *all* of its columns, so
+        a single poisoned right-hand side fails alone while its
+        batch-mates complete normally.
+        """
         for req in batch.requests:
             if not req.future.set_running_or_notify_cancel():
                 continue
@@ -298,6 +398,8 @@ class SolveEngine:
                         order="C",
                     )
                     builder.solve(work, in_place=True)
+                    if checker is not None:
+                        self._verify_sample(checker, work, req.rhs)
                     req.future.set_result(
                         work[:, 0] if req.rhs.ndim == 1 else work
                     )
@@ -404,12 +506,23 @@ class SolveEngine:
     def _run_block(self, key: PlanKey, block: np.ndarray) -> np.ndarray:
         builder = self.plan_cache.builder(key)
         try:
+            checker = (
+                self._checker_for(key, builder) if self._should_verify() else None
+            )
+            sample = (
+                self._sample_cols(block.shape[1]) if checker is not None else None
+            )
             work = np.array(block, dtype=builder.dtype, copy=True, order="C")
             attempts = 1 + self.config.retries
             for attempt in range(attempts):
                 try:
                     with self.telemetry.span("engine.batch_solve"):
                         builder.solve(work, in_place=True)
+                    if checker is not None:
+                        # *block* is the caller's unmodified right-hand side.
+                        self._verify_sample(
+                            checker, work[:, sample], block[:, sample]
+                        )
                     return work
                 except Exception:  # noqa: BLE001
                     if attempt + 1 >= attempts:

@@ -1,4 +1,4 @@
-"""Test-support helpers: seeded RNGs and structured random matrices.
+"""Test-support helpers: seeded RNGs, random matrices, verify cases.
 
 Shared by the unit tests and the benchmark harness.  These live in the
 package (rather than a ``conftest.py``) so both suites can import them by
@@ -6,11 +6,17 @@ a stable name — with ``tests/`` and ``benchmarks/`` collected in the same
 pytest run, a bare ``from conftest import ...`` is ambiguous between the
 two directories' conftest modules.
 
-Every generator is diagonally dominant by construction, so the matrices
-are guaranteed non-singular (and SPD where advertised) at any size.
+Every matrix generator is diagonally dominant by construction, so the
+matrices are guaranteed non-singular (and SPD where advertised) at any
+size.  :func:`random_verify_cases` samples the spline spec space for the
+property-based oracle tests, and :func:`timing_tolerance` is the one
+shared slack knob behind every host-timing assertion.
 """
 
 from __future__ import annotations
+
+import os
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -21,6 +27,9 @@ __all__ = [
     "random_spd_banded",
     "random_banded",
     "random_general",
+    "VerifyCase",
+    "random_verify_cases",
+    "timing_tolerance",
 ]
 
 
@@ -81,3 +90,92 @@ def random_general(n: int, rng: np.random.Generator) -> np.ndarray:
     a = rng.uniform(-1.0, 1.0, size=(n, n))
     a[np.diag_indices(n)] += n  # diagonally dominant
     return a
+
+
+# -- verification cases ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VerifyCase:
+    """One randomly sampled spline configuration for the oracle tests.
+
+    ``spec`` is a :class:`~repro.core.spec.BSplineSpec`; the remaining
+    fields parameterize how it is solved and which right-hand sides the
+    oracles replay (``seed`` feeds the deterministic RHS generator of
+    :mod:`repro.verify.oracle`).
+    """
+
+    spec: object
+    version: int
+    backend: str
+    dtype: np.dtype
+    batch: int
+    seed: int
+
+    @property
+    def label(self) -> str:
+        """Stable, readable pytest ID for this case."""
+        s = self.spec
+        return (
+            f"deg{s.degree}-{s.boundary}-{'uni' if s.uniform else 'nonuni'}"
+            f"-n{s.n_points}-v{self.version}-{self.backend}"
+            f"-{np.dtype(self.dtype).name}-b{self.batch}-s{self.seed}"
+        )
+
+
+def random_verify_cases(
+    count: int = 100, seed: int = 2024_08_05, max_points: int = 48
+) -> list:
+    """Sample *count* :class:`VerifyCase` instances from a fixed PRNG.
+
+    The sampler covers every categorical axis (degree 3-5, periodic and
+    clamped boundaries, uniform and stretched meshes, §IV versions 0-2,
+    both backends, both working precisions) with random sizes and batch
+    widths; the fixed *seed* makes the suite reproducible — a failing
+    case's pytest ID pins it completely.
+    """
+    from repro.core.spec import BSplineSpec
+
+    rng = np.random.default_rng(seed)
+    cases = []
+    for index in range(count):
+        degree = int(rng.integers(3, 6))
+        boundary = "periodic" if rng.uniform() < 0.5 else "clamped"
+        lo = degree + 2 if boundary == "periodic" else degree + 1
+        spec = BSplineSpec(
+            degree=degree,
+            n_points=int(rng.integers(lo + 2, max_points + 1)),
+            uniform=bool(rng.uniform() < 0.5),
+            boundary=boundary,
+        )
+        cases.append(
+            VerifyCase(
+                spec=spec,
+                version=int(rng.integers(0, 3)),
+                backend="vectorized" if rng.uniform() < 0.5 else "serial",
+                dtype=np.dtype(np.float64 if rng.uniform() < 0.5 else np.float32),
+                batch=int(rng.integers(1, 9)),
+                seed=index,
+            )
+        )
+    return cases
+
+
+# -- timing assertions ----------------------------------------------------
+
+
+def timing_tolerance(factor: float) -> float:
+    """The slack multiplier behind every host-timing assertion.
+
+    Host timings on shared CI runners are noisy; each performance
+    assertion states its *intended* bound (e.g. "fused is at most 1.25x
+    the baseline") and widens it by the ``REPRO_TIMING_SLACK`` environment
+    variable (default 1.0), so one knob loosens the whole suite on a
+    loaded machine instead of each test growing its own fudge factor.
+    """
+    if factor <= 0:
+        raise ValueError(f"timing factor must be > 0, got {factor}")
+    slack = float(os.environ.get("REPRO_TIMING_SLACK", "1.0"))
+    if slack <= 0:
+        raise ValueError(f"REPRO_TIMING_SLACK must be > 0, got {slack}")
+    return factor * slack

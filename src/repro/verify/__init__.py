@@ -1,0 +1,61 @@
+"""Numerical verification layer: residuals, condition estimates, oracles.
+
+Three certification primitives, cheapest first:
+
+* :mod:`repro.verify.residual` — the Rigal–Gaches normwise backward
+  error from a banded (never densified) operator product; the check the
+  runtime engine samples on live traffic (``EngineConfig.verify_every``).
+* :mod:`repro.verify.condest` — Hager/Higham ``κ₁`` estimation from the
+  factorization already paid for, turning every tolerance in this layer
+  into the condition-aware ``c · κ · ε(dtype)``.
+* :mod:`repro.verify.oracle` — differential oracles replaying solves
+  through independent paths (vectorized vs serial backends, §IV versions
+  0/1/2, direct vs Krylov) and reporting divergence in ulps.
+
+``python -m repro.verify`` sweeps the spec space through the oracles and
+prints a scoreboard (:mod:`repro.verify.cli`).
+"""
+
+from repro.verify.condest import (
+    condest_from_plan,
+    condest_from_solver,
+    condition_tolerance,
+    onenormest,
+)
+from repro.verify.oracle import (
+    ORACLES,
+    OracleResult,
+    backend_oracle,
+    iterative_oracle,
+    max_ulp_diff,
+    residual_oracle,
+    run_oracles,
+    version_oracle,
+)
+from repro.verify.residual import (
+    DEFAULT_TOL_FACTOR,
+    BandedOperator,
+    ResidualChecker,
+    ResidualReport,
+    backward_error,
+)
+
+__all__ = [
+    "BandedOperator",
+    "ResidualChecker",
+    "ResidualReport",
+    "backward_error",
+    "DEFAULT_TOL_FACTOR",
+    "onenormest",
+    "condest_from_solver",
+    "condest_from_plan",
+    "condition_tolerance",
+    "OracleResult",
+    "max_ulp_diff",
+    "backend_oracle",
+    "version_oracle",
+    "iterative_oracle",
+    "residual_oracle",
+    "run_oracles",
+    "ORACLES",
+]

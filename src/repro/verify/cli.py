@@ -1,0 +1,214 @@
+"""``python -m repro.verify`` — spec-space oracle sweep with a scoreboard.
+
+Sweeps the spline configuration space (degree × boundary × dtype ×
+version × backend) through the differential oracles of
+:mod:`repro.verify.oracle` and prints one scoreboard row per oracle run.
+Exit status is 0 iff every oracle passed, so the sweep doubles as a CI
+gate and as a quick field check after a toolchain change::
+
+    python -m repro.verify --quick          # small sweep, every axis hit
+    python -m repro.verify                  # full sweep
+    python -m repro.verify --oracles residual,backend --dtypes float32
+
+The sweep is deterministic: right-hand sides come from a fixed seed and
+the pass/fail tolerances are condition-aware (``c · κ · ε(dtype)``), so
+the scoreboard is reproducible across runs and hosts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+import numpy as np
+
+from repro.verify.oracle import (
+    ORACLES,
+    OracleResult,
+    backend_oracle,
+    iterative_oracle,
+    residual_oracle,
+    version_oracle,
+)
+from repro.verify.residual import DEFAULT_TOL_FACTOR
+
+__all__ = ["main", "sweep"]
+
+_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="differential-oracle sweep over the spline spec space",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep (degree 3, n=32, batch 4) still covering every "
+        "version x backend x dtype cell",
+    )
+    parser.add_argument(
+        "--degrees", default=None, help="comma list of spline degrees (default 3,4,5)"
+    )
+    parser.add_argument(
+        "--boundaries",
+        default="periodic,clamped",
+        help="comma list of boundary conditions",
+    )
+    parser.add_argument(
+        "--dtypes", default="float64,float32", help="comma list of working precisions"
+    )
+    parser.add_argument(
+        "--versions", default="0,1,2", help="comma list of §IV optimization versions"
+    )
+    parser.add_argument(
+        "--backends",
+        default="vectorized,serial",
+        help="comma list of execution backends",
+    )
+    parser.add_argument(
+        "--oracles",
+        default=",".join(ORACLES),
+        help=f"comma list of oracles to run (available: {','.join(ORACLES)})",
+    )
+    parser.add_argument(
+        "--points", type=int, default=None, help="spline points n (default 48)"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None, help="right-hand sides per oracle run"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RHS generator seed")
+    parser.add_argument(
+        "--tol-factor",
+        type=float,
+        default=DEFAULT_TOL_FACTOR,
+        help="safety factor c of the condition-aware tolerance c*kappa*eps",
+    )
+    parser.add_argument(
+        "--failures-only",
+        action="store_true",
+        help="print only failing rows (summary line always printed)",
+    )
+    return parser.parse_args(argv)
+
+
+def _csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def sweep(
+    degrees,
+    boundaries,
+    dtypes,
+    versions,
+    backends,
+    oracles,
+    points: int,
+    batch: int,
+    seed: int = 0,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+) -> List[OracleResult]:
+    """Run the oracle sweep and return every :class:`OracleResult`.
+
+    The per-oracle fan-out mirrors what each oracle already compares
+    internally: the backend oracle runs once per version (it covers both
+    backends itself), the version oracle once per backend (it covers all
+    three versions), the residual oracle over the full version × backend
+    grid, and the iterative oracle once per dtype at the default
+    version/backend (it is the expensive one).
+    """
+    from repro.core.spec import BSplineSpec
+
+    results: List[OracleResult] = []
+    common = dict(batch=batch, seed=seed, tol_factor=tol_factor)
+    for degree in degrees:
+        for boundary in boundaries:
+            spec = BSplineSpec(degree=degree, n_points=points, boundary=boundary)
+            for dtype in dtypes:
+                if "residual" in oracles:
+                    for version in versions:
+                        for backend in backends:
+                            results.append(
+                                residual_oracle(
+                                    spec, version=version, backend=backend,
+                                    dtype=dtype, **common,
+                                )
+                            )
+                if "backend" in oracles:
+                    for version in versions:
+                        results.append(
+                            backend_oracle(spec, version=version, dtype=dtype, **common)
+                        )
+                if "version" in oracles:
+                    for backend in backends:
+                        results.append(
+                            version_oracle(spec, backend=backend, dtype=dtype, **common)
+                        )
+                if "iterative" in oracles:
+                    results.append(iterative_oracle(spec, dtype=dtype, **common))
+    return results
+
+
+def _scoreboard(results: List[OracleResult], failures_only: bool) -> str:
+    from repro.bench import Table
+
+    table = Table(
+        "repro.verify oracle scoreboard",
+        ["oracle", "case", "max ulp", "tol ulp", "kappa", "status"],
+    )
+    for res in results:
+        if failures_only and res.passed:
+            continue
+        table.add_row(
+            res.oracle,
+            res.case,
+            f"{res.max_ulp:.1f}",
+            f"{res.tol_ulp:.0f}",
+            f"{res.kappa:.1f}",
+            "pass" if res.passed else "FAIL",
+        )
+    return table.render()
+
+
+def main(argv=None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    degrees = [int(d) for d in _csv(args.degrees or ("3" if args.quick else "3,4,5"))]
+    boundaries = _csv(args.boundaries)
+    dtype_names = _csv(args.dtypes)
+    unknown_dtypes = [name for name in dtype_names if name not in _DTYPES]
+    if unknown_dtypes:
+        print(f"unknown dtypes {unknown_dtypes}; available: {list(_DTYPES)}")
+        return 2
+    oracles = _csv(args.oracles)
+    unknown = [name for name in oracles if name not in ORACLES]
+    if unknown:
+        print(f"unknown oracles {unknown}; available: {list(ORACLES)}")
+        return 2
+    results = sweep(
+        degrees=degrees,
+        boundaries=boundaries,
+        dtypes=[_DTYPES[name] for name in dtype_names],
+        versions=[int(v) for v in _csv(args.versions)],
+        backends=_csv(args.backends),
+        oracles=oracles,
+        points=args.points or (32 if args.quick else 48),
+        batch=args.batch or (4 if args.quick else 8),
+        seed=args.seed,
+        tol_factor=args.tol_factor,
+    )
+    failed = [res for res in results if not res.passed]
+    if not (args.failures_only and not failed):
+        print(_scoreboard(results, args.failures_only))
+    print(
+        f"\n{len(results)} oracle runs, {len(failed)} failed"
+        + ("" if failed else " — all paths agree to condition-scaled ulps")
+    )
+    for res in failed:
+        print(f"  {res}  [{res.detail}]")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

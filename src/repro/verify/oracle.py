@@ -1,0 +1,301 @@
+"""Differential oracles: replay a solve through an independent path.
+
+A residual check (:mod:`repro.verify.residual`) catches a solver that is
+*wrong*; a differential oracle catches one that is *differently wrong* —
+two paths that should agree to rounding but silently diverged.  Each
+oracle here solves the same right-hand sides twice through routes that
+share as little code as possible and reports the worst divergence in
+**ulp units** of the coarser dtype:
+
+``backend``
+    vectorized block kernels vs the serial column-at-a-time kernels
+    (§II-C split — different kernel bodies, same factorization).
+``version``
+    §IV optimization versions 1 and 2 against the version-0 baseline
+    (fused chunks and sparse COO corners reassociate the arithmetic, so
+    they agree only to a condition-scaled ulp count).
+``iterative``
+    the direct Table I / Algorithm 1 route against a preconditioned
+    Krylov solve from :mod:`repro.iterative` (fully independent
+    numerics — the strongest oracle, and the slowest).
+``residual``
+    the backward-error check itself, expressed on the same scoreboard
+    (its "ulp" column is the backward error in ε units).
+
+Divergence is measured *normwise* per column: ``|got − ref|`` divided by
+the spacing of the column's largest reference magnitude.  Elementwise
+ulp counts explode on entries that round to zero; the normwise unit is
+what backward-stability bounds actually control.  Tolerances are
+condition-aware: two backward-stable paths can differ by ``O(κ ε)``
+relative, i.e. ``O(κ)`` normwise ulps, so every oracle passes iff
+``max_ulp <= tol_factor · κ`` (with the iterative oracle additionally
+widened by its stopping tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.verify.condest import DEFAULT_ITMAX, condest_from_solver
+from repro.verify.residual import DEFAULT_TOL_FACTOR, ResidualChecker
+
+__all__ = [
+    "OracleResult",
+    "max_ulp_diff",
+    "backend_oracle",
+    "version_oracle",
+    "iterative_oracle",
+    "residual_oracle",
+    "run_oracles",
+    "ORACLES",
+]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one oracle on one spline configuration."""
+
+    oracle: str  #: oracle name ("backend", "version", ...)
+    case: str  #: human-readable configuration summary
+    passed: bool
+    max_ulp: float  #: worst normwise divergence, in ulps of the coarse dtype
+    tol_ulp: float  #: condition-aware ulp budget the divergence is held to
+    kappa: float  #: κ₁ estimate used to set the budget
+    detail: str = ""  #: which comparison produced ``max_ulp``
+
+    def __str__(self) -> str:
+        status = "pass" if self.passed else "FAIL"
+        return (
+            f"[{status}] {self.oracle:<9} {self.case}: "
+            f"{self.max_ulp:.1f} ulp (tol {self.tol_ulp:.0f}, κ≈{self.kappa:.1f})"
+        )
+
+
+def max_ulp_diff(got: np.ndarray, ref: np.ndarray) -> float:
+    """Worst normwise divergence between two solves, in ulps.
+
+    Per column the divergence ``max_i |got_i − ref_i|`` is divided by the
+    spacing (1 ulp) at the column's largest reference magnitude, measured
+    in the *coarser* of the two dtypes — comparing a float32 path against
+    a float64 reference counts float32 ulps.  Columns whose reference is
+    exactly zero are measured at spacing(1).
+    """
+    got = np.asarray(got)
+    ref = np.asarray(ref)
+    if got.shape != ref.shape:
+        raise ShapeError(
+            f"oracle outputs disagree in shape: {got.shape} vs {ref.shape}"
+        )
+    unit_dtype = max(got.dtype, ref.dtype, key=lambda d: np.finfo(d).eps)
+    got2 = got.astype(np.float64).reshape(got.shape[0], -1)
+    ref2 = ref.astype(np.float64).reshape(ref.shape[0], -1)
+    scale = np.max(np.abs(ref2), axis=0)
+    scale[scale == 0.0] = 1.0
+    ulp = np.spacing(scale.astype(unit_dtype)).astype(np.float64)
+    return float(np.max(np.max(np.abs(got2 - ref2), axis=0) / ulp))
+
+
+def _case_label(spec, version: int, backend: str, dtype) -> str:
+    return (
+        f"deg={spec.degree} {spec.boundary}"
+        f"{'' if spec.uniform else '/nonuni'} n={spec.n_points} "
+        f"v{version} {backend} {np.dtype(dtype).name}"
+    )
+
+
+def _make_rhs(n: int, batch: int, seed: int) -> np.ndarray:
+    """Reproducible right-hand sides: smooth modes plus small noise.
+
+    Smooth columns exercise the regime splines are built for; the noise
+    keeps the corner (wrap) entries of periodic systems non-trivial.
+    """
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 2.0 * np.pi, n, endpoint=False)
+    modes = np.arange(1, batch + 1)
+    smooth = np.sin(np.outer(t, modes) + rng.uniform(0, 2 * np.pi, batch))
+    return smooth + 0.1 * rng.standard_normal((n, batch))
+
+
+def _builder(spec, version: int, backend: str, dtype):
+    from repro.core.builder.builder import SplineBuilder
+
+    return SplineBuilder(spec, version=version, backend=backend, dtype=dtype)
+
+
+def backend_oracle(
+    spec,
+    version: int = 2,
+    dtype=np.float64,
+    batch: int = 8,
+    seed: int = 0,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+    itmax: int = DEFAULT_ITMAX,
+) -> OracleResult:
+    """Vectorized block kernels vs serial column kernels, same plan."""
+    vec = _builder(spec, version, "vectorized", dtype)
+    ser = _builder(spec, version, "serial", dtype)
+    rhs = _make_rhs(vec.n, batch, seed)
+    x_vec = vec.solve(rhs)
+    x_ser = ser.solve(rhs)
+    kappa = condest_from_solver(vec.solver, itmax=itmax)
+    ulp = max_ulp_diff(x_ser, x_vec)
+    tol_ulp = tol_factor * kappa
+    return OracleResult(
+        oracle="backend",
+        case=_case_label(spec, version, "vec|serial", dtype),
+        passed=ulp <= tol_ulp,
+        max_ulp=ulp,
+        tol_ulp=tol_ulp,
+        kappa=kappa,
+        detail="serial vs vectorized",
+    )
+
+
+def version_oracle(
+    spec,
+    backend: str = "vectorized",
+    dtype=np.float64,
+    batch: int = 8,
+    seed: int = 0,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+    itmax: int = DEFAULT_ITMAX,
+) -> OracleResult:
+    """§IV versions 1 and 2 against the version-0 baseline."""
+    baseline = _builder(spec, 0, backend, dtype)
+    rhs = _make_rhs(baseline.n, batch, seed)
+    x_ref = baseline.solve(rhs)
+    kappa = condest_from_solver(baseline.solver, itmax=itmax)
+    worst, worst_of = 0.0, "v1 vs v0"
+    for version in (1, 2):
+        x = _builder(spec, version, backend, dtype).solve(rhs)
+        ulp = max_ulp_diff(x, x_ref)
+        if ulp >= worst:
+            worst, worst_of = ulp, f"v{version} vs v0"
+    tol_ulp = tol_factor * kappa
+    return OracleResult(
+        oracle="version",
+        case=_case_label(spec, 0, backend, dtype).replace("v0 ", "v{0,1,2} "),
+        passed=worst <= tol_ulp,
+        max_ulp=worst,
+        tol_ulp=tol_ulp,
+        kappa=kappa,
+        detail=worst_of,
+    )
+
+
+def iterative_oracle(
+    spec,
+    version: int = 2,
+    backend: str = "vectorized",
+    dtype=np.float64,
+    batch: int = 8,
+    seed: int = 0,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+    itmax: int = DEFAULT_ITMAX,
+    solver: str = "gmres",
+    tolerance: float = 1e-15,
+) -> OracleResult:
+    """Direct Algorithm 1 route vs an independent Krylov solve.
+
+    The Krylov path (:class:`~repro.core.builder.ginkgo_builder.GinkgoSplineBuilder`)
+    shares no factorization code with the direct route, making this the
+    strongest oracle.  Its budget is widened beyond ``tol_factor · κ`` by
+    the stopping tolerance: GMRES only promises a residual reduction of
+    *tolerance*, worth ``κ · tolerance / ε`` extra normwise ulps.
+    """
+    from repro.core.builder.ginkgo_builder import GinkgoSplineBuilder
+
+    direct = _builder(spec, version, backend, dtype)
+    krylov = GinkgoSplineBuilder(spec, solver=solver, tolerance=tolerance)
+    rhs = _make_rhs(direct.n, batch, seed)
+    x_direct = direct.solve(rhs)
+    x_krylov = krylov.solve(rhs).astype(np.dtype(dtype))
+    kappa = condest_from_solver(direct.solver, itmax=itmax)
+    ulp = max_ulp_diff(x_direct, x_krylov)
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    tol_ulp = tol_factor * kappa * (1.0 + tolerance / eps)
+    return OracleResult(
+        oracle="iterative",
+        case=_case_label(spec, version, backend, dtype),
+        passed=ulp <= tol_ulp,
+        max_ulp=ulp,
+        tol_ulp=tol_ulp,
+        kappa=kappa,
+        detail=f"direct vs {solver} ({krylov.last_iterations} its)",
+    )
+
+
+def residual_oracle(
+    spec,
+    version: int = 2,
+    backend: str = "vectorized",
+    dtype=np.float64,
+    batch: int = 8,
+    seed: int = 0,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+    itmax: int = DEFAULT_ITMAX,
+) -> OracleResult:
+    """Backward-error self-check, reported in ε units for the scoreboard."""
+    builder = _builder(spec, version, backend, dtype)
+    rhs = _make_rhs(builder.n, batch, seed)
+    x = builder.solve(rhs)
+    checker = ResidualChecker(builder, tol_factor=tol_factor, itmax=itmax)
+    report = checker.check(x, rhs)
+    eps = float(np.finfo(np.dtype(dtype)).eps)
+    return OracleResult(
+        oracle="residual",
+        case=_case_label(spec, version, backend, dtype),
+        passed=report.passed,
+        max_ulp=report.worst / eps,
+        tol_ulp=report.tol / eps,
+        kappa=report.kappa,
+        detail=f"backward error {report.worst:.2e} (tol {report.tol:.2e})",
+    )
+
+
+#: oracle registry, in cost order (cheapest first)
+ORACLES = {
+    "residual": residual_oracle,
+    "backend": backend_oracle,
+    "version": version_oracle,
+    "iterative": iterative_oracle,
+}
+
+
+def run_oracles(
+    spec,
+    version: int = 2,
+    backend: str = "vectorized",
+    dtype=np.float64,
+    batch: int = 8,
+    seed: int = 0,
+    tol_factor: float = DEFAULT_TOL_FACTOR,
+    oracles=None,
+) -> list[OracleResult]:
+    """Run a set of oracles on one configuration.
+
+    *oracles* is an iterable of registry names (default: all of
+    :data:`ORACLES`).  ``version`` parameterizes the backend / iterative /
+    residual oracles; the version oracle always compares v{0,1,2} against
+    each other and ignores it.  Returns one :class:`OracleResult` per
+    oracle, in registry order.
+    """
+    names = list(ORACLES) if oracles is None else list(oracles)
+    unknown = [name for name in names if name not in ORACLES]
+    if unknown:
+        raise ValueError(f"unknown oracles {unknown}; available: {list(ORACLES)}")
+    common = dict(dtype=dtype, batch=batch, seed=seed, tol_factor=tol_factor)
+    results = []
+    for name in names:
+        if name == "backend":
+            results.append(backend_oracle(spec, version=version, **common))
+        elif name == "version":
+            results.append(version_oracle(spec, backend=backend, **common))
+        else:
+            results.append(
+                ORACLES[name](spec, version=version, backend=backend, **common)
+            )
+    return results

@@ -1,8 +1,13 @@
 """Shared fixtures for the test suite.
 
-The random-matrix generators live in :mod:`repro.testing` so they can be
-imported unambiguously from both ``tests/`` and ``benchmarks/``; they are
-re-exported here for convenience.
+The random-matrix generators, the verify-case sampler and the timing
+helper live in :mod:`repro.testing` so they can be imported unambiguously
+from both ``tests/`` and ``benchmarks/``; they are re-exported here for
+convenience.
+
+``--regen-golden`` rewrites the checked-in golden fixtures under
+``tests/golden/`` instead of comparing against them (the regenerating
+tests then skip, so a regen run cannot silently "pass").
 """
 
 from __future__ import annotations
@@ -11,15 +16,50 @@ import numpy as np
 import pytest
 
 from repro.testing import (  # noqa: F401 — re-exported for test modules
+    VerifyCase,
     random_banded,
     random_general,
     random_spd_banded,
     random_spd_tridiagonal,
+    random_verify_cases,
     rng_for,
+    timing_tolerance,
     tridiagonal_to_dense,
 )
+
+#: property-based oracle cases; sampled once per run from a fixed seed so
+#: every test sees the identical case list and pytest IDs stay stable
+VERIFY_CASES = random_verify_cases(count=100)
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden fixtures under tests/golden/ and skip "
+        "the comparisons",
+    )
+
+
+def pytest_generate_tests(metafunc: pytest.Metafunc) -> None:
+    if "verify_case" in metafunc.fixturenames:
+        metafunc.parametrize(
+            "verify_case", VERIFY_CASES, ids=[c.label for c in VERIFY_CASES]
+        )
+    if "verify_case_sparse" in metafunc.fixturenames:
+        # every 10th case: the expensive (Krylov-replay) oracle subset
+        subset = VERIFY_CASES[::10]
+        metafunc.parametrize(
+            "verify_case_sparse", subset, ids=[c.label for c in subset]
+        )
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     return rng_for(12345)
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--regen-golden"))

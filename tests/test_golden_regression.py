@@ -1,0 +1,106 @@
+"""Golden regression fixtures: Table I classification and reference solves.
+
+Two checked-in ``.npz`` fixtures under ``tests/golden/`` pin behaviour
+that every other test only checks *internally consistent*:
+
+* ``classification.npz`` — the Table I solver selected for each paper
+  configuration (and clamped variants) at two sizes.  Catches silent
+  classification drift, which would re-route solves to a different
+  LAPACK path without failing any numerical test.
+* ``reference_solves.npz`` — right-hand sides and float64 coefficients
+  for a spread of small configurations.  Catches any change to the
+  computed numbers themselves, with a condition-aware tolerance so
+  legitimate cross-BLAS rounding differences don't trip it.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_regression.py --regen-golden
+
+The regenerating run skips the comparisons, so it cannot silently pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.builder.builder import SplineBuilder
+from repro.core.spec import BSplineSpec, paper_configurations
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+_CLASSIFY_SIZES = (16, 48)
+
+#: the reference-solve configurations: every degree, both boundaries,
+#: uniform and non-uniform meshes, at small (fast, checked-in) sizes
+_SOLVE_SPECS = (
+    BSplineSpec(degree=3, n_points=24),
+    BSplineSpec(degree=4, n_points=28, uniform=False),
+    BSplineSpec(degree=5, n_points=32),
+    BSplineSpec(degree=4, n_points=30),
+    BSplineSpec(degree=3, n_points=20, boundary="clamped"),
+    BSplineSpec(degree=5, n_points=26, uniform=False, boundary="clamped"),
+)
+
+
+def _classification_rows():
+    rows = []
+    for n in _CLASSIFY_SIZES:
+        for spec in paper_configurations(n):
+            rows.append((f"{spec.label} n={n}", SplineBuilder(spec).solver_name))
+        for degree in (3, 4, 5):
+            spec = BSplineSpec(degree=degree, n_points=n, boundary="clamped")
+            rows.append((f"clamped deg={degree} n={n}", SplineBuilder(spec).solver_name))
+    return rows
+
+
+def test_table1_classification_golden(regen_golden):
+    path = GOLDEN_DIR / "classification.npz"
+    rows = _classification_rows()
+    labels = np.array([label for label, _ in rows])
+    solvers = np.array([solver for _, solver in rows])
+    if regen_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        np.savez_compressed(path, labels=labels, solvers=solvers)
+        pytest.skip("regenerated golden classification table")
+    assert path.exists(), "golden fixture missing; run with --regen-golden"
+    stored = np.load(path)
+    assert list(stored["labels"]) == list(labels)
+    mismatches = [
+        f"{label}: {got} (golden {want})"
+        for label, got, want in zip(labels, solvers, stored["solvers"])
+        if got != want
+    ]
+    assert not mismatches, "Table I classification drifted:\n" + "\n".join(mismatches)
+
+
+def test_reference_solves_golden(regen_golden):
+    path = GOLDEN_DIR / "reference_solves.npz"
+    if regen_golden:
+        data = {}
+        for index, spec in enumerate(_SOLVE_SPECS):
+            builder = SplineBuilder(spec, version=2)
+            rng = np.random.default_rng(100 + index)
+            rhs = rng.standard_normal((builder.n, 4))
+            data[f"rhs_{index}"] = rhs
+            data[f"coef_{index}"] = builder.solve(rhs)
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        np.savez_compressed(path, **data)
+        pytest.skip("regenerated golden reference solves")
+    assert path.exists(), "golden fixture missing; run with --regen-golden"
+    stored = np.load(path)
+    from repro.verify import condest_from_solver
+
+    for index, spec in enumerate(_SOLVE_SPECS):
+        builder = SplineBuilder(spec, version=2)
+        rhs = stored[f"rhs_{index}"]
+        want = stored[f"coef_{index}"]
+        got = builder.solve(rhs)
+        # Condition-aware forward bound: two correct solves (this BLAS vs
+        # the recording BLAS) agree to O(κ ε) relative, normwise.
+        kappa = condest_from_solver(builder.solver)
+        tol = 64.0 * kappa * np.finfo(np.float64).eps
+        scale = np.max(np.abs(want))
+        assert np.max(np.abs(got - want)) <= tol * scale, spec
