@@ -97,7 +97,9 @@ class WoodburySolver:
                 f"matrix size {self.n}"
             )
         self.b_plan.solve(b)  # y = B⁻¹ b
-        t = np.ascontiguousarray(self.v.T @ b)  # Vᵀ y
+        # Batch-width-invariant reduction (see kbatched.gemv): keeps column
+        # shards of a batch bitwise equal to the full-batch solve.
+        t = np.einsum("ik,kj->ij", self.v.T, b, optimize=False)  # Vᵀ y
         self.cap_plan.solve(t)  # C z = Vᵀ y
         b -= self.w @ t  # x = y − W̃ z
         return b

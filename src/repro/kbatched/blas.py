@@ -60,13 +60,25 @@ def gemv(
     case the product broadcasts across the batch axis, which is how the
     dense corner-block updates of the *fused* builder version are applied
     to all right-hand sides at once.
+
+    The block case deliberately avoids BLAS ``@``: GEMM picks its blocking
+    (and therefore its reduction order over ``k``) from the batch width, so
+    the same column solved inside a wider batch can differ by an ulp.  The
+    non-optimized einsum reduces ``k`` in a fixed order per output element
+    regardless of batch width, which is what lets the process-sharded
+    executor split a batch column-wise and still gather bitwise-identical
+    coefficients.  At corner-block shapes (a few rows, huge batch) both are
+    memory-bound, so the swap costs ~nothing.
     """
     opa = _op(a, trans)
     if x.shape[0] != opa.shape[1] or y.shape[0] != opa.shape[0]:
         raise ShapeError(
             f"gemv shape mismatch: op(A){opa.shape} x{x.shape} y{y.shape}"
         )
-    prod = opa @ x
+    if x.ndim == 2:
+        prod = np.einsum("ik,kj->ij", opa, x, optimize=False)
+    else:
+        prod = opa @ x
     if beta == 0.0:
         np.multiply(prod, alpha, out=y)
     else:

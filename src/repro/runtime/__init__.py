@@ -17,9 +17,14 @@ puts in front of the solver stack:
   executor tying the two together, with backpressure (block / reject),
   per-request deadlines, retry-once fallback, a synchronous
   ``submit().result()`` API and a bulk ``map_batches`` API;
+* :class:`~repro.runtime.sharded.ShardedExecutor` /
+  :mod:`repro.runtime.shm` — the ``executor="processes"`` backend: a
+  persistent worker-process pool that column-shards each batch through
+  pooled shared-memory segments, scaling a *single* batch past the GIL
+  with bitwise-identical results;
 * :class:`~repro.runtime.telemetry.Telemetry` — plan hits/misses,
   coalesced batch widths, queue depth and p50/p99 latency, exportable as
-  a dict or a paper-style ASCII table.
+  a dict or a paper-style ASCII table, mergeable across worker processes.
 
 Quickstart::
 
@@ -42,7 +47,15 @@ from repro.runtime.engine import (
     SolveEngine,
 )
 from repro.runtime.plan_cache import DEFAULT_MAX_PLANS, PlanCache, PlanKey
-from repro.runtime.telemetry import DEFAULT_MAX_SAMPLES, Telemetry, merged_counter
+from repro.runtime.sharded import ShardedExecutor, WorkerError
+from repro.runtime.shm import SharedBlock, SharedBlockPool
+from repro.runtime.telemetry import (
+    DEFAULT_MAX_SAMPLES,
+    Telemetry,
+    merge_snapshots,
+    merged_counter,
+    render_snapshot,
+)
 
 __all__ = [
     "SolveEngine",
@@ -56,7 +69,13 @@ __all__ = [
     "RequestCoalescer",
     "CoalescedBatch",
     "SolveRequest",
+    "ShardedExecutor",
+    "WorkerError",
+    "SharedBlock",
+    "SharedBlockPool",
     "Telemetry",
     "merged_counter",
+    "merge_snapshots",
+    "render_snapshot",
     "DEFAULT_MAX_SAMPLES",
 ]

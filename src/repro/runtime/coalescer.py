@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional
 
 import numpy as np
 
@@ -85,9 +86,21 @@ class CoalescedBatch:
     def n(self) -> int:
         return self.requests[0].n
 
-    def assemble(self, dtype) -> np.ndarray:
-        """Gather all request columns into one contiguous ``(n, B)`` block."""
-        block = np.empty((self.n, self.cols), dtype=dtype, order="C")
+    def assemble(self, dtype, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather all request columns into one contiguous ``(n, B)`` block.
+
+        With *out* (e.g. a shared-memory view) the gather writes there
+        instead of allocating; its shape and dtype must match exactly.
+        """
+        if out is not None:
+            if out.shape != (self.n, self.cols) or out.dtype != np.dtype(dtype):
+                raise ShapeError(
+                    f"assemble target {out.shape}/{out.dtype} does not match "
+                    f"({self.n}, {self.cols})/{np.dtype(dtype)}"
+                )
+            block = out
+        else:
+            block = np.empty((self.n, self.cols), dtype=dtype, order="C")
         offset = 0
         for req in self.requests:
             cols = req.rhs if req.rhs.ndim == 2 else req.rhs[:, None]
@@ -96,10 +109,15 @@ class CoalescedBatch:
         return block
 
     def scatter(self, block: np.ndarray) -> None:
-        """Slice the solved block back per request and resolve the futures."""
+        """Slice the solved block back per request and resolve the futures.
+
+        Always copies: *block* may be a recycled buffer (a pooled
+        shared-memory segment under the process-sharded executor), so a
+        request must never receive a view into it.
+        """
         offset = 0
         for req in self.requests:
-            out = np.ascontiguousarray(block[:, offset : offset + req.cols])
+            out = np.array(block[:, offset : offset + req.cols], order="C", copy=True)
             offset += req.cols
             if not req.future.set_running_or_notify_cancel():
                 continue  # caller cancelled while we were solving
@@ -137,7 +155,10 @@ class RequestCoalescer:
         self.max_batch = int(max_batch)
         self.max_linger = float(max_linger)
         self._lock = threading.Lock()
-        self._pending: List[SolveRequest] = []
+        # A deque: add() appends right, _cut_locked pops left.  A burst
+        # flush drains B requests in O(B); a list's pop(0) made the same
+        # drain O(B^2), which dominated wall time under burst load.
+        self._pending: Deque[SolveRequest] = deque()
         self._pending_cols = 0
 
     @property
@@ -153,26 +174,33 @@ class RequestCoalescer:
             req = self._pending[0]
             if taken and cols + req.cols > self.max_batch:
                 break
-            taken.append(self._pending.pop(0))
+            taken.append(self._pending.popleft())
             cols += req.cols
             if cols >= self.max_batch:
                 break
         self._pending_cols -= cols
         return CoalescedBatch(taken)
 
-    def add(self, request: SolveRequest) -> Optional[CoalescedBatch]:
-        """Buffer *request*; return a batch when the buffer reaches a full one."""
+    def add(self, request: SolveRequest) -> List[CoalescedBatch]:
+        """Buffer *request*; return every full batch this made cuttable.
+
+        A single wide request can push ``pending_cols`` past several
+        multiples of ``max_batch`` at once, so the cut loops until the
+        buffer is below threshold again — cutting just one batch would
+        leave *full* batches stranded behind the linger timer.
+        """
         if request.n != self.n:
             raise ShapeError(
                 f"right-hand side leading extent {request.n} does not match "
                 f"the coalescer's {self.n}"
             )
+        batches: List[CoalescedBatch] = []
         with self._lock:
             self._pending.append(request)
             self._pending_cols += request.cols
-            if self._pending_cols >= self.max_batch:
-                return self._cut_locked()
-        return None
+            while self._pending_cols >= self.max_batch:
+                batches.append(self._cut_locked())
+        return batches
 
     def poll(self, now: Optional[float] = None) -> Optional[CoalescedBatch]:
         """Cut a partial batch when the oldest request has lingered too long."""
@@ -189,8 +217,8 @@ class RequestCoalescer:
         with self._lock:
             if not self._pending:
                 return None
-            batch = CoalescedBatch(self._pending)
-            self._pending = []
+            batch = CoalescedBatch(list(self._pending))
+            self._pending.clear()
             self._pending_cols = 0
             return batch
 

@@ -16,7 +16,11 @@ and right-hand sides; the engine
    or ``"reject"`` when the in-flight column budget is exhausted),
    per-request deadlines, and one retry that falls back to per-request
    solves so a single poisoned right-hand side cannot fail a whole batch;
-4. counts everything in :class:`~repro.runtime.telemetry.Telemetry`.
+4. with ``executor="processes"``, column-shards every batch across a
+   persistent :class:`~repro.runtime.sharded.ShardedExecutor` worker-
+   process pool through shared memory, putting multiple cores behind a
+   *single* batch (bitwise identical to the thread path);
+5. counts everything in :class:`~repro.runtime.telemetry.Telemetry`.
 
 Two entry points::
 
@@ -53,6 +57,7 @@ __all__ = [
 ]
 
 _BACKPRESSURE_POLICIES = ("block", "reject")
+_EXECUTORS = ("threads", "processes")
 
 
 class BackpressureError(ReproError, RuntimeError):
@@ -79,7 +84,17 @@ class EngineConfig:
         Seconds a lone request may wait for batch-mates before a partial
         batch is cut (the latency/throughput trade-off knob).
     num_workers:
-        Threads solving batches concurrently.
+        Workers solving batches concurrently: threads under
+        ``executor="threads"``, worker *processes* (plus as many
+        orchestrating threads) under ``executor="processes"``.
+    executor:
+        ``"threads"`` — batches solve on the engine's thread pool, one
+        batch per thread (different batches overlap, one batch is one
+        core).  ``"processes"`` — each batch is additionally column-split
+        across a persistent :class:`~repro.runtime.sharded.ShardedExecutor`
+        worker-process pool through shared memory, so a single paper-scale
+        batch engages every worker past the GIL; results are bitwise
+        identical to the thread path.
     max_queue:
         In-flight column budget (buffered + solving, across all lanes);
         beyond it the *backpressure* policy applies.
@@ -115,6 +130,7 @@ class EngineConfig:
     max_batch: int = 256
     max_linger: float = 2e-3
     num_workers: int = 2
+    executor: str = "threads"
     max_queue: int = 65536
     backpressure: str = "block"
     submit_timeout: Optional[float] = None
@@ -133,6 +149,11 @@ class EngineConfig:
             raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
         if self.max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {_EXECUTORS}"
+            )
         if self.backpressure not in _BACKPRESSURE_POLICIES:
             raise ValueError(
                 f"unknown backpressure policy {self.backpressure!r}; "
@@ -209,6 +230,15 @@ class SolveEngine:
         self._capacity = threading.Condition()
         self._inflight_cols = 0
         self._closed = False
+        # The sharded worker pool forks/spawns before the engine's own
+        # threads exist, keeping the child processes clean of them.
+        self._sharded = None
+        if self.config.executor == "processes":
+            from repro.runtime.sharded import ShardedExecutor
+
+            self._sharded = ShardedExecutor(
+                num_workers=self.config.num_workers, telemetry=self.telemetry
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.num_workers,
             thread_name_prefix="repro-solve",
@@ -350,15 +380,26 @@ class SolveEngine:
         batch = CoalescedBatch(live)
         builder = self.plan_cache.builder(key)
         checker = None
+        lease = None
         try:
-            block = batch.assemble(builder.dtype)
+            if self._sharded is not None and batch.cols > 0:
+                # Assemble straight into a pooled shared segment: the
+                # workers solve their column shards in place there and
+                # the scatter below reads the very same buffer.
+                lease = self._sharded.lease((builder.n, batch.cols), builder.dtype)
+                block = batch.assemble(builder.dtype, out=lease.array)
+            else:
+                block = batch.assemble(builder.dtype)
             if self._should_verify():
                 checker = self._checker_for(key, builder)
             if checker is not None:
                 sample = self._sample_cols(block.shape[1])
                 ref = block[:, sample].copy()  # pre-solve right-hand sides
             with self.telemetry.span("engine.batch_solve"):
-                builder.solve(block, in_place=True)
+                if lease is not None:
+                    self._sharded.solve(key, lease)
+                else:
+                    builder.solve(block, in_place=True)
             if checker is not None:
                 self._verify_sample(checker, block[:, sample], ref)
             batch.scatter(block)
@@ -367,6 +408,8 @@ class SolveEngine:
             self.telemetry.incr("engine.batch_failures")
             self._retry_individually(builder, batch, exc, checker=checker)
         finally:
+            if lease is not None:
+                self._sharded.release(lease)
             done = time.perf_counter()
             for req in live:
                 self.telemetry.observe(
@@ -460,8 +503,10 @@ class SolveEngine:
         self._acquire(request.cols)
         self.telemetry.incr("engine.requests_submitted")
         lane = self._lane(key, builder.n)
-        batch = lane.coalescer.add(request)
-        if batch is not None:
+        # add() may cut several full batches at once (a wide request can
+        # cross multiple max_batch multiples); dispatch every one now so
+        # none waits out max_linger behind the flusher.
+        for batch in lane.coalescer.add(request):
             self._dispatch(key, batch)
         return request.future
 
@@ -512,12 +557,15 @@ class SolveEngine:
             sample = (
                 self._sample_cols(block.shape[1]) if checker is not None else None
             )
-            work = np.array(block, dtype=builder.dtype, copy=True, order="C")
             attempts = 1 + self.config.retries
             for attempt in range(attempts):
                 try:
-                    with self.telemetry.span("engine.batch_solve"):
-                        builder.solve(work, in_place=True)
+                    # First attempt rides the configured executor; retries
+                    # fall back to a local solve, mirroring the coalesced
+                    # path's per-request fallback.
+                    work = self._solve_block_copy(
+                        key, builder, block, sharded=attempt == 0
+                    )
                     if checker is not None:
                         # *block* is the caller's unmodified right-hand side.
                         self._verify_sample(
@@ -529,10 +577,27 @@ class SolveEngine:
                         self.telemetry.incr("engine.requests_failed")
                         raise
                     self.telemetry.incr("engine.request_retries")
-                    work = np.array(block, dtype=builder.dtype, copy=True, order="C")
             raise AssertionError("unreachable")  # pragma: no cover
         finally:
             self._release(block.shape[1])
+
+    def _solve_block_copy(
+        self, key: PlanKey, builder, block: np.ndarray, sharded: bool = True
+    ) -> np.ndarray:
+        """Cast-copy *block* and solve it, process-sharded when configured."""
+        if sharded and self._sharded is not None and block.shape[1] > 0:
+            lease = self._sharded.lease(block.shape, builder.dtype)
+            try:
+                np.copyto(lease.array, block, casting="unsafe")
+                with self.telemetry.span("engine.batch_solve"):
+                    self._sharded.solve(key, lease)
+                return np.array(lease.array, copy=True, order="C")
+            finally:
+                self._sharded.release(lease)
+        work = np.array(block, dtype=builder.dtype, copy=True, order="C")
+        with self.telemetry.span("engine.batch_solve"):
+            builder.solve(work, in_place=True)
+        return work
 
     def flush(self) -> None:
         """Dispatch every lingering partial batch right now."""
@@ -547,12 +612,25 @@ class SolveEngine:
         with self._capacity:
             return self._inflight_cols
 
+    def telemetry_snapshot(self, include_workers: bool = True) -> dict:
+        """The engine's telemetry as a dict; under ``executor="processes"``
+        the per-worker snapshots are merged in (:func:`merge_snapshots`),
+        so plan-cache and shard counters cover the whole fleet."""
+        snap = self.telemetry.snapshot()
+        if include_workers and self._sharded is not None:
+            from repro.runtime.telemetry import merge_snapshots
+
+            return merge_snapshots(snap, *self._sharded.worker_snapshots())
+        return snap
+
     def telemetry_report(self) -> str:
-        """The engine's telemetry as a paper-style ASCII table."""
-        return self.telemetry.render()
+        """The engine's (fleet-merged) telemetry as a paper-style table."""
+        from repro.runtime.telemetry import render_snapshot
+
+        return render_snapshot(self.telemetry_snapshot())
 
     def shutdown(self, wait: bool = True) -> None:
-        """Drain lingering batches, then stop the flusher and the pool."""
+        """Drain lingering batches, then stop the flusher, pool and workers."""
         if self._closed:
             return
         self._closed = True
@@ -560,6 +638,10 @@ class SolveEngine:
         self._flusher.join(timeout=1.0)
         self.flush()
         self._pool.shutdown(wait=wait)
+        if self._sharded is not None:
+            # After the thread pool drained no batch is mid-shard; the
+            # worker shutdown captures final telemetry then frees all shm.
+            self._sharded.shutdown()
 
     def __enter__(self) -> "SolveEngine":
         return self

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -114,6 +115,11 @@ class PlanCache:
         self.telemetry = telemetry
         self._lock = threading.RLock()
         self._plans: "OrderedDict[PlanKey, SplineBuilder]" = OrderedDict()
+        #: in-flight cold factorizations, one Future per key; concurrent
+        #: misses on the *same* key wait here, misses on *different* keys
+        #: factor concurrently because the factorization itself runs
+        #: outside the cache lock
+        self._building: Dict[PlanKey, Future] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -129,9 +135,14 @@ class PlanCache:
     ) -> SplineBuilder:
         """The cached builder for *key*, factoring it on first use.
 
-        The factorization (the default ``key.make_builder`` or the given
-        *factory*) runs under the cache lock, so concurrent first requests
-        for the same key pay exactly one factorization.
+        A cold miss factors *outside* the cache lock behind a per-key
+        once-:class:`Future`: hits on other keys (and cold misses on
+        *different* keys) proceed concurrently instead of convoying
+        behind a factorization that can take longer than thousands of
+        lookups, while duplicate misses on the same key wait on the one
+        in-flight factorization rather than repeating it.  A factory that
+        raises unblocks the waiters with the same exception and clears
+        the slot, so the next lookup retries.
         """
         with self._lock:
             cached = self._plans.get(key)
@@ -140,15 +151,40 @@ class PlanCache:
                 self.hits += 1
                 self._count("hits")
                 return cached
-            self.misses += 1
-            self._count("misses")
+            pending = self._building.get(key)
+            if pending is None:
+                # This caller leads the factorization for *key*.
+                pending = self._building[key] = Future()
+                leader = True
+                self.misses += 1
+                self._count("misses")
+            else:
+                # A duplicate miss: the factorization is already paid
+                # for, so it counts as a (delayed) hit.
+                leader = False
+                self.hits += 1
+                self._count("hits")
+        if not leader:
+            return pending.result()
+        try:
             built = (factory or key.make_builder)()
+        except BaseException as exc:
+            with self._lock:
+                self._building.pop(key, None)
+            pending.set_exception(exc)
+            raise
+        with self._lock:
+            # A put() may have landed while we factored; the freshly
+            # factored builder wins so leader and waiters agree.
             self._plans[key] = built
+            self._plans.move_to_end(key)
+            self._building.pop(key, None)
             while len(self._plans) > self.max_plans:
                 self._plans.popitem(last=False)
                 self.evictions += 1
                 self._count("evictions")
-            return built
+        pending.set_result(built)
+        return built
 
     def put(self, key: PlanKey, builder: SplineBuilder) -> None:
         """Adopt an externally factored builder (no-op if *key* is cached).

@@ -1,0 +1,430 @@
+"""Process-sharded batch execution — scaling the solve past the GIL.
+
+The engine's thread pool overlaps *different* batches, but a single
+coalesced ``(n, B)`` block is still solved by one Python thread: the
+solver stack is orchestrated in Python, so threads cannot put more than
+one core behind one batch.  Related 5-D/6-D semi-Lagrangian codes
+distribute exactly this workload over nodes and worker partitions; the
+:class:`ShardedExecutor` is the single-machine analogue:
+
+* a persistent pool of ``multiprocessing`` **worker processes**, each
+  holding its own :class:`~repro.runtime.plan_cache.PlanCache`-resident
+  factorization per :class:`~repro.runtime.plan_cache.PlanKey` (factor
+  once *per worker*, ever);
+* each ``(n, B)`` block is split **column-wise** with the same balanced
+  :class:`~repro.distributed.decompose.Decomposition` the distributed
+  layer uses for rank blocks — whole columns only, so every shard runs
+  the identical kernels on the identical values;
+* shards travel through pooled :mod:`multiprocessing.shared_memory`
+  segments (:mod:`repro.runtime.shm`): the parent assembles the batch
+  straight into the segment, workers attach by name and solve their
+  column range **in place**, and the parent scatters results out of the
+  same buffer — no right-hand-side bytes are ever pickled;
+* the gather is deterministic: shards write disjoint column ranges and
+  the parent waits for every shard's acknowledgement before touching the
+  block, so the coefficients are **bitwise identical** to the
+  single-process path (the batched kernels treat columns independently —
+  the same property the coalescer already relies on).
+
+Wire-up is one knob: ``SolveEngine(executor="processes", num_workers=4)``
+— ``submit()``, ``map_batches()``, ``SplineBuilder(engine=...)`` and
+``BatchedAdvection1D(engine=...)`` all route through the shards
+transparently, and per-worker :class:`~repro.runtime.telemetry.Telemetry`
+snapshots merge into the engine's fleet view.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.distributed.decompose import Decomposition
+from repro.exceptions import ReproError
+from repro.runtime import shm as shm_mod
+from repro.runtime.shm import SharedBlock, SharedBlockPool
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["ShardedExecutor", "ShmLease", "WorkerError", "DEFAULT_START_METHOD"]
+
+
+def _default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, inherits the loaded
+    solver stack), ``spawn`` otherwise."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+DEFAULT_START_METHOD = _default_start_method()
+
+_STOP = "stop"
+_SOLVE = "solve"
+_SNAPSHOT = "snapshot"
+_COLLECTOR_STOP = ("__collector_stop__", None, None)
+
+
+class WorkerError(ReproError, RuntimeError):
+    """A worker process failed (or died) while solving a shard."""
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """An exception safe to send over a result queue."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return WorkerError(f"{type(exc).__name__}: {exc}")
+
+
+class _AttachCache:
+    """Worker-side cache of attached segments, bounded and name-keyed.
+
+    The parent recreates (renames) a pooled segment when it grows, so
+    stale names must eventually be let go; a small LRU bound keeps the
+    worker's open-handle count proportional to the parent's pool.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        self.max_entries = max_entries
+        self._open: Dict[str, object] = {}
+
+    def buf(self, name: str) -> memoryview:
+        seg = self._open.pop(name, None)
+        if seg is None:
+            seg = shm_mod.attach(name)
+        self._open[name] = seg  # re-insert: dict order is the LRU order
+        while len(self._open) > self.max_entries:
+            stale_name, old = next(iter(self._open.items()))
+            del self._open[stale_name]
+            try:
+                old.close()
+            except BufferError:  # an ndarray still references the mmap
+                pass
+        return seg.buf
+
+    def close(self) -> None:
+        for seg in self._open.values():
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self._open.clear()
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    """One worker process: attach, factor-once per key, solve shards.
+
+    Runs until a ``stop`` message.  Every solve acknowledges on the
+    result queue (success or portable exception); the parent's gather
+    waits on those acks, which is what makes the column-sharded solve
+    deterministic.
+    """
+    # The parent handles interrupts and shuts workers down explicitly; a
+    # Ctrl-C during tests must not kill a shard mid-write.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    from repro.runtime.plan_cache import PlanCache
+
+    telemetry = Telemetry()
+    cache = PlanCache(telemetry=telemetry)
+    segments = _AttachCache()
+    try:
+        while True:
+            message = task_q.get()
+            kind = message[0]
+            if kind == _STOP:
+                result_q.put((message[1], "ok", telemetry.snapshot()))
+                break
+            if kind == _SNAPSHOT:
+                result_q.put((message[1], "ok", telemetry.snapshot()))
+                continue
+            task_id, key, seg_name, shape, dtype_name, col0, col1 = message[1:]
+            try:
+                _solve_shard(
+                    cache, telemetry, segments, key, seg_name, shape,
+                    dtype_name, col0, col1,
+                )
+                result_q.put((task_id, "ok", None))
+            except BaseException as exc:  # noqa: BLE001 - ship to parent
+                telemetry.incr("worker.shard_failures")
+                result_q.put((task_id, "err", _portable_exception(exc)))
+    finally:
+        segments.close()
+
+
+def _solve_shard(
+    cache, telemetry, segments, key, seg_name, shape, dtype_name, col0, col1
+) -> None:
+    """Solve one column shard in place in the named shared segment.
+
+    A separate function so the ndarray over the segment's buffer dies
+    with the call — a lingering reference would make the attach cache's
+    eviction a :class:`BufferError`.
+    """
+    block = np.ndarray(
+        shape, dtype=np.dtype(dtype_name), buffer=segments.buf(seg_name)
+    )
+    builder = cache.builder(key)
+    telemetry.incr("worker.shards_solved")
+    telemetry.observe("worker.shard_cols", col1 - col0)
+    with telemetry.span("worker.shard_solve"):
+        builder.solve(block[:, col0:col1], in_place=True)
+
+
+class ShmLease:
+    """A leased shared block viewed as an ``(n, B)`` ndarray.
+
+    ``array`` is writable by the parent (assemble/scatter) and by every
+    worker holding a shard of it; ``name`` is what ships to workers.
+    The lease must be released back to its executor exactly once.
+    """
+
+    __slots__ = ("block", "array")
+
+    def __init__(self, block: SharedBlock, shape, dtype) -> None:
+        self.block = block
+        self.array = np.ndarray(shape, dtype=dtype, buffer=block.buf)
+
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+
+class ShardedExecutor:
+    """Persistent worker-process pool solving column shards of batches.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes (and the widest column split of one block).
+    telemetry:
+        Parent-side :class:`Telemetry` for shard accounting; worker-side
+        telemetry lives in the workers and merges on demand.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` when available.
+    pool_blocks:
+        Shared-memory segments kept warm; bounds concurrently in-flight
+        blocks (default ``num_workers`` — the engine's own thread bound).
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        telemetry: Optional[Telemetry] = None,
+        start_method: Optional[str] = None,
+        pool_blocks: Optional[int] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        ctx = mp.get_context(start_method or DEFAULT_START_METHOD)
+        self._tasks = [ctx.Queue() for _ in range(self.num_workers)]
+        self._results = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(rank, self._tasks[rank], self._results),
+                name=f"repro-shard-{rank}",
+                daemon=True,
+            )
+            for rank in range(self.num_workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._pool = SharedBlockPool(
+            blocks=pool_blocks if pool_blocks is not None else self.num_workers
+        )
+        self._lock = threading.Lock()
+        self._pending: Dict[int, Future] = {}
+        self._next_id = 0
+        self._closed = False
+        self._final_snapshots: List[dict] = []
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-shard-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- result plumbing -------------------------------------------------
+
+    def _collect_loop(self) -> None:
+        while True:
+            task_id, status, payload = self._results.get()
+            if task_id == _COLLECTOR_STOP[0]:
+                return
+            with self._lock:
+                fut = self._pending.pop(task_id, None)
+            if fut is None:  # pragma: no cover - late ack after failure
+                continue
+            if status == "ok":
+                fut.set_result(payload)
+            else:
+                fut.set_exception(payload)
+
+    def _issue(self, rank: int, message_tail: tuple, kind: str = _SOLVE) -> Future:
+        with self._lock:
+            if self._closed:
+                raise WorkerError("sharded executor is shut down")
+            task_id = self._next_id
+            self._next_id += 1
+            fut: Future = Future()
+            self._pending[task_id] = fut
+        self._tasks[rank].put((kind, task_id) + message_tail)
+        return fut
+
+    def _await(self, fut: Future, what: str):
+        """Wait on *fut*, watching worker liveness so a dead process
+        surfaces as :class:`WorkerError` instead of a silent hang."""
+        while True:
+            try:
+                return fut.result(timeout=1.0)
+            except FutureTimeoutError:
+                dead = [p.name for p in self._procs if not p.is_alive()]
+                if dead and not self._closed:
+                    self._fail_pending(
+                        WorkerError(f"worker process died during {what}: {dead}")
+                    )
+                    return fut.result(timeout=0)
+
+    def _fail_pending(self, exc: BaseException) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        for fut in pending.values():
+            if not fut.done():
+                fut.set_exception(exc)
+
+    # -- leases ----------------------------------------------------------
+
+    def lease(self, shape, dtype) -> ShmLease:
+        """A pooled shared block viewed as ``shape``/*dtype* (blocking)."""
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        return ShmLease(self._pool.acquire(nbytes), shape, np.dtype(dtype))
+
+    def release(self, lease: ShmLease) -> None:
+        self._pool.release(lease.block)
+
+    # -- the sharded solve ----------------------------------------------
+
+    def solve(self, key, lease: ShmLease) -> None:
+        """Solve ``lease.array`` in place, column-sharded over the workers.
+
+        Shard *r* of the balanced decomposition goes to worker *r*; the
+        call returns only after every shard acknowledged, so the block is
+        fully solved (and safe to scatter) on return.  If any shard
+        failed, the first failure is re-raised — after all acks, so no
+        worker is still writing into the lease.
+        """
+        n, cols = lease.array.shape
+        if cols == 0:
+            return
+        ranks = min(self.num_workers, cols)
+        decomp = Decomposition(extent=cols, ranks=ranks)
+        self.telemetry.incr("sharded.blocks")
+        self.telemetry.observe("sharded.shards_per_block", ranks)
+        shape = tuple(int(s) for s in lease.array.shape)
+        dtype_name = lease.array.dtype.name
+        futures = []
+        failure: Optional[BaseException] = None
+        with self.telemetry.span("sharded.solve"):
+            for rank in range(ranks):
+                col0, col1 = decomp.bounds(rank)
+                self.telemetry.observe("sharded.shard_cols", col1 - col0)
+                try:
+                    futures.append(
+                        self._issue(
+                            rank, (key, lease.name, shape, dtype_name, col0, col1)
+                        )
+                    )
+                except BaseException as exc:  # noqa: BLE001 - drain first
+                    failure = exc
+                    break
+            # Wait for every issued shard even on failure: the lease must
+            # not be recycled while a worker can still write into it.
+            for fut in futures:
+                try:
+                    self._await(fut, "a shard solve")
+                except BaseException as exc:  # noqa: BLE001 - re-raise below
+                    failure = failure or exc
+        if failure is not None:
+            raise failure
+
+    # -- telemetry and lifecycle ----------------------------------------
+
+    def worker_snapshots(self, timeout: float = 10.0) -> List[dict]:
+        """Every worker's :meth:`Telemetry.snapshot`, gathered in rank order.
+
+        After :meth:`shutdown` this returns the final snapshots captured
+        while the workers drained, so post-mortem merges keep working.
+        """
+        with self._lock:
+            closed = self._closed
+        if closed:
+            return list(self._final_snapshots)
+        futures = [
+            self._issue(rank, (), kind=_SNAPSHOT)
+            for rank in range(self.num_workers)
+        ]
+        return [fut.result(timeout=timeout) for fut in futures]
+
+    def alive(self) -> bool:
+        return not self._closed and all(p.is_alive() for p in self._procs)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop workers (capturing their final telemetry), free all shm."""
+        with self._lock:
+            if self._closed:
+                return
+        # The stop message doubles as the final snapshot request.
+        finals = []
+        try:
+            finals = [
+                self._issue(rank, (), kind=_STOP)
+                for rank in range(self.num_workers)
+                if self._procs[rank].is_alive()
+            ]
+        except WorkerError:  # pragma: no cover - raced with failure
+            pass
+        deadline = time.perf_counter() + timeout
+        for fut in finals:
+            try:
+                self._final_snapshots.append(
+                    fut.result(timeout=max(0.1, deadline - time.perf_counter()))
+                )
+            except Exception:  # pragma: no cover - worker died mid-stop
+                pass
+        with self._lock:
+            self._closed = True
+        self._fail_pending(WorkerError("sharded executor shut down"))
+        for proc in self._procs:
+            proc.join(timeout=max(0.1, deadline - time.perf_counter()))
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._results.put(_COLLECTOR_STOP)
+        self._collector.join(timeout=2.0)
+        self._pool.close()
+        for q in self._tasks:
+            q.close()
+        self._results.close()
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedExecutor(workers={self.num_workers}, "
+            f"alive={sum(p.is_alive() for p in self._procs)}, "
+            f"closed={self._closed})"
+        )

@@ -1,0 +1,198 @@
+"""Shared-memory block transport for the sharded executor.
+
+The process-sharded backend must move ``(n, B)`` right-hand-side blocks
+between the parent and its worker processes without pickling them — at
+the paper's widths (matrix ~1000, batch 1e5) a pickled batch would cost
+more than the solve it carries.  Instead the parent owns a small pool of
+:mod:`multiprocessing.shared_memory` segments; a batch is assembled
+directly into a pooled segment, workers attach by name and solve their
+column shard *in place*, and the parent reads the coefficients out of the
+very same buffer.  One logical copy in (the assemble/gather the thread
+path also pays), zero copies across the process boundary.
+
+Two wrinkles this module hides:
+
+* **Resource tracking.**  On CPython < 3.13 attaching to an existing
+  segment (``SharedMemory(name=...)``) *also* registers it with the
+  attaching process's resource tracker, so a worker exiting would unlink
+  a segment the parent still owns.  :func:`attach` suppresses that
+  registration; only the creating :class:`SharedBlock` ever unlinks.
+* **Reuse and growth.**  Segments cannot be resized, so a
+  :class:`SharedBlock` whose capacity is exceeded is unlinked and
+  recreated (with a fresh name) at the larger size; the
+  :class:`SharedBlockPool` hands blocks out round-robin under a condition
+  variable so steady-state traffic recycles warm segments instead of
+  allocating per batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = ["SharedBlock", "SharedBlockPool", "attach", "DEFAULT_POOL_BLOCKS"]
+
+#: default number of pooled segments — one per concurrently solving batch
+DEFAULT_POOL_BLOCKS = 2
+
+
+class ShmError(ReproError, RuntimeError):
+    """A shared-memory segment could not be created, grown or attached."""
+
+
+def attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifetime.
+
+    The attaching process must *never* unlink the segment — that right
+    stays with the creating :class:`SharedBlock` — but CPython < 3.13
+    registers every attachment with the resource tracker.  Under the
+    ``fork`` start method parent and workers *share* one tracker process,
+    so an attach-then-unregister in a worker would strip the parent's own
+    registration; instead the registration is suppressed for the duration
+    of the attach.  Python 3.13+ exposes the same intent as
+    ``track=False``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(res_name, rtype):  # pragma: no cover - trivial
+        if rtype != "shared_memory":
+            original(res_name, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedBlock:
+    """One owned shared-memory segment, growable by recreation.
+
+    Only the parent process constructs these; workers see the segment
+    through :func:`attach` by ``name``.  Because growth replaces the
+    segment (and its name), consumers must re-read :attr:`name` after
+    every :meth:`ensure`.
+    """
+
+    __slots__ = ("_shm",)
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes < 1:
+            raise ValueError(f"a shared block needs >= 1 byte, got {nbytes}")
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(create=True, size=int(nbytes))
+        )
+
+    @property
+    def name(self) -> str:
+        if self._shm is None:
+            raise ShmError("shared block already closed")
+        return self._shm.name
+
+    @property
+    def buf(self) -> memoryview:
+        if self._shm is None:
+            raise ShmError("shared block already closed")
+        return self._shm.buf
+
+    @property
+    def capacity(self) -> int:
+        return 0 if self._shm is None else self._shm.size
+
+    def ensure(self, nbytes: int) -> "SharedBlock":
+        """Guarantee at least *nbytes* of capacity, recreating if needed."""
+        if self._shm is None:
+            raise ShmError("shared block already closed")
+        if nbytes > self._shm.size:
+            self.close()
+            # Grow past the request so a streak of slightly-larger
+            # batches does not recreate the segment every time.
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=int(nbytes + (nbytes >> 2))
+            )
+        return self
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class SharedBlockPool:
+    """A bounded, recycling pool of :class:`SharedBlock` segments.
+
+    ``acquire`` blocks until a segment is free (the pool size bounds how
+    many batches can be in flight through shared memory at once, which
+    the engine already bounds by its thread count), grows the segment to
+    the requested capacity, and hands it out; ``release`` returns it for
+    the next batch, still warm in the page cache.
+    """
+
+    def __init__(self, blocks: int = DEFAULT_POOL_BLOCKS, initial_bytes: int = 1) -> None:
+        if blocks < 1:
+            raise ValueError(f"pool needs >= 1 block, got {blocks}")
+        self.blocks = int(blocks)
+        self._free: List[SharedBlock] = [
+            SharedBlock(max(1, int(initial_bytes))) for _ in range(self.blocks)
+        ]
+        self._lent = 0
+        self._cv = threading.Condition()
+        self._closed = False
+
+    def acquire(self, nbytes: int) -> SharedBlock:
+        with self._cv:
+            while not self._free:
+                if self._closed:
+                    raise ShmError("shared block pool is closed")
+                self._cv.wait()
+            if self._closed:
+                raise ShmError("shared block pool is closed")
+            block = self._free.pop()
+            self._lent += 1
+        try:
+            return block.ensure(max(1, int(nbytes)))
+        except BaseException:
+            self.release(block)
+            raise
+
+    def release(self, block: SharedBlock) -> None:
+        with self._cv:
+            self._lent -= 1
+            if self._closed:
+                block.close()
+            else:
+                self._free.append(block)
+            self._cv.notify()
+
+    def close(self) -> None:
+        """Unlink every pooled segment; outstanding leases unlink on release."""
+        with self._cv:
+            self._closed = True
+            for block in self._free:
+                block.close()
+            self._free.clear()
+            self._cv.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._cv:
+            return (
+                f"SharedBlockPool(blocks={self.blocks}, free={len(self._free)}, "
+                f"lent={self._lent}, closed={self._closed})"
+            )

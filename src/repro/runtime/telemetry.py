@@ -29,7 +29,13 @@ import numpy as np
 
 from repro.bench.report import Table
 
-__all__ = ["Telemetry", "merged_counter", "DEFAULT_MAX_SAMPLES"]
+__all__ = [
+    "Telemetry",
+    "merged_counter",
+    "merge_snapshots",
+    "render_snapshot",
+    "DEFAULT_MAX_SAMPLES",
+]
 
 #: samples retained per series; older observations only survive in the
 #: running count/sum/min/max aggregates
@@ -55,20 +61,29 @@ class _Series:
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
 
-    def quantile(self, q: float) -> float:
-        if not self.samples:
+    def snapshot_samples(self) -> np.ndarray:
+        """The current reservoir as an array (call under the owning lock)."""
+        return np.fromiter(self.samples, dtype=float, count=len(self.samples))
+
+    @staticmethod
+    def quantile_of(samples: np.ndarray, q: float) -> float:
+        if samples.size == 0:
             return float("nan")
-        return float(np.quantile(np.fromiter(self.samples, dtype=float), q))
+        return float(np.quantile(samples, q))
+
+    def quantile(self, q: float) -> float:
+        return self.quantile_of(self.snapshot_samples(), q)
 
     def summary(self) -> Dict[str, float]:
         mean = self.total / self.count if self.count else float("nan")
+        samples = self.snapshot_samples()
         return {
             "count": self.count,
             "mean": mean,
             "min": self.minimum if self.count else float("nan"),
             "max": self.maximum if self.count else float("nan"),
-            "p50": self.quantile(0.50),
-            "p99": self.quantile(0.99),
+            "p50": self.quantile_of(samples, 0.50),
+            "p99": self.quantile_of(samples, 0.99),
         }
 
 
@@ -114,9 +129,15 @@ class Telemetry:
             return self._counters.get(name, 0)
 
     def quantile(self, name: str, q: float) -> float:
+        # The sample reservoir must be materialized *under* the lock: a
+        # concurrent observe() appending to the deque while np.fromiter
+        # walks it raises "deque mutated during iteration".
         with self._lock:
             series = self._series.get(name)
-        return series.quantile(q) if series is not None else float("nan")
+            if series is None:
+                return float("nan")
+            samples = series.snapshot_samples()
+        return _Series.quantile_of(samples, q)
 
     def snapshot(self) -> dict:
         """Everything as a plain dict: ``{"counters": ..., "series": ...}``."""
@@ -127,14 +148,7 @@ class Telemetry:
 
     def render(self, title: str = "Runtime engine telemetry") -> str:
         """Counters and series as one paper-style ASCII table."""
-        snap = self.snapshot()
-        table = Table(title, ["metric", "count", "mean", "p50", "p99", "max"])
-        for name in sorted(snap["counters"]):
-            table.add_row(name, snap["counters"][name], "", "", "", "")
-        for name in sorted(snap["series"]):
-            s = snap["series"][name]
-            table.add_row(name, s["count"], s["mean"], s["p50"], s["p99"], s["max"])
-        return table.render()
+        return render_snapshot(self.snapshot(), title)
 
     def reset(self) -> None:
         with self._lock:
@@ -149,7 +163,60 @@ class Telemetry:
             )
 
 
+def render_snapshot(snapshot: dict, title: str = "Runtime engine telemetry") -> str:
+    """A :meth:`Telemetry.snapshot`-shaped dict (possibly merged across
+    workers by :func:`merge_snapshots`) as one paper-style ASCII table."""
+    table = Table(title, ["metric", "count", "mean", "p50", "p99", "max"])
+    for name in sorted(snapshot.get("counters", {})):
+        table.add_row(name, snapshot["counters"][name], "", "", "", "")
+    for name in sorted(snapshot.get("series", {})):
+        s = snapshot["series"][name]
+        table.add_row(name, s["count"], s["mean"], s["p50"], s["p99"], s["max"])
+    return table.render()
+
+
 def merged_counter(snapshot: dict, *names: str) -> int:
     """Sum several counters out of a :meth:`Telemetry.snapshot` dict."""
     counters = snapshot.get("counters", {})
     return sum(int(counters.get(name, 0)) for name in names)
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Fold several :meth:`Telemetry.snapshot` dicts into one.
+
+    The sharded executor keeps one :class:`Telemetry` per worker process;
+    this merges their exported snapshots (plus the parent's) into a single
+    fleet view.  Counters add exactly (each name is summed across
+    snapshots with :func:`merged_counter`); series merge their exact
+    aggregates — count, count-weighted mean, min, max.  Quantiles cannot
+    be recovered from per-worker summaries, so a merged series keeps p50
+    and p99 only when exactly one contributing snapshot observed it, and
+    reports NaN otherwise.
+    """
+    names = []
+    for snap in snapshots:
+        for name in snap.get("counters", {}):
+            if name not in names:
+                names.append(name)
+    counters = {
+        name: sum(merged_counter(snap, name) for snap in snapshots)
+        for name in names
+    }
+    series: Dict[str, dict] = {}
+    for snap in snapshots:
+        for name, summ in snap.get("series", {}).items():
+            if int(summ.get("count", 0)) == 0:
+                continue
+            merged = series.get(name)
+            if merged is None:
+                series[name] = dict(summ)
+                continue
+            count = merged["count"] + summ["count"]
+            merged["mean"] = (
+                merged["mean"] * merged["count"] + summ["mean"] * summ["count"]
+            ) / count
+            merged["count"] = count
+            merged["min"] = min(merged["min"], summ["min"])
+            merged["max"] = max(merged["max"], summ["max"])
+            merged["p50"] = merged["p99"] = float("nan")
+    return {"counters": counters, "series": series}

@@ -1,0 +1,206 @@
+"""Concurrency hammer tests for the three runtime race fixes.
+
+Each test here failed (or stalled) before its fix and passes after:
+
+* ``Telemetry.quantile`` snapshotted the sample deque *outside* the lock,
+  so a concurrent ``observe`` raised ``RuntimeError: deque mutated during
+  iteration`` — hammered with 8 writer threads against quantile readers;
+* ``RequestCoalescer._cut_locked`` drained with ``list.pop(0)`` — O(B²)
+  per flush — asserted linear by comparing burst drain times;
+* one wide ``add()`` could leave a *full* batch stranded behind the
+  linger timer — asserted at the coalescer and at engine latency;
+* ``PlanCache.builder`` factored cold misses under the cache lock,
+  convoying hits on other keys — asserted with event-blocked factories.
+
+All tests carry the ``stress`` marker so CI can run them as a dedicated
+job under a hard timeout; they still run (briefly) in the default suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.spec import BSplineSpec
+from repro.runtime import (
+    PlanCache,
+    PlanKey,
+    RequestCoalescer,
+    SolveEngine,
+    SolveRequest,
+    Telemetry,
+)
+from repro.testing import timing_tolerance
+
+pytestmark = pytest.mark.stress
+
+
+def test_telemetry_quantile_survives_concurrent_observes():
+    """8 writers + readers for ~0.5 s: no 'deque mutated' RuntimeError."""
+    telemetry = Telemetry(max_samples=512)
+    stop = threading.Event()
+    errors = []
+
+    def write(seed: int) -> None:
+        i = 0
+        while not stop.is_set():
+            telemetry.observe("hammer.series", float(seed * 10_000 + i))
+            i += 1
+
+    def read() -> None:
+        while not stop.is_set():
+            try:
+                telemetry.quantile("hammer.series", 0.5)
+                telemetry.quantile("hammer.series", 0.99)
+                telemetry.snapshot()
+            except RuntimeError as exc:  # pragma: no cover - the old race
+                errors.append(exc)
+                return
+
+    writers = [threading.Thread(target=write, args=(s,)) for s in range(8)]
+    readers = [threading.Thread(target=read) for _ in range(2)]
+    for t in writers + readers:
+        t.start()
+    time.sleep(0.5)
+    stop.set()
+    for t in writers + readers:
+        t.join(timeout=10)
+    assert not errors, f"quantile raced with observe: {errors[0]!r}"
+    assert np.isfinite(telemetry.quantile("hammer.series", 0.5))
+
+
+def _burst_add_seconds(burst: int) -> float:
+    """Wall time to buffer *burst* single-column requests and flush them
+    as one batch — the drain the old ``pop(0)`` made quadratic."""
+    coalescer = RequestCoalescer(n=4, max_batch=burst, max_linger=10.0)
+    rhs = np.zeros(4)
+    requests = [SolveRequest(rhs) for _ in range(burst)]
+    t0 = time.perf_counter()
+    cut = []
+    for req in requests:
+        cut.extend(coalescer.add(req))
+    elapsed = time.perf_counter() - t0
+    assert len(cut) == 1 and cut[0].cols == burst
+    return elapsed
+
+
+def test_coalescer_burst_drain_is_linear():
+    """4x the burst must cost ~4x the time, not ~16x (old O(B²) drain)."""
+    _burst_add_seconds(1_000)  # warm allocators / JIT-ish caches
+    small = min(_burst_add_seconds(2_000) for _ in range(3))
+    large = min(_burst_add_seconds(8_000) for _ in range(3))
+    # linear => ratio ~4; the old quadratic drain measured ~16.
+    assert large / small < 8.0 * timing_tolerance(1.0), (
+        f"burst drain scaled superlinearly: {small * 1e3:.2f} ms @ 2k vs "
+        f"{large * 1e3:.2f} ms @ 8k"
+    )
+
+
+def test_wide_add_cuts_every_full_batch():
+    """A wide add() past 2x max_batch returns *all* cuttable batches;
+    the old single cut stranded a full batch behind the linger timer."""
+    coalescer = RequestCoalescer(n=4, max_batch=4, max_linger=10.0)
+    rhs1 = np.zeros(4)
+    for _ in range(3):
+        assert coalescer.add(SolveRequest(rhs1)) == []
+    batches = coalescer.add(SolveRequest(np.zeros((4, 6))))
+    assert [b.cols for b in batches] == [3, 6]
+    assert coalescer.pending_cols == 0
+
+
+def test_wide_submit_latency_beats_linger():
+    """Engine-level regression: with a huge max_linger, a wide submit's
+    batches must still dispatch immediately, not wait out the linger."""
+    spec = BSplineSpec(degree=3, n_points=16, boundary="periodic")
+    rng = np.random.default_rng(0)
+    with SolveEngine(max_batch=4, max_linger=30.0, num_workers=2) as engine:
+        for _ in range(3):
+            engine.submit(spec, rng.standard_normal(16))
+        t0 = time.perf_counter()
+        wide = engine.submit(spec, rng.standard_normal((16, 9)))
+        wide.result(timeout=10)  # stalled for max_linger before the fix
+        elapsed = time.perf_counter() - t0
+    assert elapsed < 5.0, f"wide submit waited {elapsed:.1f}s on the linger timer"
+
+
+def _key(n_points: int) -> PlanKey:
+    return PlanKey.from_spec(BSplineSpec(degree=3, n_points=n_points))
+
+
+def test_plan_cache_cold_misses_factor_concurrently():
+    """While key A's factorization blocks, a cold miss on key B completes;
+    the old under-lock factorization convoyed B behind A."""
+    cache = PlanCache()
+    key_a, key_b = _key(32), _key(48)
+    a_started = threading.Event()
+    a_release = threading.Event()
+
+    def slow_factory():
+        a_started.set()
+        assert a_release.wait(timeout=30), "test deadlock"
+        return key_a.make_builder()
+
+    leader = threading.Thread(target=cache.builder, args=(key_a, slow_factory))
+    leader.start()
+    try:
+        assert a_started.wait(timeout=10)
+        t0 = time.perf_counter()
+        built_b = cache.builder(key_b)  # deadlocked here before the fix
+        b_seconds = time.perf_counter() - t0
+        assert built_b.n == 48
+        assert b_seconds < 5.0, f"cold miss on B convoyed {b_seconds:.1f}s behind A"
+    finally:
+        a_release.set()
+        leader.join(timeout=30)
+    assert key_a in cache and key_b in cache
+    assert cache.misses == 2
+
+
+def test_plan_cache_duplicate_misses_pay_one_factorization():
+    cache = PlanCache()
+    key = _key(40)
+    calls = []
+    gate = threading.Event()
+
+    def counting_factory():
+        calls.append(threading.get_ident())
+        assert gate.wait(timeout=30), "test deadlock"
+        return key.make_builder()
+
+    results = []
+    threads = [
+        threading.Thread(
+            target=lambda: results.append(cache.builder(key, counting_factory))
+        )
+        for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    while not calls:  # wait for the leader to enter the factory
+        time.sleep(0.001)
+    time.sleep(0.05)  # give the duplicate misses time to pile up
+    gate.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert len(calls) == 1, f"{len(calls)} threads factored the same key"
+    assert len(results) == 4
+    assert all(r is results[0] for r in results)
+    assert cache.misses == 1 and cache.hits == 3
+
+
+def test_plan_cache_failed_factorization_unblocks_waiters_and_retries():
+    cache = PlanCache()
+    key = _key(36)
+
+    def broken_factory():
+        raise RuntimeError("factor blew up")
+
+    with pytest.raises(RuntimeError, match="factor blew up"):
+        cache.builder(key, broken_factory)
+    # the slot was cleared: the next lookup retries and succeeds
+    built = cache.builder(key)
+    assert built.n == 36
+    assert cache.misses == 2

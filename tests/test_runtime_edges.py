@@ -97,7 +97,7 @@ def test_coalescer_expiry_with_zero_queued_columns():
     coalescer = RequestCoalescer(N, max_batch=8, max_linger=0.0)
     assert coalescer.poll() is None  # nothing queued at all
     request = SolveRequest(np.empty((N, 0)))
-    assert coalescer.add(request) is None  # 0 columns never trips max_batch
+    assert coalescer.add(request) == []  # 0 columns never trips max_batch
     assert coalescer.pending_cols == 0
     batch = coalescer.poll()  # linger 0: the oldest request has expired
     assert batch is not None and batch.cols == 0

@@ -180,11 +180,11 @@ class TestCoalescer:
     def test_full_batch_cut_on_add(self):
         co = RequestCoalescer(n=8, max_batch=4, max_linger=10.0)
         reqs = [SolveRequest(np.zeros(8)) for _ in range(4)]
-        assert co.add(reqs[0]) is None
-        assert co.add(reqs[1]) is None
-        assert co.add(reqs[2]) is None
-        batch = co.add(reqs[3])
-        assert batch is not None and batch.cols == 4
+        assert co.add(reqs[0]) == []
+        assert co.add(reqs[1]) == []
+        assert co.add(reqs[2]) == []
+        batches = co.add(reqs[3])
+        assert len(batches) == 1 and batches[0].cols == 4
         assert co.pending_cols == 0
 
     def test_poll_respects_linger(self):
@@ -197,8 +197,8 @@ class TestCoalescer:
 
     def test_oversized_request_passes_through(self):
         co = RequestCoalescer(n=8, max_batch=4, max_linger=10.0)
-        batch = co.add(SolveRequest(np.zeros((8, 9))))
-        assert batch is not None and batch.cols == 9
+        batches = co.add(SolveRequest(np.zeros((8, 9))))
+        assert len(batches) == 1 and batches[0].cols == 9
 
     def test_mismatched_n_rejected(self):
         co = RequestCoalescer(n=8, max_batch=4, max_linger=10.0)
