@@ -24,7 +24,13 @@ puts in front of the solver stack:
   with bitwise-identical results;
 * :class:`~repro.runtime.telemetry.Telemetry` — plan hits/misses,
   coalesced batch widths, queue depth and p50/p99 latency, exportable as
-  a dict or a paper-style ASCII table, mergeable across worker processes.
+  a dict or a paper-style ASCII table, mergeable across worker processes;
+* :mod:`repro.runtime.resilience` — the self-healing layer: seeded
+  :class:`~repro.runtime.resilience.faults.FaultPlan` fault injection,
+  a :class:`~repro.runtime.resilience.supervisor.WorkerSupervisor`
+  respawning dead workers and requeueing their shards, a per-plan-key
+  :class:`~repro.runtime.resilience.circuit.PlanBreaker`, and the
+  engine's processes → threads → serial degradation ladder.
 
 Quickstart::
 
@@ -47,8 +53,17 @@ from repro.runtime.engine import (
     SolveEngine,
 )
 from repro.runtime.plan_cache import DEFAULT_MAX_PLANS, PlanCache, PlanKey
+from repro.runtime.resilience import (
+    CircuitOpenError,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    PlanBreaker,
+    SupervisorPolicy,
+    WorkerSupervisor,
+)
 from repro.runtime.sharded import ShardedExecutor, WorkerError
-from repro.runtime.shm import SharedBlock, SharedBlockPool
+from repro.runtime.shm import SharedBlock, SharedBlockPool, ShmError
 from repro.runtime.telemetry import (
     DEFAULT_MAX_SAMPLES,
     Telemetry,
@@ -73,6 +88,14 @@ __all__ = [
     "WorkerError",
     "SharedBlock",
     "SharedBlockPool",
+    "ShmError",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjected",
+    "PlanBreaker",
+    "CircuitOpenError",
+    "SupervisorPolicy",
+    "WorkerSupervisor",
     "Telemetry",
     "merged_counter",
     "merge_snapshots",

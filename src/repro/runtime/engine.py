@@ -22,6 +22,28 @@ and right-hand sides; the engine
    *single* batch (bitwise identical to the thread path);
 5. counts everything in :class:`~repro.runtime.telemetry.Telemetry`.
 
+On top of that sits the PR 5 resilience layer (:mod:`repro.runtime.resilience`):
+
+* every plan key flows through a :class:`~repro.runtime.resilience.circuit.PlanBreaker`
+  — a key that keeps failing is short-circuited into a fast replica of
+  its last failure instead of burning a solve-plus-retries cycle per
+  request;
+* under ``executor="processes"`` a
+  :class:`~repro.runtime.resilience.supervisor.WorkerSupervisor` respawns
+  dead workers and requeues their in-flight shards (bitwise-identical
+  results);
+* a **degradation ladder** keeps accepted requests answered when layers
+  fail: shared-memory transport falls back to pickled transport
+  (:class:`~repro.runtime.shm.ShmError`), an exhausted worker pool drops
+  the engine from *processes* to *threads*, and a broken thread pool
+  drops it to *serial* solves on the caller's thread.  Every transition
+  is logged, counted, and recorded in the telemetry event ring; no rung
+  ever silently drops a request.
+* a seeded :class:`~repro.runtime.resilience.faults.FaultPlan`
+  (``EngineConfig(faults=...)`` or the ``REPRO_FAULT_PLAN`` environment
+  variable) injects all of those failures on demand, deterministically,
+  for chaos tests; with no plan every hook is a single ``is None`` test.
+
 Two entry points::
 
     engine = SolveEngine(max_batch=256, max_linger=2e-3)
@@ -34,6 +56,8 @@ batches before stopping the workers, so no accepted request is dropped.
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -46,6 +70,10 @@ from repro.core.spec import BSplineSpec
 from repro.exceptions import ReproError, ShapeError
 from repro.runtime.coalescer import CoalescedBatch, RequestCoalescer, SolveRequest
 from repro.runtime.plan_cache import PlanCache, PlanKey
+from repro.runtime.resilience.circuit import PlanBreaker
+from repro.runtime.resilience.faults import FaultPlan
+from repro.runtime.resilience.supervisor import SupervisorPolicy
+from repro.runtime.shm import ShmError
 from repro.runtime.telemetry import Telemetry
 
 __all__ = [
@@ -59,6 +87,8 @@ __all__ = [
 _BACKPRESSURE_POLICIES = ("block", "reject")
 _EXECUTORS = ("threads", "processes")
 
+_LOG = logging.getLogger("repro.runtime.engine")
+
 
 class BackpressureError(ReproError, RuntimeError):
     """The engine's in-flight budget is exhausted and the policy rejects."""
@@ -70,6 +100,21 @@ class EngineClosedError(ReproError, RuntimeError):
 
 class EngineTimeoutError(ReproError, TimeoutError):
     """A request's deadline passed before its batch was solved."""
+
+
+def _fingerprint(rhs: np.ndarray) -> str:
+    """A short stable fingerprint of one right-hand side.
+
+    Quarantine records carry this instead of the data itself: enough to
+    recognize the same poisoned input recurring across a campaign,
+    bounded (first 64 KiB) so the failure path never hashes a paper-scale
+    batch end to end.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr(rhs.shape).encode())
+    digest.update(rhs.dtype.str.encode())
+    digest.update(memoryview(np.ascontiguousarray(rhs)).cast("B")[:65536])
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -125,6 +170,30 @@ class EngineConfig:
     verify_tol_factor:
         Safety factor ``c`` of the condition-aware verification
         tolerance ``c · κ₁ · ε(dtype)``.
+    faults:
+        Optional :class:`~repro.runtime.resilience.faults.FaultPlan` of
+        seeded fault triggers; ``None`` (the default) also consults the
+        ``REPRO_FAULT_PLAN`` environment variable, so a plan can be
+        injected without touching code.  Absent a plan, every hook costs
+        one ``is None`` test.
+    supervise:
+        Under ``executor="processes"``, run a
+        :class:`~repro.runtime.resilience.supervisor.WorkerSupervisor`
+        that respawns dead workers (exponential backoff, seeded jitter)
+        and requeues their in-flight shards onto survivors.
+    restart_budget:
+        Pool-wide worker respawns allowed before the supervisor declares
+        the pool exhausted and the engine degrades to threads.
+    hang_timeout:
+        Seconds an in-flight shard may age before its worker is declared
+        hung and terminated (``None`` — hang detection off).  Must exceed
+        the worst honest shard solve time.
+    breaker_failures:
+        Consecutive failures that trip one plan key's circuit open.
+    breaker_reset:
+        Seconds an open circuit short-circuits before half-open probes.
+    breaker_probes:
+        Trial requests allowed through a half-open circuit.
     """
 
     max_batch: int = 256
@@ -139,6 +208,13 @@ class EngineConfig:
     verify_every: int = 0
     verify_cols: int = 16
     verify_tol_factor: float = 64.0
+    faults: Optional[FaultPlan] = None
+    supervise: bool = True
+    restart_budget: int = 8
+    hang_timeout: Optional[float] = None
+    breaker_failures: int = 5
+    breaker_reset: float = 30.0
+    breaker_probes: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -169,6 +245,30 @@ class EngineConfig:
             raise ValueError(
                 f"verify_tol_factor must be > 0, got {self.verify_tol_factor}"
             )
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
+            )
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.hang_timeout is not None and self.hang_timeout <= 0:
+            raise ValueError(
+                f"hang_timeout must be > 0 or None, got {self.hang_timeout}"
+            )
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_reset <= 0:
+            raise ValueError(
+                f"breaker_reset must be > 0, got {self.breaker_reset}"
+            )
+        if self.breaker_probes < 1:
+            raise ValueError(
+                f"breaker_probes must be >= 1, got {self.breaker_probes}"
+            )
 
 
 class _Lane:
@@ -194,6 +294,10 @@ class SolveEngine:
     plan_cache, telemetry:
         Optionally share these across engines (e.g. one process-wide
         plan cache under several differently-tuned engines).
+    breaker:
+        Optionally share one :class:`PlanBreaker` across engines (a plan
+        tripped anywhere stays tripped everywhere); by default each
+        engine builds its own from the ``breaker_*`` config fields.
     """
 
     def __init__(
@@ -201,6 +305,7 @@ class SolveEngine:
         config: Optional[EngineConfig] = None,
         plan_cache: Optional[PlanCache] = None,
         telemetry: Optional[Telemetry] = None,
+        breaker: Optional[PlanBreaker] = None,
         **overrides,
     ) -> None:
         if overrides:
@@ -215,13 +320,32 @@ class SolveEngine:
                 raise TypeError(f"unknown EngineConfig fields: {sorted(overrides)}")
         self.config = config or EngineConfig()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # The fault plan: explicit config wins, else the environment; the
+        # common case is None, and every hook below is gated on that.
+        self._faults = (
+            self.config.faults
+            if self.config.faults is not None
+            else FaultPlan.from_env()
+        )
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
-            else PlanCache(telemetry=self.telemetry)
+            else PlanCache(telemetry=self.telemetry, faults=self._faults)
         )
         if self.plan_cache.telemetry is None:
             self.plan_cache.telemetry = self.telemetry
+        if self.plan_cache.faults is None and self._faults is not None:
+            self.plan_cache.faults = self._faults
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else PlanBreaker(
+                failures=self.config.breaker_failures,
+                reset_timeout=self.config.breaker_reset,
+                probes=self.config.breaker_probes,
+                telemetry=self.telemetry,
+            )
+        )
         self._lanes: Dict[PlanKey, _Lane] = {}
         self._lanes_lock = threading.Lock()
         self._verify_lock = threading.Lock()
@@ -230,6 +354,14 @@ class SolveEngine:
         self._capacity = threading.Condition()
         self._inflight_cols = 0
         self._closed = False
+        # Degradation ladder state: "processes" -> "threads" -> "serial".
+        # Transitions are one-way for the engine's lifetime — a layer that
+        # failed under load is not trusted again until a fresh engine.
+        self._level_lock = threading.Lock()
+        self._level = (
+            "processes" if self.config.executor == "processes" else "threads"
+        )
+        self._serial = False
         # The sharded worker pool forks/spawns before the engine's own
         # threads exist, keeping the child processes clean of them.
         self._sharded = None
@@ -237,7 +369,14 @@ class SolveEngine:
             from repro.runtime.sharded import ShardedExecutor
 
             self._sharded = ShardedExecutor(
-                num_workers=self.config.num_workers, telemetry=self.telemetry
+                num_workers=self.config.num_workers,
+                telemetry=self.telemetry,
+                faults=self._faults,
+                supervise=self.config.supervise,
+                policy=SupervisorPolicy(
+                    restart_budget=self.config.restart_budget,
+                    hang_timeout=self.config.hang_timeout,
+                ),
             )
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.num_workers,
@@ -283,6 +422,41 @@ class SolveEngine:
             self._inflight_cols -= cols
             self._capacity.notify_all()
 
+    # -- the degradation ladder -------------------------------------------
+
+    @property
+    def degradation_level(self) -> str:
+        """Current executor rung: ``processes``, ``threads`` or ``serial``."""
+        return self._level
+
+    def _use_sharded(self):
+        """The sharded executor, or ``None`` once the engine degraded."""
+        return self._sharded if self._level == "processes" else None
+
+    def _degrade_to_threads(self, reason: str) -> None:
+        with self._level_lock:
+            if self._level != "processes":
+                return
+            self._level = "threads"
+        self.telemetry.incr("engine.degraded_to_threads")
+        self.telemetry.event(
+            "degradation", frm="processes", to="threads", reason=reason
+        )
+        _LOG.error(
+            "solve engine degraded processes -> threads: %s", reason
+        )
+
+    def _degrade_to_serial(self, reason: str) -> None:
+        with self._level_lock:
+            if self._serial:
+                return
+            frm = self._level
+            self._serial = True
+            self._level = "serial"
+        self.telemetry.incr("engine.degraded_to_serial")
+        self.telemetry.event("degradation", frm=frm, to="serial", reason=reason)
+        _LOG.error("solve engine degraded %s -> serial: %s", frm, reason)
+
     # -- lanes and dispatch ---------------------------------------------
 
     def _key(self, spec: BSplineSpec, version: int, dtype, backend: str) -> PlanKey:
@@ -300,7 +474,22 @@ class SolveEngine:
     def _dispatch(self, key: PlanKey, batch: CoalescedBatch) -> None:
         self.telemetry.incr("engine.batches_dispatched")
         self.telemetry.observe("coalescer.batch_cols", batch.cols)
-        self._pool.submit(self._run_batch, key, batch)
+        if self._serial:
+            # The last rung: the thread pool is gone, so the batch solves
+            # synchronously on whichever thread cut it (a submitter or
+            # the flusher).  Slow, but every accepted request still gets
+            # an answer.
+            self._run_batch(key, batch)
+            return
+        try:
+            if self._faults is not None:
+                self._faults.fire("engine.dispatch", key=key)
+            self._pool.submit(self._run_batch, key, batch)
+        except RuntimeError as exc:
+            if self._closed:
+                raise
+            self._degrade_to_serial(f"thread-pool dispatch failed: {exc}")
+            self._run_batch(key, batch)
 
     # -- verify-on-solve sampling ----------------------------------------
 
@@ -346,6 +535,8 @@ class SolveEngine:
     def _verify_sample(self, checker, x: np.ndarray, b: np.ndarray) -> None:
         """Check solved sample *x* against pre-solve *b*; raise on failure."""
         self.telemetry.incr("verify.checks")
+        if self._faults is not None:
+            self._faults.fire("engine.verify")
         with self.telemetry.span("engine.verify"):
             report = checker.check(x, b)
         # η is meaningful on [0, 1]; a NaN-poisoned column reports η = ∞,
@@ -359,6 +550,39 @@ class SolveEngine:
         else:
             self.telemetry.incr("verify.failures")
         report.raise_if_failed()
+
+    # -- batch execution ---------------------------------------------------
+
+    def _sharded_solve_or_degrade(
+        self, sharded, key: PlanKey, batch, block, lease, builder
+    ) -> None:
+        """One sharded solve with the full ladder under it.
+
+        *lease* given — shared-memory transport; otherwise pickled
+        transport through :meth:`ShardedExecutor.solve_array`.  A
+        :class:`WorkerError` from an **exhausted** pool (restart budget
+        spent, no survivors) degrades the engine to threads: the block's
+        columns are restored from the original request data (survivor
+        shards may have half-written them) and solved locally.  Any other
+        worker failure propagates to the per-request retry path.
+        """
+        from repro.runtime.sharded import WorkerError
+
+        try:
+            if lease is not None:
+                sharded.solve(
+                    key,
+                    lease,
+                    restore=lambda c0, c1: batch.fill(block, c0, c1),
+                )
+            else:
+                sharded.solve_array(key, block)
+        except WorkerError as exc:
+            if not sharded.exhausted:
+                raise
+            self._degrade_to_threads(f"worker pool exhausted: {exc}")
+            batch.fill(block, 0, block.shape[1])
+            builder.solve(block, in_place=True)
 
     def _run_batch(self, key: PlanKey, batch: CoalescedBatch) -> None:
         now = time.perf_counter()
@@ -378,35 +602,81 @@ class SolveEngine:
         if not live:
             return
         batch = CoalescedBatch(live)
-        builder = self.plan_cache.builder(key)
+        builder = None
         checker = None
+        sharded = None
         lease = None
         try:
-            if self._sharded is not None and batch.cols > 0:
-                # Assemble straight into a pooled shared segment: the
-                # workers solve their column shards in place there and
-                # the scatter below reads the very same buffer.
-                lease = self._sharded.lease((builder.n, batch.cols), builder.dtype)
-                block = batch.assemble(builder.dtype, out=lease.array)
+            if not self.breaker.allow(key):
+                raise self.breaker.open_error(key)
+            builder = self.plan_cache.builder(key)
+            sharded = self._use_sharded()
+            if sharded is not None and batch.cols > 0:
+                try:
+                    # Assemble straight into a pooled shared segment: the
+                    # workers solve their column shards in place there and
+                    # the scatter below reads the very same buffer.
+                    lease = sharded.lease((builder.n, batch.cols), builder.dtype)
+                    block = batch.assemble(builder.dtype, out=lease.array)
+                except ShmError as exc:
+                    # Transport rung: shared memory is down, but the
+                    # worker pool is not — ship shards pickled instead.
+                    self.telemetry.incr("engine.shm_fallbacks")
+                    self.telemetry.event(
+                        "degradation", frm="shm", to="pickled", reason=str(exc)
+                    )
+                    _LOG.warning(
+                        "shared-memory lease failed (%s); using pickled "
+                        "shard transport for this batch", exc,
+                    )
+                    lease = None
+                    block = batch.assemble(builder.dtype)
             else:
+                sharded = None
                 block = batch.assemble(builder.dtype)
+            if self._faults is not None:
+                self._faults.fire("engine.rhs", array=block)
             if self._should_verify():
                 checker = self._checker_for(key, builder)
             if checker is not None:
                 sample = self._sample_cols(block.shape[1])
                 ref = block[:, sample].copy()  # pre-solve right-hand sides
             with self.telemetry.span("engine.batch_solve"):
-                if lease is not None:
-                    self._sharded.solve(key, lease)
+                if sharded is not None:
+                    self._sharded_solve_or_degrade(
+                        sharded, key, batch, block, lease, builder
+                    )
                 else:
+                    if self._faults is not None:
+                        self._faults.fire("engine.batch_solve", key=key)
                     builder.solve(block, in_place=True)
             if checker is not None:
                 self._verify_sample(checker, block[:, sample], ref)
             batch.scatter(block)
             self.telemetry.incr("engine.requests_completed", len(live))
+            self.breaker.record_success(key)
         except Exception as exc:  # noqa: BLE001 - isolate per request below
-            self.telemetry.incr("engine.batch_failures")
-            self._retry_individually(builder, batch, exc, checker=checker)
+            if getattr(exc, "short_circuited", False):
+                # Already-counted fast fail; no retry work is owed.
+                self.telemetry.incr("engine.requests_failed", len(live))
+                batch.fail(exc)
+            elif builder is None:
+                # The factorization itself failed: there is nothing to
+                # retry against, and the breaker hears about it so the
+                # key trips before the next caller pays the same cost.
+                self.telemetry.incr("engine.batch_failures")
+                self.telemetry.incr("engine.requests_failed", len(live))
+                self.breaker.record_failure(key, exc)
+                batch.fail(exc)
+            else:
+                self.telemetry.incr("engine.batch_failures")
+                failed = self._retry_individually(
+                    builder, batch, exc, checker=checker
+                )
+                if failed:
+                    self.breaker.record_failure(key, exc)
+                else:
+                    self.breaker.record_success(key)
         finally:
             if lease is not None:
                 self._sharded.release(lease)
@@ -419,14 +689,18 @@ class SolveEngine:
 
     def _retry_individually(
         self, builder, batch: CoalescedBatch, batch_exc: Exception, checker=None
-    ) -> None:
+    ) -> int:
         """A failed batch falls back to per-request solves (retry-once).
 
         When the batch failed its sampled verification (*checker* given),
         every fallback solve is re-verified over *all* of its columns, so
         a single poisoned right-hand side fails alone while its
-        batch-mates complete normally.
+        batch-mates complete normally.  Returns how many requests still
+        failed; each of those lands in the quarantine ledger
+        (``engine.quarantined`` + the ``engine.quarantine`` event ring)
+        with a bounded fingerprint of its right-hand side.
         """
+        failed = 0
         for req in batch.requests:
             if not req.future.set_running_or_notify_cancel():
                 continue
@@ -452,8 +726,21 @@ class SolveEngine:
                 except Exception as exc:  # noqa: BLE001
                     outcome = exc
             if outcome is not None:
+                failed += 1
                 self.telemetry.incr("engine.requests_failed")
+                self._quarantine(req, outcome)
                 req.future.set_exception(outcome)
+        return failed
+
+    def _quarantine(self, req: SolveRequest, exc: BaseException) -> None:
+        """Ledger one permanently failed request: counter + bounded ring."""
+        self.telemetry.incr("engine.quarantined")
+        self.telemetry.event(
+            "engine.quarantine",
+            fingerprint=_fingerprint(req.rhs),
+            cols=req.cols,
+            error=type(exc).__name__,
+        )
 
     def _flush_loop(self) -> None:
         tick = max(self.config.max_linger / 4.0, 5e-4)
@@ -485,12 +772,19 @@ class SolveEngine:
         *rhs* is 1-D ``(n,)`` or 2-D ``(n, b)``; the returned future
         resolves to the spline coefficients with the same shape.  The
         request coalesces with every other in-flight request for the same
-        ``(spec, version, dtype, backend)`` configuration.
+        ``(spec, version, dtype, backend)`` configuration.  A plan key
+        whose circuit is open fails fast here, before any factorization
+        or queueing work.
         """
         if self._closed:
             raise EngineClosedError("submit() after engine shutdown")
         key = self._key(spec, version, dtype, backend)
-        builder = self.plan_cache.builder(key)  # factor once, count every lookup
+        self.breaker.check(key)
+        try:
+            builder = self.plan_cache.builder(key)  # factor once, count lookups
+        except Exception as exc:
+            self.breaker.record_failure(key, exc)
+            raise
         rhs = np.asarray(rhs)
         if rhs.shape[0] != builder.n:
             raise ShapeError(
@@ -530,12 +824,14 @@ class SolveEngine:
 
         The bulk path skips the coalescer — each block is already a
         paper-scale batch — but still goes through the plan cache, the
-        bounded pool and telemetry.  Results come back in input order;
-        a block that fails after the retry policy re-raises here.
+        circuit breaker, the bounded pool and telemetry.  Results come
+        back in input order; a block that fails after the retry policy
+        re-raises here.
         """
         if self._closed:
             raise EngineClosedError("map_batches() after engine shutdown")
         key = self._key(spec, version, dtype, backend)
+        self.breaker.check(key)
         futures = []
         for block in blocks:
             block = np.asarray(block)
@@ -545,12 +841,37 @@ class SolveEngine:
                 )
             self._acquire(block.shape[1])
             self.telemetry.incr("engine.bulk_blocks_submitted")
-            futures.append(self._pool.submit(self._run_block, key, block))
+            if self._serial:
+                fut: Future = Future()
+                try:
+                    fut.set_result(self._run_block(key, block))
+                except Exception as exc:  # noqa: BLE001 - deliver in order
+                    fut = Future()
+                    fut.set_exception(exc)
+                futures.append(fut)
+                continue
+            try:
+                futures.append(self._pool.submit(self._run_block, key, block))
+            except RuntimeError as exc:
+                if self._closed:
+                    self._release(block.shape[1])
+                    raise
+                self._degrade_to_serial(f"thread-pool dispatch failed: {exc}")
+                fut = Future()
+                try:
+                    fut.set_result(self._run_block(key, block))
+                except Exception as run_exc:  # noqa: BLE001
+                    fut = Future()
+                    fut.set_exception(run_exc)
+                futures.append(fut)
         return [f.result() for f in futures]
 
     def _run_block(self, key: PlanKey, block: np.ndarray) -> np.ndarray:
-        builder = self.plan_cache.builder(key)
+        builder = None
         try:
+            if not self.breaker.allow(key):
+                raise self.breaker.open_error(key)
+            builder = self.plan_cache.builder(key)
             checker = (
                 self._checker_for(key, builder) if self._should_verify() else None
             )
@@ -571,6 +892,7 @@ class SolveEngine:
                         self._verify_sample(
                             checker, work[:, sample], block[:, sample]
                         )
+                    self.breaker.record_success(key)
                     return work
                 except Exception:  # noqa: BLE001
                     if attempt + 1 >= attempts:
@@ -578,23 +900,80 @@ class SolveEngine:
                         raise
                     self.telemetry.incr("engine.request_retries")
             raise AssertionError("unreachable")  # pragma: no cover
+        except Exception as exc:  # noqa: BLE001 - breaker accounting
+            if not getattr(exc, "short_circuited", False):
+                self.breaker.record_failure(key, exc)
+            raise
         finally:
             self._release(block.shape[1])
 
     def _solve_block_copy(
         self, key: PlanKey, builder, block: np.ndarray, sharded: bool = True
     ) -> np.ndarray:
-        """Cast-copy *block* and solve it, process-sharded when configured."""
-        if sharded and self._sharded is not None and block.shape[1] > 0:
-            lease = self._sharded.lease(block.shape, builder.dtype)
+        """Cast-copy *block* and solve it, process-sharded when configured.
+
+        Runs the same transport/degradation ladder as the coalesced path:
+        shared memory, then pickled shard transport on
+        :class:`~repro.runtime.shm.ShmError`, then a local solve (after a
+        degrade to threads) when the worker pool is exhausted.  The
+        restore callback recopies from the caller's *block*, which the
+        sharded paths never write to.
+        """
+        from repro.runtime.sharded import WorkerError
+
+        executor = self._use_sharded() if sharded else None
+        if executor is not None and block.shape[1] > 0:
+            lease = None
             try:
-                np.copyto(lease.array, block, casting="unsafe")
-                with self.telemetry.span("engine.batch_solve"):
-                    self._sharded.solve(key, lease)
-                return np.array(lease.array, copy=True, order="C")
-            finally:
-                self._sharded.release(lease)
+                lease = executor.lease(block.shape, builder.dtype)
+            except ShmError as exc:
+                self.telemetry.incr("engine.shm_fallbacks")
+                self.telemetry.event(
+                    "degradation", frm="shm", to="pickled", reason=str(exc)
+                )
+                _LOG.warning(
+                    "shared-memory lease failed (%s); using pickled shard "
+                    "transport for this block", exc,
+                )
+            if lease is not None:
+                try:
+                    np.copyto(lease.array, block, casting="unsafe")
+                    with self.telemetry.span("engine.batch_solve"):
+                        try:
+                            executor.solve(
+                                key,
+                                lease,
+                                restore=lambda c0, c1: np.copyto(
+                                    lease.array[:, c0:c1],
+                                    block[:, c0:c1],
+                                    casting="unsafe",
+                                ),
+                            )
+                        except WorkerError as exc:
+                            if not executor.exhausted:
+                                raise
+                            self._degrade_to_threads(
+                                f"worker pool exhausted: {exc}"
+                            )
+                            np.copyto(lease.array, block, casting="unsafe")
+                            builder.solve(lease.array, in_place=True)
+                    return np.array(lease.array, copy=True, order="C")
+                finally:
+                    executor.release(lease)
+            work = np.array(block, dtype=builder.dtype, copy=True, order="C")
+            with self.telemetry.span("engine.batch_solve"):
+                try:
+                    executor.solve_array(key, work)
+                except WorkerError as exc:
+                    if not executor.exhausted:
+                        raise
+                    self._degrade_to_threads(f"worker pool exhausted: {exc}")
+                    np.copyto(work, block, casting="unsafe")
+                    builder.solve(work, in_place=True)
+            return work
         work = np.array(block, dtype=builder.dtype, copy=True, order="C")
+        if self._faults is not None:
+            self._faults.fire("engine.batch_solve", key=key)
         with self.telemetry.span("engine.batch_solve"):
             builder.solve(work, in_place=True)
         return work
@@ -615,12 +994,21 @@ class SolveEngine:
     def telemetry_snapshot(self, include_workers: bool = True) -> dict:
         """The engine's telemetry as a dict; under ``executor="processes"``
         the per-worker snapshots are merged in (:func:`merge_snapshots`),
-        so plan-cache and shard counters cover the whole fleet."""
+        so plan-cache and shard counters cover the whole fleet.  The
+        resilience layer contributes ``circuit`` (per-key breaker states)
+        and ``degradation`` (the ladder's current rung) sections."""
         snap = self.telemetry.snapshot()
         if include_workers and self._sharded is not None:
             from repro.runtime.telemetry import merge_snapshots
 
-            return merge_snapshots(snap, *self._sharded.worker_snapshots())
+            snap = merge_snapshots(snap, *self._sharded.worker_snapshots())
+        snap["circuit"] = self.breaker.states()
+        snap["degradation"] = {
+            "level": self._level,
+            "pool_exhausted": (
+                self._sharded.exhausted if self._sharded is not None else False
+            ),
+        }
         return snap
 
     def telemetry_report(self) -> str:
@@ -654,6 +1042,7 @@ class SolveEngine:
             f"SolveEngine(max_batch={self.config.max_batch}, "
             f"max_linger={self.config.max_linger}, "
             f"workers={self.config.num_workers}, "
+            f"executor={self._level!r}, "
             f"inflight={self.inflight_cols}, lanes={len(self._lanes)}, "
             f"closed={self._closed})"
         )

@@ -108,11 +108,16 @@ class PlanCache:
         counters are kept there as well as locally.
     """
 
-    def __init__(self, max_plans: int = DEFAULT_MAX_PLANS, telemetry=None) -> None:
+    def __init__(
+        self, max_plans: int = DEFAULT_MAX_PLANS, telemetry=None, faults=None
+    ) -> None:
         if max_plans < 1:
             raise ValueError(f"max_plans must be >= 1, got {max_plans}")
         self.max_plans = int(max_plans)
         self.telemetry = telemetry
+        #: optional FaultPlan; fires "plan_cache.factorize" on the leader
+        #: path of a cold miss, before the factorization runs
+        self.faults = faults
         self._lock = threading.RLock()
         self._plans: "OrderedDict[PlanKey, SplineBuilder]" = OrderedDict()
         #: in-flight cold factorizations, one Future per key; concurrent
@@ -167,6 +172,8 @@ class PlanCache:
         if not leader:
             return pending.result()
         try:
+            if self.faults is not None:
+                self.faults.fire("plan_cache.factorize", key=key)
             built = (factory or key.make_builder)()
         except BaseException as exc:
             with self._lock:

@@ -1,0 +1,256 @@
+"""Per-plan-key circuit breaker: fail known-failing plans fast.
+
+A plan key that keeps failing — a spline space whose factorization
+raises, a configuration whose solves never pass verification, a worker
+fleet that cannot hold it — costs the engine a full solve-plus-retries
+cycle on *every* request routed at it.  At campaign scale that turns one
+bad configuration into a throughput collapse for everyone sharing the
+pool.  :class:`PlanBreaker` is the standard three-state remedy:
+
+* **closed** — requests flow; consecutive failures are counted and a
+  success resets the count.
+* **open** — after ``failures`` consecutive failures the key trips: for
+  ``reset_timeout`` seconds every request short-circuits *before* any
+  factorization or solve work, failing fast with a replica of the last
+  recorded failure (so callers still see the ``VerificationError`` /
+  ``WorkerError`` type they would have gotten the slow way, marked with
+  ``short_circuited = True``).
+* **half-open** — once the timeout expires, up to ``probes`` trial
+  requests are let through; a success re-closes the key, a failure
+  re-opens it and restarts the timer.
+
+Transitions are counted (``circuit.opened`` / ``circuit.reopened`` /
+``circuit.half_open`` / ``circuit.closed`` / ``circuit.short_circuits``)
+and recorded in the telemetry ``circuit`` event ring, so a campaign
+snapshot shows the full breaker history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = ["PlanBreaker", "CircuitOpenError", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpenError(ReproError, RuntimeError):
+    """A request was short-circuited by an open per-plan circuit.
+
+    Raised when the breaker has no recorded failure to replicate (or the
+    recorded exception type cannot be rebuilt from a message alone).
+    Replicated failures of other types carry ``short_circuited = True``
+    instead.
+    """
+
+    short_circuited = True
+
+
+class _KeyState:
+    __slots__ = ("state", "failures", "opened_at", "probes", "last_error")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probes = 0
+        self.last_error: Optional[BaseException] = None
+
+
+class PlanBreaker:
+    """Thread-safe circuit breaker keyed by plan key.
+
+    Parameters
+    ----------
+    failures:
+        Consecutive failures that trip a key from closed to open.
+    reset_timeout:
+        Seconds an open key rejects before allowing half-open probes.
+    probes:
+        Concurrent trial requests allowed in half-open.
+    telemetry:
+        Optional :class:`~repro.runtime.telemetry.Telemetry` receiving
+        transition counters and the ``circuit`` event ring.
+    clock:
+        Injectable monotonic time source (tests drive state expiry
+        without sleeping).
+    """
+
+    def __init__(
+        self,
+        failures: int = 5,
+        reset_timeout: float = 30.0,
+        probes: int = 1,
+        telemetry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self.failures = int(failures)
+        self.reset_timeout = float(reset_timeout)
+        self.probes = int(probes)
+        self.telemetry = telemetry
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._keys: Dict[object, _KeyState] = {}
+
+    # -- telemetry plumbing ----------------------------------------------
+
+    def _note(self, counter: str, key, frm: str, to: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.incr(f"circuit.{counter}")
+            self.telemetry.event("circuit", key=str(key), frm=frm, to=to)
+
+    # -- state machine ----------------------------------------------------
+
+    def _state_locked(self, key) -> _KeyState:
+        st = self._keys.get(key)
+        if st is None:
+            st = self._keys[key] = _KeyState()
+        return st
+
+    def allow(self, key) -> bool:
+        """May a request for *key* proceed?  Consumes a half-open probe.
+
+        Open keys whose timeout expired transition to half-open here.
+        ``False`` means the caller must short-circuit (see
+        :meth:`open_error`).
+        """
+        with self._lock:
+            st = self._keys.get(key)
+            if st is None or st.state == CLOSED:
+                return True
+            if st.state == OPEN:
+                if self.clock() - st.opened_at < self.reset_timeout:
+                    if self.telemetry is not None:
+                        self.telemetry.incr("circuit.short_circuits")
+                    return False
+                st.state = HALF_OPEN
+                st.probes = 0
+                self._note("half_open", key, OPEN, HALF_OPEN)
+            if st.probes < self.probes:
+                st.probes += 1
+                return True
+            if self.telemetry is not None:
+                self.telemetry.incr("circuit.short_circuits")
+            return False
+
+    def check(self, key) -> None:
+        """Raise the short-circuit error now if *key* is firmly open.
+
+        A non-consuming entry-point guard (``submit`` / ``map_batches``):
+        it never takes a half-open probe, so the probe stays available
+        for the execution site that actually measures the outcome.
+        """
+        with self._lock:
+            st = self._keys.get(key)
+            firmly_open = (
+                st is not None
+                and st.state == OPEN
+                and self.clock() - st.opened_at < self.reset_timeout
+            )
+            if firmly_open and self.telemetry is not None:
+                self.telemetry.incr("circuit.short_circuits")
+        if firmly_open:
+            raise self.open_error(key)
+
+    def record_success(self, key) -> None:
+        with self._lock:
+            st = self._keys.get(key)
+            if st is None:
+                return
+            if st.state in (HALF_OPEN, OPEN):
+                self._note("closed", key, st.state, CLOSED)
+            st.state = CLOSED
+            st.failures = 0
+            st.probes = 0
+            st.last_error = None
+
+    def record_failure(self, key, exc: Optional[BaseException] = None) -> None:
+        with self._lock:
+            st = self._state_locked(key)
+            if exc is not None:
+                st.last_error = exc
+            if st.state == HALF_OPEN:
+                st.state = OPEN
+                st.opened_at = self.clock()
+                st.probes = 0
+                self._note("reopened", key, HALF_OPEN, OPEN)
+                return
+            if st.state == OPEN:
+                st.opened_at = self.clock()
+                return
+            st.failures += 1
+            if st.failures >= self.failures:
+                st.state = OPEN
+                st.opened_at = self.clock()
+                self._note("opened", key, CLOSED, OPEN)
+
+    def state(self, key) -> str:
+        with self._lock:
+            st = self._keys.get(key)
+            return st.state if st is not None else CLOSED
+
+    def states(self) -> Dict[str, dict]:
+        """Every tracked key's state, failure count and last error type."""
+        with self._lock:
+            return {
+                str(key): {
+                    "state": st.state,
+                    "failures": st.failures,
+                    "last_error": type(st.last_error).__name__
+                    if st.last_error is not None
+                    else None,
+                }
+                for key, st in self._keys.items()
+            }
+
+    def open_error(self, key) -> BaseException:
+        """The fast failure an open *key* short-circuits into.
+
+        Replicates the type of the last recorded failure when it can be
+        built from a single message (so a plan that kept failing
+        verification keeps failing with :class:`VerificationError`, a
+        dead-fleet plan with :class:`WorkerError`); falls back to
+        :class:`CircuitOpenError`.  Either way the instance carries
+        ``short_circuited = True``.
+        """
+        with self._lock:
+            st = self._keys.get(key)
+            last = st.last_error if st is not None else None
+        message = (
+            f"circuit open for plan {key}: failing fast"
+            + (
+                f" (last failure: {type(last).__name__}: {last})"
+                if last is not None
+                else ""
+            )
+        )
+        if last is not None and not isinstance(last, CircuitOpenError):
+            try:
+                replica = type(last)(message)
+            except Exception:
+                replica = CircuitOpenError(message)
+        else:
+            replica = CircuitOpenError(message)
+        replica.short_circuited = True
+        return replica
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            open_keys = sum(1 for s in self._keys.values() if s.state != CLOSED)
+        return (
+            f"PlanBreaker(failures={self.failures}, "
+            f"reset_timeout={self.reset_timeout}, tracked={len(self._keys)}, "
+            f"non_closed={open_keys})"
+        )

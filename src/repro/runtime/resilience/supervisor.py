@@ -1,0 +1,254 @@
+"""Worker-pool supervision: health checks, backoff respawn, shard requeue.
+
+PR 4's :class:`~repro.runtime.sharded.ShardedExecutor` could *detect* a
+dead worker; this module makes the pool heal.  A :class:`WorkerSupervisor`
+runs one daemon thread next to the executor and closes the loop:
+
+* **health checks** — every ``poll_interval`` seconds each worker's
+  liveness is checked; with ``hang_timeout`` set, a worker whose oldest
+  in-flight shard exceeds the timeout is declared hung and terminated
+  first (so a requeued shard can never race a still-writing worker).
+* **requeue** — a dead worker's in-flight shards are *restored* (the
+  parent re-fills their column range from the original request data —
+  an interrupted in-place solve leaves partial garbage in shared
+  memory) and reissued to surviving workers.  Shard boundaries and the
+  batched kernels are deterministic and batch-width invariant, so the
+  requeued result is bitwise identical to the undisturbed run.
+* **respawn** — the dead rank is relaunched under exponential backoff
+  with deterministic seeded jitter, bounded by a pool-wide restart
+  budget.  When the budget is spent the supervisor marks the executor
+  *exhausted*; the engine reads that flag and steps down its
+  degradation ladder (processes → threads).
+
+Everything is counted (``supervisor.worker_deaths`` / ``.respawns`` /
+``.hangs`` / ``.requeued_shards`` / ``.budget_exhausted``) and every
+death/respawn lands in the telemetry ``supervisor`` event ring.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["SupervisorPolicy", "WorkerSupervisor"]
+
+_LOG = logging.getLogger("repro.runtime.resilience")
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Tunables of one :class:`WorkerSupervisor`.
+
+    Attributes
+    ----------
+    poll_interval:
+        Seconds between health sweeps.
+    restart_budget:
+        Pool-wide respawns allowed before the supervisor declares the
+        executor exhausted (0 — never respawn).
+    backoff_base, backoff_factor, backoff_max:
+        Respawn delay for a rank's *k*-th restart is
+        ``min(backoff_base * backoff_factor**k, backoff_max)`` seconds,
+        before jitter.
+    jitter:
+        Fraction of the backoff delay randomized (0.25 — up to ±25%),
+        drawn from a stream seeded by ``seed`` so chaos runs replay.
+    hang_timeout:
+        Seconds an in-flight shard may age before its worker is declared
+        hung and terminated; ``None`` disables hang detection.  Must
+        exceed the worst honest shard solve time.
+    max_task_retries:
+        Requeues one shard may consume before it fails permanently.
+    seed:
+        Seed of the jitter stream.
+    """
+
+    poll_interval: float = 0.05
+    restart_budget: int = 8
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+    hang_timeout: Optional[float] = None
+    max_task_retries: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError(
+                f"poll_interval must be > 0, got {self.poll_interval}"
+            )
+        if self.restart_budget < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {self.restart_budget}"
+            )
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ValueError(
+                "backoff_base must be >= 0 and backoff_factor >= 1, got "
+                f"{self.backoff_base}/{self.backoff_factor}"
+            )
+        if self.backoff_max < self.backoff_base:
+            raise ValueError(
+                f"backoff_max must be >= backoff_base, got {self.backoff_max}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.hang_timeout is not None and self.hang_timeout <= 0:
+            raise ValueError(
+                f"hang_timeout must be > 0 or None, got {self.hang_timeout}"
+            )
+        if self.max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """The (jittered) delay before a rank's *attempt*-th respawn."""
+        delay = min(
+            self.backoff_base * self.backoff_factor ** max(0, attempt),
+            self.backoff_max,
+        )
+        if self.jitter > 0 and delay > 0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class WorkerSupervisor:
+    """Health-check / requeue / respawn loop over a sharded executor.
+
+    The executor exposes a small supervision API (``is_marked_live``,
+    ``proc_alive``, ``mark_down``, ``terminate_worker``,
+    ``oldest_pending_age``, ``requeue_rank``, ``respawn``); the
+    supervisor owns the policy decisions and the restart budget.
+    """
+
+    def __init__(self, executor, policy: SupervisorPolicy, telemetry) -> None:
+        self.executor = executor
+        self.policy = policy
+        self.telemetry = telemetry
+        self._rng = random.Random(policy.seed)
+        self._restarts_left = policy.restart_budget
+        self._respawn_attempts = {}
+        self._exhausted = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-supervisor", daemon=True
+        )
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the restart budget is spent on an unrecoverable death."""
+        return self._exhausted
+
+    @property
+    def restarts_left(self) -> int:
+        return self._restarts_left
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=timeout)
+
+    # -- the health loop --------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(timeout=self.policy.poll_interval):
+            try:
+                self._sweep()
+            except Exception:  # pragma: no cover - never kill the monitor
+                _LOG.exception("supervisor sweep failed")
+
+    def _sweep(self) -> None:
+        executor = self.executor
+        if executor.closed:
+            return
+        if self.policy.hang_timeout is not None:
+            now = time.monotonic()
+            for rank in range(executor.num_workers):
+                if not executor.is_marked_live(rank):
+                    continue
+                age = executor.oldest_pending_age(rank, now)
+                if age is not None and age > self.policy.hang_timeout:
+                    self.telemetry.incr("supervisor.hangs")
+                    self.telemetry.event(
+                        "supervisor", action="hang_kill", rank=rank, age=age
+                    )
+                    _LOG.warning(
+                        "worker %d hung for %.2fs (> %.2fs); terminating",
+                        rank, age, self.policy.hang_timeout,
+                    )
+                    # Kill first: the requeue below must never race a
+                    # worker that is still writing into shared memory.
+                    executor.terminate_worker(rank)
+        for rank in range(executor.num_workers):
+            if executor.is_marked_live(rank) and not executor.proc_alive(rank):
+                self._handle_death(rank)
+
+    def _handle_death(self, rank: int) -> None:
+        executor = self.executor
+        self.telemetry.incr("supervisor.worker_deaths")
+        executor.mark_down(rank)
+        will_respawn = self._restarts_left > 0 and not executor.closed
+        self.telemetry.event(
+            "supervisor",
+            action="worker_death",
+            rank=rank,
+            respawn=will_respawn,
+            restarts_left=self._restarts_left,
+        )
+        _LOG.warning(
+            "worker %d died (%s); requeueing its in-flight shards",
+            rank, "respawning" if will_respawn else "restart budget spent",
+        )
+        # Move what can move to survivors right now; shards that cannot
+        # (no survivors) stay parked on the rank only if a respawn is
+        # coming to pick them up, otherwise they fail fast.
+        executor.requeue_rank(
+            rank, self.policy.max_task_retries, allow_park=will_respawn
+        )
+        if not will_respawn:
+            if self._restarts_left == 0 and not self._exhausted:
+                self._exhausted = True
+                self.telemetry.incr("supervisor.budget_exhausted")
+                self.telemetry.event(
+                    "supervisor", action="budget_exhausted", rank=rank
+                )
+                _LOG.error(
+                    "worker restart budget spent; executor marked exhausted"
+                )
+            return
+        self._restarts_left -= 1
+        attempt = self._respawn_attempts.get(rank, 0)
+        self._respawn_attempts[rank] = attempt + 1
+        delay = self.policy.backoff_delay(attempt, self._rng)
+        # Wait on the stop event so shutdown interrupts the backoff.
+        if delay > 0 and self._stop.wait(timeout=delay):
+            return
+        if executor.closed:
+            return
+        if executor.respawn(rank):
+            self.telemetry.incr("supervisor.respawns")
+            self.telemetry.event(
+                "supervisor",
+                action="respawn",
+                rank=rank,
+                attempt=attempt + 1,
+                backoff=delay,
+            )
+            _LOG.warning(
+                "worker %d respawned (attempt %d, backoff %.3fs)",
+                rank, attempt + 1, delay,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerSupervisor(restarts_left={self._restarts_left}, "
+            f"exhausted={self._exhausted})"
+        )

@@ -26,6 +26,18 @@ distribute exactly this workload over nodes and worker partitions; the
   single-process path (the batched kernels treat columns independently —
   the same property the coalescer already relies on).
 
+Resilience (PR 5) extends the pool with a supervision API consumed by
+:class:`~repro.runtime.resilience.supervisor.WorkerSupervisor`: every
+in-flight shard is a :class:`_PendingTask` carrying everything needed to
+*reissue* it — its message tail, its restore callback (an interrupted
+in-place solve leaves partial garbage in the shared block, so the shard's
+columns are re-filled from the original request data before the retry),
+and its attempt count.  A dead worker's shards requeue onto survivors
+(bitwise-identical results, because shard boundaries and the kernels are
+deterministic), the rank respawns under the supervisor's backoff, and
+:meth:`solve_array` offers a pickled-transport fallback that keeps
+multi-core solving alive when shared memory itself is the failing part.
+
 Wire-up is one knob: ``SolveEngine(executor="processes", num_workers=4)``
 — ``submit()``, ``map_batches()``, ``SplineBuilder(engine=...)`` and
 ``BatchedAdvection1D(engine=...)`` all route through the shards
@@ -36,13 +48,14 @@ snapshots merge into the engine's fleet view.
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_conn
 import pickle
 import signal
 import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -66,12 +79,64 @@ DEFAULT_START_METHOD = _default_start_method()
 
 _STOP = "stop"
 _SOLVE = "solve"
+_SOLVE_ARR = "solve_arr"
 _SNAPSHOT = "snapshot"
-_COLLECTOR_STOP = ("__collector_stop__", None, None)
+
+#: seconds a dispatch will wait for the supervisor to bring a worker back
+#: before giving up — well past the default backoff ceiling, so the only
+#: way to hit it is a pool that genuinely cannot heal
+_LIVE_WAIT_TIMEOUT = 30.0
 
 
 class WorkerError(ReproError, RuntimeError):
-    """A worker process failed (or died) while solving a shard."""
+    """A worker process failed (or died) while solving a shard.
+
+    Carries the shard's context when known — which worker held it, the
+    plan key it was solving, the ``(col0, col1)`` column range, and how
+    many delivery attempts it consumed — so a campaign log names the
+    exact shard that died instead of just "a worker died".
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        worker_id: Optional[int] = None,
+        key=None,
+        cols: Optional[Tuple[int, int]] = None,
+        attempt: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.key = key
+        self.cols = cols
+        self.attempt = attempt
+
+    def __reduce__(self):
+        # Default reduction re-calls __init__ with self.args only, which
+        # would drop the shard context on the worker->parent queue hop.
+        return (
+            type(self),
+            (
+                self.args[0] if self.args else "",
+                self.worker_id,
+                self.key,
+                self.cols,
+                self.attempt,
+            ),
+        )
+
+    def __str__(self) -> str:
+        base = self.args[0] if self.args else ""
+        context = []
+        if self.worker_id is not None:
+            context.append(f"worker={self.worker_id}")
+        if self.key is not None:
+            context.append(f"key={self.key}")
+        if self.cols is not None:
+            context.append(f"cols=[{self.cols[0]}, {self.cols[1]})")
+        if self.attempt is not None:
+            context.append(f"attempt={self.attempt}")
+        return f"{base} [{', '.join(context)}]" if context else base
 
 
 def _portable_exception(exc: BaseException) -> BaseException:
@@ -118,13 +183,23 @@ class _AttachCache:
         self._open.clear()
 
 
-def _worker_main(worker_id: int, task_q, result_q) -> None:
+def _worker_main(worker_id: int, task_q, result_conn, fault_json=None) -> None:
     """One worker process: attach, factor-once per key, solve shards.
 
-    Runs until a ``stop`` message.  Every solve acknowledges on the
-    result queue (success or portable exception); the parent's gather
+    Runs until a ``stop`` message.  Every solve acknowledges on
+    *result_conn* (success or portable exception); the parent's gather
     waits on those acks, which is what makes the column-sharded solve
-    deterministic.
+    deterministic.  The connection is this worker's **private** pipe end
+    — never a queue shared with other workers, whose cross-process write
+    lock a crashing worker (``os._exit`` mid-ack, an external SIGKILL)
+    could take to its grave and starve every survivor.  A private pipe
+    confines the damage: the parent sees this worker's death as EOF on
+    this one connection and nothing else stalls.  ``fault_json`` is the
+    parent's serialized
+    :class:`~repro.runtime.resilience.faults.FaultPlan`; the worker's
+    private copy fires the ``sharded.worker_solve`` hook (with
+    ``worker=worker_id``) before each shard, with fresh visit counters —
+    a respawned worker counts from zero.
     """
     # The parent handles interrupts and shuts workers down explicitly; a
     # Ctrl-C during tests must not kill a shard mid-write.
@@ -134,6 +209,11 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
         pass
     from repro.runtime.plan_cache import PlanCache
 
+    faults = None
+    if fault_json:
+        from repro.runtime.resilience.faults import FaultPlan
+
+        faults = FaultPlan.from_json(fault_json)
     telemetry = Telemetry()
     cache = PlanCache(telemetry=telemetry)
     segments = _AttachCache()
@@ -142,23 +222,55 @@ def _worker_main(worker_id: int, task_q, result_q) -> None:
             message = task_q.get()
             kind = message[0]
             if kind == _STOP:
-                result_q.put((message[1], "ok", telemetry.snapshot()))
+                result_conn.send((message[1], "ok", telemetry.snapshot()))
                 break
             if kind == _SNAPSHOT:
-                result_q.put((message[1], "ok", telemetry.snapshot()))
+                result_conn.send((message[1], "ok", telemetry.snapshot()))
+                continue
+            if kind == _SOLVE_ARR:
+                task_id, key, shard, col0, col1 = message[1:]
+                try:
+                    if faults is not None:
+                        faults.fire(
+                            "sharded.worker_solve",
+                            worker=worker_id,
+                            key=key,
+                            cols=(col0, col1),
+                        )
+                    result_conn.send(
+                        (
+                            task_id,
+                            "ok",
+                            _solve_array_shard(cache, telemetry, key, shard),
+                        )
+                    )
+                except BaseException as exc:  # noqa: BLE001 - ship to parent
+                    telemetry.incr("worker.shard_failures")
+                    result_conn.send((task_id, "err", _portable_exception(exc)))
                 continue
             task_id, key, seg_name, shape, dtype_name, col0, col1 = message[1:]
             try:
+                if faults is not None:
+                    faults.fire(
+                        "sharded.worker_solve",
+                        worker=worker_id,
+                        key=key,
+                        cols=(col0, col1),
+                    )
                 _solve_shard(
                     cache, telemetry, segments, key, seg_name, shape,
                     dtype_name, col0, col1,
                 )
-                result_q.put((task_id, "ok", None))
+                result_conn.send((task_id, "ok", None))
             except BaseException as exc:  # noqa: BLE001 - ship to parent
                 telemetry.incr("worker.shard_failures")
-                result_q.put((task_id, "err", _portable_exception(exc)))
+                result_conn.send((task_id, "err", _portable_exception(exc)))
     finally:
         segments.close()
+        try:
+            result_conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
 
 
 def _solve_shard(
@@ -180,6 +292,22 @@ def _solve_shard(
         builder.solve(block[:, col0:col1], in_place=True)
 
 
+def _solve_array_shard(cache, telemetry, key, shard: np.ndarray) -> np.ndarray:
+    """Solve a pickled-transport shard in place and return it.
+
+    The fallback path when shared memory is unavailable: the shard
+    arrived as its own array through the task queue, so the solved
+    coefficients ride the acknowledgement back the same way.
+    """
+    builder = cache.builder(key)
+    telemetry.incr("worker.shards_solved")
+    telemetry.incr("worker.pickled_shards")
+    telemetry.observe("worker.shard_cols", shard.shape[1])
+    with telemetry.span("worker.shard_solve"):
+        builder.solve(shard, in_place=True)
+    return shard
+
+
 class ShmLease:
     """A leased shared block viewed as an ``(n, B)`` ndarray.
 
@@ -199,6 +327,41 @@ class ShmLease:
         return self.block.name
 
 
+class _PendingTask:
+    """One in-flight message and everything needed to reissue it.
+
+    ``tail`` is the message payload after ``(kind, task_id)``, verbatim;
+    ``restore`` (solve shards only) re-fills the shard's columns from
+    the original request data — mandatory before a retry, because the
+    dead worker may have half-overwritten them in place.  ``attempt``
+    counts deliveries consumed so a shard cannot requeue forever.
+    """
+
+    __slots__ = (
+        "future", "rank", "kind", "tail", "restore",
+        "attempt", "issued_at", "key", "cols",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        kind: str,
+        tail: tuple,
+        restore: Optional[Callable[[], None]] = None,
+        key=None,
+        cols: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        self.future: Future = Future()
+        self.rank = rank
+        self.kind = kind
+        self.tail = tail
+        self.restore = restore
+        self.attempt = 0
+        self.issued_at = time.monotonic()
+        self.key = key
+        self.cols = cols
+
+
 class ShardedExecutor:
     """Persistent worker-process pool solving column shards of batches.
 
@@ -214,6 +377,19 @@ class ShardedExecutor:
     pool_blocks:
         Shared-memory segments kept warm; bounds concurrently in-flight
         blocks (default ``num_workers`` — the engine's own thread bound).
+    faults:
+        Optional :class:`~repro.runtime.resilience.faults.FaultPlan`.
+        The parent fires ``sharded.dispatch`` and ``shm.acquire``; a
+        serialized copy ships to every worker (including respawns) for
+        ``sharded.worker_solve``.
+    supervise:
+        Run a :class:`~repro.runtime.resilience.supervisor.WorkerSupervisor`
+        next to the pool: dead workers respawn under backoff and their
+        in-flight shards requeue onto survivors.  Off by default at this
+        layer — the raw executor keeps PR 4's fail-fast semantics — and
+        switched on by :class:`~repro.runtime.engine.SolveEngine`.
+    policy:
+        Supervisor tunables (ignored unless ``supervise``).
     """
 
     def __init__(
@@ -222,72 +398,246 @@ class ShardedExecutor:
         telemetry: Optional[Telemetry] = None,
         start_method: Optional[str] = None,
         pool_blocks: Optional[int] = None,
+        faults=None,
+        supervise: bool = False,
+        policy=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
-        ctx = mp.get_context(start_method or DEFAULT_START_METHOD)
-        self._tasks = [ctx.Queue() for _ in range(self.num_workers)]
-        self._results = ctx.Queue()
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(rank, self._tasks[rank], self._results),
-                name=f"repro-shard-{rank}",
-                daemon=True,
-            )
-            for rank in range(self.num_workers)
-        ]
-        for proc in self._procs:
-            proc.start()
-        self._pool = SharedBlockPool(
-            blocks=pool_blocks if pool_blocks is not None else self.num_workers
-        )
+        self.faults = faults
+        self._fault_json = faults.to_json() if faults is not None else None
+        self._ctx = mp.get_context(start_method or DEFAULT_START_METHOD)
         self._lock = threading.Lock()
-        self._pending: Dict[int, Future] = {}
+        self._cv = threading.Condition(self._lock)
+        self._pending: Dict[int, _PendingTask] = {}
+        self._parked: Dict[int, List[_PendingTask]] = {}
+        self._rr = 0
         self._next_id = 0
         self._closed = False
         self._final_snapshots: List[dict] = []
+        # Results travel over one pipe *per worker* (single writer each):
+        # a queue shared by all workers would share one cross-process
+        # write lock, and a worker crashing while holding it would starve
+        # every survivor's acks forever.  The collector multiplexes the
+        # read ends with ``multiprocessing.connection.wait``; a dead
+        # worker surfaces as EOF on its own connection only.
+        self._reader_conns: List[mp_conn.Connection] = []
+        self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+        self._collector_stop = False
+        self._tasks = []
+        self._procs = []
+        for rank in range(self.num_workers):
+            q, rx, proc = self._spawn_worker(rank)
+            self._tasks.append(q)
+            self._procs.append(proc)
+            self._reader_conns.append(rx)
+        self._pool = SharedBlockPool(
+            blocks=pool_blocks if pool_blocks is not None else self.num_workers,
+            faults=faults,
+        )
+        self._live: List[bool] = [True] * self.num_workers
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-shard-collector", daemon=True
         )
         self._collector.start()
+        self._supervisor = None
+        if supervise:
+            from repro.runtime.resilience.supervisor import (
+                SupervisorPolicy,
+                WorkerSupervisor,
+            )
+
+            self._supervisor = WorkerSupervisor(
+                self,
+                policy if policy is not None else SupervisorPolicy(),
+                self.telemetry,
+            )
+            self._supervisor.start()
 
     # -- result plumbing -------------------------------------------------
 
+    def _spawn_worker(self, rank: int):
+        """Launch one worker: fresh task queue, fresh private result pipe.
+
+        The parent's copy of the write end closes right after the start,
+        so the worker holds the only writer and its death is a clean EOF
+        on the read end — never a half-held shared lock.
+        """
+        rx, tx = self._ctx.Pipe(duplex=False)
+        q = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(rank, q, tx, self._fault_json),
+            name=f"repro-shard-{rank}",
+            daemon=True,
+        )
+        try:
+            proc.start()
+        except BaseException:  # pragma: no cover - resource exhaustion
+            rx.close()
+            tx.close()
+            raise
+        tx.close()
+        return q, rx, proc
+
+    def _wake_collector(self) -> None:
+        try:
+            self._wake_w.send_bytes(b"w")
+        except (OSError, ValueError):  # pragma: no cover - closing down
+            pass
+
+    def _retire_conn(self, conn) -> None:
+        with self._lock:
+            if conn in self._reader_conns:
+                self._reader_conns.remove(conn)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
     def _collect_loop(self) -> None:
         while True:
-            task_id, status, payload = self._results.get()
-            if task_id == _COLLECTOR_STOP[0]:
-                return
             with self._lock:
-                fut = self._pending.pop(task_id, None)
-            if fut is None:  # pragma: no cover - late ack after failure
-                continue
-            if status == "ok":
-                fut.set_result(payload)
-            else:
-                fut.set_exception(payload)
+                conns = list(self._reader_conns)
+            # The 1 s timeout is a backstop only; wake tokens refresh the
+            # wait set the moment a respawn adds a fresh connection.
+            ready = mp_conn.wait(conns + [self._wake_r], timeout=1.0)
+            for conn in ready:
+                if conn is self._wake_r:
+                    try:
+                        self._wake_r.recv_bytes()
+                    except (EOFError, OSError):  # pragma: no cover
+                        return
+                    if self._collector_stop:
+                        return
+                    continue
+                try:
+                    task_id, status, payload = conn.recv()
+                except (EOFError, OSError):
+                    # This worker died (possibly mid-ack: a truncated
+                    # message ends the stream).  Its pending shards are
+                    # the supervisor's job; only this pipe retires.
+                    self._retire_conn(conn)
+                    continue
+                except Exception:  # pragma: no cover - corrupt stream
+                    self._retire_conn(conn)
+                    continue
+                with self._lock:
+                    task = self._pending.pop(task_id, None)
+                if task is None:  # a late ack from a terminated/requeued shard
+                    continue
+                if status == "ok":
+                    task.future.set_result(payload)
+                else:
+                    task.future.set_exception(payload)
 
     def _issue(self, rank: int, message_tail: tuple, kind: str = _SOLVE) -> Future:
+        """Issue a rank-directed control message (snapshot / stop)."""
         with self._lock:
             if self._closed:
                 raise WorkerError("sharded executor is shut down")
             task_id = self._next_id
             self._next_id += 1
-            fut: Future = Future()
-            self._pending[task_id] = fut
-        self._tasks[rank].put((kind, task_id) + message_tail)
-        return fut
+            task = _PendingTask(rank, kind, message_tail)
+            self._pending[task_id] = task
+            q = self._tasks[rank]
+        q.put((kind, task_id) + message_tail)
+        return task.future
+
+    def _issue_live(
+        self,
+        tail: tuple,
+        kind: str,
+        restore: Optional[Callable[[], None]],
+        key,
+        cols: Tuple[int, int],
+    ) -> Future:
+        """Register and issue one solve shard to the next live worker.
+
+        Pick, register and queue-grab happen under one lock hold, so a
+        shard can never be sent to a rank that was already marked down —
+        and a rank that dies *after* the send still carries the shard in
+        ``_pending``, where the supervisor's requeue finds it.  With no
+        live rank the call waits for the supervisor to respawn one,
+        failing fast when the pool is closed, unsupervised, or exhausted
+        (never deadlocks: a hard timeout backstops the wait).
+        """
+        deadline = time.monotonic() + _LIVE_WAIT_TIMEOUT
+        with self._lock:
+            while True:
+                if self._closed:
+                    raise WorkerError("sharded executor is shut down")
+                live = [
+                    rank for rank in range(self.num_workers) if self._live[rank]
+                ]
+                if live:
+                    self._rr += 1
+                    rank = live[self._rr % len(live)]
+                    task_id = self._next_id
+                    self._next_id += 1
+                    task = _PendingTask(rank, kind, tail, restore, key, cols)
+                    self._pending[task_id] = task
+                    q = self._tasks[rank]
+                    break
+                if self._supervisor is None or self._supervisor.exhausted:
+                    raise WorkerError(
+                        "no live worker processes"
+                        + (
+                            " and the restart budget is exhausted"
+                            if self._supervisor is not None
+                            else ""
+                        ),
+                        key=key,
+                        cols=cols,
+                    )
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:  # pragma: no cover - pathological
+                    raise WorkerError(
+                        "timed out waiting for a live worker", key=key, cols=cols
+                    )
+                self._cv.wait(timeout=min(0.05, remaining))
+        q.put((kind, task_id) + tail)
+        return task.future
 
     def _await(self, fut: Future, what: str):
         """Wait on *fut*, watching worker liveness so a dead process
-        surfaces as :class:`WorkerError` instead of a silent hang."""
+        surfaces as :class:`WorkerError` instead of a silent hang.
+
+        Under supervision the watching is the supervisor's job — every
+        pending shard is either acknowledged, requeued, or failed by it —
+        so the wait continues across worker deaths, with one backstop:
+        a future the pool no longer *tracks* (neither pending nor parked)
+        can never resolve, so after a few grace ticks it fails as
+        :class:`WorkerError` rather than hanging the caller forever.
+        The grace period covers the honest untracked window while the
+        supervisor restores and reissues a requeued shard.
+        """
+        untracked_ticks = 0
         while True:
             try:
                 return fut.result(timeout=1.0)
             except FutureTimeoutError:
+                if self._supervisor is not None:
+                    with self._lock:
+                        tracked = any(
+                            t.future is fut for t in self._pending.values()
+                        ) or any(
+                            t.future is fut
+                            for tasks in self._parked.values()
+                            for t in tasks
+                        )
+                    if tracked or fut.done():
+                        untracked_ticks = 0
+                        continue
+                    untracked_ticks += 1
+                    if untracked_ticks < 3:
+                        continue
+                    raise WorkerError(
+                        f"in-flight shard lost by the pool during {what} "
+                        "(neither pending, parked, nor resolved)"
+                    ) from None
                 dead = [p.name for p in self._procs if not p.is_alive()]
                 if dead and not self._closed:
                     self._fail_pending(
@@ -298,9 +648,203 @@ class ShardedExecutor:
     def _fail_pending(self, exc: BaseException) -> None:
         with self._lock:
             pending, self._pending = self._pending, {}
-        for fut in pending.values():
-            if not fut.done():
-                fut.set_exception(exc)
+            parked, self._parked = self._parked, {}
+        tasks = list(pending.values())
+        for rank_tasks in parked.values():
+            tasks.extend(rank_tasks)
+        for task in tasks:
+            if not task.future.done():
+                task.future.set_exception(exc)
+
+    # -- the supervision API ----------------------------------------------
+    #
+    # Consumed by resilience.supervisor.WorkerSupervisor; everything here
+    # is safe to call from its monitor thread concurrently with solves.
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the supervisor spent its restart budget (always
+        ``False`` for an unsupervised pool)."""
+        return self._supervisor is not None and self._supervisor.exhausted
+
+    @property
+    def supervisor(self):
+        return self._supervisor
+
+    def is_marked_live(self, rank: int) -> bool:
+        return self._live[rank]
+
+    def proc_alive(self, rank: int) -> bool:
+        return self._procs[rank].is_alive()
+
+    def mark_down(self, rank: int) -> None:
+        """Stop routing new shards at *rank* (its death is being handled)."""
+        with self._lock:
+            self._live[rank] = False
+            self._cv.notify_all()
+
+    def terminate_worker(self, rank: int) -> None:
+        """Kill *rank* now (hang remediation) and wait until it is dead.
+
+        The join matters: a requeued shard must never race a terminated
+        worker that is still mid-write in the shared block.
+        """
+        proc = self._procs[rank]
+        proc.terminate()
+        proc.join(timeout=2.0)
+        if proc.is_alive():  # pragma: no cover - terminate() ignored
+            proc.kill()
+            proc.join(timeout=2.0)
+
+    def oldest_pending_age(self, rank: int, now: float) -> Optional[float]:
+        """Age in seconds of *rank*'s oldest in-flight shard, or ``None``."""
+        with self._lock:
+            oldest = None
+            for task in self._pending.values():
+                if task.rank != rank or task.kind not in (_SOLVE, _SOLVE_ARR):
+                    continue
+                if oldest is None or task.issued_at < oldest:
+                    oldest = task.issued_at
+        return None if oldest is None else now - oldest
+
+    def _pick_survivor_locked(self) -> Optional[int]:
+        live = [
+            rank
+            for rank in range(self.num_workers)
+            if self._live[rank] and self._procs[rank].is_alive()
+        ]
+        if not live:
+            return None
+        self._rr += 1
+        return live[self._rr % len(live)]
+
+    def _fail_task(self, task: _PendingTask, rank: int, message: str) -> None:
+        if task.future.done():  # pragma: no cover - raced with an ack
+            return
+        task.future.set_exception(
+            WorkerError(
+                message,
+                worker_id=rank,
+                key=task.key,
+                cols=task.cols,
+                attempt=task.attempt,
+            )
+        )
+
+    def _reissue(self, task: _PendingTask, rank: int) -> bool:
+        with self._lock:
+            if self._closed:
+                return False
+            task_id = self._next_id
+            self._next_id += 1
+            task.rank = rank
+            task.attempt += 1
+            task.issued_at = time.monotonic()
+            self._pending[task_id] = task
+            q = self._tasks[rank]
+        q.put((task.kind, task_id) + task.tail)
+        return True
+
+    def requeue_rank(
+        self, rank: int, max_retries: int, allow_park: bool = True
+    ) -> int:
+        """Move dead *rank*'s in-flight shards to survivors; return count.
+
+        Each shard is **restored first** — its column range re-filled
+        from the original request data — because the dead worker may
+        have half-overwritten it in place; re-solving restored columns
+        is bitwise identical to the undisturbed run.  A shard past
+        *max_retries* fails with full context.  With no survivor the
+        shard parks on *rank* when a respawn is coming (``allow_park``),
+        else fails fast.  Control messages (snapshot/stop) always fail.
+        """
+        with self._lock:
+            victims = [
+                (task_id, task)
+                for task_id, task in self._pending.items()
+                if task.rank == rank
+            ]
+            for task_id, _ in victims:
+                del self._pending[task_id]
+        requeued = 0
+        for _, task in victims:
+            if task.future.done():  # the ack beat the death notice
+                continue
+            if task.kind not in (_SOLVE, _SOLVE_ARR):
+                self._fail_task(task, rank, "worker died before answering")
+                continue
+            if task.attempt >= max_retries:
+                self._fail_task(
+                    task,
+                    rank,
+                    f"shard failed after {task.attempt + 1} deliveries",
+                )
+                continue
+            try:
+                if task.restore is not None:
+                    task.restore()
+            except BaseException as exc:  # noqa: BLE001 - surface to caller
+                if not task.future.done():
+                    task.future.set_exception(exc)
+                continue
+            with self._lock:
+                target = self._pick_survivor_locked()
+            if target is None:
+                if allow_park and not self._closed:
+                    with self._lock:
+                        self._parked.setdefault(rank, []).append(task)
+                    continue
+                self._fail_task(task, rank, "no live workers to requeue onto")
+                continue
+            if self._reissue(task, target):
+                requeued += 1
+                self.telemetry.incr("sharded.requeued_shards")
+            else:
+                self._fail_task(task, rank, "executor closed during requeue")
+        return requeued
+
+    def respawn(self, rank: int) -> bool:
+        """Relaunch dead *rank* with a **fresh task queue**, reissuing its
+        parked shards; returns whether a new process is running.
+
+        The fresh queue is load-bearing: messages queued to the dead
+        process must never be drained by its replacement — every one of
+        them was either acknowledged, requeued, or failed already, and a
+        replay would double-solve (harmless) or double-ack (confusing).
+        """
+        with self._lock:
+            if self._closed or self._live[rank]:
+                return False
+        old = self._procs[rank]
+        if old.is_alive():  # pragma: no cover - defensive
+            old.terminate()
+        old.join(timeout=2.0)
+        try:
+            new_q, rx, proc = self._spawn_worker(rank)
+        except BaseException:  # pragma: no cover - resource exhaustion
+            with self._lock:
+                parked = self._parked.pop(rank, [])
+            for task in parked:
+                self._fail_task(task, rank, "worker respawn failed")
+            return False
+        with self._lock:
+            self._tasks[rank] = new_q
+            self._procs[rank] = proc
+            self._live[rank] = True
+            self._reader_conns.append(rx)
+            parked = self._parked.pop(rank, [])
+            self._cv.notify_all()
+        # The dead incarnation's pipe stays in the wait set until its EOF
+        # drains — acks it sent before dying are still honored.
+        self._wake_collector()
+        for task in parked:
+            if not self._reissue(task, rank):  # pragma: no cover - closing
+                self._fail_task(task, rank, "executor closed during respawn")
+        return True
 
     # -- leases ----------------------------------------------------------
 
@@ -314,14 +858,25 @@ class ShardedExecutor:
 
     # -- the sharded solve ----------------------------------------------
 
-    def solve(self, key, lease: ShmLease) -> None:
+    def solve(
+        self,
+        key,
+        lease: ShmLease,
+        restore: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         """Solve ``lease.array`` in place, column-sharded over the workers.
 
-        Shard *r* of the balanced decomposition goes to worker *r*; the
-        call returns only after every shard acknowledged, so the block is
-        fully solved (and safe to scatter) on return.  If any shard
-        failed, the first failure is re-raised — after all acks, so no
-        worker is still writing into the lease.
+        The balanced decomposition is fixed by ``num_workers`` (not by
+        how many workers happen to be alive), and each shard goes to the
+        next live rank; the call returns only after every shard
+        acknowledged, so the block is fully solved (and safe to scatter)
+        on return.  If any shard failed, the first failure is re-raised
+        — after all acks, so no worker is still writing into the lease.
+
+        *restore*, called as ``restore(col0, col1)``, must re-fill that
+        column range of ``lease.array`` with its original (unsolved)
+        values; with it, a shard lost to a worker death is restored and
+        requeued instead of failing the whole block.
         """
         n, cols = lease.array.shape
         if cols == 0:
@@ -335,13 +890,26 @@ class ShardedExecutor:
         futures = []
         failure: Optional[BaseException] = None
         with self.telemetry.span("sharded.solve"):
-            for rank in range(ranks):
-                col0, col1 = decomp.bounds(rank)
+            for shard in range(ranks):
+                col0, col1 = decomp.bounds(shard)
                 self.telemetry.observe("sharded.shard_cols", col1 - col0)
                 try:
+                    if self.faults is not None:
+                        self.faults.fire(
+                            "sharded.dispatch", key=key, cols=(col0, col1)
+                        )
+                    shard_restore = (
+                        None
+                        if restore is None
+                        else (lambda c0=col0, c1=col1: restore(c0, c1))
+                    )
                     futures.append(
-                        self._issue(
-                            rank, (key, lease.name, shape, dtype_name, col0, col1)
+                        self._issue_live(
+                            (key, lease.name, shape, dtype_name, col0, col1),
+                            _SOLVE,
+                            shard_restore,
+                            key,
+                            (col0, col1),
                         )
                     )
                 except BaseException as exc:  # noqa: BLE001 - drain first
@@ -357,13 +925,72 @@ class ShardedExecutor:
         if failure is not None:
             raise failure
 
+    def solve_array(
+        self, key, block: np.ndarray, restore: Optional[Callable] = None
+    ) -> None:
+        """Solve *block* in place, shipping shards as pickled arrays.
+
+        The degraded-transport rung of the resilience ladder: when the
+        shared-memory pool cannot serve (:class:`~repro.runtime.shm.ShmError`),
+        each shard travels through the task queue as its own array and
+        the solved coefficients ride the acknowledgement back.  Slower —
+        the shard bytes are pickled both ways — but still multi-core,
+        and bitwise identical (same decomposition, same kernels).  No
+        restore callback is needed for requeue: the queued tail holds
+        the parent's pristine copy of the shard.
+        """
+        n, cols = block.shape
+        if cols == 0:
+            return
+        ranks = min(self.num_workers, cols)
+        decomp = Decomposition(extent=cols, ranks=ranks)
+        self.telemetry.incr("sharded.pickled_blocks")
+        self.telemetry.observe("sharded.shards_per_block", ranks)
+        entries = []
+        failure: Optional[BaseException] = None
+        with self.telemetry.span("sharded.solve"):
+            for shard in range(ranks):
+                col0, col1 = decomp.bounds(shard)
+                self.telemetry.observe("sharded.shard_cols", col1 - col0)
+                try:
+                    if self.faults is not None:
+                        self.faults.fire(
+                            "sharded.dispatch", key=key, cols=(col0, col1)
+                        )
+                    payload = np.ascontiguousarray(block[:, col0:col1])
+                    entries.append(
+                        (
+                            self._issue_live(
+                                (key, payload, col0, col1),
+                                _SOLVE_ARR,
+                                None,
+                                key,
+                                (col0, col1),
+                            ),
+                            col0,
+                            col1,
+                        )
+                    )
+                except BaseException as exc:  # noqa: BLE001 - drain first
+                    failure = exc
+                    break
+            for fut, col0, col1 in entries:
+                try:
+                    block[:, col0:col1] = self._await(fut, "a pickled shard solve")
+                except BaseException as exc:  # noqa: BLE001 - re-raise below
+                    failure = failure or exc
+        if failure is not None:
+            raise failure
+
     # -- telemetry and lifecycle ----------------------------------------
 
     def worker_snapshots(self, timeout: float = 10.0) -> List[dict]:
-        """Every worker's :meth:`Telemetry.snapshot`, gathered in rank order.
+        """Every live worker's :meth:`Telemetry.snapshot`, in rank order.
 
         After :meth:`shutdown` this returns the final snapshots captured
         while the workers drained, so post-mortem merges keep working.
+        Ranks that are down (dead, or mid-respawn) are skipped rather
+        than failing the whole fleet view.
         """
         with self._lock:
             closed = self._closed
@@ -372,8 +999,15 @@ class ShardedExecutor:
         futures = [
             self._issue(rank, (), kind=_SNAPSHOT)
             for rank in range(self.num_workers)
+            if self._live[rank] and self._procs[rank].is_alive()
         ]
-        return [fut.result(timeout=timeout) for fut in futures]
+        snapshots = []
+        for fut in futures:
+            try:
+                snapshots.append(fut.result(timeout=timeout))
+            except Exception:  # pragma: no cover - died while answering
+                pass
+        return snapshots
 
     def alive(self) -> bool:
         return not self._closed and all(p.is_alive() for p in self._procs)
@@ -383,13 +1017,17 @@ class ShardedExecutor:
         with self._lock:
             if self._closed:
                 return
+        # The supervisor goes first, so a worker we stop on purpose is
+        # not "healed" back into existence mid-shutdown.
+        if self._supervisor is not None:
+            self._supervisor.stop()
         # The stop message doubles as the final snapshot request.
         finals = []
         try:
             finals = [
                 self._issue(rank, (), kind=_STOP)
                 for rank in range(self.num_workers)
-                if self._procs[rank].is_alive()
+                if self._live[rank] and self._procs[rank].is_alive()
             ]
         except WorkerError:  # pragma: no cover - raced with failure
             pass
@@ -403,18 +1041,31 @@ class ShardedExecutor:
                 pass
         with self._lock:
             self._closed = True
+            self._cv.notify_all()
         self._fail_pending(WorkerError("sharded executor shut down"))
         for proc in self._procs:
             proc.join(timeout=max(0.1, deadline - time.perf_counter()))
             if proc.is_alive():  # pragma: no cover - stuck worker
                 proc.terminate()
                 proc.join(timeout=1.0)
-        self._results.put(_COLLECTOR_STOP)
+        self._collector_stop = True
+        self._wake_collector()
         self._collector.join(timeout=2.0)
         self._pool.close()
         for q in self._tasks:
             q.close()
-        self._results.close()
+        with self._lock:
+            conns, self._reader_conns = self._reader_conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for end in (self._wake_r, self._wake_w):
+            try:
+                end.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
     def __enter__(self) -> "ShardedExecutor":
         return self

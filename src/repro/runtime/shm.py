@@ -27,16 +27,53 @@ Two wrinkles this module hides:
 
 from __future__ import annotations
 
+import atexit
 import threading
+import weakref
 from multiprocessing import shared_memory
 from typing import List, Optional
 
 from repro.exceptions import ReproError
 
-__all__ = ["SharedBlock", "SharedBlockPool", "attach", "DEFAULT_POOL_BLOCKS"]
+__all__ = [
+    "SharedBlock",
+    "SharedBlockPool",
+    "ShmError",
+    "attach",
+    "DEFAULT_POOL_BLOCKS",
+]
 
 #: default number of pooled segments — one per concurrently solving batch
 DEFAULT_POOL_BLOCKS = 2
+
+#: every live owner-side segment, so abnormal interpreter exits (an
+#: uncaught exception, SystemExit, KeyboardInterrupt) unlink them even
+#: when SolveEngine.shutdown() is never reached.  A WeakSet: a block that
+#: was closed and collected normally simply is not here anymore.  SIGKILL
+#: skips atexit entirely — that case is covered by the multiprocessing
+#: resource tracker, which outlives the owner and unlinks what it leaked.
+_LIVE_BLOCKS: "weakref.WeakSet[SharedBlock]" = weakref.WeakSet()
+_GUARD_LOCK = threading.Lock()
+_GUARD_INSTALLED = False
+
+
+def _cleanup_live_blocks() -> None:  # pragma: no cover - exercised in a
+    # subprocess by tests/test_resilience.py (atexit of *this* interpreter
+    # only runs at exit, where coverage no longer records)
+    for block in list(_LIVE_BLOCKS):
+        try:
+            block.close()
+        except Exception:
+            pass
+
+
+def _register_owner(block: "SharedBlock") -> None:
+    global _GUARD_INSTALLED
+    with _GUARD_LOCK:
+        if not _GUARD_INSTALLED:
+            atexit.register(_cleanup_live_blocks)
+            _GUARD_INSTALLED = True
+        _LIVE_BLOCKS.add(block)
 
 
 class ShmError(ReproError, RuntimeError):
@@ -83,7 +120,7 @@ class SharedBlock:
     every :meth:`ensure`.
     """
 
-    __slots__ = ("_shm",)
+    __slots__ = ("_shm", "__weakref__")
 
     def __init__(self, nbytes: int) -> None:
         if nbytes < 1:
@@ -91,6 +128,7 @@ class SharedBlock:
         self._shm: Optional[shared_memory.SharedMemory] = (
             shared_memory.SharedMemory(create=True, size=int(nbytes))
         )
+        _register_owner(self)
 
     @property
     def name(self) -> str:
@@ -145,10 +183,16 @@ class SharedBlockPool:
     the next batch, still warm in the page cache.
     """
 
-    def __init__(self, blocks: int = DEFAULT_POOL_BLOCKS, initial_bytes: int = 1) -> None:
+    def __init__(
+        self,
+        blocks: int = DEFAULT_POOL_BLOCKS,
+        initial_bytes: int = 1,
+        faults=None,
+    ) -> None:
         if blocks < 1:
             raise ValueError(f"pool needs >= 1 block, got {blocks}")
         self.blocks = int(blocks)
+        self.faults = faults
         self._free: List[SharedBlock] = [
             SharedBlock(max(1, int(initial_bytes))) for _ in range(self.blocks)
         ]
@@ -157,6 +201,8 @@ class SharedBlockPool:
         self._closed = False
 
     def acquire(self, nbytes: int) -> SharedBlock:
+        if self.faults is not None:
+            self.faults.fire("shm.acquire", nbytes=int(nbytes))
         with self._cv:
             while not self._free:
                 if self._closed:

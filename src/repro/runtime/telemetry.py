@@ -9,7 +9,11 @@ a thread-safe bag of
 * **series** — bounded sample reservoirs with running count/sum/max, from
   which p50/p99 quantiles are read (``observe``);
 * **spans** — ``with telemetry.span("solve"):`` context timing, recorded
-  as a ``<name>.seconds`` series.
+  as a ``<name>.seconds`` series;
+* **events** — bounded last-N rings of structured records (``event``),
+  used by the resilience layer for state transitions (circuit breaker
+  open/close, supervisor respawns, degradation-ladder steps) and for the
+  poisoned-request quarantine ledger.
 
 ``snapshot()`` exports everything as a plain dict (the exa-scale analogue
 would ship this to a metrics backend); ``render()`` prints it through the
@@ -35,11 +39,15 @@ __all__ = [
     "merge_snapshots",
     "render_snapshot",
     "DEFAULT_MAX_SAMPLES",
+    "DEFAULT_MAX_EVENTS",
 ]
 
 #: samples retained per series; older observations only survive in the
 #: running count/sum/min/max aggregates
 DEFAULT_MAX_SAMPLES = 4096
+
+#: structured records retained per event ring; older events are dropped
+DEFAULT_MAX_EVENTS = 64
 
 
 class _Series:
@@ -90,13 +98,21 @@ class _Series:
 class Telemetry:
     """Thread-safe counters / series / span timings for the runtime engine."""
 
-    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+    def __init__(
+        self,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
         if max_samples < 1:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_samples = int(max_samples)
+        self.max_events = int(max_events)
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._series: Dict[str, _Series] = {}
+        self._events: Dict[str, deque] = {}
 
     # -- recording ------------------------------------------------------
 
@@ -122,11 +138,32 @@ class Telemetry:
         finally:
             self.observe(f"{name}.seconds", time.perf_counter() - t0)
 
+    def event(self, name: str, **fields) -> None:
+        """Append one structured record to the bounded ring *name*.
+
+        Each record is the given fields plus a wall-clock ``t`` stamp;
+        the ring keeps the most recent ``max_events`` records, so a
+        long campaign's snapshot always shows the latest transitions
+        (respawns, breaker flips, quarantined requests) without growing.
+        """
+        record = {"t": time.time(), **fields}
+        with self._lock:
+            ring = self._events.get(name)
+            if ring is None:
+                ring = self._events[name] = deque(maxlen=self.max_events)
+            ring.append(record)
+
     # -- reading --------------------------------------------------------
 
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def events(self, name: str) -> list:
+        """The retained records of the event ring *name* (oldest first)."""
+        with self._lock:
+            ring = self._events.get(name)
+            return [dict(r) for r in ring] if ring is not None else []
 
     def quantile(self, name: str, q: float) -> float:
         # The sample reservoir must be materialized *under* the lock: a
@@ -140,11 +177,17 @@ class Telemetry:
         return _Series.quantile_of(samples, q)
 
     def snapshot(self) -> dict:
-        """Everything as a plain dict: ``{"counters": ..., "series": ...}``."""
+        """Everything as a plain dict:
+        ``{"counters": ..., "series": ..., "events": ...}``."""
         with self._lock:
             counters = dict(self._counters)
             series = {name: s.summary() for name, s in self._series.items()}
-        return {"counters": counters, "series": series}
+            events = {
+                name: [dict(r) for r in ring]
+                for name, ring in self._events.items()
+                if ring
+            }
+        return {"counters": counters, "series": series, "events": events}
 
     def render(self, title: str = "Runtime engine telemetry") -> str:
         """Counters and series as one paper-style ASCII table."""
@@ -154,6 +197,7 @@ class Telemetry:
         with self._lock:
             self._counters.clear()
             self._series.clear()
+            self._events.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:
@@ -191,7 +235,8 @@ def merge_snapshots(*snapshots: dict) -> dict:
     aggregates — count, count-weighted mean, min, max.  Quantiles cannot
     be recovered from per-worker summaries, so a merged series keeps p50
     and p99 only when exactly one contributing snapshot observed it, and
-    reports NaN otherwise.
+    reports NaN otherwise.  Event rings concatenate in snapshot order,
+    trimmed to the newest :data:`DEFAULT_MAX_EVENTS` records per name.
     """
     names = []
     for snap in snapshots:
@@ -219,4 +264,11 @@ def merge_snapshots(*snapshots: dict) -> dict:
             merged["min"] = min(merged["min"], summ["min"])
             merged["max"] = max(merged["max"], summ["max"])
             merged["p50"] = merged["p99"] = float("nan")
-    return {"counters": counters, "series": series}
+    events: Dict[str, list] = {}
+    for snap in snapshots:
+        for name, records in snap.get("events", {}).items():
+            events.setdefault(name, []).extend(records)
+    events = {
+        name: records[-DEFAULT_MAX_EVENTS:] for name, records in events.items()
+    }
+    return {"counters": counters, "series": series, "events": events}
