@@ -1,0 +1,72 @@
+"""Array-API backend layer: one kernel source, many array libraries.
+
+``repro.backend`` is how the kernel layer stays performance-portable in
+the paper's sense: :mod:`repro.kbatched` and :mod:`repro.xspace` are
+written once against the array-API standard, and the namespace actually
+executing the arithmetic is resolved *from the operands* at call time
+(:func:`get_namespace`).  NumPy is the bitwise reference backend; cupy /
+torch / jax / ``array_api_strict`` participate when importable, selected
+either implicitly (pass their arrays in) or explicitly via the
+``REPRO_BACKEND`` environment variable / ``EngineConfig(backend_ns=...)``.
+
+See ``docs/backends.md`` for resolution order and strictness caveats.
+"""
+
+from repro.backend.registry import (
+    ENV_VAR,
+    available_backends,
+    backend_name_of,
+    default_namespace,
+    get_namespace,
+    is_numpy_namespace,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.backend.compat import (
+    add_at_2d,
+    ascontiguous,
+    ascopy,
+    asnumpy,
+    astype,
+    is_floating,
+    is_integral,
+    isdtype,
+    ordered_batched_vecmat,
+    ordered_matmul,
+    outer,
+    outer_update,
+    take_2d,
+)
+
+from typing import Any as _Any
+
+#: Typing alias for "any array-API array" at kernel boundaries.  Kernel
+#: modules annotate with this instead of importing NumPy.
+Array = _Any
+
+__all__ = [
+    "ENV_VAR",
+    "Array",
+    "add_at_2d",
+    "ascontiguous",
+    "ascopy",
+    "asnumpy",
+    "astype",
+    "available_backends",
+    "backend_name_of",
+    "default_namespace",
+    "get_namespace",
+    "is_floating",
+    "is_integral",
+    "is_numpy_namespace",
+    "isdtype",
+    "ordered_batched_vecmat",
+    "ordered_matmul",
+    "outer",
+    "outer_update",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "take_2d",
+]

@@ -1,0 +1,210 @@
+"""Portability helpers bridging the array-API standard and fast NumPy paths.
+
+The kernels in :mod:`repro.kbatched` are written against the array-API
+standard, but three categories of operation need a helper:
+
+* **ordering-sensitive contractions** — the batch-width-invariant corner
+  update must keep its exact ``einsum(..., optimize=False)`` evaluation
+  order on NumPy (bitwise reproducibility across batch widths), while
+  non-NumPy backends fall back to ``matmul``;
+* **scatter/gather** — ``np.add.at`` and 2-D fancy indexing are not in the
+  standard; the helpers keep the fast NumPy ufunc path and provide a
+  loop-free (or small-loop) standard-compliant fallback;
+* **ingress/egress shims** — ``asnumpy`` / ``ascopy`` convert at the public
+  boundaries where host-side NumPy is part of the contract (factorization
+  setup, shared-memory transport).
+
+Every helper preserves the operand dtype: float32 in, float32 out.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.backend.registry import get_namespace, is_numpy_namespace
+
+__all__ = [
+    "add_at_2d",
+    "ascontiguous",
+    "ascopy",
+    "asnumpy",
+    "astype",
+    "isdtype",
+    "is_floating",
+    "is_integral",
+    "ordered_batched_vecmat",
+    "ordered_matmul",
+    "outer",
+    "outer_update",
+    "take_2d",
+]
+
+
+def ordered_matmul(xp, a, b):
+    """``a @ b`` with a pinned summation order on NumPy.
+
+    On the NumPy reference backend this is the batch-width-invariant
+    contraction ``einsum("ik,kj->ij", a, b, optimize=False)`` — the fixed
+    k-ordered accumulation that keeps column results independent of how
+    many columns share the call (PR 4).  Other backends use ``matmul``;
+    their accumulation order is theirs to define.
+    """
+    if is_numpy_namespace(xp):
+        return np.einsum("ik,kj->ij", a, b, optimize=False)
+    return xp.matmul(a, b)
+
+
+def ordered_batched_vecmat(xp, a, b):
+    """Batched ``a[b,k] · b[b,k,r] -> y[b,r]`` with pinned order on NumPy.
+
+    NumPy uses ``einsum("bk,bkr->br", ..., optimize=False)``; standard
+    backends reshape through ``matmul``.
+    """
+    if is_numpy_namespace(xp):
+        return np.einsum("bk,bkr->br", a, b, optimize=False)
+    batch, k = a.shape
+    a3 = xp.reshape(a, (batch, 1, k))
+    return xp.reshape(xp.matmul(a3, b), (batch, b.shape[2]))
+
+
+def outer(xp, u, v):
+    """``outer(u, v)`` for 1-D ``u`` (m) and ``v`` (n) without ``None``
+    indexing; bitwise equal to ``np.outer`` on NumPy."""
+    return xp.reshape(u, (u.shape[0], 1)) * xp.reshape(v, (1, v.shape[0]))
+
+
+def outer_update(xp, y, alpha, u, v):
+    """``y += alpha * outer(u, v)`` for 1-D ``u`` (m), ``v`` (n), 2-D ``y``.
+
+    ``np.outer`` / ``None``-indexing are not in the standard; the reshape
+    product is, and it matches NumPy's ``outer`` bitwise.
+    """
+    m = u.shape[0]
+    n = v.shape[0]
+    y += alpha * (xp.reshape(u, (m, 1)) * xp.reshape(v, (1, n)))
+
+
+def take_2d(xp, a, rows, cols):
+    """Gather ``a[rows[i], cols[i]]`` from 2-D *a* (1-D result).
+
+    2-D integer-array indexing is a NumPy extension; the standard path
+    flattens and uses ``take``.  *rows*/*cols* are host NumPy index
+    arrays.
+    """
+    if is_numpy_namespace(xp):
+        return a[rows, cols]
+    flat = xp.reshape(a, (-1,))
+    idx = xp.asarray(rows * a.shape[1] + cols)
+    return xp.take(flat, idx)
+
+
+def add_at_2d(xp, out, rows, cols, values):
+    """Scatter-add ``out[rows[i], cols[i]] += values[i]`` (duplicates
+    accumulate).
+
+    NumPy uses the ``np.add.at`` unbuffered ufunc; the standard fallback
+    is a scalar loop — acceptable because corner COO patterns hold a
+    handful of entries (O(degree²)), never the dense interior.
+    """
+    if is_numpy_namespace(xp) and isinstance(values, np.ndarray):
+        np.add.at(out, (rows, cols), values)
+        return
+    for i in range(len(rows)):
+        r = int(rows[i])
+        c = int(cols[i])
+        out[r, c] += values[i]
+
+
+def asnumpy(x) -> np.ndarray:
+    """Materialise *x* as a host :class:`numpy.ndarray` (egress shim)."""
+    if isinstance(x, np.ndarray):
+        return x
+    unwrap = getattr(x, "__array__", None)
+    if unwrap is not None:
+        return np.asarray(x)
+    # Standard-compliant but NumPy-opaque arrays (e.g. the strict test
+    # namespace): copy element-wise through the namespace.
+    xp = get_namespace(x)
+    out = np.empty(x.shape, dtype=_numpy_dtype(x.dtype))
+    flat = xp.reshape(x, (-1,))
+    for i in range(out.size):
+        out.reshape(-1)[i] = flat[i]
+    return out
+
+
+def _numpy_dtype(dtype) -> np.dtype:
+    """Best-effort conversion of a backend dtype object to a NumPy dtype."""
+    try:
+        return np.dtype(dtype)
+    except TypeError:
+        return np.dtype(str(dtype).rsplit(".", maxsplit=1)[-1])
+
+
+def ascopy(x, dtype=None, xp=None):
+    """A fresh, writable copy of *x* (optionally cast), same namespace.
+
+    The NumPy path pins C order for downstream kernels; standard backends
+    own their layout.
+    """
+    if xp is None:
+        xp = get_namespace(x)
+    if is_numpy_namespace(xp):
+        return np.array(x, dtype=dtype, copy=True, order="C")
+    if dtype is not None and x.dtype != dtype:
+        return xp.astype(x, dtype, copy=True)
+    return xp.asarray(x, copy=True)
+
+
+def ascontiguous(x):
+    """C-contiguous view-or-copy on NumPy; identity elsewhere (the
+    standard has no layout concept)."""
+    if isinstance(x, np.ndarray):
+        return np.ascontiguousarray(x)
+    return x
+
+
+def astype(xp, x, dtype, copy: bool = True):
+    """``xp.astype`` with a NumPy fast path (NumPy 2 has ``np.astype``
+    too, but the method form avoids a copy when ``copy=False``)."""
+    if is_numpy_namespace(xp):
+        return x.astype(dtype, copy=copy)
+    return xp.astype(x, dtype, copy=copy)
+
+
+def isdtype(xp, dtype, kind) -> bool:
+    """``xp.isdtype`` with a NumPy fallback for pre-2.0 namespaces."""
+    fn = getattr(xp, "isdtype", None)
+    if fn is not None:
+        return bool(fn(dtype, kind))
+    kinds = kind if isinstance(kind, tuple) else (kind,)
+    np_dtype = _numpy_dtype(dtype)
+    checks = {
+        "bool": lambda d: d == np.bool_,
+        "signed integer": lambda d: np.issubdtype(d, np.signedinteger),
+        "unsigned integer": lambda d: np.issubdtype(d, np.unsignedinteger),
+        "integral": lambda d: np.issubdtype(d, np.integer),
+        "real floating": lambda d: np.issubdtype(d, np.floating),
+        "complex floating": lambda d: np.issubdtype(d, np.complexfloating),
+        "numeric": lambda d: np.issubdtype(d, np.number),
+    }
+    for k in kinds:
+        if isinstance(k, str):
+            if checks[k](np_dtype):
+                return True
+        elif np_dtype == np.dtype(k):
+            return True
+    return False
+
+
+def is_floating(xp, dtype) -> bool:
+    """True for real- or complex-floating *dtype* (the dtypes the solver
+    kernels preserve end to end)."""
+    return isdtype(xp, dtype, ("real floating", "complex floating"))
+
+
+def is_integral(xp, dtype) -> bool:
+    """True for boolean or integer *dtype* (the only inputs COO ingestion
+    may promote)."""
+    return isdtype(xp, dtype, ("bool", "integral"))

@@ -1,0 +1,408 @@
+"""A minimal strict array-API namespace for conformance testing.
+
+``array_api_strict`` is the canonical strictness oracle, but it is an
+optional install.  This module is an in-repo stand-in: a thin wrapper
+around NumPy that *rejects* the NumPy extensions the array-API standard
+does not guarantee, so the kernel conformance suite can fail loudly even
+when ``array_api_strict`` is absent:
+
+* partial indexing of multi-dimensional arrays (``a[i]`` on 2-D) — a
+  tuple with one index per axis, or an explicit ellipsis, is required;
+* ``None`` (newaxis) and integer-array/boolean-mask indexing;
+* ``.T`` on anything but 2-D arrays;
+* ``__array__`` interop (NumPy functions cannot silently absorb these
+  arrays) and float/int coercion of non-0-d arrays.
+
+It implements exactly the subset of the standard the kernel layer uses;
+it is a test oracle, not a performance backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Array",
+    "abs",
+    "any",
+    "arange",
+    "argmax",
+    "asarray",
+    "astype",
+    "bool",
+    "complex128",
+    "complex64",
+    "empty",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "isdtype",
+    "matmul",
+    "max",
+    "min",
+    "nonzero",
+    "reshape",
+    "sqrt",
+    "stack",
+    "sum",
+    "take",
+    "zeros",
+]
+
+_builtin_bool = bool
+_builtin_abs = abs
+
+float32 = np.float32
+float64 = np.float64
+complex64 = np.complex64
+complex128 = np.complex128
+int32 = np.int32
+int64 = np.int64
+bool = np.bool_
+
+_SCALARS = (_builtin_bool, int, float, complex)
+
+
+def _unwrap(x):
+    if isinstance(x, Array):
+        return x._a
+    if isinstance(x, _SCALARS):
+        return x
+    raise TypeError(
+        f"minimal backend operations accept minimal arrays and Python "
+        f"scalars, not {type(x).__name__}"
+    )
+
+
+def _wrap(a):
+    return Array(np.asarray(a))
+
+
+def _check_index(ndim: int, idx) -> tuple:
+    """Enforce the standard's indexing rules; return a NumPy-safe index."""
+    if not isinstance(idx, tuple):
+        idx = (idx,)
+    has_ellipsis = False
+    n_axes = 0
+    clean = []
+    for item in idx:
+        if item is Ellipsis:
+            if has_ellipsis:
+                raise IndexError("an index may contain at most one ellipsis")
+            has_ellipsis = True
+            clean.append(item)
+        elif item is None:
+            raise IndexError(
+                "newaxis (None) indexing is not part of the array API "
+                "standard; use reshape"
+            )
+        elif isinstance(item, slice):
+            for bound in (item.start, item.stop, item.step):
+                if bound is not None and not isinstance(bound, int):
+                    try:
+                        bound = bound.__index__()
+                    except AttributeError:
+                        raise IndexError(
+                            "slice bounds must be integers"
+                        ) from None
+            n_axes += 1
+            clean.append(item)
+        elif isinstance(item, (Array, np.ndarray, list)):
+            raise IndexError(
+                "integer-array / boolean-mask indexing is not part of the "
+                "array API standard; use take"
+            )
+        else:
+            try:
+                clean.append(item.__index__())
+            except AttributeError:
+                raise IndexError(
+                    f"unsupported index component {item!r}"
+                ) from None
+            n_axes += 1
+    if not has_ellipsis and n_axes != ndim:
+        raise IndexError(
+            f"the array API standard requires one index per axis (or an "
+            f"explicit ellipsis): got {n_axes} indices for {ndim} axes"
+        )
+    if n_axes > ndim:
+        raise IndexError(f"too many indices ({n_axes}) for {ndim} axes")
+    return tuple(clean)
+
+
+class Array:
+    """Minimal strict array: wraps a NumPy buffer, hides NumPy behaviour."""
+
+    __slots__ = ("_a",)
+
+    # Keep NumPy from absorbing us via its protocols.
+    __array_ufunc__ = None
+    __array_function__ = None
+
+    def __init__(self, a: np.ndarray):
+        self._a = a
+
+    def __array_namespace__(self, api_version=None):
+        import repro.backend.minimal as ns
+        return ns
+
+    # -- introspection -------------------------------------------------
+    @property
+    def dtype(self):
+        return self._a.dtype
+
+    @property
+    def shape(self):
+        return self._a.shape
+
+    @property
+    def ndim(self):
+        return self._a.ndim
+
+    @property
+    def size(self):
+        return self._a.size
+
+    @property
+    def device(self):
+        return "cpu"
+
+    @property
+    def T(self):
+        if self._a.ndim != 2:
+            raise ValueError(
+                ".T is only defined for 2-D arrays in the array API "
+                "standard; use permute_dims"
+            )
+        return Array(self._a.T)
+
+    @property
+    def mT(self):
+        if self._a.ndim < 2:
+            raise ValueError(".mT requires at least 2 dimensions")
+        return Array(np.swapaxes(self._a, -1, -2))
+
+    def __repr__(self):
+        return f"minimal.Array({self._a!r})"
+
+    # -- scalar coercion (0-d only, per the standard) ------------------
+    def _scalar(self):
+        if self._a.ndim != 0:
+            raise TypeError(
+                "only 0-dimensional arrays can be converted to scalars"
+            )
+        return self._a[()]
+
+    def __float__(self):
+        return float(self._scalar())
+
+    def __int__(self):
+        return int(self._scalar())
+
+    def __complex__(self):
+        return complex(self._scalar())
+
+    def __bool__(self):
+        return _builtin_bool(self._scalar())
+
+    def __index__(self):
+        s = self._scalar()
+        if not np.issubdtype(self._a.dtype, np.integer):
+            raise TypeError("only integer arrays can be used as indices")
+        return int(s)
+
+    # -- indexing ------------------------------------------------------
+    def __getitem__(self, idx):
+        out = self._a[_check_index(self._a.ndim, idx)]
+        return Array(out if isinstance(out, np.ndarray) else np.asarray(out))
+
+    def __setitem__(self, idx, value):
+        self._a[_check_index(self._a.ndim, idx)] = _unwrap(value)
+
+    # -- arithmetic ----------------------------------------------------
+    def _binop(self, other, op):
+        try:
+            other = _unwrap(other)
+        except TypeError:
+            return NotImplemented
+        return _wrap(op(self._a, other))
+
+    def _rbinop(self, other, op):
+        try:
+            other = _unwrap(other)
+        except TypeError:
+            return NotImplemented
+        return _wrap(op(other, self._a))
+
+    def _ibinop(self, other, op):
+        op(self._a, _unwrap(other))
+        return self
+
+    def __add__(self, o):
+        return self._binop(o, lambda a, b: a + b)
+
+    def __radd__(self, o):
+        return self._rbinop(o, lambda a, b: a + b)
+
+    def __sub__(self, o):
+        return self._binop(o, lambda a, b: a - b)
+
+    def __rsub__(self, o):
+        return self._rbinop(o, lambda a, b: a - b)
+
+    def __mul__(self, o):
+        return self._binop(o, lambda a, b: a * b)
+
+    def __rmul__(self, o):
+        return self._rbinop(o, lambda a, b: a * b)
+
+    def __truediv__(self, o):
+        return self._binop(o, lambda a, b: a / b)
+
+    def __rtruediv__(self, o):
+        return self._rbinop(o, lambda a, b: a / b)
+
+    def __pow__(self, o):
+        return self._binop(o, lambda a, b: a ** b)
+
+    def __matmul__(self, o):
+        return self._binop(o, lambda a, b: a @ b)
+
+    def __rmatmul__(self, o):
+        return self._rbinop(o, lambda a, b: a @ b)
+
+    def __neg__(self):
+        return _wrap(-self._a)
+
+    def __pos__(self):
+        return _wrap(+self._a)
+
+    def __abs__(self):
+        return _wrap(np.abs(self._a))
+
+    # In-place operators must mutate the underlying buffer: kernels rely
+    # on ``b[...] op= x`` writing through views handed across calls.
+    def __iadd__(self, o):
+        return self._ibinop(o, lambda a, b: a.__iadd__(b))
+
+    def __isub__(self, o):
+        return self._ibinop(o, lambda a, b: a.__isub__(b))
+
+    def __imul__(self, o):
+        return self._ibinop(o, lambda a, b: a.__imul__(b))
+
+    def __itruediv__(self, o):
+        return self._ibinop(o, lambda a, b: a.__itruediv__(b))
+
+    # -- comparisons ---------------------------------------------------
+    def __eq__(self, o):  # noqa: D105
+        return self._binop(o, lambda a, b: a == b)
+
+    def __ne__(self, o):
+        return self._binop(o, lambda a, b: a != b)
+
+    def __lt__(self, o):
+        return self._binop(o, lambda a, b: a < b)
+
+    def __le__(self, o):
+        return self._binop(o, lambda a, b: a <= b)
+
+    def __gt__(self, o):
+        return self._binop(o, lambda a, b: a > b)
+
+    def __ge__(self, o):
+        return self._binop(o, lambda a, b: a >= b)
+
+    __hash__ = None
+
+
+# -- namespace functions ----------------------------------------------
+
+
+def asarray(obj, dtype=None, copy=None):
+    if isinstance(obj, Array):
+        a = obj._a
+    elif isinstance(obj, np.ndarray) or isinstance(obj, _SCALARS) \
+            or isinstance(obj, (list, tuple)):
+        a = np.asarray(obj)
+    else:
+        raise TypeError(f"cannot convert {type(obj).__name__} to array")
+    if copy:
+        a = np.array(a, dtype=dtype, copy=True)
+    elif dtype is not None:
+        a = np.asarray(a, dtype=dtype)
+    return Array(a)
+
+
+def zeros(shape, *, dtype=float64):
+    return Array(np.zeros(shape, dtype=dtype))
+
+
+def empty(shape, *, dtype=float64):
+    return Array(np.empty(shape, dtype=dtype))
+
+
+def arange(start, stop=None, step=1, *, dtype=None):
+    return Array(np.arange(start, stop, step, dtype=dtype))
+
+
+def reshape(x, shape):
+    return Array(np.reshape(_unwrap(x), shape))
+
+
+def permute_dims(x, axes):
+    return _wrap(np.transpose(_unwrap(x), axes))
+
+
+def astype(x, dtype, *, copy=True):
+    return Array(_unwrap(x).astype(dtype, copy=copy))
+
+
+def isdtype(dtype, kind):
+    return np.isdtype(dtype, kind)
+
+
+def abs(x):  # noqa: A001
+    return _wrap(np.abs(_unwrap(x)))
+
+
+def sqrt(x):
+    return _wrap(np.sqrt(_unwrap(x)))
+
+
+def matmul(a, b):
+    return _wrap(np.matmul(_unwrap(a), _unwrap(b)))
+
+
+def take(x, indices, *, axis=None):
+    return _wrap(np.take(_unwrap(x), _unwrap(indices), axis=axis))
+
+
+def nonzero(x):
+    return tuple(_wrap(part) for part in np.nonzero(_unwrap(x)))
+
+
+def argmax(x, *, axis=None, keepdims=False):
+    return _wrap(np.argmax(_unwrap(x), axis=axis, keepdims=keepdims))
+
+
+def any(x, *, axis=None, keepdims=False):  # noqa: A001
+    return _wrap(np.any(_unwrap(x), axis=axis, keepdims=keepdims))
+
+
+def min(x, *, axis=None, keepdims=False):  # noqa: A001
+    return _wrap(np.min(_unwrap(x), axis=axis, keepdims=keepdims))
+
+
+def max(x, *, axis=None, keepdims=False):  # noqa: A001
+    return _wrap(np.max(_unwrap(x), axis=axis, keepdims=keepdims))
+
+
+def sum(x, *, axis=None, dtype=None, keepdims=False):  # noqa: A001
+    return _wrap(np.sum(_unwrap(x), axis=axis, dtype=dtype,
+                        keepdims=keepdims))
+
+
+def stack(arrays, *, axis=0):
+    return _wrap(np.stack([_unwrap(a) for a in arrays], axis=axis))

@@ -1,0 +1,235 @@
+"""Backend namespace resolution and registry.
+
+The kernel layer (:mod:`repro.kbatched`, :mod:`repro.xspace`) is written
+against the `Python array API standard <https://data-apis.org/array-api/>`_:
+every kernel resolves its namespace *from its operands* with
+:func:`get_namespace` and performs all arithmetic through that namespace.
+NumPy is the reference backend; cupy / torch / jax (and
+``array_api_strict``, the standard's strict reference implementation) drop
+in when importable, without forking the numerics.
+
+Resolution is ``array_api_compat``-style but **pure stdlib** — no third
+party shim is required:
+
+1. an operand advertising ``__array_namespace__`` (NumPy >= 2, cupy,
+   ``array_api_strict``, …) resolves to that namespace;
+2. a bare :class:`numpy.ndarray` / scalar resolves to :mod:`numpy`;
+3. otherwise the operand's root module name is looked up in the backend
+   registry (``torch.Tensor`` -> the registered torch namespace, …).
+
+The registry also names backends for configuration: ``REPRO_BACKEND`` (or
+``EngineConfig(backend_ns=...)``) selects the *default* namespace used when
+no operand pins one.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import BackendError
+
+__all__ = [
+    "ENV_VAR",
+    "available_backends",
+    "registered_backends",
+    "backend_name_of",
+    "default_namespace",
+    "get_namespace",
+    "is_numpy_namespace",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable naming the default backend namespace.
+ENV_VAR = "REPRO_BACKEND"
+
+_LOCK = threading.Lock()
+
+
+class _BackendSpec:
+    """A lazily-imported backend: a name plus a loader returning its
+    array-API namespace, and the operand root-module names it claims."""
+
+    __slots__ = ("name", "loader", "modules", "_ns")
+
+    def __init__(self, name: str, loader: Callable[[], Any], modules: tuple):
+        self.name = name
+        self.loader = loader
+        self.modules = modules
+        self._ns = None
+
+    def namespace(self):
+        if self._ns is None:
+            self._ns = self.loader()
+        return self._ns
+
+
+_REGISTRY: Dict[str, _BackendSpec] = {}
+
+
+def register_backend(
+    name: str, loader: Callable[[], Any], modules: tuple = ()
+) -> None:
+    """Register (or replace) a backend *name* -> namespace loader.
+
+    ``modules`` lists operand root-module names resolved to this backend
+    when an array type does not advertise ``__array_namespace__``.
+    """
+    with _LOCK:
+        _REGISTRY[name] = _BackendSpec(name, loader, tuple(modules))
+
+
+def _load_numpy():
+    return np
+
+
+def _load_array_api_strict():
+    return importlib.import_module("array_api_strict")
+
+
+def _load_cupy():
+    return importlib.import_module("cupy")
+
+
+def _load_torch():
+    return importlib.import_module("torch")
+
+
+def _load_jax():
+    return importlib.import_module("jax.numpy")
+
+
+def _load_minimal():
+    return importlib.import_module("repro.backend.minimal")
+
+
+register_backend("numpy", _load_numpy, modules=("numpy",))
+register_backend("array_api_strict", _load_array_api_strict,
+                 modules=("array_api_strict",))
+register_backend("cupy", _load_cupy, modules=("cupy",))
+register_backend("torch", _load_torch, modules=("torch",))
+register_backend("jax", _load_jax, modules=("jax", "jaxlib"))
+register_backend("minimal", _load_minimal, modules=())
+
+
+def registered_backends() -> List[str]:
+    """Names of all registered backends, importable or not (no imports
+    are attempted — use :func:`available_backends` for that)."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+def available_backends() -> List[str]:
+    """Names of registered backends whose import actually succeeds."""
+    names = []
+    with _LOCK:
+        specs = list(_REGISTRY.values())
+    for spec in specs:
+        try:
+            spec.namespace()
+        except Exception:
+            continue
+        names.append(spec.name)
+    return names
+
+
+def resolve_backend(name: Optional[str] = None):
+    """Return the namespace for backend *name*.
+
+    ``None`` consults ``REPRO_BACKEND``, then falls back to ``"numpy"``.
+
+    Raises
+    ------
+    BackendError
+        For an unregistered name or a registered backend that fails to
+        import.
+    """
+    if name is None:
+        name = os.environ.get(ENV_VAR, "").strip() or "numpy"
+    with _LOCK:
+        spec = _REGISTRY.get(name)
+    if spec is None:
+        raise BackendError(
+            f"unknown array backend {name!r}; registered backends: "
+            f"{sorted(_REGISTRY)}"
+        )
+    try:
+        return spec.namespace()
+    except BackendError:
+        raise
+    except Exception as exc:
+        raise BackendError(
+            f"array backend {name!r} is registered but failed to import: {exc}"
+        ) from exc
+
+
+def default_namespace():
+    """The namespace used when no operand pins one (``REPRO_BACKEND``)."""
+    return resolve_backend(None)
+
+
+def _namespace_of(obj) -> Optional[Any]:
+    """The array namespace of one operand, or ``None`` for non-arrays."""
+    method = getattr(type(obj), "__array_namespace__", None)
+    if method is not None:
+        return obj.__array_namespace__()
+    if isinstance(obj, (np.ndarray, np.generic)):
+        return np
+    root = type(obj).__module__.split(".")[0]
+    with _LOCK:
+        specs = list(_REGISTRY.values())
+    for spec in specs:
+        if root in spec.modules:
+            return spec.namespace()
+    return None
+
+
+def get_namespace(*arrays, default: Any = None):
+    """Resolve the common array-API namespace of *arrays*.
+
+    Python scalars and ``None`` operands are ignored (they follow the
+    standard's scalar-promotion rules inside whichever namespace wins).
+    With no array operand the *default* namespace applies (``None`` —
+    :func:`default_namespace`).
+
+    Raises
+    ------
+    BackendError
+        If operands come from two different namespaces: silently picking
+        one would stage a device transfer the caller never asked for.
+    """
+    xp = None
+    for a in arrays:
+        if a is None or isinstance(a, (bool, int, float, complex)):
+            continue
+        ns = _namespace_of(a)
+        if ns is None:
+            continue
+        if xp is None:
+            xp = ns
+        elif xp is not ns:
+            raise BackendError(
+                "mixed array namespaces in one kernel call: "
+                f"{backend_name_of(xp)!r} vs {backend_name_of(ns)!r}; "
+                "convert the operands to one backend first"
+            )
+    if xp is not None:
+        return xp
+    if default is not None:
+        return default
+    return default_namespace()
+
+
+def backend_name_of(xp) -> str:
+    """A stable display/cache name for namespace *xp*."""
+    return getattr(xp, "__name__", None) or repr(xp)
+
+
+def is_numpy_namespace(xp) -> bool:
+    """True when *xp* is NumPy itself (the bitwise-reference backend)."""
+    return xp is np

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ascopy, get_namespace, is_numpy_namespace
 from repro.core.builder.direct import DirectBandSolver
 from repro.core.builder.schur import DEFAULT_CHUNK, DEFAULT_DROP_TOL, SchurSolver
 from repro.core.spec import BSplineSpec
@@ -212,10 +213,19 @@ class SplineBuilder:
         When an engine is attached, out-of-place solves are submitted to
         it (and may coalesce with other callers' requests); in-place
         solves always run the solver directly.
+
+        The result lives in the namespace of *f*: pass a cupy / torch /
+        strict array in and the coefficients come back from the same
+        library (the factorization is staged into that namespace once and
+        cached).  Engine coalescing is a host-NumPy transport, so only
+        NumPy right-hand sides route through an attached engine; other
+        namespaces always solve directly.
         """
-        f = np.asarray(f)
+        xp = get_namespace(f, default=np)
+        if is_numpy_namespace(xp):
+            f = np.asarray(f)
         self._check_rhs(f, in_place)
-        if self.engine is not None and not in_place:
+        if self.engine is not None and not in_place and is_numpy_namespace(xp):
             return self.engine.solve(
                 self.spec,
                 f,
@@ -226,13 +236,19 @@ class SplineBuilder:
         if in_place:
             work = f
         else:
-            work = np.array(f, dtype=self.dtype, copy=True, order="C")
+            work = ascopy(f, dtype=self.dtype, xp=xp)
             if work.ndim == 1:
-                work = work[:, None]
+                work = xp.reshape(work, (work.shape[0], 1))
         self._dispatch(work)
         if in_place:
             return f
-        return work[:, 0] if f.ndim == 1 else work
+        if f.ndim == 1:
+            # reshape may have copied on non-NumPy backends; flatten the
+            # solved buffer itself rather than re-viewing f's copy.
+            return work[:, 0] if is_numpy_namespace(xp) else xp.reshape(
+                work, (self.n,)
+            )
+        return work
 
     def solve_transposed(self, fb: np.ndarray, slab: int = DEFAULT_SLAB) -> np.ndarray:
         """In-place solve for a transposed ``(batch, n)`` layout.
@@ -257,9 +273,13 @@ class SplineBuilder:
             raise ShapeError(
                 f"solve_transposed needs dtype {self.dtype}, got {fb.dtype}"
             )
+        xp = get_namespace(fb, default=np)
         for start in range(0, fb.shape[0], slab):
-            block = fb[start : start + slab]
-            scratch = np.ascontiguousarray(block.T)
+            block = fb[start : start + slab, ...]
+            if is_numpy_namespace(xp):
+                scratch = np.ascontiguousarray(block.T)
+            else:
+                scratch = xp.asarray(block.T, copy=True)
             self.solver.solve(scratch, version=self.version)
             block[...] = scratch.T
         return fb

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ascopy, get_namespace, is_numpy_namespace
 from repro.core.builder.builder import SplineBuilder
 from repro.core.spec import BSplineSpec
 from repro.exceptions import ShapeError
@@ -100,28 +101,37 @@ class SplineBuilder2D:
         """Coefficients for values sampled on the tensor grid.
 
         *f* has shape ``(nx, ny)`` or ``(nx, ny, batch)``; the result has
-        the same shape.
+        the same shape and lives in the namespace of *f*.
         """
-        f = np.asarray(f)
+        xp = get_namespace(f, default=np)
+        if is_numpy_namespace(xp):
+            f = np.asarray(f)
         if f.ndim not in (2, 3) or f.shape[0] != self.nx or f.shape[1] != self.ny:
             raise ShapeError(
                 f"expected values of shape ({self.nx}, {self.ny}[, batch]), "
                 f"got {f.shape}"
             )
         squeeze = f.ndim == 2
-        work = np.array(f, dtype=self.dtype, copy=True, order="C")
-        work = work.reshape(self.nx, self.ny, -1)
+        work = ascopy(f, dtype=self.dtype, xp=xp)
+        work = xp.reshape(work, (self.nx, self.ny, -1))
         batch = work.shape[2]
         # x-pass: each of the ny*batch lines along x is one batch column.
-        self.builder_x.solve(work.reshape(self.nx, self.ny * batch), in_place=True)
+        xwork = xp.reshape(work, (self.nx, self.ny * batch))
+        self.builder_x.solve(xwork, in_place=True)
+        # reshape may copy off-NumPy; fold the solved lines back in.
+        work = xp.reshape(xwork, (self.nx, self.ny, batch))
         # y-pass: bring y to the front, solve, and restore the layout.
-        ywork = np.ascontiguousarray(work.transpose(1, 0, 2)).reshape(
-            self.ny, self.nx * batch
-        )
+        if is_numpy_namespace(xp):
+            ytensor = np.ascontiguousarray(work.transpose(1, 0, 2))
+        else:
+            ytensor = xp.asarray(xp.permute_dims(work, (1, 0, 2)), copy=True)
+        ywork = xp.reshape(ytensor, (self.ny, self.nx * batch))
         self.builder_y.solve(ywork, in_place=True)
-        out = np.ascontiguousarray(
-            ywork.reshape(self.ny, self.nx, batch).transpose(1, 0, 2)
-        )
+        ysolved = xp.reshape(ywork, (self.ny, self.nx, batch))
+        if is_numpy_namespace(xp):
+            out = np.ascontiguousarray(ysolved.transpose(1, 0, 2))
+        else:
+            out = xp.asarray(xp.permute_dims(ysolved, (1, 0, 2)), copy=True)
         return out[:, :, 0] if squeeze else out
 
     def __repr__(self) -> str:

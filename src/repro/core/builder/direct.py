@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import asnumpy
 from repro.core.builder.plan import make_plan
 from repro.core.builder.schur import DEFAULT_CHUNK, _VERSIONS
 from repro.exceptions import ShapeError
@@ -37,7 +38,7 @@ class DirectBandSolver:
     ) -> None:
         if chunk < 1:
             raise ValueError(f"chunk must be a positive column count, got {chunk}")
-        a = np.asarray(a, dtype=np.float64)
+        a = np.asarray(asnumpy(a), dtype=np.float64)
         self.norm1 = float(np.max(np.sum(np.abs(a), axis=0)))
         self.norm_inf = float(np.max(np.sum(np.abs(a), axis=1)))
         plan64 = make_plan(a, tol=tol)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import asnumpy, backend_name_of, get_namespace, is_numpy_namespace
 from repro.core.bsplines.classify import MatrixType, classify_matrix
 from repro.exceptions import ShapeError
 from repro.kbatched import (
@@ -107,6 +108,29 @@ class FactorizationPlan:
     def _factor_arrays(self) -> dict:
         raise NotImplementedError
 
+    def _staged_factors(self, xp) -> dict:
+        """The factor arrays staged into namespace *xp*.
+
+        Factorization always runs on the host in NumPy; solving against a
+        cupy/torch/jax (or strict) right-hand side stages a copy of the
+        factors into that backend once and caches it per namespace — the
+        paper's "factorize on CPU, copy the result to the device" setup
+        step (§II-B1).  Pivot arrays stay host NumPy (kernels read them as
+        Python ints).
+        """
+        if is_numpy_namespace(xp):
+            return self._factor_arrays()
+        key = backend_name_of(xp)
+        cache = self.__dict__.setdefault("_staged", {})
+        staged = cache.get(key)
+        if staged is None:
+            staged = {
+                name: xp.asarray(np.ascontiguousarray(value))
+                for name, value in self._factor_arrays().items()
+            }
+            cache[key] = staged
+        return staged
+
     def astype(self, dtype) -> "FactorizationPlan":
         """A copy of this plan with the stored factors cast to *dtype*.
 
@@ -116,6 +140,7 @@ class FactorizationPlan:
         dt = _check_dtype(dtype)
         clone = type(self).__new__(type(self))
         clone.__dict__.update(self.__dict__)
+        clone.__dict__.pop("_staged", None)
         clone.dtype = dt
         for key, value in self._factor_arrays().items():
             setattr(clone, key, np.ascontiguousarray(value, dtype=dt))
@@ -211,13 +236,16 @@ class PttrsPlan(FactorizationPlan):
         return {"d": self.d, "e": self.e}
 
     def _solve(self, b: np.ndarray) -> None:
-        pttrs(self.d, self.e, b)
+        f = self._staged_factors(get_namespace(b))
+        pttrs(f["d"], f["e"], b)
 
     def _solve_serial(self, b: np.ndarray) -> None:
-        serial_pttrs(self.d, self.e, b)
+        f = self._staged_factors(get_namespace(b))
+        serial_pttrs(f["d"], f["e"], b)
 
     def _solve_transpose(self, b: np.ndarray) -> None:
-        pttrs(self.d, self.e, b)  # symmetric: Aᵀ = A
+        f = self._staged_factors(get_namespace(b))
+        pttrs(f["d"], f["e"], b)  # symmetric: Aᵀ = A
 
 
 class PbtrsPlan(FactorizationPlan):
@@ -237,13 +265,16 @@ class PbtrsPlan(FactorizationPlan):
         return {"ab": self.ab}
 
     def _solve(self, b: np.ndarray) -> None:
-        pbtrs(self.ab, b)
+        f = self._staged_factors(get_namespace(b))
+        pbtrs(f["ab"], b)
 
     def _solve_serial(self, b: np.ndarray) -> None:
-        serial_pbtrs(self.ab, b)
+        f = self._staged_factors(get_namespace(b))
+        serial_pbtrs(f["ab"], b)
 
     def _solve_transpose(self, b: np.ndarray) -> None:
-        pbtrs(self.ab, b)  # symmetric: Aᵀ = A
+        f = self._staged_factors(get_namespace(b))
+        pbtrs(f["ab"], b)  # symmetric: Aᵀ = A
 
 
 class GbtrsPlan(FactorizationPlan):
@@ -264,13 +295,16 @@ class GbtrsPlan(FactorizationPlan):
         return {"ab": self.ab}
 
     def _solve(self, b: np.ndarray) -> None:
-        gbtrs(self.ab, self.ipiv, b, self.kl, self.ku)
+        f = self._staged_factors(get_namespace(b))
+        gbtrs(f["ab"], self.ipiv, b, self.kl, self.ku)
 
     def _solve_serial(self, b: np.ndarray) -> None:
-        serial_gbtrs(self.ab, self.ipiv, b, self.kl, self.ku)
+        f = self._staged_factors(get_namespace(b))
+        serial_gbtrs(f["ab"], self.ipiv, b, self.kl, self.ku)
 
     def _solve_transpose(self, b: np.ndarray) -> None:
-        gbtrs(self.ab, self.ipiv, b, self.kl, self.ku, trans=Trans.TRANSPOSE)
+        f = self._staged_factors(get_namespace(b))
+        gbtrs(f["ab"], self.ipiv, b, self.kl, self.ku, trans=Trans.TRANSPOSE)
 
 
 class GetrsPlan(FactorizationPlan):
@@ -288,13 +322,16 @@ class GetrsPlan(FactorizationPlan):
         return {"lu": self.lu}
 
     def _solve(self, b: np.ndarray) -> None:
-        getrs(self.lu, self.ipiv, b)
+        f = self._staged_factors(get_namespace(b))
+        getrs(f["lu"], self.ipiv, b)
 
     def _solve_serial(self, b: np.ndarray) -> None:
-        serial_getrs(self.lu, self.ipiv, b)
+        f = self._staged_factors(get_namespace(b))
+        serial_getrs(f["lu"], self.ipiv, b)
 
     def _solve_transpose(self, b: np.ndarray) -> None:
-        getrs(self.lu, self.ipiv, b, trans=Trans.TRANSPOSE)
+        f = self._staged_factors(get_namespace(b))
+        getrs(f["lu"], self.ipiv, b, trans=Trans.TRANSPOSE)
 
 
 _PLAN_CLASSES = {
@@ -322,7 +359,7 @@ def make_plan(
         Precision of the *stored factors*.  Factorization itself always
         runs in float64.
     """
-    a = np.asarray(a, dtype=np.float64)
+    a = np.asarray(asnumpy(a), dtype=np.float64)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ShapeError(f"expected a square matrix, got shape {a.shape}")
     dt = _check_dtype(dtype)

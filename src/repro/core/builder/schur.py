@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import asnumpy, backend_name_of, get_namespace, is_numpy_namespace
 from repro.core.bsplines.blocks import split_cyclic_banded
 from repro.core.bsplines.classify import MatrixType
 from repro.core.builder.plan import FactorizationPlan, make_plan
@@ -77,7 +78,7 @@ class SchurSolver:
     ) -> None:
         if chunk < 1:
             raise ValueError(f"chunk must be a positive column count, got {chunk}")
-        a = np.asarray(a, dtype=np.float64)
+        a = np.asarray(asnumpy(a), dtype=np.float64)
         #: operator norms of the full cyclic matrix, for condition-aware
         #: verification (‖A‖₁ feeds the Hager/Higham estimator, ‖A‖∞ the
         #: backward-error denominator)
@@ -116,20 +117,43 @@ class SchurSolver:
         """Stored non-zeros of the sparse corner operators (§IV-B)."""
         return {"lambda": self.lam_coo.nnz, "beta": self.beta_coo.nnz}
 
+    def _staged_corners(self, xp):
+        """``(beta, lam, beta_coo, lam_coo)`` staged into namespace *xp*.
+
+        Host NumPy operands pass through untouched; other backends get a
+        one-time copy cached per namespace — the same stage-to-device step
+        the factor plans perform (§II-B1).
+        """
+        if is_numpy_namespace(xp):
+            return self.beta, self.lam, self.beta_coo, self.lam_coo
+        key = backend_name_of(xp)
+        cache = self.__dict__.setdefault("_staged", {})
+        ops = cache.get(key)
+        if ops is None:
+            ops = (
+                xp.asarray(self.beta),
+                xp.asarray(self.lam),
+                self.beta_coo.to_namespace(xp),
+                self.lam_coo.to_namespace(xp),
+            )
+            cache[key] = ops
+        return ops
+
     def _solve_block(self, b: np.ndarray, sparse: bool) -> None:
         """Algorithm 1 lines 5–8 on one ``(n, cols)`` block, in place."""
-        b0 = b[: self.m]
-        b1 = b[self.m :]
+        beta, lam, beta_coo, lam_coo = self._staged_corners(get_namespace(b))
+        b0 = b[: self.m, ...]
+        b1 = b[self.m :, ...]
         self.q_plan.solve(b0)  # Q x₀' = b₀
         if sparse:
-            coo_spmm(-1.0, self.lam_coo, b0, b1)  # b₁ ← b₁ − λ x₀'
+            coo_spmm(-1.0, lam_coo, b0, b1)  # b₁ ← b₁ − λ x₀'
         else:
-            gemv(-1.0, self.lam, b0, 1.0, b1)
+            gemv(-1.0, lam, b0, 1.0, b1)
         self.delta_plan.solve(b1)  # δ' x₁ = b₁ − λ x₀'
         if sparse:
-            coo_spmm(-1.0, self.beta_coo, b1, b0)  # x₀ = x₀' − β x₁
+            coo_spmm(-1.0, beta_coo, b1, b0)  # x₀ = x₀' − β x₁
         else:
-            gemv(-1.0, self.beta, b1, 1.0, b0)
+            gemv(-1.0, beta, b1, 1.0, b0)
 
     def solve(self, b: np.ndarray, version: int = 2) -> np.ndarray:
         """Solve in place for an ``(n, batch)`` right-hand-side block."""
@@ -177,11 +201,12 @@ class SchurSolver:
                 f"right-hand side leading extent {b.shape[0]} does not match "
                 f"matrix size {self.n}"
             )
-        b0 = b[: self.m]
-        b1 = b[self.m :]
-        b1 -= self.beta.T @ b0
+        beta, lam, _, _ = self._staged_corners(get_namespace(b))
+        b0 = b[: self.m, ...]
+        b1 = b[self.m :, ...]
+        b1 -= beta.T @ b0
         self.delta_plan.solve_transpose(b1)
-        b0 -= self.lam.T @ b1
+        b0 -= lam.T @ b1
         self.q_plan.solve_transpose(b0)
         return b
 
@@ -196,12 +221,13 @@ class SchurSolver:
                 f"right-hand side length {b.shape[0]} does not match "
                 f"matrix size {self.n}"
             )
+        _, _, beta_coo, lam_coo = self._staged_corners(get_namespace(b))
         b0 = b[: self.m]
         b1 = b[self.m :]
         self.q_plan.solve_serial(b0)
-        serial_coo_spmv(-1.0, self.lam_coo, b0, b1)
+        serial_coo_spmv(-1.0, lam_coo, b0, b1)
         self.delta_plan.solve_serial(b1)
-        serial_coo_spmv(-1.0, self.beta_coo, b1, b0)
+        serial_coo_spmv(-1.0, beta_coo, b1, b0)
         return b
 
     def __repr__(self) -> str:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import asnumpy, backend_name_of, get_namespace, is_numpy_namespace, ordered_matmul
 from repro.core.builder.plan import make_plan
 from repro.core.bsplines.blocks import cyclic_bandwidth
 from repro.core.bsplines.classify import MatrixType
@@ -36,7 +37,7 @@ def split_wrap(a: np.ndarray, tol: float = 1e-12):
     one identity column per wrap-carrying row, and ``v`` the corresponding
     rows of the wrap part — so the reassembly is exact to the last bit.
     """
-    a = np.asarray(a, dtype=np.float64)
+    a = np.asarray(asnumpy(a), dtype=np.float64)
     bw = cyclic_bandwidth(a, tol=tol)  # raises ShapeError on non-square input
     n = a.shape[0]
     idx = np.arange(n)
@@ -85,8 +86,24 @@ class WoodburySolver:
         """Table I solver used for the banded core ``B``."""
         return self.b_plan.name
 
+    def _staged_wv(self, xp):
+        """``(W̃, V)`` staged into the namespace of the right-hand side.
+
+        NumPy callers get the factor-time arrays untouched; other
+        namespaces get a per-backend cached copy, so the host→device
+        transfer happens once per backend, not per solve.
+        """
+        if is_numpy_namespace(xp):
+            return self.w, self.v
+        cache = self.__dict__.setdefault("_staged", {})
+        key = backend_name_of(xp)
+        if key not in cache:
+            cache[key] = (xp.asarray(self.w), xp.asarray(self.v))
+        return cache[key]
+
     def solve(self, b: np.ndarray) -> np.ndarray:
-        """Solve in place for an ``(n, batch)`` right-hand-side block."""
+        """Solve in place for an ``(n, batch)`` right-hand-side block;
+        result dtype == RHS dtype."""
         if b.ndim != 2:
             raise ShapeError(
                 f"batched solve expects a 2-D (n, batch) block, got shape {b.shape}"
@@ -96,12 +113,14 @@ class WoodburySolver:
                 f"right-hand side leading extent {b.shape[0]} does not match "
                 f"matrix size {self.n}"
             )
+        xp = get_namespace(b, default=np)
+        w, v = self._staged_wv(xp)
         self.b_plan.solve(b)  # y = B⁻¹ b
         # Batch-width-invariant reduction (see kbatched.gemv): keeps column
         # shards of a batch bitwise equal to the full-batch solve.
-        t = np.einsum("ik,kj->ij", self.v.T, b, optimize=False)  # Vᵀ y
+        t = ordered_matmul(xp, v.T, b)  # Vᵀ y
         self.cap_plan.solve(t)  # C z = Vᵀ y
-        b -= self.w @ t  # x = y − W̃ z
+        b -= w @ t  # x = y − W̃ z
         return b
 
     def __repr__(self) -> str:

@@ -16,12 +16,11 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
-
+from repro.backend import Array, asnumpy, get_namespace
 from repro.exceptions import ShapeError
 
 
-def dense_band_widths(a: np.ndarray, tol: float = 0.0) -> Tuple[int, int]:
+def dense_band_widths(a: Array, tol: float = 0.0) -> Tuple[int, int]:
     """Return ``(kl, ku)``: number of sub- and super-diagonals of *a*.
 
     Entries with ``|a[i, j]| <= tol`` count as zero.  A zero matrix reports
@@ -29,21 +28,24 @@ def dense_band_widths(a: np.ndarray, tol: float = 0.0) -> Tuple[int, int]:
     """
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ShapeError(f"expected a square matrix, got shape {a.shape}")
-    n = a.shape[0]
-    rows, cols = np.nonzero(np.abs(a) > tol)
+    xp = get_namespace(a)
+    keep = xp.nonzero(xp.abs(a) > tol)
+    rows = asnumpy(keep[0])
+    cols = asnumpy(keep[1])
     if rows.size == 0:
         return 0, 0
-    kl = int(np.max(rows - cols).clip(0))
-    ku = int(np.max(cols - rows).clip(0))
+    kl = max(int((rows - cols).max()), 0)
+    ku = max(int((cols - rows).max()), 0)
     return kl, ku
 
 
-def dense_to_band(a: np.ndarray, kl: int, ku: int) -> np.ndarray:
+def dense_to_band(a: Array, kl: int, ku: int) -> Array:
     """Pack dense *a* into ``(kl + ku + 1, n)`` LAPACK band storage."""
     n = a.shape[0]
     if a.shape != (n, n):
         raise ShapeError(f"expected square matrix, got {a.shape}")
-    ab = np.zeros((kl + ku + 1, n), dtype=a.dtype)
+    xp = get_namespace(a)
+    ab = xp.zeros((kl + ku + 1, n), dtype=a.dtype)
     for j in range(n):
         lo = max(0, j - ku)
         hi = min(n, j + kl + 1)
@@ -51,26 +53,28 @@ def dense_to_band(a: np.ndarray, kl: int, ku: int) -> np.ndarray:
     return ab
 
 
-def dense_to_lu_band(a: np.ndarray, kl: int, ku: int) -> np.ndarray:
+def dense_to_lu_band(a: Array, kl: int, ku: int) -> Array:
     """Pack *a* into ``(2*kl + ku + 1, n)`` storage with fill-in head-room.
 
     Rows ``0..kl-1`` are the zero-initialized fill area that ``gbtrf``'s row
     interchanges populate; the matrix itself sits in rows ``kl..2*kl+ku``.
     """
     n = a.shape[0]
-    ab = np.zeros((2 * kl + ku + 1, n), dtype=a.dtype)
+    xp = get_namespace(a)
+    ab = xp.zeros((2 * kl + ku + 1, n), dtype=a.dtype)
     ab[kl:, :] = dense_to_band(a, kl, ku)
     return ab
 
 
-def band_to_dense(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
+def band_to_dense(ab: Array, kl: int, ku: int) -> Array:
     """Unpack ``(kl + ku + 1, n)`` band storage back to a dense matrix."""
     if ab.shape[0] != kl + ku + 1:
         raise ShapeError(
             f"band storage has {ab.shape[0]} rows, expected kl+ku+1={kl + ku + 1}"
         )
     n = ab.shape[1]
-    a = np.zeros((n, n), dtype=ab.dtype)
+    xp = get_namespace(ab)
+    a = xp.zeros((n, n), dtype=ab.dtype)
     for j in range(n):
         lo = max(0, j - ku)
         hi = min(n, j + kl + 1)
@@ -78,36 +82,39 @@ def band_to_dense(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
     return a
 
 
-def spd_dense_to_band_lower(a: np.ndarray, kd: int) -> np.ndarray:
+def spd_dense_to_band_lower(a: Array, kd: int) -> Array:
     """Pack the lower triangle of SPD *a* into ``(kd + 1, n)`` storage."""
     n = a.shape[0]
     if a.shape != (n, n):
         raise ShapeError(f"expected square matrix, got {a.shape}")
-    ab = np.zeros((kd + 1, n), dtype=a.dtype)
+    xp = get_namespace(a)
+    ab = xp.zeros((kd + 1, n), dtype=a.dtype)
     for j in range(n):
         hi = min(n, j + kd + 1)
         ab[0 : hi - j, j] = a[j:hi, j]
     return ab
 
 
-def spd_dense_to_band_upper(a: np.ndarray, kd: int) -> np.ndarray:
+def spd_dense_to_band_upper(a: Array, kd: int) -> Array:
     """Pack the upper triangle of SPD *a* into ``(kd + 1, n)`` storage,
     with ``ab[kd + i - j, j] = A[i, j]`` (row ``kd`` = the diagonal)."""
     n = a.shape[0]
     if a.shape != (n, n):
         raise ShapeError(f"expected square matrix, got {a.shape}")
-    ab = np.zeros((kd + 1, n), dtype=a.dtype)
+    xp = get_namespace(a)
+    ab = xp.zeros((kd + 1, n), dtype=a.dtype)
     for j in range(n):
         lo = max(0, j - kd)
         ab[kd + lo - j : kd + 1, j] = a[lo : j + 1, j]
     return ab
 
 
-def spd_band_upper_to_dense(ab: np.ndarray) -> np.ndarray:
+def spd_band_upper_to_dense(ab: Array) -> Array:
     """Unpack upper SPD band storage to a dense symmetric matrix."""
     kd = ab.shape[0] - 1
     n = ab.shape[1]
-    a = np.zeros((n, n), dtype=ab.dtype)
+    xp = get_namespace(ab)
+    a = xp.zeros((n, n), dtype=ab.dtype)
     for j in range(n):
         lo = max(0, j - kd)
         a[lo : j + 1, j] = ab[kd + lo - j : kd + 1, j]
@@ -115,11 +122,12 @@ def spd_band_upper_to_dense(ab: np.ndarray) -> np.ndarray:
     return a
 
 
-def spd_band_lower_to_dense(ab: np.ndarray) -> np.ndarray:
+def spd_band_lower_to_dense(ab: Array) -> Array:
     """Unpack lower SPD band storage to a dense symmetric matrix."""
     kd = ab.shape[0] - 1
     n = ab.shape[1]
-    a = np.zeros((n, n), dtype=ab.dtype)
+    xp = get_namespace(ab)
+    a = xp.zeros((n, n), dtype=ab.dtype)
     for j in range(n):
         hi = min(n, j + kd + 1)
         a[j:hi, j] = ab[0 : hi - j, j]

@@ -15,18 +15,31 @@ the same matrix ``batch`` times.
 
 It is also independently useful whenever the matrices genuinely differ per
 batch entry (e.g. spatially varying collision operators).
+
+Pivot bookkeeping (``ipiv``) is host NumPy by contract; the matrix
+arithmetic is namespace-agnostic with a fancy-indexed NumPy fast path for
+the per-batch row interchanges (the standard has no batched gather-write,
+so other backends fall back to a per-matrix loop).
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
+# NumPy here is the ``ipiv`` plumbing shim and the fancy-index fast path.
 import numpy as np
 
+from repro.backend import (
+    Array,
+    asnumpy,
+    get_namespace,
+    is_numpy_namespace,
+    ordered_batched_vecmat,
+)
 from repro.exceptions import ShapeError, SingularMatrixError
 
 
-def _check_batch_square(a: np.ndarray) -> Tuple[int, int]:
+def _check_batch_square(a: Array) -> Tuple[int, int]:
     if a.ndim != 3 or a.shape[1] != a.shape[2]:
         raise ShapeError(
             f"expected a (batch, n, n) matrix batch, got shape {a.shape}"
@@ -34,14 +47,15 @@ def _check_batch_square(a: np.ndarray) -> Tuple[int, int]:
     return a.shape[0], a.shape[1]
 
 
-def batched_getrf(a: np.ndarray) -> np.ndarray:
+def batched_getrf(a: Array) -> np.ndarray:
     """LU-factorize every matrix of a ``(batch, n, n)`` stack in place.
 
     Partial pivoting is applied per matrix; the elimination loop runs over
     the (shared, small) matrix dimension with every arithmetic step
     vectorized across the batch — the standard batched-library layout.
+    Factors keep the input dtype.
 
-    Returns ``ipiv`` of shape ``(batch, n)``.
+    Returns ``ipiv`` of shape ``(batch, n)`` (host NumPy ``int64``).
 
     Raises
     ------
@@ -50,22 +64,39 @@ def batched_getrf(a: np.ndarray) -> np.ndarray:
         attribute holds the elimination step).
     """
     batch, n = _check_batch_square(a)
+    xp = get_namespace(a)
     ipiv = np.broadcast_to(np.arange(n, dtype=np.int64), (batch, n)).copy()
     rows = np.arange(batch)
     for j in range(n):
         # Per-matrix pivot search in column j, rows j..n-1.
-        jp = j + np.argmax(np.abs(a[:, j:, j]), axis=1)
-        pivots = a[rows, jp, j]
-        if np.any(pivots == 0.0):
-            raise SingularMatrixError(
-                f"zero pivot at column {j} in at least one batch entry",
-                index=j,
-            )
-        ipiv[:, j] = jp
-        # Swap rows j <-> jp per matrix (no-ops where jp == j).
-        rj = a[rows, j, :].copy()
-        a[rows, j, :] = a[rows, jp, :]
-        a[rows, jp, :] = rj
+        jp = asnumpy(xp.argmax(xp.abs(a[:, j:, j]), axis=1)).astype(np.int64)
+        jp = j + jp
+        if is_numpy_namespace(xp):
+            pivots = a[rows, jp, j]
+            if np.any(pivots == 0.0):
+                raise SingularMatrixError(
+                    f"zero pivot at column {j} in at least one batch entry",
+                    index=j,
+                )
+            ipiv[:, j] = jp
+            # Swap rows j <-> jp per matrix (no-ops where jp == j).
+            rj = a[rows, j, :].copy()
+            a[rows, j, :] = a[rows, jp, :]
+            a[rows, jp, :] = rj
+        else:
+            ipiv[:, j] = jp
+            for i in range(batch):
+                p = int(jp[i])
+                if float(a[i, p, j]) == 0.0:
+                    raise SingularMatrixError(
+                        f"zero pivot at column {j} in at least one batch "
+                        f"entry",
+                        index=j,
+                    )
+                if p != j:
+                    tmp = xp.asarray(a[i, j, :], copy=True)
+                    a[i, j, :] = a[i, p, :]
+                    a[i, p, :] = tmp
         if j < n - 1:
             a[:, j + 1 :, j] /= a[:, j : j + 1, j]
             a[:, j + 1 :, j + 1 :] -= (
@@ -74,69 +105,94 @@ def batched_getrf(a: np.ndarray) -> np.ndarray:
     return ipiv
 
 
-def batched_getrs(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray) -> None:
+def _swap_rhs_rows(xp, bb, jp: np.ndarray, j: int) -> None:
+    """Per-matrix row interchange of the RHS stack at step *j*."""
+    if is_numpy_namespace(xp):
+        rows = np.arange(bb.shape[0])
+        rj = bb[rows, j, :].copy()
+        bb[rows, j, :] = bb[rows, jp, :]
+        bb[rows, jp, :] = rj
+        return
+    for i in range(bb.shape[0]):
+        p = int(jp[i])
+        if p != j:
+            tmp = xp.asarray(bb[i, j, :], copy=True)
+            bb[i, j, :] = bb[i, p, :]
+            bb[i, p, :] = tmp
+
+
+def batched_getrs(a: Array, ipiv: np.ndarray, b: Array) -> None:
     """Solve every system of the stack in place on ``b``.
 
     ``b`` has shape ``(batch, n)`` (one RHS per matrix, the cuBLAS
-    ``getrsBatched`` shape) or ``(batch, n, nrhs)``.
+    ``getrsBatched`` shape) or ``(batch, n, nrhs)``; its dtype is
+    preserved.
     """
     batch, n = _check_batch_square(a)
     if ipiv.shape != (batch, n):
         raise ShapeError(f"ipiv must have shape ({batch}, {n}), got {ipiv.shape}")
+    xp = get_namespace(a, b)
     squeeze = b.ndim == 2
-    bb = b[:, :, None] if squeeze else b
-    if bb.shape[0] != batch or bb.shape[1] != n:
-        raise ShapeError(
-            f"b must have shape ({batch}, {n}[, nrhs]), got {b.shape}"
-        )
-    rows = np.arange(batch)
+    if squeeze:
+        if b.shape != (batch, n):
+            raise ShapeError(
+                f"b must have shape ({batch}, {n}[, nrhs]), got {b.shape}"
+            )
+        # reshape is a view on NumPy; if a backend copies, the final
+        # write-back below restores in-place semantics either way.
+        bb = xp.reshape(b, (batch, n, 1))
+    else:
+        bb = b
+        if bb.shape[0] != batch or bb.shape[1] != n:
+            raise ShapeError(
+                f"b must have shape ({batch}, {n}[, nrhs]), got {b.shape}"
+            )
+    ipiv = np.asarray(ipiv, dtype=np.int64)
     for j in range(n):
-        jp = ipiv[:, j]
-        rj = bb[rows, j, :].copy()
-        bb[rows, j, :] = bb[rows, jp, :]
-        bb[rows, jp, :] = rj
+        _swap_rhs_rows(xp, bb, ipiv[:, j], j)
     for i in range(1, n):
-        bb[:, i, :] -= np.einsum("bk,bkr->br", a[:, i, :i], bb[:, :i, :])
+        bb[:, i, :] -= ordered_batched_vecmat(xp, a[:, i, :i], bb[:, :i, :])
     for i in range(n - 1, -1, -1):
         if i < n - 1:
-            bb[:, i, :] -= np.einsum(
-                "bk,bkr->br", a[:, i, i + 1 :], bb[:, i + 1 :, :]
+            bb[:, i, :] -= ordered_batched_vecmat(
+                xp, a[:, i, i + 1 :], bb[:, i + 1 :, :]
             )
         bb[:, i, :] /= a[:, i : i + 1, i]
     if squeeze:
         b[...] = bb[:, :, 0]
 
 
-def batched_pttrf(d: np.ndarray, e: np.ndarray) -> None:
+def batched_pttrf(d: Array, e: Array) -> None:
     """LDLᵀ-factorize a stack of SPD tridiagonal matrices in place.
 
     ``d`` is ``(batch, n)`` diagonals, ``e`` is ``(batch, n-1)``
     off-diagonals — the multi-matrix analogue of
-    :func:`repro.kbatched.pttrf`.
+    :func:`repro.kbatched.pttrf`.  Factors keep the input dtype.
     """
     if d.ndim != 2 or e.ndim != 2 or e.shape != (d.shape[0], max(d.shape[1] - 1, 0)):
         raise ShapeError(
             f"expected d (batch, n) and e (batch, n-1), got {d.shape} / {e.shape}"
         )
+    xp = get_namespace(d, e)
     n = d.shape[1]
     if n == 0:
         return
-    if np.any(d[:, 0] <= 0.0):
+    if bool(xp.any(d[:, 0] <= 0.0)):
         raise SingularMatrixError("non-positive leading pivot in batch", index=0)
     for i in range(n - 1):
-        ei = e[:, i].copy()
+        ei = xp.asarray(e[:, i], copy=True)
         e[:, i] = ei / d[:, i]
         d[:, i + 1] -= e[:, i] * ei
-        if np.any(d[:, i + 1] <= 0.0):
+        if bool(xp.any(d[:, i + 1] <= 0.0)):
             raise SingularMatrixError(
                 f"non-positive pivot at step {i + 1} in at least one batch entry",
                 index=i + 1,
             )
 
 
-def batched_pttrs(d: np.ndarray, e: np.ndarray, b: np.ndarray) -> None:
+def batched_pttrs(d: Array, e: Array, b: Array) -> None:
     """Solve every tridiagonal system of the stack in place on ``b``
-    (shape ``(batch, n)``)."""
+    (shape ``(batch, n)``); result dtype == RHS dtype."""
     if b.shape != d.shape:
         raise ShapeError(f"b must have shape {d.shape}, got {b.shape}")
     n = d.shape[1]

@@ -2,10 +2,12 @@
 
 ``gemm``/``gemv`` mirror ``KokkosBlas::gemm`` / ``KokkosBatched::SerialGemv``
 (the building blocks of the paper's Listings 2 and 4).  The vectorized
-variants delegate the arithmetic to NumPy's BLAS but keep the exact
-``C = alpha·op(A)·B + beta·C`` update semantics, in place on the output —
-the in-place property is what lets the builder run without per-step
-allocations.
+variants delegate the arithmetic to the operands' array-API namespace but
+keep the exact ``C = alpha·op(A)·B + beta·C`` update semantics, in place on
+the output — the in-place property is what lets the builder run without
+per-step allocations.  Result dtype == operand dtype: ``alpha``/``beta``
+are Python scalars, which the standard's promotion rules keep from
+upcasting float32 operands.
 
 The ``serial_*`` variants are scalar-loop reference implementations used
 for per-batch fused kernels and for the test oracle.
@@ -13,26 +15,28 @@ for per-batch fused kernels and for the test oracle.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array, get_namespace, ordered_matmul
 from repro.exceptions import ShapeError
 from repro.kbatched.types import Trans
 
 
-def _op(a: np.ndarray, trans: Trans) -> np.ndarray:
+def _op(a: Array, trans: Trans) -> Array:
     return a if trans is Trans.NO_TRANSPOSE else a.T
 
 
 def gemm(
     alpha: float,
-    a: np.ndarray,
-    b: np.ndarray,
+    a: Array,
+    b: Array,
     beta: float,
-    c: np.ndarray,
+    c: Array,
     trans_a: Trans = Trans.NO_TRANSPOSE,
     trans_b: Trans = Trans.NO_TRANSPOSE,
 ) -> None:
-    """``C <- alpha * op(A) @ op(B) + beta * C`` in place on *c*."""
+    """``C <- alpha * op(A) @ op(B) + beta * C`` in place on *c*.
+
+    Result dtype == dtype of *c* (no silent promotion).
+    """
     opa, opb = _op(a, trans_a), _op(b, trans_b)
     if opa.shape[1] != opb.shape[0] or c.shape != (opa.shape[0], opb.shape[1]):
         raise ShapeError(
@@ -40,7 +44,7 @@ def gemm(
         )
     prod = opa @ opb
     if beta == 0.0:
-        np.multiply(prod, alpha, out=c)
+        c[...] = prod * alpha
     else:
         c *= beta
         c += alpha * prod
@@ -48,10 +52,10 @@ def gemm(
 
 def gemv(
     alpha: float,
-    a: np.ndarray,
-    x: np.ndarray,
+    a: Array,
+    x: Array,
     beta: float,
-    y: np.ndarray,
+    y: Array,
     trans: Trans = Trans.NO_TRANSPOSE,
 ) -> None:
     """``y <- alpha * op(A) @ x + beta * y`` in place on *y*.
@@ -59,35 +63,39 @@ def gemv(
     ``x``/``y`` may be 1-D vectors or ``(len, batch)`` blocks; in the block
     case the product broadcasts across the batch axis, which is how the
     dense corner-block updates of the *fused* builder version are applied
-    to all right-hand sides at once.
+    to all right-hand sides at once.  Result dtype == dtype of *y*.
 
-    The block case deliberately avoids BLAS ``@``: GEMM picks its blocking
-    (and therefore its reduction order over ``k``) from the batch width, so
-    the same column solved inside a wider batch can differ by an ulp.  The
-    non-optimized einsum reduces ``k`` in a fixed order per output element
+    The block case deliberately avoids BLAS ``@`` on the NumPy reference
+    backend: GEMM picks its blocking (and therefore its reduction order
+    over ``k``) from the batch width, so the same column solved inside a
+    wider batch can differ by an ulp.  The non-optimized einsum behind
+    ``ordered_matmul`` reduces ``k`` in a fixed order per output element
     regardless of batch width, which is what lets the process-sharded
     executor split a batch column-wise and still gather bitwise-identical
     coefficients.  At corner-block shapes (a few rows, huge batch) both are
-    memory-bound, so the swap costs ~nothing.
+    memory-bound, so the swap costs ~nothing.  Non-NumPy backends use their
+    own ``matmul``; their reduction order is theirs to define.
     """
+    xp = get_namespace(a, x, y)
     opa = _op(a, trans)
     if x.shape[0] != opa.shape[1] or y.shape[0] != opa.shape[0]:
         raise ShapeError(
             f"gemv shape mismatch: op(A){opa.shape} x{x.shape} y{y.shape}"
         )
     if x.ndim == 2:
-        prod = np.einsum("ik,kj->ij", opa, x, optimize=False)
+        prod = ordered_matmul(xp, opa, x)
     else:
         prod = opa @ x
     if beta == 0.0:
-        np.multiply(prod, alpha, out=y)
+        y[...] = prod * alpha
     else:
         y *= beta
         y += alpha * prod
 
 
-def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> None:
-    """``y <- alpha * x + y`` in place on *y*."""
+def axpy(alpha: float, x: Array, y: Array) -> None:
+    """``y <- alpha * x + y`` in place on *y* (result dtype == dtype of
+    *y*)."""
     if x.shape != y.shape:
         raise ShapeError(f"axpy shape mismatch: x{x.shape} y{y.shape}")
     y += alpha * x
@@ -95,13 +103,16 @@ def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> None:
 
 def serial_gemv(
     alpha: float,
-    a: np.ndarray,
-    x: np.ndarray,
+    a: Array,
+    x: Array,
     beta: float,
-    y: np.ndarray,
+    y: Array,
     trans: Trans = Trans.NO_TRANSPOSE,
 ) -> int:
-    """Scalar-loop ``gemv`` on a single vector pair (KokkosBatched serial)."""
+    """Scalar-loop ``gemv`` on a single vector pair (KokkosBatched serial).
+
+    Result dtype == dtype of *y*.
+    """
     opa = _op(a, trans)
     m, n = opa.shape
     if x.shape[0] != n or y.shape[0] != m:
@@ -118,12 +129,15 @@ def serial_gemv(
 
 def serial_gemm(
     alpha: float,
-    a: np.ndarray,
-    b: np.ndarray,
+    a: Array,
+    b: Array,
     beta: float,
-    c: np.ndarray,
+    c: Array,
 ) -> int:
-    """Scalar-loop ``gemm`` (reference oracle; no transpose modes)."""
+    """Scalar-loop ``gemm`` (reference oracle; no transpose modes).
+
+    Result dtype == dtype of *c*.
+    """
     m, k = a.shape
     k2, n = b.shape
     if k != k2 or c.shape != (m, n):

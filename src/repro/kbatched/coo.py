@@ -5,14 +5,32 @@ tiny and extremely sparse (§IV-D: for degree 3 / N=1000 the (1, 999)
 bottom-left block has 2 non-zeros and the (999, 1) top-right block 48).
 COO was chosen in the paper precisely to serve both the row-access and the
 column-access side without maintaining CSR *and* CSC.
+
+Coordinates are always host NumPy ``int64`` arrays (kernels consume them
+as Python ints); *values* live in whichever array-API namespace they
+arrive in, and their floating dtype — real **or complex**, single **or**
+double — is preserved exactly.  Only genuine integer/boolean inputs are
+promoted, to the namespace's default real floating dtype.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# NumPy here is an index-plumbing/ingress shim only: coordinate arrays are
+# host int64 by contract.  Values go through the resolved namespace.
 import numpy as np
 
+from repro.backend import (
+    add_at_2d,
+    ascopy,
+    asnumpy,
+    astype,
+    get_namespace,
+    is_floating,
+    is_integral,
+    take_2d,
+)
 from repro.exceptions import ShapeError
 
 
@@ -29,40 +47,49 @@ class Coo:
     ncols: int
     rows_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     cols_idx: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
-    values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    values: "np.ndarray" = field(default_factory=lambda: np.empty(0))
 
     def __post_init__(self) -> None:
         self.rows_idx = np.asarray(self.rows_idx, dtype=np.int64)
         self.cols_idx = np.asarray(self.cols_idx, dtype=np.int64)
-        values = np.asarray(self.values)
-        # Preserve floating dtypes (float32 solve paths); promote the rest.
-        if not np.issubdtype(values.dtype, np.floating):
-            values = values.astype(np.float64)
+        xp = get_namespace(self.values, default=np)
+        values = xp.asarray(self.values)
+        # Preserve every floating dtype — float32 solve paths and complex
+        # corner math alike.  Promote only genuine integer/boolean input,
+        # to the namespace's default real floating dtype.
+        if is_integral(xp, values.dtype):
+            values = astype(xp, values, xp.float64)
+        elif not is_floating(xp, values.dtype):
+            raise ShapeError(
+                f"Coo values must be floating-point or integer, got dtype "
+                f"{values.dtype}"
+            )
         self.values = values
         if not (self.rows_idx.shape == self.cols_idx.shape == self.values.shape):
             raise ShapeError(
                 "rows_idx / cols_idx / values must have identical shapes, got "
                 f"{self.rows_idx.shape}/{self.cols_idx.shape}/{self.values.shape}"
             )
-        if self.values.size:
-            if self.rows_idx.min(initial=0) < 0 or self.rows_idx.max(initial=0) >= self.nrows:
+        if self.rows_idx.size:
+            if int(self.rows_idx.min()) < 0 or int(self.rows_idx.max()) >= self.nrows:
                 raise ShapeError("row index out of range")
-            if self.cols_idx.min(initial=0) < 0 or self.cols_idx.max(initial=0) >= self.ncols:
+            if int(self.cols_idx.min()) < 0 or int(self.cols_idx.max()) >= self.ncols:
                 raise ShapeError("column index out of range")
 
     @property
     def nnz(self) -> int:
         """Number of stored non-zeros."""
-        return int(self.values.size)
+        return int(self.rows_idx.size)
 
     @property
     def shape(self):
         return (self.nrows, self.ncols)
 
     @classmethod
-    def from_dense(cls, a: np.ndarray, drop_tol: float = 0.0) -> "Coo":
+    def from_dense(cls, a, drop_tol: float = 0.0) -> "Coo":
         """Build from a dense matrix, dropping entries with ``|v| <= drop_tol``.
 
+        The value dtype of *a* is preserved (result dtype == input dtype).
         The drop tolerance is how the exponentially-decaying ``β`` block is
         compressed to its ~48 significant entries (see
         ``benchmarks/bench_ablation_droptol.py`` for the accuracy/nnz
@@ -70,16 +97,32 @@ class Coo:
         """
         if a.ndim != 2:
             raise ShapeError(f"expected a 2-D matrix, got shape {a.shape}")
-        rows, cols = np.nonzero(np.abs(a) > drop_tol)
-        return cls(a.shape[0], a.shape[1], rows, cols, a[rows, cols])
+        xp = get_namespace(a)
+        keep = xp.nonzero(xp.abs(a) > drop_tol)
+        rows = asnumpy(keep[0]).astype(np.int64)
+        cols = asnumpy(keep[1]).astype(np.int64)
+        return cls(a.shape[0], a.shape[1], rows, cols,
+                   take_2d(xp, a, rows, cols))
 
-    def to_dense(self) -> np.ndarray:
-        """Expand to a dense matrix (summing duplicate coordinates)."""
-        out = np.zeros(self.shape, dtype=self.values.dtype)
-        np.add.at(out, (self.rows_idx, self.cols_idx), self.values)
+    def to_dense(self):
+        """Expand to a dense matrix (summing duplicate coordinates).
+
+        Result dtype == stored value dtype.
+        """
+        xp = get_namespace(self.values)
+        out = xp.zeros(self.shape, dtype=self.values.dtype)
+        add_at_2d(xp, out, self.rows_idx, self.cols_idx, self.values)
         return out
 
     def transpose(self) -> "Coo":
         """Return the transpose; COO makes this a metadata swap."""
         return Coo(self.ncols, self.nrows, self.cols_idx.copy(),
-                   self.rows_idx.copy(), self.values.copy())
+                   self.rows_idx.copy(), ascopy(self.values))
+
+    def to_namespace(self, xp) -> "Coo":
+        """Stage a copy whose values live in namespace *xp* (coordinates
+        stay host NumPy by contract)."""
+        if get_namespace(self.values) is xp:
+            return self
+        return Coo(self.nrows, self.ncols, self.rows_idx.copy(),
+                   self.cols_idx.copy(), xp.asarray(asnumpy(self.values)))

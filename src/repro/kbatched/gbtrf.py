@@ -14,12 +14,16 @@ general banded for every non-uniform degree) and runs once at setup.
 
 from __future__ import annotations
 
+# NumPy is the pivot-index plumbing shim: ``ipiv`` is host int64 by
+# contract (kernels consume it as Python ints).  Matrix arithmetic goes
+# through the resolved namespace.
 import numpy as np
 
+from repro.backend import Array, get_namespace
 from repro.exceptions import ShapeError, SingularMatrixError
 
 
-def serial_gbtrf(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
+def serial_gbtrf(ab: Array, kl: int, ku: int) -> np.ndarray:
     """Factorize in place and return the pivot index array ``ipiv``.
 
     ``ipiv[j] = p`` means rows ``j`` and ``p`` (zero-based, ``p >= j``) were
@@ -35,6 +39,7 @@ def serial_gbtrf(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
             f"LU band storage must have 2*kl+ku+1={2 * kl + ku + 1} rows, "
             f"got shape {ab.shape}"
         )
+    xp = get_namespace(ab)
     n = ab.shape[1]
     kv = kl + ku  # superdiagonals of U, including fill-in
     ipiv = np.arange(n, dtype=np.int64)
@@ -42,30 +47,31 @@ def serial_gbtrf(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
     for j in range(n):
         km = min(kl, n - 1 - j)  # sub-diagonal entries in column j
         col = ab[kv : kv + km + 1, j]
-        jp = int(np.argmax(np.abs(col)))
+        jp = int(xp.argmax(xp.abs(col)))
         ipiv[j] = j + jp
-        if col[jp] == 0.0:
+        if complex(col[jp]) == 0:
             raise SingularMatrixError(f"zero pivot at column {j}", index=j)
         ju = max(ju, min(j + ku + jp, n - 1))
         if jp != 0:
             # Swap matrix rows j and j+jp over columns j..ju; in band
-            # storage a matrix row is an anti-diagonal of ``ab``.
-            cs = np.arange(j, ju + 1)
-            r1 = kv + j - cs
-            r2 = kv + j + jp - cs
-            tmp = ab[r1, cs].copy()
-            ab[r1, cs] = ab[r2, cs]
-            ab[r2, cs] = tmp
+            # storage a matrix row is an anti-diagonal of ``ab``, so the
+            # swap walks it entry-wise (moves are exact in either order).
+            for c in range(j, ju + 1):
+                r1 = kv + j - c
+                r2 = kv + j + jp - c
+                tmp = ab[r1, c]
+                ab[r1, c] = ab[r2, c]
+                ab[r2, c] = tmp
         if km > 0:
             ab[kv + 1 : kv + km + 1, j] /= ab[kv, j]
             for c in range(j + 1, ju + 1):
                 ujc = ab[kv + j - c, c]
-                if ujc != 0.0:
+                if complex(ujc) != 0:
                     lo = kv + j - c + 1
                     ab[lo : lo + km, c] -= ujc * ab[kv + 1 : kv + km + 1, j]
     return ipiv
 
 
-def gbtrf(ab: np.ndarray, kl: int, ku: int) -> np.ndarray:
+def gbtrf(ab: Array, kl: int, ku: int) -> np.ndarray:
     """Alias of :func:`serial_gbtrf`; the factorization is inherently serial."""
     return serial_gbtrf(ab, kl, ku)

@@ -11,13 +11,16 @@ factorization they are performance-critical (Table V's non-uniform rows).
 
 from __future__ import annotations
 
+# NumPy appears only as the ``ipiv`` plumbing shim (host int64 pivot
+# indices); the solve arithmetic is namespace-agnostic.
 import numpy as np
 
+from repro.backend import Array, get_namespace, outer
 from repro.exceptions import ShapeError
 from repro.kbatched.types import Trans
 
 
-def _check(ab: np.ndarray, kl: int, ku: int, b: np.ndarray, trans: Trans) -> int:
+def _check(ab: Array, kl: int, ku: int, b: Array, trans: Trans) -> int:
     del trans
     if ab.shape[0] != 2 * kl + ku + 1:
         raise ShapeError(
@@ -31,9 +34,9 @@ def _check(ab: np.ndarray, kl: int, ku: int, b: np.ndarray, trans: Trans) -> int
 
 
 def serial_gbtrs(
-    ab: np.ndarray,
+    ab: Array,
     ipiv: np.ndarray,
-    b: np.ndarray,
+    b: Array,
     kl: int,
     ku: int,
     trans: Trans = Trans.NO_TRANSPOSE,
@@ -59,13 +62,17 @@ def serial_gbtrs(
                     b[j] -= ab[kv + r, j] * b[j + r]
                 jp = int(ipiv[j])
                 if jp != j:
-                    b[j], b[jp] = b[jp], b[j]
+                    tj = b[j]
+                    b[j] = b[jp]
+                    b[jp] = tj
         return 0
     if kl > 0:
         for j in range(n - 1):
             jp = int(ipiv[j])
             if jp != j:
-                b[j], b[jp] = b[jp], b[j]
+                tj = b[j]
+                b[j] = b[jp]
+                b[jp] = tj
             km = min(kl, n - 1 - j)
             for r in range(1, km + 1):
                 b[j + r] -= ab[kv + r, j] * b[j]
@@ -78,9 +85,9 @@ def serial_gbtrs(
 
 
 def gbtrs(
-    ab: np.ndarray,
+    ab: Array,
     ipiv: np.ndarray,
-    b: np.ndarray,
+    b: Array,
     kl: int,
     ku: int,
     trans: Trans = Trans.NO_TRANSPOSE,
@@ -93,37 +100,42 @@ def gbtrs(
     n = _check(ab, kl, ku, b, trans)
     if b.ndim != 2:
         raise ShapeError(f"b must have shape (n, batch), got {b.shape}")
+    xp = get_namespace(ab, b)
     kv = kl + ku
     if trans is Trans.TRANSPOSE:
         for j in range(n):
             lm = min(kv, j)
             if lm > 0:
-                b[j] -= ab[kv - lm : kv, j] @ b[j - lm : j]
-            b[j] /= ab[kv, j]
+                b[j, ...] -= ab[kv - lm : kv, j] @ b[j - lm : j, ...]
+            b[j, ...] /= ab[kv, j]
         if kl > 0:
             for j in range(n - 2, -1, -1):
                 km = min(kl, n - 1 - j)
                 if km > 0:
-                    b[j] -= ab[kv + 1 : kv + km + 1, j] @ b[j + 1 : j + km + 1]
+                    b[j, ...] -= (
+                        ab[kv + 1 : kv + km + 1, j] @ b[j + 1 : j + km + 1, ...]
+                    )
                 jp = int(ipiv[j])
                 if jp != j:
-                    tmp = b[j].copy()
-                    b[j] = b[jp]
-                    b[jp] = tmp
+                    tmp = xp.asarray(b[j, ...], copy=True)
+                    b[j, ...] = b[jp, ...]
+                    b[jp, ...] = tmp
         return 0
     if kl > 0:
         for j in range(n - 1):
             jp = int(ipiv[j])
             if jp != j:
-                tmp = b[j].copy()
-                b[j] = b[jp]
-                b[jp] = tmp
+                tmp = xp.asarray(b[j, ...], copy=True)
+                b[j, ...] = b[jp, ...]
+                b[jp, ...] = tmp
             km = min(kl, n - 1 - j)
             if km > 0:
-                b[j + 1 : j + km + 1] -= np.outer(ab[kv + 1 : kv + km + 1, j], b[j])
+                b[j + 1 : j + km + 1, ...] -= outer(
+                    xp, ab[kv + 1 : kv + km + 1, j], b[j, ...]
+                )
     for j in range(n - 1, -1, -1):
-        b[j] /= ab[kv, j]
+        b[j, ...] /= ab[kv, j]
         lm = min(kv, j)
         if lm > 0:
-            b[j - lm : j] -= np.outer(ab[kv - lm : kv, j], b[j])
+            b[j - lm : j, ...] -= outer(xp, ab[kv - lm : kv, j], b[j, ...])
     return 0

@@ -16,8 +16,11 @@ Two variants, selected by the ``algo`` tag as in KokkosBatched:
 
 from __future__ import annotations
 
+# NumPy is the pivot-index plumbing shim: ``ipiv`` is host int64 by
+# contract.  Matrix arithmetic goes through the resolved namespace.
 import numpy as np
 
+from repro.backend import Array, get_namespace, outer
 from repro.exceptions import ShapeError, SingularMatrixError
 from repro.kbatched.trsm import trsm
 from repro.kbatched.types import Algo, Diag, Uplo
@@ -26,30 +29,31 @@ from repro.kbatched.types import Algo, Diag, Uplo
 DEFAULT_BLOCK = 32
 
 
-def _getf2_panel(a: np.ndarray, col0: int, col1: int, ipiv: np.ndarray) -> None:
+def _getf2_panel(a: Array, col0: int, col1: int, ipiv: np.ndarray) -> None:
     """Factor the panel ``a[col0:, col0:col1]`` in place, swapping *full*
     rows of ``a`` (so previously-factored columns and the trailing block
     receive the interchanges immediately, as ``dgetrf`` does)."""
+    xp = get_namespace(a)
     n = a.shape[0]
     for j in range(col0, col1):
-        jp = j + int(np.argmax(np.abs(a[j:, j])))
+        jp = j + int(xp.argmax(xp.abs(a[j:, j])))
         ipiv[j] = jp
-        if a[jp, j] == 0.0:
+        if complex(a[jp, j]) == 0:
             raise SingularMatrixError(f"zero pivot at column {j}", index=j)
         if jp != j:
-            tmp = a[j].copy()
-            a[j] = a[jp]
-            a[jp] = tmp
+            tmp = xp.asarray(a[j, ...], copy=True)
+            a[j, ...] = a[jp, ...]
+            a[jp, ...] = tmp
         if j < n - 1:
             a[j + 1 :, j] /= a[j, j]
             if j + 1 < col1:
-                a[j + 1 :, j + 1 : col1] -= np.outer(
-                    a[j + 1 :, j], a[j, j + 1 : col1]
+                a[j + 1 :, j + 1 : col1] -= outer(
+                    xp, a[j + 1 :, j], a[j, j + 1 : col1]
                 )
 
 
 def serial_getrf(
-    a: np.ndarray,
+    a: Array,
     algo: Algo = Algo.UNBLOCKED,
     block_size: int = DEFAULT_BLOCK,
 ) -> np.ndarray:
@@ -89,7 +93,7 @@ def serial_getrf(
 
 
 def getrf(
-    a: np.ndarray,
+    a: Array,
     algo: Algo = Algo.UNBLOCKED,
     block_size: int = DEFAULT_BLOCK,
 ) -> np.ndarray:

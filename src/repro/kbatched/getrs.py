@@ -10,13 +10,16 @@ This is the second batched kernel of the paper's Listing 2
 
 from __future__ import annotations
 
+# NumPy appears only as the ``ipiv`` plumbing shim (host int64 pivot
+# indices); the solve arithmetic is namespace-agnostic.
 import numpy as np
 
+from repro.backend import Array, get_namespace
 from repro.exceptions import ShapeError
-from repro.kbatched.types import Algo, Trans
+from repro.kbatched.types import Algo, Trans, warn_blocked_fallback
 
 
-def _check(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray, trans: Trans) -> int:
+def _check(a: Array, ipiv: np.ndarray, b: Array, trans: Trans) -> int:
     del trans
     n = a.shape[0]
     if a.shape != (n, n):
@@ -29,9 +32,9 @@ def _check(a: np.ndarray, ipiv: np.ndarray, b: np.ndarray, trans: Trans) -> int:
 
 
 def serial_getrs(
-    a: np.ndarray,
+    a: Array,
     ipiv: np.ndarray,
-    b: np.ndarray,
+    b: Array,
     trans: Trans = Trans.NO_TRANSPOSE,
     algo: Algo = Algo.UNBLOCKED,
 ) -> int:
@@ -41,6 +44,8 @@ def serial_getrs(
     ``Uᵀ y = b``, ``Lᵀ z = y``, then the row interchanges applied in
     reverse order.
     """
+    if algo is Algo.BLOCKED:
+        warn_blocked_fallback("getrs")
     del algo
     n = _check(a, ipiv, b, trans)
     if trans is Trans.TRANSPOSE:
@@ -60,13 +65,17 @@ def serial_getrs(
         for j in range(n - 1, -1, -1):
             jp = int(ipiv[j])
             if jp != j:
-                b[j], b[jp] = b[jp], b[j]
+                tj = b[j]
+                b[j] = b[jp]
+                b[jp] = tj
         return 0
     # Apply row interchanges (LASWP).
     for j in range(n):
         jp = int(ipiv[j])
         if jp != j:
-            b[j], b[jp] = b[jp], b[j]
+            tj = b[j]
+            b[j] = b[jp]
+            b[jp] = tj
     # L y = b (unit lower).
     for i in range(1, n):
         acc = b[i]
@@ -83,40 +92,41 @@ def serial_getrs(
 
 
 def getrs(
-    a: np.ndarray,
+    a: Array,
     ipiv: np.ndarray,
-    b: np.ndarray,
+    b: Array,
     trans: Trans = Trans.NO_TRANSPOSE,
 ) -> int:
     """Solve for an ``(n, batch)`` right-hand-side block, in place."""
     n = _check(a, ipiv, b, trans)
     if b.ndim != 2:
         raise ShapeError(f"b must have shape (n, batch), got {b.shape}")
+    xp = get_namespace(a, b)
     if trans is Trans.TRANSPOSE:
         for i in range(n):
             if i > 0:
-                b[i] -= a[:i, i] @ b[:i]
-            b[i] /= a[i, i]
+                b[i, ...] -= a[:i, i] @ b[:i, ...]
+            b[i, ...] /= a[i, i]
         for i in range(n - 1, -1, -1):
             if i < n - 1:
-                b[i] -= a[i + 1 :, i] @ b[i + 1 :]
+                b[i, ...] -= a[i + 1 :, i] @ b[i + 1 :, ...]
         for j in range(n - 1, -1, -1):
             jp = int(ipiv[j])
             if jp != j:
-                tmp = b[j].copy()
-                b[j] = b[jp]
-                b[jp] = tmp
+                tmp = xp.asarray(b[j, ...], copy=True)
+                b[j, ...] = b[jp, ...]
+                b[jp, ...] = tmp
         return 0
     for j in range(n):
         jp = int(ipiv[j])
         if jp != j:
-            tmp = b[j].copy()
-            b[j] = b[jp]
-            b[jp] = tmp
+            tmp = xp.asarray(b[j, ...], copy=True)
+            b[j, ...] = b[jp, ...]
+            b[jp, ...] = tmp
     for i in range(1, n):
-        b[i] -= a[i, :i] @ b[:i]
+        b[i, ...] -= a[i, :i] @ b[:i, ...]
     for i in range(n - 1, -1, -1):
         if i < n - 1:
-            b[i] -= a[i, i + 1 :] @ b[i + 1 :]
-        b[i] /= a[i, i]
+            b[i, ...] -= a[i, i + 1 :] @ b[i + 1 :, ...]
+        b[i, ...] /= a[i, i]
     return 0

@@ -16,13 +16,12 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
+from repro.backend import Array
 from repro.exceptions import NotPositiveDefiniteError, ShapeError
 from repro.kbatched.types import Uplo
 
 
-def serial_pbtrf(ab: np.ndarray, uplo: Uplo = Uplo.LOWER) -> None:
+def serial_pbtrf(ab: Array, uplo: Uplo = Uplo.LOWER) -> None:
     """Factorize in place (``L Lᵀ`` for lower storage, ``Uᵀ U`` for upper)."""
     if ab.ndim != 2:
         raise ShapeError(f"band storage must be 2-D, got shape {ab.shape}")
@@ -32,7 +31,7 @@ def serial_pbtrf(ab: np.ndarray, uplo: Uplo = Uplo.LOWER) -> None:
     kd = ab.shape[0] - 1
     n = ab.shape[1]
     for j in range(n):
-        ajj = ab[0, j]
+        ajj = float(ab[0, j])
         if ajj <= 0.0:
             raise NotPositiveDefiniteError(
                 f"pivot {j} is not positive during Cholesky", index=j
@@ -48,13 +47,13 @@ def serial_pbtrf(ab: np.ndarray, uplo: Uplo = Uplo.LOWER) -> None:
                 ab[0 : kn - c + 1, j + c] -= ab[c, j] * ab[c : kn + 1, j]
 
 
-def _pbtf2_upper(ab: np.ndarray) -> None:
+def _pbtf2_upper(ab: Array) -> None:
     """Upper-storage variant: row ``kd`` is the diagonal, ``U[j, j+c]`` sits
     at ``ab[kd - c, j + c]``."""
     kd = ab.shape[0] - 1
     n = ab.shape[1]
     for j in range(n):
-        ajj = ab[kd, j]
+        ajj = float(ab[kd, j])
         if ajj <= 0.0:
             raise NotPositiveDefiniteError(
                 f"pivot {j} is not positive during Cholesky", index=j
@@ -69,13 +68,13 @@ def _pbtf2_upper(ab: np.ndarray) -> None:
             # Update A[j+r, j+c] -= U[j, j+r] * U[j, j+c], 1 <= r <= c <= kn.
             for c in range(1, kn + 1):
                 ucj = ab[kd - c, j + c]
-                if ucj != 0.0:
+                if float(ucj) != 0.0:
                     # Targets ab[kd-c+r, j+c] for r = 1..c; sources
                     # U[j, j+r] = ab[kd - r, j + r].
                     for r in range(1, c + 1):
                         ab[kd - c + r, j + c] -= ab[kd - r, j + r] * ucj
 
 
-def pbtrf(ab: np.ndarray, uplo: Uplo = Uplo.LOWER) -> None:
+def pbtrf(ab: Array, uplo: Uplo = Uplo.LOWER) -> None:
     """Alias of :func:`serial_pbtrf`; the factorization is inherently serial."""
     serial_pbtrf(ab, uplo=uplo)

@@ -11,13 +11,12 @@ scalar, so each matrix step costs ``kd`` vector operations.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array
 from repro.exceptions import ShapeError
-from repro.kbatched.types import Algo, Uplo
+from repro.kbatched.types import Algo, Uplo, warn_blocked_fallback
 
 
-def _check(ab: np.ndarray, b: np.ndarray) -> int:
+def _check(ab: Array, b: Array) -> int:
     kd = ab.shape[0] - 1
     n = ab.shape[1]
     if b.shape[0] != n:
@@ -25,7 +24,7 @@ def _check(ab: np.ndarray, b: np.ndarray) -> int:
     return kd
 
 
-def _solve_upper(ab: np.ndarray, b: np.ndarray) -> None:
+def _solve_upper(ab: Array, b: Array) -> None:
     """Solve ``UᵀU x = b`` from upper band storage (works for 1-D or 2-D
     ``b``; every scalar step broadcasts over the batch axis)."""
     kd = ab.shape[0] - 1
@@ -34,23 +33,25 @@ def _solve_upper(ab: np.ndarray, b: np.ndarray) -> None:
     for j in range(n):
         lm = min(kd, j)
         for r in range(1, lm + 1):
-            b[j] -= ab[kd - r, j] * b[j - r]
-        b[j] /= ab[kd, j]
+            b[j, ...] -= ab[kd - r, j] * b[j - r, ...]
+        b[j, ...] /= ab[kd, j]
     # Backward substitution with U: U[j, j+c] is at ab[kd - c, j + c].
     for j in range(n - 1, -1, -1):
         kn = min(kd, n - 1 - j)
         for c in range(1, kn + 1):
-            b[j] -= ab[kd - c, j + c] * b[j + c]
-        b[j] /= ab[kd, j]
+            b[j, ...] -= ab[kd - c, j + c] * b[j + c, ...]
+        b[j, ...] /= ab[kd, j]
 
 
 def serial_pbtrs(
-    ab: np.ndarray,
-    b: np.ndarray,
+    ab: Array,
+    b: Array,
     uplo: Uplo = Uplo.LOWER,
     algo: Algo = Algo.UNBLOCKED,
 ) -> int:
     """Solve for a single right-hand side, in place. Returns 0 on success."""
+    if algo is Algo.BLOCKED:
+        warn_blocked_fallback("pbtrs")
     del algo
     kd = _check(ab, b)
     n = ab.shape[1]
@@ -74,8 +75,8 @@ def serial_pbtrs(
 
 
 def pbtrs(
-    ab: np.ndarray,
-    b: np.ndarray,
+    ab: Array,
+    b: Array,
     uplo: Uplo = Uplo.LOWER,
 ) -> int:
     """Solve for an ``(n, batch)`` right-hand-side block, in place."""
@@ -87,13 +88,13 @@ def pbtrs(
         _solve_upper(ab, b)
         return 0
     for j in range(n):
-        b[j] /= ab[0, j]
+        b[j, ...] /= ab[0, j]
         kn = min(kd, n - 1 - j)
         for r in range(1, kn + 1):
-            b[j + r] -= ab[r, j] * b[j]
+            b[j + r, ...] -= ab[r, j] * b[j, ...]
     for j in range(n - 1, -1, -1):
         kn = min(kd, n - 1 - j)
         for r in range(1, kn + 1):
-            b[j] -= ab[r, j] * b[j + r]
-        b[j] /= ab[0, j]
+            b[j, ...] -= ab[r, j] * b[j + r, ...]
+        b[j, ...] /= ab[0, j]
     return 0

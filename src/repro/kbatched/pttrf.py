@@ -14,12 +14,11 @@ needed; the batched work lives entirely in :mod:`repro.kbatched.pttrs`.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array
 from repro.exceptions import NotPositiveDefiniteError, ShapeError
 
 
-def serial_pttrf(d: np.ndarray, e: np.ndarray) -> None:
+def serial_pttrf(d: Array, e: Array) -> None:
     """Factorize in place. ``d``/``e`` are overwritten with ``D`` and ``L``.
 
     Raises
@@ -44,6 +43,6 @@ def serial_pttrf(d: np.ndarray, e: np.ndarray) -> None:
             )
 
 
-def pttrf(d: np.ndarray, e: np.ndarray) -> None:
+def pttrf(d: Array, e: Array) -> None:
     """Alias of :func:`serial_pttrf`; the factorization is inherently serial."""
     serial_pttrf(d, e)

@@ -13,16 +13,15 @@ with every step vectorized across the batch axis — the role the
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array
 from repro.exceptions import ShapeError
-from repro.kbatched.types import Algo, Uplo
+from repro.kbatched.types import Algo, Uplo, warn_blocked_fallback
 
 
 def serial_pttrs(
-    d: np.ndarray,
-    e: np.ndarray,
-    b: np.ndarray,
+    d: Array,
+    e: Array,
+    b: Array,
     uplo: Uplo = Uplo.LOWER,
     algo: Algo = Algo.UNBLOCKED,
 ) -> int:
@@ -43,6 +42,8 @@ def serial_pttrs(
     int
         0 on success (KokkosBatched convention).
     """
+    if algo is Algo.BLOCKED:
+        warn_blocked_fallback("pttrs")
     del uplo, algo  # single arithmetic path, kept for API fidelity
     n = d.shape[0]
     if b.shape[0] != n:
@@ -59,9 +60,9 @@ def serial_pttrs(
 
 
 def pttrs(
-    d: np.ndarray,
-    e: np.ndarray,
-    b: np.ndarray,
+    d: Array,
+    e: Array,
+    b: Array,
     uplo: Uplo = Uplo.LOWER,
 ) -> int:
     """Solve for an ``(n, batch)`` right-hand-side block, in place.
@@ -77,9 +78,9 @@ def pttrs(
     if n == 0:
         return 0
     for i in range(1, n):
-        b[i] -= e[i - 1] * b[i - 1]
-    b[n - 1] /= d[n - 1]
+        b[i, ...] -= e[i - 1] * b[i - 1, ...]
+    b[n - 1, ...] /= d[n - 1]
     for i in range(n - 2, -1, -1):
-        b[i] /= d[i]
-        b[i] -= e[i] * b[i + 1]
+        b[i, ...] /= d[i]
+        b[i, ...] -= e[i] * b[i + 1, ...]
     return 0

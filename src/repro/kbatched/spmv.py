@@ -9,13 +9,12 @@ reduces the number of operations" and suppresses the extra memory traffic
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array
 from repro.exceptions import ShapeError
 from repro.kbatched.coo import Coo
 
 
-def serial_coo_spmv(alpha: float, a: Coo, x: np.ndarray, y: np.ndarray) -> int:
+def serial_coo_spmv(alpha: float, a: Coo, x: Array, y: Array) -> int:
     """``y += alpha * A @ x`` for a single vector pair, looping over nnz.
 
     This is exactly the paper's in-kernel loop::
@@ -30,13 +29,13 @@ def serial_coo_spmv(alpha: float, a: Coo, x: np.ndarray, y: np.ndarray) -> int:
             f"spmv shape mismatch: A{a.shape} x{x.shape} y{y.shape}"
         )
     for nz in range(a.nnz):
-        r = a.rows_idx[nz]
-        c = a.cols_idx[nz]
+        r = int(a.rows_idx[nz])
+        c = int(a.cols_idx[nz])
         y[r] += alpha * a.values[nz] * x[c]
     return 0
 
 
-def coo_spmm(alpha: float, a: Coo, x: np.ndarray, y: np.ndarray) -> int:
+def coo_spmm(alpha: float, a: Coo, x: Array, y: Array) -> int:
     """``Y += alpha * A @ X`` for ``(n, batch)`` blocks, vectorized over batch.
 
     The outer loop runs over the (tiny) non-zero list; every step is one
@@ -52,7 +51,7 @@ def coo_spmm(alpha: float, a: Coo, x: np.ndarray, y: np.ndarray) -> int:
             f"spmm shape mismatch: A{a.shape} X{x.shape} Y{y.shape}"
         )
     for nz in range(a.nnz):
-        r = a.rows_idx[nz]
-        c = a.cols_idx[nz]
-        y[r] += (alpha * a.values[nz]) * x[c]
+        r = int(a.rows_idx[nz])
+        c = int(a.cols_idx[nz])
+        y[r, ...] += (alpha * a.values[nz]) * x[c, ...]
     return 0

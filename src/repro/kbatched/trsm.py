@@ -11,13 +11,12 @@ spline stack needs.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.backend import Array
 from repro.exceptions import ShapeError, SingularMatrixError
 from repro.kbatched.types import Diag, Trans, Uplo
 
 
-def _check(a: np.ndarray, b: np.ndarray) -> int:
+def _check(a: Array, b: Array) -> int:
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ShapeError(f"triangular matrix must be square, got {a.shape}")
     if b.shape[0] != a.shape[0]:
@@ -28,8 +27,8 @@ def _check(a: np.ndarray, b: np.ndarray) -> int:
 
 
 def trsm(
-    a: np.ndarray,
-    b: np.ndarray,
+    a: Array,
+    b: Array,
     uplo: Uplo = Uplo.LOWER,
     trans: Trans = Trans.NO_TRANSPOSE,
     diag: Diag = Diag.NON_UNIT,
@@ -47,29 +46,29 @@ def trsm(
     unit = diag is Diag.UNIT
     if not unit:
         for i in range(n):
-            if read(i, i) == 0.0:
+            if complex(read(i, i)) == 0:
                 raise SingularMatrixError(f"zero diagonal at row {i}", index=i)
     if lower:
         for i in range(n):
             for k in range(i):
                 v = read(i, k)
-                if v != 0.0:
-                    b[i] = b[i] - v * b[k]
+                if complex(v) != 0:
+                    b[i, ...] = b[i, ...] - v * b[k, ...]
             if not unit:
-                b[i] = b[i] / read(i, i)
+                b[i, ...] = b[i, ...] / read(i, i)
     else:
         for i in range(n - 1, -1, -1):
             for k in range(i + 1, n):
                 v = read(i, k)
-                if v != 0.0:
-                    b[i] = b[i] - v * b[k]
+                if complex(v) != 0:
+                    b[i, ...] = b[i, ...] - v * b[k, ...]
             if not unit:
-                b[i] = b[i] / read(i, i)
+                b[i, ...] = b[i, ...] / read(i, i)
 
 
 def serial_trsv(
-    a: np.ndarray,
-    b: np.ndarray,
+    a: Array,
+    b: Array,
     uplo: Uplo = Uplo.LOWER,
     trans: Trans = Trans.NO_TRANSPOSE,
     diag: Diag = Diag.NON_UNIT,

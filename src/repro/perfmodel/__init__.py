@@ -17,7 +17,11 @@ here:
   per-device efficiency parameters calibrated once against the paper's
   published measurements, and is used only to regenerate the *shape* of
   Tables III/V and Fig. 2.  Host-CPU numbers in the benchmarks are real
-  wall-clock measurements.
+  wall-clock measurements;
+* :mod:`~repro.perfmodel.calibrate` — re-fits those kernel-class
+  efficiencies by *measuring* the array-API kernel layer on any importable
+  accelerator backend (cupy / torch / jax), falling back to the analytical
+  Table III values, and regenerates Table V's ``P(a, p, H)``.
 """
 
 from repro.perfmodel.hardware import (
@@ -33,6 +37,12 @@ from repro.perfmodel.roofline import arithmetic_intensity, attainable_gflops
 from repro.perfmodel.metrics import achieved_bandwidth_gbs, efficiency, glups
 from repro.perfmodel.portability import pennycook_metric
 from repro.perfmodel.devicesim import DeviceSimulator, SPLINE_CONFIG_COST_UNITS
+from repro.perfmodel.calibrate import (
+    CalibrationResult,
+    calibrate,
+    measure_backend_efficiency,
+    portability_report,
+)
 
 __all__ = [
     "Device",
@@ -52,4 +62,8 @@ __all__ = [
     "pennycook_metric",
     "DeviceSimulator",
     "SPLINE_CONFIG_COST_UNITS",
+    "CalibrationResult",
+    "calibrate",
+    "measure_backend_efficiency",
+    "portability_report",
 ]

@@ -1,0 +1,309 @@
+"""Calibrating the device simulator against a *real* accelerator backend.
+
+The analytical :data:`~repro.perfmodel.devicesim.EFFICIENCY` table carries
+the paper's Table III fits for machines we cannot run on.  But the kernel
+layer is now namespace-agnostic (:mod:`repro.backend`): when a real
+accelerator library (cupy / torch / jax) is importable, the very same
+kernels that production solves run can be *timed* on that device, and the
+per-kernel-class efficiencies re-fitted from measurements instead of from
+the paper's tables:
+
+1. a STREAM-triad sweep through the backend estimates the device's
+   achievable peak bandwidth (the roofline denominator);
+2. one representative kernel per class — batched ``pttrs`` (stream),
+   the corner ``gemv`` contraction, a dense ``gemm``, and a COO spmv
+   sweep (iterative) — is timed through the array-API kernel layer;
+3. ``eff(class) = achieved bytes/s ÷ triad bytes/s``, the same definition
+   the paper uses against Nsight counters.
+
+With no accelerator importable (the common CI case) :func:`calibrate`
+falls back to the analytical Table III model, clearly labelled, so every
+downstream consumer — :func:`portability_report`'s Table V
+``P(a, p, H)`` reproduction included — works identically either way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.backend import ordered_matmul, resolve_backend
+from repro.exceptions import BackendError
+from repro.perfmodel.counters import solver_traffic
+from repro.perfmodel.devicesim import (
+    CONFIG_SOLVER,
+    EFFICIENCY,
+    SPLINE_CONFIG_COST_UNITS,
+    DeviceSimulator,
+    EfficiencyModel,
+)
+from repro.perfmodel.hardware import PAPER_DEVICES, Device
+from repro.perfmodel.portability import pennycook_metric
+
+__all__ = [
+    "ACCELERATOR_BACKENDS",
+    "CalibrationResult",
+    "calibrate",
+    "measure_backend_efficiency",
+    "portability_report",
+]
+
+#: Backends worth timing: real device libraries, probed in this order.
+ACCELERATOR_BACKENDS = ("cupy", "torch", "jax")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """One calibrated efficiency model and where its numbers came from."""
+
+    device: Device
+    model: EfficiencyModel
+    #: ``"measured:<backend>"`` or ``"analytical"`` (Table III fallback).
+    source: str
+    #: Per kernel class, the achieved GB/s behind each fitted efficiency
+    #: (empty on the analytical path).
+    samples: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def measured(self) -> bool:
+        return self.source.startswith("measured")
+
+    def simulator(self) -> DeviceSimulator:
+        """A :class:`DeviceSimulator` running on this calibration."""
+        return DeviceSimulator(self.device, model=self.model)
+
+
+def _sync(xp) -> None:
+    """Block until the backend's queued device work is done (no-op on
+    synchronous backends)."""
+    cuda = getattr(xp, "cuda", None)
+    if cuda is not None:
+        stream = getattr(cuda, "get_current_stream", None)
+        if stream is not None:  # cupy
+            stream().synchronize()
+            return
+        sync = getattr(cuda, "synchronize", None)
+        if sync is not None and getattr(cuda, "is_available", lambda: False)():
+            sync()  # torch
+
+
+def _finish(xp, out) -> None:
+    """Force lazy backends (jax) to materialise *out*, then sync."""
+    block = getattr(out, "block_until_ready", None)
+    if block is not None:
+        block()
+    _sync(xp)
+
+
+def _time_best(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _triad_gbs(xp, size: int, repeats: int) -> float:
+    """STREAM-triad achieved bandwidth through *xp* — the roofline peak."""
+    b = xp.asarray(np.ones(size))
+    c = xp.asarray(np.full(size, 2.0))
+
+    def run():
+        out = b * 3.0 + c
+        _finish(xp, out)
+
+    run()  # warm-up (JIT, allocator pools)
+    dt = _time_best(run, repeats)
+    return 3.0 * size * 8.0 / dt / 1e9
+
+
+def measure_backend_efficiency(
+    backend: Optional[str] = None,
+    n: int = 2048,
+    batch: int = 2048,
+    repeats: int = 3,
+) -> Optional[CalibrationResult]:
+    """Time one kernel per class through *backend*; ``None`` when no
+    accelerator backend is importable.
+
+    The returned :class:`CalibrationResult` names its device after the
+    backend; decay/overhead/saturation fields are carried over from the
+    analytical A100 entry (they shape curves the microbenchmarks cannot
+    see), while the four class efficiencies are measured.
+    """
+    names: Iterable[str] = (backend,) if backend else ACCELERATOR_BACKENDS
+    xp = None
+    chosen = None
+    for name in names:
+        try:
+            xp = resolve_backend(name)
+            chosen = name
+            break
+        except BackendError:
+            continue
+    if xp is None:
+        return None
+
+    from repro.kbatched import coo_spmm, pttrf, pttrs
+    from repro.kbatched.coo import Coo
+
+    peak_gbs = _triad_gbs(xp, max(n * batch // 4, 1 << 20), repeats)
+    samples: Dict[str, float] = {}
+
+    # stream: the batched cyclic-tridiagonal solve, the paper's hot loop.
+    d = np.full(n, 4.0)
+    e = np.full(n - 1, 1.0)
+    pttrf(d, e)
+    dd = xp.asarray(d)
+    ee = xp.asarray(e)
+    rhs = xp.asarray(np.ones((n, batch)))
+
+    def run_stream():
+        pttrs(dd, ee, rhs)
+        _finish(xp, rhs)
+
+    run_stream()
+    t = _time_best(run_stream, repeats)
+    stream_bytes = solver_traffic(n, batch, "pttrs").total_bytes
+    samples["stream"] = stream_bytes / t / 1e9
+
+    # gemv: the dense corner contraction of version 1 (tall-skinny).
+    corner = xp.asarray(np.ones((4, n)))
+
+    def run_gemv():
+        out = ordered_matmul(xp, corner, rhs)
+        _finish(xp, out)
+
+    run_gemv()
+    t = _time_best(run_gemv, repeats)
+    samples["gemv"] = (4 * n + n * batch + 4 * batch) * 8.0 / t / 1e9
+
+    # gemm: the separate dense corner kernels of version 0.
+    m = min(n, 1024)
+    a_sq = xp.asarray(np.ones((m, m)))
+    b_sq = xp.asarray(np.ones((m, m)))
+
+    def run_gemm():
+        out = xp.matmul(a_sq, b_sq)
+        _finish(xp, out)
+
+    run_gemm()
+    t = _time_best(run_gemm, repeats)
+    samples["gemm"] = 3.0 * m * m * 8.0 / t / 1e9
+
+    # iterative: a sparse corner spmv sweep (the Krylov building block).
+    nnz = 4 * n
+    rng = np.random.default_rng(0)
+    rows = rng.integers(0, n, nnz)
+    cols = rng.integers(0, n, nnz)
+    vals = xp.asarray(np.ones(nnz))
+    mat = Coo(n, n, rows, cols, vals)
+    y = xp.asarray(np.zeros((n, batch)))
+
+    def run_spmv():
+        coo_spmm(1.0, mat, rhs, y)
+        _finish(xp, y)
+
+    run_spmv()
+    t = _time_best(run_spmv, repeats)
+    samples["iterative"] = (2.0 * n * batch + 3.0 * nnz) * 8.0 / t / 1e9
+
+    template = EFFICIENCY["A100"]
+    model = EfficiencyModel(
+        stream=min(samples["stream"] / peak_gbs, 1.0),
+        gemv=min(samples["gemv"] / peak_gbs, 1.0),
+        gemm=min(samples["gemm"] / peak_gbs, 1.0),
+        iterative=min(samples["iterative"] / peak_gbs, 1.0),
+        config_decay=template.config_decay,
+        launch_overhead_s=template.launch_overhead_s,
+        batch_half=template.batch_half,
+    )
+    device = Device(
+        name=f"measured-{chosen}",
+        peak_gflops=0.0,
+        peak_bandwidth_gbs=peak_gbs,
+        shared_cache_mb=0.0,
+        tdp_watts=0.0,
+        year=0,
+        process_nm=0,
+        compiler=chosen,
+    )
+    return CalibrationResult(
+        device=device,
+        model=model,
+        source=f"measured:{chosen}",
+        samples=samples,
+    )
+
+
+def calibrate(
+    device: Optional[Device] = None,
+    backend: Optional[str] = None,
+    **measure_kwargs,
+) -> CalibrationResult:
+    """Measured calibration when an accelerator backend imports,
+    analytical Table III otherwise.
+
+    With an explicit *device* the analytical path uses that device's
+    fitted :data:`EFFICIENCY` entry; the default is the A100 column.
+    """
+    result = measure_backend_efficiency(backend=backend, **measure_kwargs)
+    if result is not None:
+        return result
+    if device is None:
+        device = next(d for d in PAPER_DEVICES if d.name == "A100")
+    if device.name not in EFFICIENCY:
+        raise KeyError(
+            f"no analytical efficiency model for device {device.name!r} "
+            "and no accelerator backend importable to measure one"
+        )
+    return CalibrationResult(
+        device=device,
+        model=EFFICIENCY[device.name],
+        source="analytical",
+    )
+
+
+def portability_report(
+    n: int = 1023,
+    batch: int = 65536,
+    version: int = 2,
+    devices: Iterable[Device] = PAPER_DEVICES,
+    extra: Optional[CalibrationResult] = None,
+) -> List[dict]:
+    """Table V: per spline configuration, each platform's architectural
+    efficiency and the Pennycook ``P(a, p, H)`` over the set.
+
+    Efficiency of one platform is the model-predicted solve bandwidth
+    over that platform's peak — the paper's bandwidth-roofline
+    definition (all kernels are memory bound).  *extra* adds a measured
+    calibration (e.g. from :func:`calibrate` on a GPU host) as one more
+    platform in ``H``.
+    """
+    sims = [DeviceSimulator(d) for d in devices]
+    if extra is not None:
+        sims.append(extra.simulator())
+    rows: List[dict] = []
+    for degree, uniform in sorted(
+        SPLINE_CONFIG_COST_UNITS, key=lambda k: (not k[1], k[0])
+    ):
+        per_device: Dict[str, float] = {}
+        for sim in sims:
+            bw = sim.solve_bandwidth_gbs(
+                n, batch, version=version, degree=degree, uniform=uniform
+            )
+            per_device[sim.device.name] = bw / sim.device.peak_bandwidth_gbs
+        rows.append(
+            {
+                "degree": degree,
+                "uniform": uniform,
+                "solver": CONFIG_SOLVER[(degree, uniform)],
+                "efficiency": per_device,
+                "pennycook": pennycook_metric(per_device.values()),
+            }
+        )
+    return rows

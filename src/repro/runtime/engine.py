@@ -66,8 +66,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.backend import (
+    asnumpy,
+    get_namespace,
+    is_numpy_namespace,
+    registered_backends,
+    resolve_backend,
+)
 from repro.core.spec import BSplineSpec
-from repro.exceptions import ReproError, ShapeError
+from repro.exceptions import BackendError, ReproError, ShapeError
 from repro.runtime.coalescer import CoalescedBatch, RequestCoalescer, SolveRequest
 from repro.runtime.plan_cache import PlanCache, PlanKey
 from repro.runtime.resilience.circuit import PlanBreaker
@@ -194,6 +201,14 @@ class EngineConfig:
         Seconds an open circuit short-circuits before half-open probes.
     breaker_probes:
         Trial requests allowed through a half-open circuit.
+    backend_ns:
+        Name of the array backend (:func:`repro.backend.resolve_backend`)
+        results are staged into: ``None`` consults ``REPRO_BACKEND`` and
+        defaults to ``"numpy"``.  The engine's transport (coalescer,
+        shared memory) is host NumPy regardless; non-NumPy right-hand
+        sides are converted on ingress and results are converted back on
+        egress.  ``executor="processes"`` requires the NumPy backend —
+        shared-memory shard transport cannot carry foreign arrays.
     """
 
     max_batch: int = 256
@@ -215,8 +230,17 @@ class EngineConfig:
     breaker_failures: int = 5
     breaker_reset: float = 30.0
     breaker_probes: int = 1
+    backend_ns: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if (
+            self.backend_ns is not None
+            and self.backend_ns not in registered_backends()
+        ):
+            raise BackendError(
+                f"unknown array backend {self.backend_ns!r}; registered "
+                f"backends: {registered_backends()}"
+            )
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_linger < 0:
@@ -319,6 +343,17 @@ class SolveEngine:
             if overrides:
                 raise TypeError(f"unknown EngineConfig fields: {sorted(overrides)}")
         self.config = config or EngineConfig()
+        # The namespace results are staged into; transport stays NumPy.
+        self.xp = resolve_backend(self.config.backend_ns)
+        if self.config.executor == "processes" and not is_numpy_namespace(
+            self.xp
+        ):
+            raise BackendError(
+                "executor='processes' requires the NumPy backend: the "
+                "shared-memory shard transport cannot carry foreign "
+                "arrays; use executor='threads' with backend_ns="
+                f"{self.config.backend_ns!r}"
+            )
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         # The fault plan: explicit config wins, else the environment; the
         # common case is None, and every hook below is gated on that.
@@ -775,6 +810,10 @@ class SolveEngine:
         ``(spec, version, dtype, backend)`` configuration.  A plan key
         whose circuit is open fails fast here, before any factorization
         or queueing work.
+
+        Non-NumPy right-hand sides (or a non-NumPy ``backend_ns``) are
+        converted to host NumPy for transport; the future then resolves
+        to coefficients staged back into the source namespace.
         """
         if self._closed:
             raise EngineClosedError("submit() after engine shutdown")
@@ -785,7 +824,12 @@ class SolveEngine:
         except Exception as exc:
             self.breaker.record_failure(key, exc)
             raise
-        rhs = np.asarray(rhs)
+        rhs_xp = get_namespace(rhs, default=self.xp)
+        if is_numpy_namespace(rhs_xp):
+            rhs = np.asarray(rhs)
+            rhs_xp = self.xp  # stage into the configured namespace
+        else:
+            rhs = np.asarray(asnumpy(rhs))
         if rhs.shape[0] != builder.n:
             raise ShapeError(
                 f"right-hand side leading extent {rhs.shape[0]} does not "
@@ -802,7 +846,31 @@ class SolveEngine:
         # none waits out max_linger behind the flusher.
         for batch in lane.coalescer.add(request):
             self._dispatch(key, batch)
-        return request.future
+        return self._stage_future(request.future, rhs_xp)
+
+    def _stage(self, out: np.ndarray, xp):
+        """Egress: host-NumPy coefficients into the caller's namespace."""
+        if is_numpy_namespace(xp):
+            return out
+        return xp.asarray(out)
+
+    def _stage_future(self, fut: Future, xp) -> Future:
+        """Chain *fut* through :meth:`_stage` (identity on NumPy)."""
+        if is_numpy_namespace(xp):
+            return fut
+
+        staged: Future = Future()
+        staged.set_running_or_notify_cancel()
+
+        def _done(f: Future) -> None:
+            exc = f.exception()
+            if exc is not None:
+                staged.set_exception(exc)
+            else:
+                staged.set_result(xp.asarray(f.result()))
+
+        fut.add_done_callback(_done)
+        return staged
 
     def solve(self, spec: BSplineSpec, rhs: np.ndarray, **kwargs) -> np.ndarray:
         """Synchronous convenience: ``submit(...).result()``."""
@@ -833,8 +901,15 @@ class SolveEngine:
         key = self._key(spec, version, dtype, backend)
         self.breaker.check(key)
         futures = []
+        block_xps = []
         for block in blocks:
-            block = np.asarray(block)
+            block_xp = get_namespace(block, default=self.xp)
+            if is_numpy_namespace(block_xp):
+                block = np.asarray(block)
+                block_xp = self.xp  # stage into the configured namespace
+            else:
+                block = np.asarray(asnumpy(block))
+            block_xps.append(block_xp)
             if block.ndim != 2:
                 raise ShapeError(
                     f"map_batches expects 2-D (n, batch) blocks, got {block.shape}"
@@ -864,7 +939,9 @@ class SolveEngine:
                     fut = Future()
                     fut.set_exception(run_exc)
                 futures.append(fut)
-        return [f.result() for f in futures]
+        return [
+            self._stage(f.result(), bxp) for f, bxp in zip(futures, block_xps)
+        ]
 
     def _run_block(self, key: PlanKey, block: np.ndarray) -> np.ndarray:
         builder = None

@@ -13,6 +13,8 @@ import enum
 
 import numpy as np
 
+from repro.backend import Array
+
 
 class Layout(enum.Enum):
     """Memory layout of a view.
@@ -36,14 +38,18 @@ LayoutRight = Layout.RIGHT
 LayoutLeft = Layout.LEFT
 
 
-def layout_of(array: np.ndarray) -> Layout:
+def layout_of(array: Array) -> Layout:
     """Return the :class:`Layout` of *array*.
 
     1-D and 0-D arrays, and arrays contiguous in both senses (e.g. shapes
-    with a unit extent), report :data:`LayoutRight`.  Non-contiguous arrays
-    raise :class:`ValueError` because a strided array has no single layout
-    tag in this model.
+    with a unit extent), report :data:`LayoutRight`.  Non-contiguous NumPy
+    arrays raise :class:`ValueError` because a strided array has no single
+    layout tag in this model.  Non-NumPy array-API arrays report
+    :data:`LayoutRight`: the standard exposes no stride/layout concept, so
+    the tag is advisory there.
     """
+    if not isinstance(array, np.ndarray):
+        return Layout.RIGHT
     if array.flags["C_CONTIGUOUS"]:
         return Layout.RIGHT
     if array.flags["F_CONTIGUOUS"]:
@@ -54,8 +60,14 @@ def layout_of(array: np.ndarray) -> Layout:
     )
 
 
-def with_layout(array: np.ndarray, layout: Layout) -> np.ndarray:
-    """Return *array* in the requested *layout*, copying only if needed."""
+def with_layout(array: Array, layout: Layout) -> Array:
+    """Return *array* in the requested *layout*, copying only if needed.
+
+    Layout is a NumPy/host concept; non-NumPy array-API arrays are
+    returned unchanged (their library owns physical layout).
+    """
+    if not isinstance(array, np.ndarray):
+        return array
     if layout is Layout.RIGHT:
         return np.ascontiguousarray(array)
     return np.asfortranarray(array)

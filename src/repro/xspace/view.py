@@ -22,6 +22,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backend import get_namespace, is_numpy_namespace
 from repro.exceptions import ShapeError
 from repro.xspace.layout import Layout, LayoutRight, layout_of, with_layout
 
@@ -57,6 +58,9 @@ class View:
     ):
         if isinstance(shape_or_data, np.ndarray):
             self.data = with_layout(shape_or_data, layout)
+        elif hasattr(shape_or_data, "shape") and hasattr(shape_or_data, "dtype"):
+            # A non-NumPy array-API array: wrap as-is (layout advisory).
+            self.data = shape_or_data
         else:
             shape = tuple(int(n) for n in shape_or_data)
             if any(n < 0 for n in shape):
@@ -89,7 +93,10 @@ class View:
     @property
     def span_bytes(self) -> int:
         """Bytes spanned by the allocation (used by the byte counters)."""
-        return self.data.nbytes
+        nbytes = getattr(self.data, "nbytes", None)
+        if nbytes is not None:
+            return int(nbytes)
+        return int(self.data.size) * np.dtype(self.data.dtype).itemsize
 
     # -- element access -------------------------------------------------
     def __getitem__(self, idx):
@@ -109,7 +116,10 @@ class View:
 
     def fill(self, value: float) -> None:
         """Assign *value* to every element (``Kokkos::deep_copy(v, value)``)."""
-        self.data.fill(value)
+        if isinstance(self.data, np.ndarray):
+            self.data.fill(value)
+        else:
+            self.data[...] = value
 
 
 def subview(view: Union[View, np.ndarray], *index: IndexExpr) -> np.ndarray:
@@ -128,14 +138,20 @@ def deep_copy(dst: Union[View, np.ndarray], src: Union[View, np.ndarray, float])
     """Copy *src* into *dst* element-wise (``Kokkos::deep_copy``)."""
     dst_data = dst.data if isinstance(dst, View) else dst
     if isinstance(src, (int, float)):
-        dst_data.fill(src)
+        if isinstance(dst_data, np.ndarray):
+            dst_data.fill(src)
+        else:
+            dst_data[...] = src
         return
     src_data = src.data if isinstance(src, View) else src
     if dst_data.shape != src_data.shape:
         raise ShapeError(
             f"deep_copy shape mismatch: dst {dst_data.shape} vs src {src_data.shape}"
         )
-    np.copyto(dst_data, src_data)
+    if isinstance(dst_data, np.ndarray) and isinstance(src_data, np.ndarray):
+        np.copyto(dst_data, src_data)
+    else:
+        dst_data[...] = src_data
 
 
 def create_mirror_view(view: View, layout: Optional[Layout] = None) -> View:
@@ -146,6 +162,10 @@ def create_mirror_view(view: View, layout: Optional[Layout] = None) -> View:
     pattern the paper uses to stage the factorized matrix from host LAPACK
     to the device).
     """
-    out = View(view.shape, label=view.label + "_mirror",
-               layout=layout or view.layout, dtype=view.dtype)
+    xp = get_namespace(view.data)
+    if is_numpy_namespace(xp):
+        return View(view.shape, label=view.label + "_mirror",
+                    layout=layout or view.layout, dtype=view.dtype)
+    out = View(xp.zeros(view.shape, dtype=view.dtype),
+               label=view.label + "_mirror", layout=layout or view.layout)
     return out

@@ -1,0 +1,313 @@
+"""Backend-conformance suite: the kernel layer against strict namespaces.
+
+Every test runs a kernel (or the whole builder stack) twice — once on the
+NumPy reference backend, once through a strict array-API namespace — and
+demands matching results.  The strict namespaces reject NumPy-isms
+(partial indexing, ``None`` axes, implicit coercion), so a pass here means
+the kernel really is written against the standard:
+
+* ``minimal`` — the in-repo strict wrapper (:mod:`repro.backend.minimal`),
+  always available;
+* ``array_api_strict`` — the standard's reference implementation, skipped
+  cleanly when not installed.
+"""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backend import asnumpy, get_namespace, resolve_backend
+from repro.kbatched import (
+    Coo,
+    Diag,
+    Trans,
+    Uplo,
+    band_to_dense,
+    batched_getrf,
+    batched_getrs,
+    batched_pttrf,
+    batched_pttrs,
+    coo_spmm,
+    dense_to_band,
+    dense_to_lu_band,
+    gbtrf,
+    gbtrs,
+    gemm,
+    gemv,
+    getrf,
+    getrs,
+    pbtrf,
+    pbtrs,
+    pttrf,
+    pttrs,
+    trsm,
+)
+from repro.testing import (
+    random_banded,
+    random_spd_banded,
+    random_spd_tridiagonal,
+)
+
+_NAMESPACES = ["minimal"]
+if importlib.util.find_spec("array_api_strict") is not None:
+    _NAMESPACES.append("array_api_strict")
+else:
+    _NAMESPACES.append(
+        pytest.param(
+            "array_api_strict",
+            marks=pytest.mark.skip(reason="array_api_strict not installed"),
+        )
+    )
+
+
+@pytest.fixture(params=_NAMESPACES)
+def xp(request):
+    return resolve_backend(request.param)
+
+
+def _close(strict_out, numpy_out, **kwargs):
+    np.testing.assert_allclose(asnumpy(strict_out), numpy_out, **kwargs)
+
+
+class TestKernelConformance:
+    def test_pttrf_pttrs(self, xp, rng):
+        d, e = random_spd_tridiagonal(12, rng)
+        b = rng.standard_normal((12, 4))
+        d_ref, e_ref, b_ref = d.copy(), e.copy(), b.copy()
+        pttrf(d_ref, e_ref)
+        pttrs(d_ref, e_ref, b_ref)
+        ds, es, bs = xp.asarray(d), xp.asarray(e), xp.asarray(b)
+        pttrf(ds, es)
+        pttrs(ds, es, bs)
+        _close(bs, b_ref)
+
+    @pytest.mark.parametrize("uplo", [Uplo.LOWER, Uplo.UPPER])
+    def test_pbtrf_pbtrs(self, xp, rng, uplo):
+        from repro.kbatched.band import (
+            spd_dense_to_band_lower,
+            spd_dense_to_band_upper,
+        )
+
+        a = random_spd_banded(12, 2, rng)
+        pack = (
+            spd_dense_to_band_lower if uplo is Uplo.LOWER
+            else spd_dense_to_band_upper
+        )
+        ab = pack(a, 2)
+        b = rng.standard_normal((12, 3))
+        ab_ref, b_ref = ab.copy(), b.copy()
+        pbtrf(ab_ref, uplo=uplo)
+        pbtrs(ab_ref, b_ref, uplo=uplo)
+        abs_, bs = xp.asarray(ab), xp.asarray(b)
+        pbtrf(abs_, uplo=uplo)
+        pbtrs(abs_, bs, uplo=uplo)
+        _close(bs, b_ref)
+
+    def test_gbtrf_gbtrs(self, xp, rng):
+        a = random_banded(12, 2, 1, rng)
+        ab = dense_to_lu_band(a, 2, 1)
+        b = rng.standard_normal((12, 3))
+        ab_ref, b_ref = ab.copy(), b.copy()
+        ipiv_ref = gbtrf(ab_ref, 2, 1)
+        gbtrs(ab_ref, ipiv_ref, b_ref, 2, 1)
+        abs_, bs = xp.asarray(ab), xp.asarray(b)
+        ipiv = gbtrf(abs_, 2, 1)
+        assert isinstance(ipiv, np.ndarray)  # host ipiv contract
+        np.testing.assert_array_equal(ipiv, ipiv_ref)
+        gbtrs(abs_, ipiv, bs, 2, 1)
+        _close(bs, b_ref)
+
+    @pytest.mark.parametrize("trans", [Trans.NO_TRANSPOSE, Trans.TRANSPOSE])
+    def test_getrf_getrs(self, xp, rng, trans):
+        a = rng.standard_normal((10, 10)) + 10.0 * np.eye(10)
+        b = rng.standard_normal((10, 3))
+        a_ref, b_ref = a.copy(), b.copy()
+        ipiv_ref = getrf(a_ref)
+        getrs(a_ref, ipiv_ref, b_ref, trans=trans)
+        as_, bs = xp.asarray(a), xp.asarray(b)
+        ipiv = getrf(as_)
+        np.testing.assert_array_equal(ipiv, ipiv_ref)
+        getrs(as_, ipiv, bs, trans=trans)
+        _close(bs, b_ref)
+
+    @pytest.mark.parametrize("uplo", [Uplo.LOWER, Uplo.UPPER])
+    def test_trsm(self, xp, rng, uplo):
+        a = np.tril(rng.standard_normal((8, 8))) + 4.0 * np.eye(8)
+        if uplo is Uplo.UPPER:
+            a = a.T.copy()
+        b = rng.standard_normal((8, 3))
+        b_ref = b.copy()
+        trsm(a, b_ref, uplo=uplo, diag=Diag.NON_UNIT)
+        as_, bs = xp.asarray(a), xp.asarray(b)
+        trsm(as_, bs, uplo=uplo, diag=Diag.NON_UNIT)
+        _close(bs, b_ref)
+
+    def test_gemv_block(self, xp, rng):
+        a = rng.standard_normal((4, 8))
+        x = rng.standard_normal((8, 5))
+        y = rng.standard_normal((4, 5))
+        y_ref = y.copy()
+        gemv(2.0, a, x, 0.5, y_ref)
+        as_, xs, ys = xp.asarray(a), xp.asarray(x), xp.asarray(y)
+        gemv(2.0, as_, xs, 0.5, ys)
+        _close(ys, y_ref)
+
+    def test_gemm(self, xp, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 5))
+        c = rng.standard_normal((4, 5))
+        c_ref = c.copy()
+        gemm(1.5, a, b, 0.0, c_ref)
+        as_, bs, cs = xp.asarray(a), xp.asarray(b), xp.asarray(c)
+        gemm(1.5, as_, bs, 0.0, cs)
+        _close(cs, c_ref)
+
+    def test_band_roundtrip(self, xp, rng):
+        a = random_banded(10, 2, 1, rng)
+        ab = dense_to_band(xp.asarray(a), 2, 1)
+        assert get_namespace(ab) is xp
+        back = band_to_dense(ab, 2, 1)
+        _close(back, a)
+
+    def test_coo_roundtrip_and_spmm(self, xp, rng):
+        a = rng.standard_normal((7, 7))
+        a[np.abs(a) < 0.8] = 0.0
+        coo = Coo.from_dense(xp.asarray(a))
+        assert get_namespace(coo.values) is xp
+        assert isinstance(coo.rows_idx, np.ndarray)  # host index contract
+        _close(coo.to_dense(), a)
+        x = rng.standard_normal((7, 3))
+        y = np.zeros((7, 3))
+        y_ref = y.copy()
+        coo_ref = Coo.from_dense(a)
+        coo_spmm(1.0, coo_ref, x, y_ref)
+        ys = xp.asarray(y)
+        coo_spmm(1.0, coo, xp.asarray(x), ys)
+        _close(ys, y_ref)
+
+    def test_batched_dense(self, xp, rng):
+        a = rng.standard_normal((3, 6, 6)) + 8.0 * np.eye(6)
+        b = rng.standard_normal((3, 6))
+        a_ref, b_ref = a.copy(), b.copy()
+        ipiv_ref = batched_getrf(a_ref)
+        batched_getrs(a_ref, ipiv_ref, b_ref)
+        as_, bs = xp.asarray(a), xp.asarray(b)
+        ipiv = batched_getrf(as_)
+        np.testing.assert_array_equal(ipiv, ipiv_ref)
+        batched_getrs(as_, ipiv, bs)
+        _close(bs, b_ref)
+
+    def test_batched_tridiagonal(self, xp, rng):
+        d = 4.0 + rng.random((3, 10))
+        e = 0.5 * rng.standard_normal((3, 9))
+        b = rng.standard_normal((3, 10))
+        d_ref, e_ref, b_ref = d.copy(), e.copy(), b.copy()
+        batched_pttrf(d_ref, e_ref)
+        batched_pttrs(d_ref, e_ref, b_ref)
+        ds, es, bs = xp.asarray(d), xp.asarray(e), xp.asarray(b)
+        batched_pttrf(ds, es)
+        batched_pttrs(ds, es, bs)
+        _close(bs, b_ref)
+
+
+class TestBuilderConformance:
+    """End to end: a strict array in means the same backend out, with the
+    same coefficients the NumPy path produces."""
+
+    @pytest.mark.parametrize("boundary", ["periodic", "clamped"])
+    def test_solve_roundtrip(self, xp, rng, boundary):
+        from repro.core import BSplineSpec, SplineBuilder
+
+        spec = BSplineSpec(degree=3, n_points=32, boundary=boundary)
+        builder = SplineBuilder(spec)
+        f = rng.standard_normal((32, 5))
+        ref = builder.solve(f)
+        out = builder.solve(xp.asarray(f))
+        assert get_namespace(out) is xp
+        np.testing.assert_allclose(asnumpy(out), ref, rtol=1e-12, atol=1e-12)
+
+    def test_solve_1d(self, xp, rng):
+        from repro.core import BSplineSpec, SplineBuilder
+
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=24))
+        f = rng.standard_normal(24)
+        ref = builder.solve(f)
+        out = builder.solve(xp.asarray(f))
+        assert out.ndim == 1
+        np.testing.assert_allclose(asnumpy(out), ref, rtol=1e-12, atol=1e-12)
+
+    def test_solve_versions_match(self, xp, rng):
+        from repro.core import BSplineSpec, SplineBuilder
+
+        f = rng.standard_normal((32, 4))
+        for version in (0, 1, 2):
+            builder = SplineBuilder(
+                BSplineSpec(degree=5, n_points=32), version=version
+            )
+            ref = builder.solve(f)
+            out = builder.solve(xp.asarray(f))
+            np.testing.assert_allclose(
+                asnumpy(out), ref, rtol=1e-12, atol=1e-12
+            )
+
+    def test_solve_serial_backend(self, xp, rng):
+        from repro.core import BSplineSpec, SplineBuilder
+
+        builder = SplineBuilder(
+            BSplineSpec(degree=3, n_points=24), backend="serial"
+        )
+        f = rng.standard_normal((24, 3))
+        ref = builder.solve(f)
+        out = builder.solve(xp.asarray(f))
+        np.testing.assert_allclose(asnumpy(out), ref, rtol=1e-12, atol=1e-12)
+
+    def test_solve_transposed(self, xp, rng):
+        from repro.core import BSplineSpec, SplineBuilder
+
+        builder = SplineBuilder(BSplineSpec(degree=3, n_points=24))
+        f = rng.standard_normal((6, 24))
+        ref = builder.solve_transposed(f.copy())
+        fs = xp.asarray(f)
+        builder.solve_transposed(fs)
+        np.testing.assert_allclose(asnumpy(fs), ref, rtol=1e-12, atol=1e-12)
+
+    def test_builder2d(self, xp, rng):
+        from repro.core import BSplineSpec
+        from repro.core.builder.builder2d import SplineBuilder2D
+
+        b2 = SplineBuilder2D(
+            BSplineSpec(degree=3, n_points=12),
+            BSplineSpec(degree=3, n_points=10),
+        )
+        f = rng.standard_normal((12, 10))
+        ref = b2.solve(f)
+        out = b2.solve(xp.asarray(f))
+        assert get_namespace(out) is xp
+        np.testing.assert_allclose(asnumpy(out), ref, rtol=1e-12, atol=1e-12)
+
+    def test_woodbury(self, xp, rng):
+        from repro.core import BSplineSpec
+        from repro.core.builder.woodbury import WoodburySolver
+
+        spec = BSplineSpec(degree=3, n_points=24)
+        a = spec.make_space().collocation_matrix()
+        solver = WoodburySolver(a)
+        b = rng.standard_normal((24, 3))
+        ref = solver.solve(b.copy())
+        bs = xp.asarray(b)
+        solver.solve(bs)
+        np.testing.assert_allclose(asnumpy(bs), ref, rtol=1e-12, atol=1e-12)
+
+    def test_float32_preserved_through_strict_path(self, xp, rng):
+        from repro.core import BSplineSpec, SplineBuilder
+
+        builder = SplineBuilder(
+            BSplineSpec(degree=3, n_points=24), dtype=np.float32
+        )
+        f = rng.standard_normal((24, 3)).astype(np.float32)
+        out = builder.solve(xp.asarray(f))
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(
+            asnumpy(out), builder.solve(f), rtol=1e-6, atol=1e-6
+        )

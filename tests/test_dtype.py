@@ -74,6 +74,161 @@ class TestKernelDtypePreservation:
         np.testing.assert_allclose(y, a @ x, rtol=1e-5, atol=1e-6)
 
 
+class TestKbatchedDtypeContract:
+    """Every kbatched entry point documents "result dtype == RHS dtype";
+    this sweep enforces it for float32, float64 and complex128."""
+
+    DTYPES = [np.float32, np.float64, np.complex128]
+    REAL_DTYPES = [np.float32, np.float64]  # SPD factorizations are real
+
+    @pytest.mark.parametrize("dtype", REAL_DTYPES)
+    def test_pttrf_pttrs(self, rng, dtype):
+        from repro.kbatched import pttrf, pttrs
+
+        d = (4.0 + rng.random(12)).astype(dtype)
+        e = (0.2 * rng.random(11)).astype(dtype)
+        pttrf(d, e)
+        assert d.dtype == dtype and e.dtype == dtype
+        b = rng.standard_normal((12, 3)).astype(dtype)
+        pttrs(d, e, b)
+        assert b.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", REAL_DTYPES)
+    def test_pbtrf_pbtrs(self, rng, dtype):
+        from repro.kbatched import pbtrf, pbtrs
+        from repro.kbatched.band import spd_dense_to_band_lower
+
+        a = random_spd_banded(12, 2, rng)
+        ab = spd_dense_to_band_lower(a, 2).astype(dtype)
+        pbtrf(ab)
+        assert ab.dtype == dtype
+        b = rng.standard_normal((12, 3)).astype(dtype)
+        pbtrs(ab, b)
+        assert b.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_gbtrf_gbtrs(self, rng, dtype):
+        from repro.kbatched import gbtrf, gbtrs
+        from repro.kbatched.band import dense_to_lu_band
+        from repro.testing import random_banded
+
+        a = random_banded(12, 2, 1, rng)
+        ab = dense_to_lu_band(a, 2, 1).astype(dtype)
+        ipiv = gbtrf(ab, 2, 1)
+        assert ab.dtype == dtype
+        assert ipiv.dtype == np.int64  # host index contract
+        b = rng.standard_normal((12, 3)).astype(dtype)
+        gbtrs(ab, ipiv, b, 2, 1)
+        assert b.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_getrf_getrs(self, rng, dtype):
+        from repro.kbatched import getrf, getrs
+
+        a = (rng.standard_normal((8, 8)) + 8.0 * np.eye(8)).astype(dtype)
+        ipiv = getrf(a)
+        assert a.dtype == dtype
+        b = rng.standard_normal((8, 2)).astype(dtype)
+        getrs(a, ipiv, b)
+        assert b.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_trsm(self, rng, dtype):
+        from repro.kbatched import trsm
+
+        a = (np.tril(rng.standard_normal((8, 8))) + 4.0 * np.eye(8)).astype(
+            dtype
+        )
+        b = rng.standard_normal((8, 3)).astype(dtype)
+        trsm(a, b)
+        assert b.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_blas(self, rng, dtype):
+        from repro.kbatched import axpy, gemm, gemv
+
+        a = rng.standard_normal((4, 6)).astype(dtype)
+        x = rng.standard_normal((6, 3)).astype(dtype)
+        y = rng.standard_normal((4, 3)).astype(dtype)
+        gemv(1.0, a, x, 0.0, y)
+        assert y.dtype == dtype
+        gemv(0.5, a, x, 2.0, y)
+        assert y.dtype == dtype
+        c = rng.standard_normal((4, 3)).astype(dtype)
+        gemm(1.0, a, x, 0.5, c)
+        assert c.dtype == dtype
+        axpy(2.0, c, y)
+        assert y.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_coo(self, rng, dtype):
+        from repro.kbatched import Coo, coo_spmm, serial_coo_spmv
+
+        a = rng.standard_normal((6, 6)).astype(dtype)
+        a[np.abs(a.real) < 0.8] = 0.0
+        coo = Coo.from_dense(a)
+        assert coo.values.dtype == dtype
+        assert coo.to_dense().dtype == dtype
+        assert coo.transpose().values.dtype == dtype
+        x = rng.standard_normal((6, 3)).astype(dtype)
+        y = np.zeros((6, 3), dtype=dtype)
+        coo_spmm(1.0, coo, x, y)
+        assert y.dtype == dtype
+        y1 = np.zeros(6, dtype=dtype)
+        serial_coo_spmv(1.0, coo, x[:, 0].copy(), y1)
+        assert y1.dtype == dtype
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_batched_dense(self, rng, dtype):
+        from repro.kbatched import (
+            batched_getrf,
+            batched_getrs,
+            batched_pttrf,
+            batched_pttrs,
+        )
+
+        a = (rng.standard_normal((2, 6, 6)) + 8.0 * np.eye(6)).astype(dtype)
+        ipiv = batched_getrf(a)
+        assert a.dtype == dtype
+        b = rng.standard_normal((2, 6)).astype(dtype)
+        batched_getrs(a, ipiv, b)
+        assert b.dtype == dtype
+        if dtype is not np.complex128:  # SPD factorization is real
+            d = (4.0 + rng.random((2, 8))).astype(dtype)
+            e = (0.2 * rng.random((2, 7))).astype(dtype)
+            batched_pttrf(d, e)
+            assert d.dtype == dtype
+            bb = rng.standard_normal((2, 8)).astype(dtype)
+            batched_pttrs(d, e, bb)
+            assert bb.dtype == dtype
+
+    def test_coo_promotes_only_integers(self):
+        from repro.kbatched import Coo
+
+        coo = Coo(2, 2, [0, 1], [0, 1], np.array([1, 2]))
+        assert coo.values.dtype == np.float64  # int input promoted
+        coo32 = Coo(2, 2, [0, 1], [0, 1], np.array([1.0, 2.0], np.float32))
+        assert coo32.values.dtype == np.float32  # float input preserved
+        cooz = Coo(2, 2, [0, 1], [0, 1], np.array([1 + 2j, 3j]))
+        assert cooz.values.dtype == np.complex128  # complex preserved
+
+    def test_float32_corner_coo_through_schur(self, rng):
+        """Regression for the COO ingestion bug: a float32 builder's
+        corner blocks must stay float32 from ``Coo`` construction through
+        the sparse-corner (version 2) Schur solve."""
+        spec = BSplineSpec(degree=3, n_points=48)
+        builder = SplineBuilder(spec, dtype=np.float32, version=2)
+        solver = builder.solver
+        assert isinstance(solver, SchurSolver)
+        assert solver.beta_coo.values.dtype == np.float32
+        assert solver.lam_coo.values.dtype == np.float32
+        f = rng.standard_normal((48, 6)).astype(np.float32)
+        out = builder.solve(f)
+        assert out.dtype == np.float32
+        ref = np.linalg.solve(builder.matrix, f.astype(np.float64))
+        np.testing.assert_allclose(out, ref, rtol=2e-3, atol=5e-4)
+
+
 class TestBuilderDtype:
     @pytest.mark.parametrize("spec", list(paper_configurations(48)),
                              ids=lambda s: s.label)

@@ -249,3 +249,63 @@ class TestDeviceSimulator:
             sim.advection_time(100, 100, method="magic")
         with pytest.raises(ValueError):
             sim.kernel_time(KernelTraffic(1, 1, 1), eff=0.0, batch=1)
+
+
+class TestCalibration:
+    """The measured/analytical calibration layer and its Table V report."""
+
+    def test_calibrate_falls_back_to_analytical(self):
+        from repro.perfmodel.calibrate import calibrate
+
+        result = calibrate()
+        if result.measured:
+            # A real accelerator backend is importable on this host.
+            assert 0.0 < result.model.stream <= 1.0
+            assert result.samples
+        else:
+            assert result.source == "analytical"
+            assert result.model == EFFICIENCY[result.device.name]
+            assert result.simulator().solve_time(1000, 1000) > 0
+
+    def test_calibrate_explicit_device(self):
+        from repro.perfmodel import PAPER_DEVICES
+        from repro.perfmodel.calibrate import calibrate
+
+        icelake = next(d for d in PAPER_DEVICES if d.name == "Icelake")
+        result = calibrate(device=icelake, backend="cupy")
+        if not result.measured:
+            assert result.device.name == "Icelake"
+
+    def test_measure_returns_none_without_accelerator(self):
+        from repro.perfmodel.calibrate import measure_backend_efficiency
+
+        result = measure_backend_efficiency(backend="cupy")
+        if result is not None:
+            assert result.source == "measured:cupy"
+
+    def test_portability_report_shape(self):
+        from repro.perfmodel.calibrate import portability_report
+
+        rows = portability_report(n=255, batch=4096)
+        assert len(rows) == len(SPLINE_CONFIG_COST_UNITS)
+        for row in rows:
+            assert set(row["efficiency"]) == {"Icelake", "A100", "MI250X"}
+            assert 0.0 < row["pennycook"] <= 1.0
+            assert all(0.0 < e <= 1.0 for e in row["efficiency"].values())
+
+    def test_portability_degrades_with_config_cost(self):
+        """Table V's monotone trend: the uniform degree-3 configuration is
+        the most portable, the non-uniform degree-5 one the least."""
+        from repro.perfmodel.calibrate import portability_report
+
+        rows = portability_report(n=255, batch=4096)
+        by_config = {(r["degree"], r["uniform"]): r["pennycook"] for r in rows}
+        assert by_config[(3, True)] > by_config[(3, False)]
+        assert by_config[(3, False)] > by_config[(5, False)]
+
+    def test_pennycook_zero_when_unsupported(self):
+        from repro.perfmodel import pennycook_metric
+
+        assert pennycook_metric([0.5, None, 0.4]) == 0.0
+        harmonic = pennycook_metric([0.5, 0.25])
+        assert harmonic == pytest.approx(2 / (2.0 + 4.0))
