@@ -157,14 +157,18 @@ def checks(nx: int, nv: int):
            gd > gg, f"{gd:.2f} vs {gg:.3f} GLUPS (A100 model)")
 
 
-def render_scoreboard(nx: int, nv: int) -> str:
+def build_scoreboard(nx: int, nv: int) -> Table:
     table = Table(
         f"Reproduction scoreboard (host checks at N = {nx}, batch = {nv})",
         ["claim", "status", "evidence"],
     )
     for claim, passed, evidence in checks(nx, nv):
         table.add_row(claim, "PASS" if passed else "FAIL", evidence)
-    return table.render()
+    return table
+
+
+def render_scoreboard(nx: int, nv: int) -> str:
+    return build_scoreboard(nx, nv).render()
 
 
 def test_scoreboard(write_result, nx, nv):
@@ -187,8 +191,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.quick:
         args.nx, args.nv = 128, 5_000
-    report = render_scoreboard(args.nx, args.nv)
+    table = build_scoreboard(args.nx, args.nv)
+    report = table.render()
     print(report)
+    # The machine-readable trajectory (BENCH_scoreboard.json) rides on
+    # every run; CI uploads it so claim status is diffable across PRs.
+    from repro.bench.report import write_bench_json
+
+    path = write_bench_json(
+        "scoreboard",
+        {"nx": args.nx, "nv": args.nv, "quick": args.quick, **table.to_dict()},
+        results_dir=Path(__file__).resolve().parent / "results",
+    )
+    print(f"\nwrote {path}")
     # Quick mode proves the whole scoreboard path runs at smoke sizes;
     # the timing-sensitive claims are only asserted at full sizes.
     if args.quick:

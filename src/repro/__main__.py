@@ -5,6 +5,7 @@ Commands
 ``info``      Package, configuration and solver-selection summary.
 ``demo``      A tiny end-to-end spline build + evaluate run.
 ``report``    The performance-portability summary (device model).
+``serve``     Run the TCP solve service (``serve [--host H] [--port P]``).
 """
 
 from __future__ import annotations
@@ -66,12 +67,30 @@ def cmd_report() -> None:
     print(table.render())
 
 
+def cmd_serve(args) -> None:
+    import argparse
+
+    from repro.service.server import serve
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="serve spline solves over TCP (see docs/service.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8157)
+    opts = parser.parse_args(args)
+    serve(host=opts.host, port=opts.port)
+
+
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
     commands = {"info": cmd_info, "demo": cmd_demo, "report": cmd_report}
+    if argv[0] == "serve":
+        cmd_serve(argv[1:])
+        return 0
     handler = commands.get(argv[0])
     if handler is None:
         print(f"unknown command {argv[0]!r}\n")

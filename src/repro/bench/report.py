@@ -2,11 +2,19 @@
 
 Every benchmark prints its result in the same layout as the paper's table
 or figure so the comparison in EXPERIMENTS.md is a visual diff.
+
+Benchmarks that want a *machine*-readable trajectory additionally write a
+``BENCH_<name>.json`` document via :func:`write_bench_json` — a stable
+envelope (``name`` / ``created_by`` / ``data``) under
+``benchmarks/results/`` that CI uploads as an artifact, so successive PRs
+accumulate a comparable performance record.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
 
 import numpy as np
 
@@ -44,6 +52,14 @@ class Table:
         print(self.render())
         print()
 
+    def to_dict(self) -> dict:
+        """The table as plain data: title, columns, and row dicts."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(zip(self.columns, row)) for row in self.rows],
+        }
+
 
 def _fmt(value) -> str:
     if isinstance(value, float):
@@ -53,6 +69,48 @@ def _fmt(value) -> str:
             return f"{value:.3g}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+def _jsonable(value):
+    """Coerce NumPy scalars/arrays so ``json.dumps`` accepts the payload."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _jsonable(value.tolist())
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def write_bench_json(
+    name: str,
+    data: dict,
+    results_dir: Union[str, Path, None] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` under *results_dir* and return its path.
+
+    The envelope is ``{"name", "created_by", "data"}`` — ``data`` is the
+    benchmark's own payload (NumPy scalars are coerced to plain Python).
+    *results_dir* defaults to ``benchmarks/results/`` relative to the
+    repository root when run from a checkout, else the current directory.
+    """
+    if results_dir is None:
+        here = Path.cwd()
+        candidate = here / "benchmarks" / "results"
+        results_dir = candidate if candidate.parent.is_dir() else here
+    results_dir = Path(results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    stem = name if name.startswith("BENCH_") else f"BENCH_{name}"
+    path = results_dir / f"{stem}.json"
+    doc = {
+        "name": stem,
+        "created_by": "repro.bench.report.write_bench_json",
+        "data": _jsonable(data),
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_series(

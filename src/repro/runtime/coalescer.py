@@ -12,6 +12,13 @@ spline-space key and cuts them into :class:`CoalescedBatch` units when
 * the oldest buffered request has waited ``max_linger`` seconds (latency
   bound — a lone request is never stranded).
 
+Batches are cut **round-robin across submitter keys** (one key per
+tenant; anonymous requests share one key): each cut takes one buffered
+request from each active tenant in turn, so a hot tenant's burst can no
+longer fill whole batches end to end while another tenant's lone request
+waits out ``max_linger`` behind it.  With a single submitter key the cut
+order reduces exactly to the old FIFO behavior.
+
 Assembly gathers the request columns into one contiguous ``(n, B)`` block
 (the exact layout the §II-C vectorized kernels want); scatter slices the
 solved block back per request and resolves each request's future.  Because
@@ -22,9 +29,10 @@ request alone.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Deque, List, Optional
 
 import numpy as np
@@ -42,11 +50,33 @@ class SolveRequest:
     ``rhs`` is 1-D ``(n,)`` (one column) or 2-D ``(n, b)`` (a small block
     that stays contiguous inside the coalesced batch).  ``future``
     resolves to the coefficients with the same shape as ``rhs``.
+    ``tenant`` (any hashable; ``None`` — anonymous) is the submitter key
+    the coalescer round-robins across and the label per-tenant telemetry
+    attributes to; ``priority`` is carried for the admission layer
+    (:mod:`repro.service.admission`) — the coalescer itself is
+    priority-blind, ordering is decided before requests reach it.
     """
 
-    __slots__ = ("rhs", "cols", "future", "enqueued_at", "deadline")
+    __slots__ = (
+        "rhs",
+        "cols",
+        "future",
+        "enqueued_at",
+        "deadline",
+        "tenant",
+        "priority",
+        "seq",
+    )
 
-    def __init__(self, rhs: np.ndarray, deadline: Optional[float] = None) -> None:
+    _seq_counter = itertools.count()
+
+    def __init__(
+        self,
+        rhs: np.ndarray,
+        deadline: Optional[float] = None,
+        tenant=None,
+        priority: Optional[str] = None,
+    ) -> None:
         rhs = np.asarray(rhs)
         if rhs.ndim not in (1, 2):
             raise ShapeError(
@@ -57,6 +87,9 @@ class SolveRequest:
         self.future: Future = Future()
         self.enqueued_at = time.perf_counter()
         self.deadline = deadline
+        self.tenant = tenant
+        self.priority = priority
+        self.seq = next(SolveRequest._seq_counter)
 
     @property
     def n(self) -> int:
@@ -164,6 +197,12 @@ class RequestCoalescer:
     max_linger:
         Seconds the oldest request may wait before :meth:`poll` cuts a
         partial batch.
+
+    Buffered requests are keyed by ``request.tenant``; cuts round-robin
+    across the active keys (one request per key per turn) so a batch is
+    shared fairly among concurrent tenants.  Within one key the order is
+    FIFO, and with a single key (the anonymous default) the whole
+    coalescer behaves exactly like a FIFO.
     """
 
     def __init__(self, n: int, max_batch: int, max_linger: float) -> None:
@@ -175,10 +214,12 @@ class RequestCoalescer:
         self.max_batch = int(max_batch)
         self.max_linger = float(max_linger)
         self._lock = threading.Lock()
-        # A deque: add() appends right, _cut_locked pops left.  A burst
-        # flush drains B requests in O(B); a list's pop(0) made the same
-        # drain O(B^2), which dominated wall time under burst load.
-        self._pending: Deque[SolveRequest] = deque()
+        # One FIFO deque per submitter key plus a round-robin ring of the
+        # active keys.  add() appends right, _cut_locked pops left from
+        # each key in turn: a burst drain stays O(B), and no key's
+        # backlog can monopolize a batch.
+        self._queues: "OrderedDict[object, Deque[SolveRequest]]" = OrderedDict()
+        self._ring: Deque[object] = deque()
         self._pending_cols = 0
 
     @property
@@ -187,15 +228,22 @@ class RequestCoalescer:
             return self._pending_cols
 
     def _cut_locked(self) -> CoalescedBatch:
-        """Pop up to ``max_batch`` columns of requests (whole requests only)."""
+        """Pop up to ``max_batch`` columns, one request per key per turn."""
         taken: List[SolveRequest] = []
         cols = 0
-        while self._pending:
-            req = self._pending[0]
+        while self._ring:
+            key = self._ring[0]
+            queue = self._queues[key]
+            req = queue[0]
             if taken and cols + req.cols > self.max_batch:
                 break
-            taken.append(self._pending.popleft())
+            taken.append(queue.popleft())
             cols += req.cols
+            if queue:
+                self._ring.rotate(-1)  # this key goes to the back of the ring
+            else:
+                self._ring.popleft()
+                del self._queues[key]
             if cols >= self.max_batch:
                 break
         self._pending_cols -= cols
@@ -216,31 +264,44 @@ class RequestCoalescer:
             )
         batches: List[CoalescedBatch] = []
         with self._lock:
-            self._pending.append(request)
+            queue = self._queues.get(request.tenant)
+            if queue is None:
+                queue = self._queues[request.tenant] = deque()
+                self._ring.append(request.tenant)
+            queue.append(request)
             self._pending_cols += request.cols
             while self._pending_cols >= self.max_batch:
                 batches.append(self._cut_locked())
         return batches
 
+    def _oldest_locked(self) -> Optional[float]:
+        """Enqueue time of the oldest buffered request (heads only)."""
+        if not self._queues:
+            return None
+        return min(q[0].enqueued_at for q in self._queues.values())
+
     def poll(self, now: Optional[float] = None) -> Optional[CoalescedBatch]:
         """Cut a partial batch when the oldest request has lingered too long."""
         now = now if now is not None else time.perf_counter()
         with self._lock:
-            if not self._pending:
+            oldest = self._oldest_locked()
+            if oldest is None:
                 return None
-            if now - self._pending[0].enqueued_at < self.max_linger:
+            if now - oldest < self.max_linger:
                 return None
             return self._cut_locked()
 
     def drain(self) -> Optional[CoalescedBatch]:
         """Flush everything buffered, regardless of age or width."""
         with self._lock:
-            if not self._pending:
+            if not self._queues:
                 return None
-            batch = CoalescedBatch(list(self._pending))
-            self._pending.clear()
+            requests = [req for q in self._queues.values() for req in q]
+            requests.sort(key=lambda r: r.seq)  # arrival order across keys
+            self._queues.clear()
+            self._ring.clear()
             self._pending_cols = 0
-            return batch
+            return CoalescedBatch(requests)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -423,6 +423,17 @@ class SolveEngine:
         )
         self._flusher.start()
 
+    # -- per-tenant attribution ------------------------------------------
+
+    def _tenant_incr(self, tenant, name: str, amount: int = 1) -> None:
+        """Tenant-scoped counter bump; free for anonymous requests."""
+        if tenant is not None:
+            self.telemetry.tenant_incr(tenant, name, amount)
+
+    def _tenant_observe(self, tenant, name: str, value: float) -> None:
+        if tenant is not None:
+            self.telemetry.tenant_observe(tenant, name, value)
+
     # -- capacity accounting --------------------------------------------
 
     def _acquire(self, cols: int) -> None:
@@ -625,6 +636,7 @@ class SolveEngine:
         for req in batch.requests:
             if req.expired(now):
                 self.telemetry.incr("engine.requests_timed_out")
+                self._tenant_incr(req.tenant, "requests_timed_out")
                 if req.future.set_running_or_notify_cancel():
                     req.future.set_exception(
                         EngineTimeoutError(
@@ -689,11 +701,17 @@ class SolveEngine:
                 self._verify_sample(checker, block[:, sample], ref)
             batch.scatter(block)
             self.telemetry.incr("engine.requests_completed", len(live))
+            for req in live:
+                self._tenant_incr(req.tenant, "requests_completed")
             self.breaker.record_success(key)
         except Exception as exc:  # noqa: BLE001 - isolate per request below
             if getattr(exc, "short_circuited", False):
-                # Already-counted fast fail; no retry work is owed.
+                # Already-counted fast fail; no retry work is owed.  A
+                # short-circuit is a rejection at the door, so tenants
+                # see it under requests_rejected, not requests_failed.
                 self.telemetry.incr("engine.requests_failed", len(live))
+                for req in live:
+                    self._tenant_incr(req.tenant, "requests_rejected")
                 batch.fail(exc)
             elif builder is None:
                 # The factorization itself failed: there is nothing to
@@ -701,6 +719,8 @@ class SolveEngine:
                 # key trips before the next caller pays the same cost.
                 self.telemetry.incr("engine.batch_failures")
                 self.telemetry.incr("engine.requests_failed", len(live))
+                for req in live:
+                    self._tenant_incr(req.tenant, "requests_failed")
                 self.breaker.record_failure(key, exc)
                 batch.fail(exc)
             else:
@@ -719,6 +739,9 @@ class SolveEngine:
             for req in live:
                 self.telemetry.observe(
                     "engine.request_latency_seconds", done - req.enqueued_at
+                )
+                self._tenant_observe(
+                    req.tenant, "request_latency_seconds", done - req.enqueued_at
                 )
                 self._release(req.cols)
 
@@ -756,6 +779,7 @@ class SolveEngine:
                         work[:, 0] if req.rhs.ndim == 1 else work
                     )
                     self.telemetry.incr("engine.requests_completed")
+                    self._tenant_incr(req.tenant, "requests_completed")
                     outcome = None
                     break
                 except Exception as exc:  # noqa: BLE001
@@ -763,18 +787,36 @@ class SolveEngine:
             if outcome is not None:
                 failed += 1
                 self.telemetry.incr("engine.requests_failed")
+                self._tenant_incr(req.tenant, "requests_failed")
+                if req.tenant is not None and hasattr(outcome, "tenant"):
+                    # Attribute the failure to its originator so the
+                    # error names the tenant wherever it surfaces
+                    # (WorkerError carries the slot; see its __reduce__).
+                    if getattr(outcome, "tenant", None) is None:
+                        try:
+                            outcome.tenant = req.tenant
+                        except AttributeError:  # pragma: no cover - frozen exc
+                            pass
                 self._quarantine(req, outcome)
                 req.future.set_exception(outcome)
         return failed
 
     def _quarantine(self, req: SolveRequest, exc: BaseException) -> None:
-        """Ledger one permanently failed request: counter + bounded ring."""
+        """Ledger one permanently failed request: counter + bounded ring.
+
+        The record carries the originating tenant (when the request was
+        labelled), so :meth:`telemetry_report` can render a per-tenant
+        quarantine column and a campaign log can name whose poisoned
+        right-hand side kept recurring.
+        """
         self.telemetry.incr("engine.quarantined")
+        self._tenant_incr(req.tenant, "requests_quarantined")
         self.telemetry.event(
             "engine.quarantine",
             fingerprint=_fingerprint(req.rhs),
             cols=req.cols,
             error=type(exc).__name__,
+            tenant=None if req.tenant is None else str(req.tenant),
         )
 
     def _flush_loop(self) -> None:
@@ -801,6 +843,8 @@ class SolveEngine:
         dtype=np.float64,
         backend: str = "vectorized",
         timeout: Optional[float] = None,
+        tenant=None,
+        priority: Optional[str] = None,
     ) -> Future:
         """Queue one right-hand side for a coalesced solve.
 
@@ -811,6 +855,16 @@ class SolveEngine:
         whose circuit is open fails fast here, before any factorization
         or queueing work.
 
+        *tenant* labels the request for the multi-tenant machinery: the
+        coalescer round-robins batch slots across tenants, telemetry
+        attributes submissions / completions / rejections / quarantines
+        under ``telemetry_snapshot()["tenants"]``, and failures carry the
+        label out (:class:`~repro.runtime.sharded.WorkerError.tenant`).
+        ``None`` (the default) opts out of all of it at zero cost.
+        *priority* is carried on the request for admission layers
+        (:mod:`repro.service.admission`); the engine itself does not
+        reorder on it.
+
         Non-NumPy right-hand sides (or a non-NumPy ``backend_ns``) are
         converted to host NumPy for transport; the future then resolves
         to coefficients staged back into the source namespace.
@@ -818,11 +872,16 @@ class SolveEngine:
         if self._closed:
             raise EngineClosedError("submit() after engine shutdown")
         key = self._key(spec, version, dtype, backend)
-        self.breaker.check(key)
+        try:
+            self.breaker.check(key)
+        except Exception:
+            self._tenant_incr(tenant, "requests_rejected")
+            raise
         try:
             builder = self.plan_cache.builder(key)  # factor once, count lookups
         except Exception as exc:
             self.breaker.record_failure(key, exc)
+            self._tenant_incr(tenant, "requests_failed")
             raise
         rhs_xp = get_namespace(rhs, default=self.xp)
         if is_numpy_namespace(rhs_xp):
@@ -837,9 +896,16 @@ class SolveEngine:
             )
         timeout = timeout if timeout is not None else self.config.default_timeout
         deadline = time.perf_counter() + timeout if timeout is not None else None
-        request = SolveRequest(rhs, deadline=deadline)
-        self._acquire(request.cols)
+        request = SolveRequest(
+            rhs, deadline=deadline, tenant=tenant, priority=priority
+        )
+        try:
+            self._acquire(request.cols)
+        except BackpressureError:
+            self._tenant_incr(tenant, "requests_rejected")
+            raise
         self.telemetry.incr("engine.requests_submitted")
+        self._tenant_incr(tenant, "requests_submitted")
         lane = self._lane(key, builder.n)
         # add() may cut several full batches at once (a wide request can
         # cross multiple max_batch multiples); dispatch every one now so

@@ -92,9 +92,11 @@ class WorkerError(ReproError, RuntimeError):
     """A worker process failed (or died) while solving a shard.
 
     Carries the shard's context when known — which worker held it, the
-    plan key it was solving, the ``(col0, col1)`` column range, and how
-    many delivery attempts it consumed — so a campaign log names the
-    exact shard that died instead of just "a worker died".
+    plan key it was solving, the ``(col0, col1)`` column range, how many
+    delivery attempts it consumed, and (once the engine's per-request
+    retry path has attributed it) the *tenant* whose request it failed —
+    so a campaign log names the exact shard that died instead of just
+    "a worker died", and a multi-tenant report can say whose it was.
     """
 
     def __init__(
@@ -104,12 +106,14 @@ class WorkerError(ReproError, RuntimeError):
         key=None,
         cols: Optional[Tuple[int, int]] = None,
         attempt: Optional[int] = None,
+        tenant=None,
     ) -> None:
         super().__init__(message)
         self.worker_id = worker_id
         self.key = key
         self.cols = cols
         self.attempt = attempt
+        self.tenant = tenant
 
     def __reduce__(self):
         # Default reduction re-calls __init__ with self.args only, which
@@ -122,6 +126,7 @@ class WorkerError(ReproError, RuntimeError):
                 self.key,
                 self.cols,
                 self.attempt,
+                self.tenant,
             ),
         )
 
@@ -136,6 +141,8 @@ class WorkerError(ReproError, RuntimeError):
             context.append(f"cols=[{self.cols[0]}, {self.cols[1]})")
         if self.attempt is not None:
             context.append(f"attempt={self.attempt}")
+        if self.tenant is not None:
+            context.append(f"tenant={self.tenant}")
         return f"{base} [{', '.join(context)}]" if context else base
 
 

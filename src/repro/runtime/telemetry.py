@@ -13,12 +13,19 @@ a thread-safe bag of
 * **events** — bounded last-N rings of structured records (``event``),
   used by the resilience layer for state transitions (circuit breaker
   open/close, supervisor respawns, degradation-ladder steps) and for the
-  poisoned-request quarantine ledger.
+  poisoned-request quarantine ledger;
+* **tenants** — the multi-tenant dimension (``tenant_incr`` /
+  ``tenant_observe``): per-tenant counters and sample series kept beside
+  the global ones, so an admission layer can attribute submissions,
+  completions, rejections, quarantines and latency to *who* asked.
+  Requests without a tenant label cost nothing here.
 
 ``snapshot()`` exports everything as a plain dict (the exa-scale analogue
-would ship this to a metrics backend); ``render()`` prints it through the
-same :class:`repro.bench.report.Table` layout as the paper-table
-benchmarks, so engine runs and paper runs read alike.
+would ship this to a metrics backend) with the per-tenant dimension under
+``snapshot()["tenants"]``; ``render()`` prints it through the same
+:class:`repro.bench.report.Table` layout as the paper-table benchmarks —
+including a per-tenant table when any tenant reported — so engine runs
+and paper runs read alike.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ __all__ = [
     "merged_counter",
     "merge_snapshots",
     "render_snapshot",
+    "render_tenant_table",
     "DEFAULT_MAX_SAMPLES",
     "DEFAULT_MAX_EVENTS",
 ]
@@ -113,6 +121,9 @@ class Telemetry:
         self._counters: Dict[str, int] = {}
         self._series: Dict[str, _Series] = {}
         self._events: Dict[str, deque] = {}
+        # tenant -> ("counters" dict, "series" dict); populated only by
+        # tenant-labelled traffic, so single-tenant runs never touch it
+        self._tenants: Dict[str, tuple] = {}
 
     # -- recording ------------------------------------------------------
 
@@ -138,6 +149,29 @@ class Telemetry:
         finally:
             self.observe(f"{name}.seconds", time.perf_counter() - t0)
 
+    def _tenant_slot(self, tenant) -> tuple:
+        """The (counters, series) pair of *tenant* (call under the lock)."""
+        key = str(tenant)
+        slot = self._tenants.get(key)
+        if slot is None:
+            slot = self._tenants[key] = ({}, {})
+        return slot
+
+    def tenant_incr(self, tenant, name: str, amount: int = 1) -> None:
+        """Add *amount* to tenant-scoped counter *name* (creating at zero)."""
+        with self._lock:
+            counters, _ = self._tenant_slot(tenant)
+            counters[name] = counters.get(name, 0) + amount
+
+    def tenant_observe(self, tenant, name: str, value: float) -> None:
+        """Record one sample of the tenant-scoped distribution *name*."""
+        with self._lock:
+            _, series = self._tenant_slot(tenant)
+            s = series.get(name)
+            if s is None:
+                s = series[name] = _Series(self.max_samples)
+            s.observe(float(value))
+
     def event(self, name: str, **fields) -> None:
         """Append one structured record to the bounded ring *name*.
 
@@ -159,6 +193,11 @@ class Telemetry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def tenant_counter(self, tenant, name: str) -> int:
+        with self._lock:
+            slot = self._tenants.get(str(tenant))
+            return slot[0].get(name, 0) if slot is not None else 0
+
     def events(self, name: str) -> list:
         """The retained records of the event ring *name* (oldest first)."""
         with self._lock:
@@ -178,7 +217,9 @@ class Telemetry:
 
     def snapshot(self) -> dict:
         """Everything as a plain dict:
-        ``{"counters": ..., "series": ..., "events": ...}``."""
+        ``{"counters": ..., "series": ..., "events": ..., "tenants": ...}``
+        where ``tenants`` maps each tenant id to its own
+        ``{"counters": ..., "series": ...}`` sub-snapshot."""
         with self._lock:
             counters = dict(self._counters)
             series = {name: s.summary() for name, s in self._series.items()}
@@ -187,7 +228,19 @@ class Telemetry:
                 for name, ring in self._events.items()
                 if ring
             }
-        return {"counters": counters, "series": series, "events": events}
+            tenants = {
+                tenant: {
+                    "counters": dict(tc),
+                    "series": {name: s.summary() for name, s in ts.items()},
+                }
+                for tenant, (tc, ts) in self._tenants.items()
+            }
+        return {
+            "counters": counters,
+            "series": series,
+            "events": events,
+            "tenants": tenants,
+        }
 
     def render(self, title: str = "Runtime engine telemetry") -> str:
         """Counters and series as one paper-style ASCII table."""
@@ -198,6 +251,7 @@ class Telemetry:
             self._counters.clear()
             self._series.clear()
             self._events.clear()
+            self._tenants.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:
@@ -209,13 +263,61 @@ class Telemetry:
 
 def render_snapshot(snapshot: dict, title: str = "Runtime engine telemetry") -> str:
     """A :meth:`Telemetry.snapshot`-shaped dict (possibly merged across
-    workers by :func:`merge_snapshots`) as one paper-style ASCII table."""
+    workers by :func:`merge_snapshots`) as one paper-style ASCII table,
+    followed by a per-tenant table when any tenant-labelled traffic was
+    recorded (the rejection/quarantine attribution view)."""
     table = Table(title, ["metric", "count", "mean", "p50", "p99", "max"])
     for name in sorted(snapshot.get("counters", {})):
         table.add_row(name, snapshot["counters"][name], "", "", "", "")
     for name in sorted(snapshot.get("series", {})):
         s = snapshot["series"][name]
         table.add_row(name, s["count"], s["mean"], s["p50"], s["p99"], s["max"])
+    rendered = table.render()
+    tenants = snapshot.get("tenants") or {}
+    if tenants:
+        rendered += "\n\n" + render_tenant_table(tenants)
+    return rendered
+
+
+def render_tenant_table(tenants: dict, title: str = "Per-tenant telemetry") -> str:
+    """The ``tenants`` section of a snapshot as one row-per-tenant table.
+
+    The columns are the multi-tenant admission story: what each tenant
+    submitted, what completed, and where the rest went — rejected at the
+    door (admission/backpressure/circuit), timed out, or quarantined as
+    poisoned — plus the tenant's observed latency tail.
+    """
+    table = Table(
+        title,
+        [
+            "tenant",
+            "submitted",
+            "completed",
+            "failed",
+            "rejected",
+            "timed_out",
+            "quarantined",
+            "hedges",
+            "p50 lat (s)",
+            "p99 lat (s)",
+        ],
+    )
+    for tenant in sorted(tenants):
+        counters = tenants[tenant].get("counters", {})
+        series = tenants[tenant].get("series", {})
+        latency = series.get("request_latency_seconds", {})
+        table.add_row(
+            tenant,
+            counters.get("requests_submitted", 0),
+            counters.get("requests_completed", 0),
+            counters.get("requests_failed", 0),
+            counters.get("requests_rejected", 0),
+            counters.get("requests_timed_out", 0),
+            counters.get("requests_quarantined", 0),
+            counters.get("hedges", 0),
+            latency.get("p50", float("nan")),
+            latency.get("p99", float("nan")),
+        )
     return table.render()
 
 
@@ -237,6 +339,8 @@ def merge_snapshots(*snapshots: dict) -> dict:
     and p99 only when exactly one contributing snapshot observed it, and
     reports NaN otherwise.  Event rings concatenate in snapshot order,
     trimmed to the newest :data:`DEFAULT_MAX_EVENTS` records per name.
+    Per-tenant sub-snapshots merge with the same counter/series rules,
+    tenant by tenant.
     """
     names = []
     for snap in snapshots:
@@ -250,20 +354,7 @@ def merge_snapshots(*snapshots: dict) -> dict:
     series: Dict[str, dict] = {}
     for snap in snapshots:
         for name, summ in snap.get("series", {}).items():
-            if int(summ.get("count", 0)) == 0:
-                continue
-            merged = series.get(name)
-            if merged is None:
-                series[name] = dict(summ)
-                continue
-            count = merged["count"] + summ["count"]
-            merged["mean"] = (
-                merged["mean"] * merged["count"] + summ["mean"] * summ["count"]
-            ) / count
-            merged["count"] = count
-            merged["min"] = min(merged["min"], summ["min"])
-            merged["max"] = max(merged["max"], summ["max"])
-            merged["p50"] = merged["p99"] = float("nan")
+            _merge_series_into(series, name, summ)
     events: Dict[str, list] = {}
     for snap in snapshots:
         for name, records in snap.get("events", {}).items():
@@ -271,4 +362,37 @@ def merge_snapshots(*snapshots: dict) -> dict:
     events = {
         name: records[-DEFAULT_MAX_EVENTS:] for name, records in events.items()
     }
-    return {"counters": counters, "series": series, "events": events}
+    tenants: Dict[str, dict] = {}
+    for snap in snapshots:
+        for tenant, sub in (snap.get("tenants") or {}).items():
+            merged = tenants.setdefault(tenant, {"counters": {}, "series": {}})
+            for name, value in sub.get("counters", {}).items():
+                merged["counters"][name] = merged["counters"].get(name, 0) + int(
+                    value
+                )
+            for name, summ in sub.get("series", {}).items():
+                _merge_series_into(merged["series"], name, summ)
+    return {
+        "counters": counters,
+        "series": series,
+        "events": events,
+        "tenants": tenants,
+    }
+
+
+def _merge_series_into(series: Dict[str, dict], name: str, summ: dict) -> None:
+    """Fold one series summary into *series* (exact aggregates only)."""
+    if int(summ.get("count", 0)) == 0:
+        return
+    merged = series.get(name)
+    if merged is None:
+        series[name] = dict(summ)
+        return
+    count = merged["count"] + summ["count"]
+    merged["mean"] = (
+        merged["mean"] * merged["count"] + summ["mean"] * summ["count"]
+    ) / count
+    merged["count"] = count
+    merged["min"] = min(merged["min"], summ["min"])
+    merged["max"] = max(merged["max"], summ["max"])
+    merged["p50"] = merged["p99"] = float("nan")

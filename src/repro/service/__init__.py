@@ -1,0 +1,50 @@
+"""repro.service — serve spline solves over the network.
+
+Layer on top of the runtime engine: a compact binary wire protocol
+(:mod:`~repro.service.protocol`), an asyncio TCP server with per-tenant
+admission control and fair-share dispatch (:mod:`~repro.service.server`,
+:mod:`~repro.service.admission`), sync/async clients with hedged sends
+(:mod:`~repro.service.client`), and a multi-tenant load generator
+(:mod:`~repro.service.loadgen`, runnable as
+``python -m repro.service.bench``).
+
+Quick start::
+
+    from repro.runtime.engine import SolveEngine
+    from repro.service import ServiceThread, ServiceClient
+
+    engine = SolveEngine()
+    with ServiceThread(engine, own_engine=True) as hosted:
+        with ServiceClient(hosted.host, hosted.port) as client:
+            coeffs = client.solve(spec, rhs, tenant="alice")
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    FairShareQueue,
+    TenantQuota,
+    ThrottledError,
+    TokenBucket,
+)
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.protocol import ErrorInfo, FrameType, ProtocolError, Request
+from repro.service.server import ServiceConfig, ServiceThread, SolveService, serve
+
+__all__ = [
+    "AdmissionController",
+    "FairShareQueue",
+    "TenantQuota",
+    "ThrottledError",
+    "TokenBucket",
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceError",
+    "ErrorInfo",
+    "FrameType",
+    "ProtocolError",
+    "Request",
+    "ServiceConfig",
+    "ServiceThread",
+    "SolveService",
+    "serve",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.service.bench`` — the service load generator CLI.
+
+Thin runnable alias for :mod:`repro.service.loadgen` (kept separate so
+the loadgen module stays importable without argparse side effects).
+"""
+
+from repro.service.loadgen import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

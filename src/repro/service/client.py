@@ -1,0 +1,483 @@
+"""Clients for the solve service — sync and asyncio, with hedged sends.
+
+Both clients multiplex one TCP connection: requests carry unique wire
+ids, responses arrive in any order, and a reader (thread or task)
+resolves the matching future.  Connection reuse is therefore free —
+issue as many concurrent ``submit()`` calls as you like on one client.
+
+**Hedging** (sync client): a request still unanswered after a hedge
+delay is *re-sent* under a fresh wire id; whichever copy answers first
+wins and the loser is cancelled with a CANCEL frame.  The delay defaults
+to an empirical p99 of recent request latencies (so only genuine
+stragglers hedge), or can be fixed via ``hedge_delay``.  Solves are pure
+— the loser at worst burns duplicate compute, never duplicate side
+effects — which is what makes hedging safe here.  ``stats()`` reports
+``hedges`` (sent) and ``hedge_wins`` (the duplicate answered first).
+
+Errors come back as :class:`ServiceError` carrying the wire-level
+``code`` (``THROTTLED``, ``TIMEOUT``, ``SHUTDOWN``, ...) and, for
+throttles, a ``retry_after`` hint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Deque, Dict, Optional, Set
+
+import numpy as np
+
+from repro.core.spec import BSplineSpec
+from repro.exceptions import ReproError
+from repro.service import protocol
+
+__all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient"]
+
+#: below this many latency samples the empirical hedge delay is unknown
+#: and hedging stays off (unless a fixed ``hedge_delay`` was given)
+MIN_HEDGE_SAMPLES = 20
+
+#: never hedge faster than this, whatever the quantile says
+MIN_HEDGE_DELAY = 1e-3
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A solve failed on the service side.
+
+    ``code`` is the stable wire code (see
+    :class:`repro.service.protocol.ErrorInfo`); ``retry_after`` is the
+    server's back-off hint for ``THROTTLED`` rejections.
+    """
+
+    def __init__(self, info: protocol.ErrorInfo):
+        super().__init__(f"[{info.code}] {info.message}")
+        self.code = info.code
+        self.info = info
+        self.retry_after = info.retry_after
+
+
+class _Call:
+    """One logical request: possibly several wire ids, one future."""
+
+    __slots__ = ("future", "wire_ids", "started", "timer", "hedged")
+
+    def __init__(self, future: Future) -> None:
+        self.future = future
+        self.wire_ids: Set[int] = set()
+        self.started = time.perf_counter()
+        self.timer: Optional[threading.Timer] = None
+        self.hedged = False
+
+
+class ServiceClient:
+    """Synchronous client for one solve service endpoint.
+
+    Parameters
+    ----------
+    host, port:
+        The service endpoint.
+    hedge_delay:
+        ``None`` (default) derives the hedge trigger from the p99 of
+        recent request latencies; a float pins it; ``0`` disables
+        hedging entirely.
+    timeout:
+        Default per-request deadline in seconds (None = no deadline).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        hedge_delay: Optional[float] = None,
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.hedge_delay = hedge_delay
+        self.default_timeout = timeout
+        self._sock = socket.create_connection((host, port), connect_timeout)
+        self._sock.settimeout(None)
+        self._wlock = threading.Lock()
+        self._plock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._calls: Dict[int, _Call] = {}  # wire id -> call
+        self._telemetry: Deque[Future] = deque()
+        self._pong: Deque[Future] = deque()
+        self._latencies: Deque[float] = deque(maxlen=512)
+        self._closed = False
+        self.hedges = 0
+        self.hedge_wins = 0
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(
+        self,
+        spec: BSplineSpec,
+        rhs: np.ndarray,
+        *,
+        version: int = 2,
+        dtype: str = "float64",
+        backend: str = "vectorized",
+        tenant: str = "anonymous",
+        priority: str = "normal",
+        timeout: Optional[float] = None,
+    ) -> Future:
+        """Send one solve; the future resolves to the coefficient array."""
+        if self._closed:
+            raise ServiceError(
+                protocol.ErrorInfo("SHUTDOWN", "client is closed")
+            )
+        timeout = timeout if timeout is not None else self.default_timeout
+        request = protocol.Request(
+            id=0,  # assigned per wire send
+            spec=spec,
+            rhs=np.asarray(rhs),
+            version=version,
+            dtype=str(np.dtype(dtype)),
+            backend=backend,
+            tenant=tenant,
+            priority=priority,
+            deadline=timeout,
+        )
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        call = _Call(future)
+        self._send_copy(call, request)
+        delay = self._hedge_after()
+        if delay is not None:
+            call.timer = threading.Timer(
+                delay, self._hedge, args=(call, request)
+            )
+            call.timer.daemon = True
+            call.timer.start()
+        return future
+
+    def solve(self, spec: BSplineSpec, rhs: np.ndarray, **kwargs) -> np.ndarray:
+        """Synchronous convenience: ``submit(...).result()``."""
+        timeout = kwargs.get("timeout", self.default_timeout)
+        return self.submit(spec, rhs, **kwargs).result(
+            timeout=None if timeout is None else timeout + 30.0
+        )
+
+    def telemetry(self, timeout: float = 10.0) -> dict:
+        """The server's merged telemetry snapshot (adds a ``service`` part)."""
+        future: Future = Future()
+        with self._plock:
+            self._telemetry.append(future)
+        with self._wlock:
+            protocol.write_frame(
+                self._sock,
+                protocol.encode_frame(protocol.FrameType.TELEMETRY_REQ, b""),
+            )
+        return future.result(timeout=timeout)
+
+    def ping(self, timeout: float = 10.0) -> float:
+        """Round-trip one PING; returns the latency in seconds."""
+        future: Future = Future()
+        start = time.perf_counter()
+        with self._plock:
+            self._pong.append(future)
+        with self._wlock:
+            protocol.write_frame(
+                self._sock,
+                protocol.encode_frame(protocol.FrameType.PING, b""),
+            )
+        future.result(timeout=timeout)
+        return time.perf_counter() - start
+
+    def stats(self) -> dict:
+        """Client-side counters: hedges sent, hedge wins, latency samples."""
+        return {
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "latency_samples": len(self._latencies),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        self._reader.join(timeout=5.0)
+        self._fail_all(ConnectionError("client closed"))
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _send_copy(self, call: _Call, request: protocol.Request) -> None:
+        wire_id = next(self._ids)
+        request.id = wire_id
+        frame = protocol.encode_request(request)
+        with self._plock:
+            call.wire_ids.add(wire_id)
+            self._calls[wire_id] = call
+        try:
+            with self._wlock:
+                protocol.write_frame(self._sock, frame)
+        except OSError as exc:
+            self._resolve(wire_id, error=exc)
+
+    def _hedge_after(self) -> Optional[float]:
+        """Seconds after which to duplicate a request, or None (no hedge)."""
+        if self.hedge_delay is not None:
+            return self.hedge_delay if self.hedge_delay > 0 else None
+        with self._plock:
+            if len(self._latencies) < MIN_HEDGE_SAMPLES:
+                return None
+            samples = sorted(self._latencies)
+        p99 = samples[min(len(samples) - 1, int(0.99 * len(samples)))]
+        return max(MIN_HEDGE_DELAY, p99)
+
+    def _hedge(self, call: _Call, request: protocol.Request) -> None:
+        with self._plock:
+            if call.future.done() or self._closed:
+                return
+            call.hedged = True
+            self.hedges += 1
+        self._send_copy(call, request)
+
+    def _resolve(
+        self,
+        wire_id: int,
+        result: Optional[np.ndarray] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        losers = []
+        with self._plock:
+            call = self._calls.pop(wire_id, None)
+            if call is None:
+                return
+            for other in call.wire_ids:
+                if other != wire_id:
+                    self._calls.pop(other, None)
+                    losers.append(other)
+            if not call.future.done():
+                self._latencies.append(time.perf_counter() - call.started)
+                if call.hedged and losers and error is None:
+                    # The winning id is not the first-sent one iff the
+                    # duplicate overtook — but either way a hedged call
+                    # that resolved while a loser was outstanding means
+                    # hedging returned an answer; count the duplicate's
+                    # win only when the *later* id won.
+                    if wire_id == max(call.wire_ids):
+                        self.hedge_wins += 1
+        if call.timer is not None:
+            call.timer.cancel()
+        for loser in losers:
+            try:
+                with self._wlock:
+                    protocol.write_frame(
+                        self._sock, protocol.encode_cancel(loser)
+                    )
+            except OSError:
+                break
+        if call.future.done():
+            return
+        if error is not None:
+            call.future.set_exception(error)
+        else:
+            call.future.set_result(result)
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self._plock:
+            calls = list(self._calls.values())
+            self._calls.clear()
+            aux = list(self._telemetry) + list(self._pong)
+            self._telemetry.clear()
+            self._pong.clear()
+        for call in calls:
+            if call.timer is not None:
+                call.timer.cancel()
+            if not call.future.done():
+                call.future.set_exception(exc)
+        for future in aux:
+            if not future.done():
+                future.set_exception(exc)
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                ftype, _flags, payload = protocol.read_frame(self._sock)
+                if ftype == protocol.FrameType.RESULT:
+                    res = protocol.decode_result(payload)
+                    self._resolve(res.id, result=res.coeffs)
+                elif ftype == protocol.FrameType.ERROR:
+                    info = protocol.decode_error(payload)
+                    if info.id is None:
+                        self._fail_all(ServiceError(info))
+                    else:
+                        self._resolve(info.id, error=ServiceError(info))
+                elif ftype == protocol.FrameType.TELEMETRY:
+                    snap = protocol.decode_telemetry(payload)
+                    with self._plock:
+                        future = (
+                            self._telemetry.popleft()
+                            if self._telemetry
+                            else None
+                        )
+                    if future is not None and not future.done():
+                        future.set_result(snap)
+                elif ftype == protocol.FrameType.PONG:
+                    with self._plock:
+                        future = self._pong.popleft() if self._pong else None
+                    if future is not None and not future.done():
+                        future.set_result(True)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            pass
+        except protocol.ProtocolError:
+            pass
+        finally:
+            self._fail_all(ConnectionError("connection to service lost"))
+
+
+class AsyncServiceClient:
+    """Asyncio client: same wire protocol, natively awaitable.
+
+    Hedging is intentionally left to the sync client — asyncio callers
+    typically own their own concurrency structure (``asyncio.wait`` with
+    shields and timeouts composes better than a built-in policy would).
+    """
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+        self.host = host
+        self.port = port
+        self.default_timeout = timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._telemetry: Deque[asyncio.Future] = deque()
+        self._reader_task: Optional[asyncio.Task] = None
+        self._wlock: Optional[asyncio.Lock] = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._wlock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    async def submit(
+        self,
+        spec: BSplineSpec,
+        rhs: np.ndarray,
+        *,
+        version: int = 2,
+        dtype: str = "float64",
+        backend: str = "vectorized",
+        tenant: str = "anonymous",
+        priority: str = "normal",
+        timeout: Optional[float] = None,
+    ) -> np.ndarray:
+        """Send one solve and await its coefficients."""
+        if self._writer is None:
+            raise RuntimeError("call connect() first")
+        wire_id = next(self._ids)
+        request = protocol.Request(
+            id=wire_id,
+            spec=spec,
+            rhs=np.asarray(rhs),
+            version=version,
+            dtype=str(np.dtype(dtype)),
+            backend=backend,
+            tenant=tenant,
+            priority=priority,
+            deadline=timeout if timeout is not None else self.default_timeout,
+        )
+        future = asyncio.get_running_loop().create_future()
+        self._pending[wire_id] = future
+        async with self._wlock:
+            self._writer.write(protocol.encode_request(request))
+            await self._writer.drain()
+        return await future
+
+    async def telemetry(self) -> dict:
+        future = asyncio.get_running_loop().create_future()
+        self._telemetry.append(future)
+        async with self._wlock:
+            self._writer.write(
+                protocol.encode_frame(protocol.FrameType.TELEMETRY_REQ, b"")
+            )
+            await self._writer.drain()
+        return await future
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_all(ConnectionError("client closed"))
+
+    def _fail_all(self, exc: BaseException) -> None:
+        for future in list(self._pending.values()):
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+        while self._telemetry:
+            future = self._telemetry.popleft()
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                ftype, _flags, payload = await protocol.read_frame_async(
+                    self._reader
+                )
+                if ftype == protocol.FrameType.RESULT:
+                    res = protocol.decode_result(payload)
+                    future = self._pending.pop(res.id, None)
+                    if future is not None and not future.done():
+                        future.set_result(res.coeffs)
+                elif ftype == protocol.FrameType.ERROR:
+                    info = protocol.decode_error(payload)
+                    if info.id is None:
+                        self._fail_all(ServiceError(info))
+                    else:
+                        future = self._pending.pop(info.id, None)
+                        if future is not None and not future.done():
+                            future.set_exception(ServiceError(info))
+                elif ftype == protocol.FrameType.TELEMETRY:
+                    snap = protocol.decode_telemetry(payload)
+                    if self._telemetry:
+                        future = self._telemetry.popleft()
+                        if not future.done():
+                            future.set_result(snap)
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            self._fail_all(ConnectionError("connection to service lost"))
+        except asyncio.CancelledError:
+            raise

@@ -10,6 +10,8 @@ work is spent on it).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -165,3 +167,94 @@ def test_poisoned_column_quarantined_by_verification(rng):
     assert excinfo.value.backward_error > excinfo.value.tol
     assert snap["counters"].get("verify.failures", 0) >= 1
     assert snap["counters"].get("engine.requests_failed", 0) == 1
+
+
+# -- round-robin batch cutting across tenants ------------------------------
+
+
+def test_coalescer_round_robins_across_tenants(rng):
+    """Regression: a hot tenant's burst must not fill whole batches end to
+    end.  Old FIFO cutting gave the first batch entirely to tenant A;
+    round-robin interleaves one request per tenant per turn."""
+    co = RequestCoalescer(N, max_batch=4, max_linger=10.0)
+    a = [SolveRequest(rng.standard_normal(N), tenant="a") for _ in range(6)]
+    batches = []
+    for req in a[:6]:
+        batches.extend(co.add(req))
+    assert len(batches) == 1  # A's burst alone cut one full batch (FIFO)
+    b = [SolveRequest(rng.standard_normal(N), tenant="b") for _ in range(2)]
+    for req in b:
+        batches.extend(co.add(req))
+    assert len(batches) == 2
+    # the cut after B arrived interleaves: a, b, a, b — not a, a, a, a
+    second = [req.tenant for req in batches[1].requests]
+    assert second == ["a", "b", "a", "b"]
+
+
+def test_coalescer_single_tenant_stays_fifo(rng):
+    """With one submitter key the ring reduces exactly to the old FIFO."""
+    co = RequestCoalescer(N, max_batch=3, max_linger=10.0)
+    reqs = [SolveRequest(rng.standard_normal(N)) for _ in range(7)]
+    batches = []
+    for req in reqs:
+        batches.extend(co.add(req))
+    flat = [r for batch in batches for r in batch.requests]
+    assert flat == reqs[:6]  # strict arrival order, three per batch
+    assert [b.cols for b in batches] == [3, 3]
+
+
+def test_coalescer_drain_preserves_arrival_order(rng):
+    co = RequestCoalescer(N, max_batch=100, max_linger=10.0)
+    reqs = [
+        SolveRequest(rng.standard_normal(N), tenant=i % 3) for i in range(7)
+    ]
+    for req in reqs:
+        co.add(req)
+    batch = co.drain()
+    assert batch.requests == reqs  # seq order, not per-key order
+
+
+def test_coalescer_poll_uses_oldest_across_tenants(rng):
+    """The linger clock follows the globally oldest request even when its
+    tenant is not at the ring head."""
+    co = RequestCoalescer(N, max_batch=100, max_linger=0.05)
+    first = SolveRequest(rng.standard_normal(N), tenant="early")
+    co.add(first)
+    time.sleep(0.06)
+    co.add(SolveRequest(rng.standard_normal(N), tenant="late"))
+    batch = co.poll()
+    assert batch is not None and first in batch.requests
+
+
+# -- engine shutdown under a live network client ---------------------------
+
+
+def test_engine_shutdown_while_client_mid_request(rng):
+    """Shutting the *engine* down under a live TCP client must resolve the
+    in-flight request (the drain solves lingering batches) and turn later
+    submissions into clean SHUTDOWN errors, never hangs."""
+    from repro.service import ServiceClient, ServiceError, ServiceThread
+
+    engine = SolveEngine(EngineConfig(max_batch=64, max_linger=60.0))
+    reference = SplineBuilder(SPEC, version=2)
+    hosted = ServiceThread(engine).start()
+    client = ServiceClient(hosted.host, hosted.port, hedge_delay=0)
+    try:
+        rhs = rng.standard_normal(N)
+        fut = client.submit(SPEC, rhs)
+        deadline = time.perf_counter() + 5.0
+        while (
+            engine.inflight_cols == 0 and time.perf_counter() < deadline
+        ):
+            time.sleep(0.005)  # wait until the request is buffered
+        engine.shutdown()  # out from under the service
+        np.testing.assert_allclose(
+            fut.result(timeout=10), reference.solve(rhs)
+        )
+        late = client.submit(SPEC, rng.standard_normal(N))
+        with pytest.raises(ServiceError) as err:
+            late.result(timeout=10)
+        assert err.value.code == "SHUTDOWN"
+    finally:
+        client.close()
+        hosted.stop()
