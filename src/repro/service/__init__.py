@@ -22,6 +22,7 @@ Quick start::
 from repro.service.admission import (
     AdmissionController,
     FairShareQueue,
+    QuotaExceededError,
     TenantQuota,
     ThrottledError,
     TokenBucket,
@@ -33,6 +34,7 @@ from repro.service.server import ServiceConfig, ServiceThread, SolveService, ser
 __all__ = [
     "AdmissionController",
     "FairShareQueue",
+    "QuotaExceededError",
     "TenantQuota",
     "ThrottledError",
     "TokenBucket",

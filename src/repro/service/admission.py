@@ -29,6 +29,7 @@ server wraps them, they do not know about sockets or the engine.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import OrderedDict, deque
@@ -44,6 +45,7 @@ __all__ = [
     "TenantQuota",
     "AdmissionController",
     "ThrottledError",
+    "QuotaExceededError",
     "FairShareQueue",
 ]
 
@@ -59,6 +61,21 @@ class ThrottledError(ReproError, RuntimeError):
     def __init__(self, message: str, retry_after: float = 0.0, tenant=None):
         super().__init__(message)
         self.retry_after = retry_after
+        self.tenant = tenant
+
+
+class QuotaExceededError(ReproError, ValueError):
+    """A single request's cost exceeds the tenant's *burst* capacity.
+
+    Unlike :class:`ThrottledError` this is permanent — no amount of
+    waiting refills a bucket beyond its burst, so retrying the same
+    request can never succeed.  Subclasses :class:`ValueError` so the
+    service maps it to a ``BAD_REQUEST`` error frame (no misleading
+    ``retry_after`` hint).
+    """
+
+    def __init__(self, message: str, tenant=None):
+        super().__init__(message)
         self.tenant = tenant
 
 
@@ -90,16 +107,18 @@ class TokenBucket:
     def try_acquire(self, cost: float, now: float) -> Optional[float]:
         """Spend *cost* tokens; ``None`` on success, else seconds to wait.
 
-        A *cost* beyond the burst capacity can never succeed outright;
-        it is charged as the full bucket plus debt-free rejection — the
-        returned wait is the time to refill *cost* tokens from empty,
-        which callers surface as the retry hint.
+        A *cost* beyond the burst capacity can **never** succeed — tokens
+        cap at ``burst`` — so it returns ``math.inf`` rather than a
+        finite wait a client would fruitlessly honour forever; callers
+        must surface that as a permanent rejection, not a retry hint.
         """
         self._refill(now)
         if self.tokens >= cost:
             self.tokens -= cost
             return None
-        return (min(cost, self.burst * 2) - self.tokens) / self.rate
+        if cost > self.burst:
+            return math.inf
+        return (cost - self.tokens) / self.rate
 
 
 @dataclass(frozen=True)
@@ -158,7 +177,9 @@ class AdmissionController:
 
     def admit(self, tenant: str, cols: int) -> None:
         """Charge *cols* columns to *tenant*; raise :class:`ThrottledError`
-        (with a ``retry_after`` hint) when its bucket cannot afford them.
+        (with a ``retry_after`` hint) when its bucket cannot afford them
+        yet, or :class:`QuotaExceededError` when *cols* exceeds the
+        tenant's burst capacity outright (permanently unserviceable).
 
         Zero-column requests are always admitted — they cost the engine
         nothing and keep the protocol's edge cases boring.
@@ -180,6 +201,14 @@ class AdmissionController:
                 self.admitted += 1
                 return
             self.rejected += 1
+        if math.isinf(wait):
+            raise QuotaExceededError(
+                f"request of {cols} columns exceeds tenant {tenant!r} "
+                f"burst capacity "
+                f"({self.quota_for(tenant).burst:g} columns); "
+                f"split the request — retrying cannot succeed",
+                tenant=tenant,
+            )
         raise ThrottledError(
             f"tenant {tenant!r} over quota "
             f"({self.quota_for(tenant).rate:g} cols/s): "

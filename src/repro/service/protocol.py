@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import socket
 import struct
 from dataclasses import asdict, dataclass
@@ -85,7 +86,11 @@ MAGIC = b"RSPL"
 #: protocol version; bumped on any incompatible framing change
 VERSION = 1
 
-#: refuse payloads beyond this (a corrupt length prefix must not OOM us)
+#: absolute ceiling on payload size (a corrupt length prefix must not
+#: OOM us); servers typically enforce a much smaller per-connection cap
+#: via the ``max_payload`` argument of the frame readers — the declared
+#: length is checked against it *before* any payload byte is read, so an
+#: over-cap (or over-quota) client cannot force large allocations
 MAX_PAYLOAD = 1 << 30
 
 #: header: magic, version, frame type, flags, payload length
@@ -203,8 +208,15 @@ def encode_frame(ftype: int, payload: bytes, flags: int = 0) -> bytes:
     return HEADER.pack(MAGIC, VERSION, int(ftype), flags, len(payload)) + payload
 
 
-def decode_header(header: bytes) -> Tuple[int, int, int]:
-    """Validate a 12-byte header; return ``(frame_type, flags, length)``."""
+def decode_header(
+    header: bytes, max_payload: int = MAX_PAYLOAD
+) -> Tuple[int, int, int]:
+    """Validate a 12-byte header; return ``(frame_type, flags, length)``.
+
+    *max_payload* lets a reader enforce a cap tighter than the absolute
+    :data:`MAX_PAYLOAD` ceiling; an over-cap declared length fails here,
+    before any payload byte is read or buffered.
+    """
     if len(header) != HEADER_SIZE:
         raise ProtocolError(
             f"short frame header: {len(header)} of {HEADER_SIZE} bytes"
@@ -216,9 +228,10 @@ def decode_header(header: bytes) -> Tuple[int, int, int]:
         raise ProtocolError(
             f"unsupported protocol version {version} (speaking {VERSION})"
         )
-    if length > MAX_PAYLOAD:
+    if length > min(max_payload, MAX_PAYLOAD):
         raise ProtocolError(
-            f"declared payload of {length} bytes exceeds MAX_PAYLOAD"
+            f"declared payload of {length} bytes exceeds the "
+            f"{min(max_payload, MAX_PAYLOAD)}-byte payload cap"
         )
     return ftype, flags, length
 
@@ -244,7 +257,17 @@ def _unpack_meta_and_array(payload: bytes) -> Tuple[dict, np.ndarray]:
         shape = tuple(int(s) for s in meta["array_shape"])
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"bad array metadata: {exc}") from exc
-    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if any(s < 0 for s in shape):
+        raise ProtocolError(f"negative extent in declared shape {shape}")
+    # Pure-Python ints: a huge declared shape must fail loudly here, not
+    # wrap to a spuriously-passing expected byte count.
+    count = math.prod(shape)
+    if count > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"declared shape {shape} ({count} elements) exceeds any "
+            f"payload the protocol admits"
+        )
+    expected = dtype.itemsize * count
     raw = payload[4 + meta_len :]
     if len(raw) != expected:
         raise ProtocolError(
@@ -378,12 +401,15 @@ def _recv_exactly(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket) -> Tuple[int, int, bytes]:
+def read_frame(
+    sock: socket.socket, max_payload: int = MAX_PAYLOAD
+) -> Tuple[int, int, bytes]:
     """Read one frame from a blocking socket: ``(type, flags, payload)``.
 
     Raises :class:`ConnectionError` on clean EOF *before* a header (the
     peer closed between frames) with an empty message marker, and on EOF
-    mid-frame with a diagnostic.
+    mid-frame with a diagnostic.  A declared length beyond *max_payload*
+    raises :class:`ProtocolError` before any payload byte is read.
     """
     try:
         header = _recv_exactly(sock, HEADER_SIZE)
@@ -391,7 +417,7 @@ def read_frame(sock: socket.socket) -> Tuple[int, int, bytes]:
         if "0 of" in str(exc):
             raise ConnectionError("connection closed") from None
         raise
-    ftype, flags, length = decode_header(header)
+    ftype, flags, length = decode_header(header, max_payload)
     payload = _recv_exactly(sock, length) if length else b""
     return ftype, flags, payload
 
@@ -404,14 +430,16 @@ def write_frame(sock: socket.socket, frame: bytes) -> None:
 
 
 async def read_frame_async(
-    reader: "asyncio.StreamReader",
+    reader: "asyncio.StreamReader", max_payload: int = MAX_PAYLOAD
 ) -> Tuple[int, int, bytes]:
     """Read one frame from an asyncio stream: ``(type, flags, payload)``.
 
     Raises :class:`asyncio.IncompleteReadError` on EOF (empty partial
-    means the peer closed cleanly between frames).
+    means the peer closed cleanly between frames) and
+    :class:`ProtocolError` — before buffering any payload byte — when
+    the declared length exceeds *max_payload*.
     """
     header = await reader.readexactly(HEADER_SIZE)
-    ftype, flags, length = decode_header(header)
+    ftype, flags, length = decode_header(header, max_payload)
     payload = await reader.readexactly(length) if length else b""
     return ftype, flags, payload

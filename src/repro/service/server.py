@@ -13,12 +13,15 @@ and serves the :mod:`repro.service.protocol` framing over TCP:
   FairShareQueue` so dispatch order honours priority classes and
   deficit-weighted tenant fair share;
 * a single dispatcher task pops the fair-share queue and bridges onto
-  ``engine.submit()`` via ``run_in_executor`` — ``submit()`` can block
-  under ``backpressure="block"`` and must not stall the loop — then
-  chains the returned :class:`concurrent.futures.Future` back into the
-  loop with ``asyncio.wrap_future``;
-* responses carry the request's wire id, so a client may pipeline
-  requests and receive results out of order;
+  ``engine.submit()`` via the service's own thread pool — ``submit()``
+  can block under ``backpressure="block"`` and must stall neither the
+  loop nor the loop's shared default executor — then chains the
+  returned :class:`concurrent.futures.Future` back into the loop with
+  ``asyncio.wrap_future``;
+* responses carry the request's wire id, which is client-chosen and
+  therefore scoped *per connection* (pending requests and CANCELs are
+  keyed by ``(connection, id)``), so a client may pipeline requests and
+  receive results out of order;
 * shutdown is a graceful drain: stop accepting, fail still-queued
   requests with ``SHUTDOWN`` error frames, wait for in-flight solves,
   then close the engine (when the service owns it).
@@ -53,6 +56,7 @@ from repro.service.admission import (
     AdmissionController,
     FairShareQueue,
     PRIORITIES,
+    QuotaExceededError,
     ThrottledError,
 )
 
@@ -74,11 +78,29 @@ class ServiceConfig:
     #: cap on requests queued in the fair-share stage (0 = unbounded);
     #: beyond it requests bounce with BACKPRESSURE instead of queueing
     max_queued: int = 4096
+    #: per-frame payload cap enforced from the header, *before* the body
+    #: is read — an over-quota client cannot force large allocations;
+    #: size it to the largest plausible RHS (default 64 MiB)
+    max_payload: int = 64 << 20
+    #: threads in the service's own dispatch pool bridging the (possibly
+    #: blocking) ``engine.submit()`` calls — the asyncio *default*
+    #: executor is deliberately not used, so parked submits under
+    #: ``backpressure="block"`` cannot starve other users of the loop
+    dispatch_workers: int = 32
     admission: Optional[AdmissionController] = None
 
     def __post_init__(self) -> None:
         if self.admission is None:
             self.admission = AdmissionController()
+        if self.max_payload <= 0 or self.max_payload > protocol.MAX_PAYLOAD:
+            raise ValueError(
+                f"max_payload must be in (0, {protocol.MAX_PAYLOAD}], "
+                f"got {self.max_payload}"
+            )
+        if self.dispatch_workers <= 0:
+            raise ValueError(
+                f"dispatch_workers must be > 0, got {self.dispatch_workers}"
+            )
 
 
 def classify_error(exc: BaseException) -> Tuple[str, Optional[float]]:
@@ -154,7 +176,15 @@ class SolveService:
         self.own_engine = own_engine
         self.queue = FairShareQueue(quantum=self.config.quantum)
         self._server: Optional[asyncio.base_events.Server] = None
-        self._queued_ids: Dict[int, _Pending] = {}
+        # Wire ids are client-chosen and only unique *per connection*
+        # (every client numbers from 1), so pending requests are keyed
+        # by (connection, wire id) — one tenant's CANCEL or id reuse
+        # must never touch another connection's requests.
+        self._queued_ids: Dict[Tuple[_Connection, int], _Pending] = {}
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.dispatch_workers,
+            thread_name_prefix="repro-service-dispatch",
+        )
         self._inflight: Set[asyncio.Future] = set()
         self._work = asyncio.Event()
         self._draining = False
@@ -180,7 +210,7 @@ class SolveService:
             await self._server.wait_closed()
         # Queued-but-not-dispatched requests fail fast with SHUTDOWN.
         for pending in self.queue.drain():
-            self._queued_ids.pop(pending.request.id, None)
+            self._queued_ids.pop((pending.conn, pending.request.id), None)
             await self._send_error(
                 pending.conn,
                 pending.request.id,
@@ -204,6 +234,7 @@ class SolveService:
                 conn.writer.close()
             except RuntimeError:
                 pass
+        self._executor.shutdown(wait=False)
         if self.own_engine:
             self.engine.shutdown()
 
@@ -218,7 +249,7 @@ class SolveService:
             while True:
                 try:
                     ftype, _flags, payload = await protocol.read_frame_async(
-                        reader
+                        reader, self.config.max_payload
                     )
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return
@@ -236,6 +267,10 @@ class SolveService:
         finally:
             conn.closed = True
             self._conns.discard(conn)
+            # Nobody is listening for this connection's queued requests
+            # any more — mark them cancelled so dispatch skips them.
+            for key in [k for k in self._queued_ids if k[0] is conn]:
+                self._queued_ids.pop(key).cancelled = True
             try:
                 writer.close()
             except RuntimeError:
@@ -255,7 +290,7 @@ class SolveService:
             await conn.send(protocol.encode_telemetry(snap))
             return
         if ftype == protocol.FrameType.CANCEL:
-            self._cancel(protocol.decode_cancel(payload))
+            self._cancel(conn, protocol.decode_cancel(payload))
             return
         if ftype != protocol.FrameType.REQUEST:
             raise protocol.ProtocolError(
@@ -299,15 +334,24 @@ class SolveService:
             self.engine.telemetry.incr("service.throttled")
             await self._send_error(conn, request.id, exc)
             return
+        except QuotaExceededError as exc:
+            # Permanent: the request can never fit the tenant's burst.
+            self.engine.telemetry.tenant_incr(request.tenant, "requests_rejected")
+            self.engine.telemetry.incr("service.rejected_oversize")
+            await self._send_error(conn, request.id, exc)
+            return
         pending = _Pending(conn, request)
-        self._queued_ids[request.id] = pending
+        self._queued_ids[(conn, request.id)] = pending
         self.queue.push(
             pending, request.tenant, request.priority, float(request.cols)
         )
         self._work.set()
 
-    def _cancel(self, request_id: int) -> None:
-        pending = self._queued_ids.pop(request_id, None)
+    def _cancel(self, conn: _Connection, request_id: int) -> None:
+        # Scoped to the connection that sent the CANCEL: ids from other
+        # connections may collide (every client numbers from 1) and must
+        # be unreachable here.
+        pending = self._queued_ids.pop((conn, request_id), None)
         if pending is None:
             return
         pending.cancelled = True
@@ -327,7 +371,7 @@ class SolveService:
                 continue
             if pending.cancelled:
                 continue
-            self._queued_ids.pop(pending.request.id, None)
+            self._queued_ids.pop((pending.conn, pending.request.id), None)
             task = asyncio.ensure_future(self._dispatch_one(loop, pending))
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
@@ -338,10 +382,11 @@ class SolveService:
         request = pending.request
         try:
             # submit() may block (backpressure="block"), so keep it off
-            # the event loop; it returns a concurrent Future we then
-            # await natively.
+            # the event loop — on the service's own pool, not the loop's
+            # default executor, so parked submits cannot starve other
+            # default-executor users or cap dispatch below intent.
             fut = await loop.run_in_executor(
-                None,
+                self._executor,
                 lambda: self.engine.submit(
                     request.spec,
                     request.rhs,

@@ -11,6 +11,9 @@ per-tenant telemetry the service feeds.
 
 from __future__ import annotations
 
+import asyncio
+import json
+import math
 import socket
 import struct
 import threading
@@ -28,6 +31,7 @@ from repro.service import (
     AdmissionController,
     AsyncServiceClient,
     FairShareQueue,
+    QuotaExceededError,
     ServiceClient,
     ServiceConfig,
     ServiceError,
@@ -37,6 +41,7 @@ from repro.service import (
     TokenBucket,
 )
 from repro.service import protocol
+from repro.service import server as server_mod
 from repro.service.loadgen import zipf_tenants
 
 SPEC = BSplineSpec(degree=3, n_points=24)
@@ -132,6 +137,30 @@ class TestProtocol:
         with pytest.raises(protocol.ProtocolError):
             protocol.decode_result(payload[:-3])
 
+    def test_huge_declared_shape_rejected_not_wrapped(self):
+        # 2**62 * 4 elements overflows int64 to exactly 0, so a wrapping
+        # byte-count check would "match" the empty payload and crash in
+        # reshape instead of raising ProtocolError.
+        meta = {"id": 1, "array_shape": [1 << 62, 4], "array_dtype": "<f8"}
+        body = json.dumps(meta).encode()
+        payload = struct.pack("!I", len(body)) + body  # zero raw bytes
+        with pytest.raises(protocol.ProtocolError, match="shape"):
+            protocol.decode_result(payload)
+
+    def test_negative_declared_extent_rejected(self):
+        meta = {"id": 1, "array_shape": [-1, 8], "array_dtype": "<f8"}
+        body = json.dumps(meta).encode()
+        payload = struct.pack("!I", len(body)) + body
+        with pytest.raises(protocol.ProtocolError, match="negative"):
+            protocol.decode_result(payload)
+
+    def test_header_payload_cap_enforced_before_body(self):
+        frame = protocol.encode_frame(protocol.FrameType.REQUEST, b"x" * 2048)
+        header = frame[: protocol.HEADER_SIZE]
+        protocol.decode_header(header)  # fine under the global ceiling
+        with pytest.raises(protocol.ProtocolError, match="cap"):
+            protocol.decode_header(header, max_payload=1024)
+
 
 # -- admission ---------------------------------------------------------------
 
@@ -148,6 +177,12 @@ class TestTokenBucket:
         bucket = TokenBucket(rate=100.0, burst=4.0, now=0.0)
         assert bucket.try_acquire(4.0, now=1000.0) is None
         assert bucket.try_acquire(1.0, now=1000.0) is not None
+
+    def test_cost_above_burst_is_permanently_unserviceable(self):
+        bucket = TokenBucket(rate=100.0, burst=4.0, now=0.0)
+        # tokens cap at burst: no finite wait can ever admit cost 5
+        assert math.isinf(bucket.try_acquire(5.0, now=0.0))
+        assert math.isinf(bucket.try_acquire(5.0, now=1000.0))
 
 
 class TestAdmissionController:
@@ -184,6 +219,18 @@ class TestAdmissionController:
         ctrl.admit("t", 1)
         ctrl.admit("t", 0)  # free even with an empty bucket
         assert ctrl.admitted == 2
+
+    def test_over_burst_cost_rejected_permanently(self):
+        ctrl = AdmissionController(
+            default_quota=TenantQuota(rate=10.0, burst=4.0), clock=lambda: 0.0
+        )
+        with pytest.raises(QuotaExceededError) as err:
+            ctrl.admit("t", 5)  # beyond burst: not a ThrottledError
+        assert not isinstance(err.value, ThrottledError)
+        assert err.value.tenant == "t"
+        assert ctrl.rejected == 1
+        ctrl.admit("t", 4)  # the bucket itself was left untouched
+        assert ctrl.admitted == 1
 
 
 class TestFairShareQueue:
@@ -347,6 +394,53 @@ class TestServiceAdmission:
                 out = client.solve(SPEC, rng.standard_normal(N), tenant="ok")
                 assert np.isfinite(out).all()
 
+    def test_over_burst_request_gets_permanent_bad_request(self, rng):
+        engine = SolveEngine(EngineConfig(max_linger=1e-3))
+        config = ServiceConfig(
+            admission=AdmissionController(
+                quotas={"t": TenantQuota(rate=10.0, burst=4.0)}
+            )
+        )
+        with ServiceThread(engine, config, own_engine=True) as hosted:
+            with ServiceClient(hosted.host, hosted.port, hedge_delay=0) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.solve(
+                        SPEC,
+                        rng.standard_normal((N, 8)),  # 8 cols > burst 4
+                        tenant="t",
+                        timeout=10.0,
+                    )
+                # permanent, so no misleading retry hint
+                assert err.value.code == "BAD_REQUEST"
+                assert err.value.retry_after is None
+                # the connection survives and fitting requests still work
+                out = client.solve(
+                    SPEC, rng.standard_normal((N, 4)), tenant="t", timeout=10.0
+                )
+                assert np.isfinite(out).all()
+
+    def test_oversized_payload_rejected_from_header(self, rng):
+        engine = SolveEngine(EngineConfig(max_linger=1e-3))
+        config = ServiceConfig(max_payload=4096)
+        with ServiceThread(engine, config, own_engine=True) as hosted:
+            with ServiceClient(hosted.host, hosted.port, hedge_delay=0) as client:
+                with pytest.raises((ServiceError, ConnectionError)) as err:
+                    # (N, 64) float64 RHS ≫ 4096 B: the server must refuse
+                    # from the header instead of buffering the body
+                    client.solve(
+                        SPEC, rng.standard_normal((N, 64)), timeout=10.0
+                    )
+                if isinstance(err.value, ServiceError):
+                    assert err.value.code == "BAD_REQUEST"
+
+    def test_config_rejects_nonsense_caps(self):
+        with pytest.raises(ValueError, match="max_payload"):
+            ServiceConfig(max_payload=0)
+        with pytest.raises(ValueError, match="max_payload"):
+            ServiceConfig(max_payload=protocol.MAX_PAYLOAD + 1)
+        with pytest.raises(ValueError, match="dispatch_workers"):
+            ServiceConfig(dispatch_workers=0)
+
     def test_throttle_counts_in_tenant_telemetry(self, rng):
         engine = SolveEngine(EngineConfig(max_linger=1e-3))
         config = ServiceConfig(
@@ -364,6 +458,54 @@ class TestServiceAdmission:
         hog = snap["tenants"]["hog"]["counters"]
         assert hog["requests_rejected"] == 3
         assert snap["counters"]["service.throttled"] == 3
+
+
+# -- wire-id scoping across connections --------------------------------------
+
+
+class TestWireIdScoping:
+    """Client-chosen wire ids only identify requests *per connection* —
+    every client numbers from 1, so the server must never let one
+    connection's CANCEL (sent routinely by hedging for loser ids) reach
+    another connection's pending request."""
+
+    def test_cancel_only_touches_own_connection(self, rng):
+        engine = SolveEngine(EngineConfig(max_linger=1e-3))
+        try:
+            service = server_mod.SolveService(engine)
+            conn_a = server_mod._Connection(None, None)
+            conn_b = server_mod._Connection(None, None)
+            req_a = protocol.Request(id=1, spec=SPEC, rhs=rng.standard_normal(N))
+            req_b = protocol.Request(id=1, spec=SPEC, rhs=rng.standard_normal(N))
+            asyncio.run(service._admit(conn_a, req_a))
+            asyncio.run(service._admit(conn_b, req_b))
+            assert len(service.queue) == 2
+            pending_b = service._queued_ids[(conn_b, 1)]
+            service._cancel(conn_a, 1)  # A cancels *its own* id 1 ...
+            assert not pending_b.cancelled  # ... and B's twin is untouched
+            assert (conn_b, 1) in service._queued_ids
+            assert (conn_a, 1) not in service._queued_ids
+            service._cancel(conn_b, 1)
+            assert pending_b.cancelled
+            service._executor.shutdown(wait=False)
+        finally:
+            engine.shutdown()
+
+    def test_two_connections_with_colliding_wire_ids(self, hosted_service, rng):
+        rhs_a = rng.standard_normal((N, 2))
+        rhs_b = rng.standard_normal((N, 3))
+        engine = hosted_service.service.engine
+        want_a = engine.submit(SPEC, rhs_a).result(timeout=30)
+        want_b = engine.submit(SPEC, rhs_b).result(timeout=30)
+        with ServiceClient(
+            hosted_service.host, hosted_service.port, hedge_delay=0
+        ) as a, ServiceClient(
+            hosted_service.host, hosted_service.port, hedge_delay=0
+        ) as b:
+            fut_a = a.submit(SPEC, rhs_a)  # wire id 1 on connection A
+            fut_b = b.submit(SPEC, rhs_b)  # wire id 1 on connection B
+            assert fut_a.result(timeout=30).tobytes() == want_a.tobytes()
+            assert fut_b.result(timeout=30).tobytes() == want_b.tobytes()
 
 
 # -- hedging -----------------------------------------------------------------
