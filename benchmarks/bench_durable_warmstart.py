@@ -1,0 +1,260 @@
+"""Durable plan store — cold vs warm boot, and out-of-core throughput.
+
+Two claims from the durability layer are measured here:
+
+1. **Warm boots factorize nothing.**  A cold engine pays one
+   factorization per spline configuration before its first solve; an
+   engine booted against a populated :class:`PlanStore` loads the factor
+   bytes from disk instead.  The A/B experiment boots the same spec set
+   both ways, asserts the warm boot's ``plan_cache.factorized`` counter
+   is exactly zero, that its results are bitwise identical to the cold
+   run's, and reports the boot-to-first-result speedup.
+
+2. **Out-of-core campaigns stay under budget.**  A right-hand-side
+   larger than the configured memory budget is streamed through
+   :func:`run_campaign` in bounded windows; the report shows the
+   throughput and the peak engine-managed window against the budget.
+
+Run standalone or with ``--quick`` for CI smoke sizes::
+
+    python benchmarks/bench_durable_warmstart.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from repro.bench import Table
+except ImportError:  # running as a script from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench import Table
+
+import numpy as np
+
+from repro.bench.report import write_bench_json
+from repro.core.spec import BSplineSpec
+from repro.runtime import EngineConfig, SolveEngine
+from repro.runtime.durable import ArrayRHS, _WINDOW_COPIES, run_campaign
+
+
+def _spec_set(nx: int) -> list:
+    """A realistic mixed working set: every Table I plan kind appears."""
+    return [
+        BSplineSpec(degree=3, n_points=nx, boundary="periodic"),
+        BSplineSpec(degree=4, n_points=nx, boundary="periodic"),
+        BSplineSpec(degree=3, n_points=nx, uniform=False, boundary="periodic",
+                    seed=7),
+        BSplineSpec(degree=3, n_points=nx, boundary="clamped"),
+        BSplineSpec(degree=5, n_points=nx, boundary="clamped"),
+    ]
+
+
+def _boot_and_solve(store_dir: str, specs, blocks, warm: bool):
+    """Boot an engine against *store_dir*, solve one block per spec.
+
+    Returns ``(results, boot_seconds, factorized, loaded)`` where
+    *boot_seconds* spans engine construction through the last result —
+    the restart-latency a service pays before it can answer again.
+    """
+    config = EngineConfig(plan_store_dir=store_dir)
+    t0 = time.perf_counter()
+    with SolveEngine(config=config, max_batch=4096) as engine:
+        loaded = engine.warm_start() if warm else 0
+        results = [
+            engine.map_batches(spec, [block])[0]
+            for spec, block in zip(specs, blocks)
+        ]
+        elapsed = time.perf_counter() - t0
+        factorized = engine.telemetry.counter("plan_cache.factorized")
+    return results, elapsed, factorized, loaded
+
+
+def render_warmstart(nx: int, cols: int):
+    """Cold vs warm boot A/B; returns (report, payload dict)."""
+    specs = _spec_set(nx)
+    rng = np.random.default_rng(0)
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        # block shapes depend on each spec's basis size
+        from repro.runtime import PlanCache, PlanKey
+
+        sizes = [PlanCache().builder(PlanKey.from_spec(s)).n for s in specs]
+        blocks = [
+            np.ascontiguousarray(rng.standard_normal((n, cols)))
+            for n in sizes
+        ]
+
+        cold, t_cold, f_cold, _ = _boot_and_solve(
+            store_dir, specs, blocks, warm=False
+        )
+        warm, t_warm, f_warm, loaded = _boot_and_solve(
+            store_dir, specs, blocks, warm=True
+        )
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    identical = all(np.array_equal(a, b) for a, b in zip(cold, warm))
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    table = Table(
+        f"Cold vs warm boot: {len(specs)} spline configs, n~{nx}, "
+        f"{cols} columns each",
+        ["boot", "to first results [ms]", "factorizations", "store loads"],
+    )
+    table.add_row("cold (empty store)", t_cold * 1e3, f_cold, 0)
+    table.add_row("warm (populated store)", t_warm * 1e3, f_warm, loaded)
+    lines = [
+        table.render(),
+        f"warm/cold speedup: {speedup:.2f}x; bitwise identical: {identical}",
+    ]
+    payload = {
+        "specs": len(specs),
+        "cols": cols,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "cold_factorizations": f_cold,
+        "warm_factorizations": f_warm,
+        "warm_loaded": loaded,
+        "speedup": speedup,
+        "bitwise_identical": identical,
+    }
+    return "\n".join(lines), payload
+
+
+def render_outofcore(nx: int, total_cols: int, window_cols: int):
+    """Budget-bounded streaming campaign; returns (report, payload)."""
+    spec = BSplineSpec(degree=3, n_points=nx, boundary="periodic")
+    from repro.runtime import PlanCache, PlanKey
+
+    n = PlanCache().builder(PlanKey.from_spec(spec)).n
+    data = np.ascontiguousarray(
+        np.random.default_rng(3).standard_normal((n, total_cols))
+    )
+    budget = n * data.dtype.itemsize * window_cols * _WINDOW_COPIES
+    out_dir = tempfile.mkdtemp(prefix="repro-bench-campaign-")
+    try:
+        with SolveEngine(max_batch=4096) as engine:
+            reference = engine.map_batches(spec, [data])[0]
+            t0 = time.perf_counter()
+            result = run_campaign(
+                engine,
+                spec,
+                ArrayRHS(data),
+                Path(out_dir) / "out.npy",
+                memory_budget=budget,
+            )
+            elapsed = time.perf_counter() - t0
+            snap = engine.telemetry.snapshot()
+            identical = np.array_equal(np.asarray(result), reference)
+            del result
+    finally:
+        shutil.rmtree(out_dir, ignore_errors=True)
+    window = snap["series"]["campaign.window_bytes"]
+    peak = window["max"] * _WINDOW_COPIES
+    throughput = total_cols / elapsed if elapsed > 0 else float("inf")
+    table = Table(
+        f"Out-of-core campaign: n={n}, {total_cols} columns "
+        f"({data.nbytes / 1e6:.1f} MB RHS)",
+        ["quantity", "value"],
+    )
+    table.add_row("memory budget [MB]", budget / 1e6)
+    table.add_row("peak engine windows [MB]", peak / 1e6)
+    table.add_row("chunks", int(window["count"]))
+    table.add_row("campaign wall [ms]", elapsed * 1e3)
+    table.add_row("throughput [cols/s]", throughput)
+    lines = [
+        table.render(),
+        f"under budget: {peak <= budget}; bitwise identical: {identical}",
+    ]
+    payload = {
+        "n": n,
+        "total_cols": total_cols,
+        "rhs_mb": data.nbytes / 1e6,
+        "budget_bytes": budget,
+        "peak_window_bytes": peak,
+        "under_budget": bool(peak <= budget),
+        "chunks": int(window["count"]),
+        "seconds": elapsed,
+        "cols_per_second": throughput,
+        "bitwise_identical": identical,
+    }
+    return "\n".join(lines), payload
+
+
+def _write_json(warm: dict, stream: dict) -> Path:
+    return write_bench_json(
+        "durable", {"warmstart": warm, "out_of_core": stream}
+    )
+
+
+# -- pytest entry points (CI smoke sizes; see conftest.py) ----------------
+
+
+def test_warm_boot_factorizes_nothing(write_result):
+    """Warm boot: zero factorizations, bitwise-identical results."""
+    report, payload = render_warmstart(nx=96, cols=512)
+    write_result("durable_warmstart", report)
+    assert payload["warm_factorizations"] == 0
+    assert payload["cold_factorizations"] == payload["specs"]
+    assert payload["bitwise_identical"]
+
+
+def test_out_of_core_respects_budget(write_result):
+    """Streaming campaign stays under budget and matches in-RAM solve."""
+    report, payload = render_outofcore(nx=96, total_cols=4096, window_cols=256)
+    write_result("durable_outofcore", report)
+    assert payload["under_budget"]
+    assert payload["bitwise_identical"]
+    assert payload["rhs_mb"] * 1e6 > payload["budget_bytes"]
+
+
+def test_bench_json_artifact(write_result):
+    """The machine-readable artifact CI uploads."""
+    _, warm = render_warmstart(nx=64, cols=256)
+    _, stream = render_outofcore(nx=64, total_cols=2048, window_cols=128)
+    path = _write_json(warm, stream)
+    assert path.exists()
+    write_result(
+        "durable_json", f"BENCH_durable.json written to {path}"
+    )
+
+
+# -- standalone entry -----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizes"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        nx, cols, total_cols, window_cols = 96, 512, 4096, 256
+    else:
+        nx, cols, total_cols, window_cols = 256, 2048, 65536, 2048
+    warm_report, warm = render_warmstart(nx=nx, cols=cols)
+    print(warm_report)
+    stream_report, stream = render_outofcore(
+        nx=nx, total_cols=total_cols, window_cols=window_cols
+    )
+    print(stream_report)
+    path = _write_json(warm, stream)
+    print(f"[json artifact written to {path}]")
+    if warm["warm_factorizations"] != 0:
+        print("FAILURE: warm boot refactorized")
+        return 1
+    if not (warm["bitwise_identical"] and stream["bitwise_identical"]):
+        print("FAILURE: durable path diverged from the in-RAM reference")
+        return 1
+    if not stream["under_budget"]:
+        print("FAILURE: campaign exceeded its memory budget")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,8 @@ Classic test cases:
 
 from __future__ import annotations
 
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -218,26 +220,52 @@ class VlasovPoisson1D1V:
     # -- checkpoint / restart ---------------------------------------------
     def save_checkpoint(self, path, f: np.ndarray) -> None:
         """Write the state (field, clock, diagnostics, grid config) to an
-        ``.npz`` checkpoint for later restart."""
+        ``.npz`` checkpoint for later restart.
+
+        The write is atomic (temp file + fsync + rename): a kill or disk
+        error mid-write leaves the previous checkpoint intact, so
+        :meth:`load_checkpoint` always sees the old state or the new one
+        — never a torn file.
+        """
         if f.shape != (self.nx, self.nv):
             raise ShapeError(
                 f"f must have shape ({self.nx}, {self.nv}), got {f.shape}"
             )
         d = self.diagnostics
-        np.savez(
-            path,
-            f=f,
-            time=self.time,
-            config=np.array([self.nx, self.nv, self.spec_x.degree,
-                             int(self.spec_x.uniform)], dtype=np.int64),
-            domain=np.array([self.lx, self.vmax]),
-            diag_times=np.asarray(d.times),
-            diag_mass=np.asarray(d.mass),
-            diag_l2=np.asarray(d.l2_norm),
-            diag_ee=np.asarray(d.electric_energy),
-            diag_momentum=np.asarray(d.momentum),
-            diag_kinetic=np.asarray(d.kinetic_energy),
+        # np.savez appends ``.npz`` to suffix-less *path*s; mirror that so
+        # existing call sites keep finding their checkpoints.
+        final = os.fspath(path)
+        if not final.endswith(".npz"):
+            final += ".npz"
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(final) + ".tmp.",
+            dir=os.path.dirname(final) or ".",
         )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(
+                    fh,
+                    f=f,
+                    time=self.time,
+                    config=np.array([self.nx, self.nv, self.spec_x.degree,
+                                     int(self.spec_x.uniform)], dtype=np.int64),
+                    domain=np.array([self.lx, self.vmax]),
+                    diag_times=np.asarray(d.times),
+                    diag_mass=np.asarray(d.mass),
+                    diag_l2=np.asarray(d.l2_norm),
+                    diag_ee=np.asarray(d.electric_energy),
+                    diag_momentum=np.asarray(d.momentum),
+                    diag_kinetic=np.asarray(d.kinetic_energy),
+                )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def load_checkpoint(self, path) -> np.ndarray:
         """Restore clock and diagnostics from a checkpoint; returns the

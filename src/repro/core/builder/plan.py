@@ -57,7 +57,11 @@ __all__ = [
     "make_plan",
 ]
 
-_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_SUPPORTED_DTYPES = (
+    np.dtype(np.float32),
+    np.dtype(np.float64),
+    np.dtype(np.complex128),
+)
 
 
 def _check_dtype(dtype) -> np.dtype:
@@ -65,7 +69,7 @@ def _check_dtype(dtype) -> np.dtype:
     if dt not in _SUPPORTED_DTYPES:
         raise ValueError(
             f"unsupported dtype {dt}; factorization plans support "
-            "float32 and float64 only"
+            "float32, float64 and complex128 only"
         )
     return dt
 

@@ -25,6 +25,13 @@ puts in front of the solver stack:
 * :class:`~repro.runtime.telemetry.Telemetry` — plan hits/misses,
   coalesced batch widths, queue depth and p50/p99 latency, exportable as
   a dict or a paper-style ASCII table, mergeable across worker processes;
+* :mod:`repro.runtime.durable` — restart- and RAM-proofing: a
+  versioned, checksummed on-disk :class:`~repro.runtime.durable.PlanStore`
+  backing the plan cache (warm boots refactorize nothing), plus
+  out-of-core campaigns (:func:`~repro.runtime.durable.run_campaign`)
+  streaming memory-mapped / spooled right-hand sides in bounded-memory
+  windows with a resumable, bitwise-exact
+  :class:`~repro.runtime.durable.CampaignState` checkpoint;
 * :mod:`repro.runtime.resilience` — the self-healing layer: seeded
   :class:`~repro.runtime.resilience.faults.FaultPlan` fault injection,
   a :class:`~repro.runtime.resilience.supervisor.WorkerSupervisor`
@@ -45,6 +52,16 @@ Quickstart::
 """
 
 from repro.runtime.coalescer import CoalescedBatch, RequestCoalescer, SolveRequest
+from repro.runtime.durable import (
+    ArrayRHS,
+    CampaignState,
+    ChunkSpoolRHS,
+    DurableStoreError,
+    MemmapRHS,
+    PlanStore,
+    StreamingRHS,
+    run_campaign,
+)
 from repro.runtime.engine import (
     BackpressureError,
     EngineClosedError,
@@ -101,4 +118,12 @@ __all__ = [
     "merge_snapshots",
     "render_snapshot",
     "DEFAULT_MAX_SAMPLES",
+    "PlanStore",
+    "DurableStoreError",
+    "StreamingRHS",
+    "ArrayRHS",
+    "MemmapRHS",
+    "ChunkSpoolRHS",
+    "CampaignState",
+    "run_campaign",
 ]

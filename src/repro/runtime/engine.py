@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import hashlib
 import logging
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -209,6 +210,17 @@ class EngineConfig:
         sides are converted on ingress and results are converted back on
         egress.  ``executor="processes"`` requires the NumPy backend —
         shared-memory shard transport cannot carry foreign arrays.
+    plan_store_dir:
+        Directory of a durable :class:`~repro.runtime.durable.PlanStore`
+        backing the plan cache (and, under ``executor="processes"``,
+        every sharded worker's cache): cold misses load from disk
+        instead of refactorizing and fresh factorizations are written
+        back, so a restarted engine warm-starts with zero
+        factorizations.  ``None`` consults the ``REPRO_PLAN_STORE``
+        environment variable; empty/unset disables the store.
+    checkpoint_dir:
+        Default directory for :meth:`SolveEngine.solve_stream` campaign
+        checkpoints (``None`` — next to the campaign's output file).
     """
 
     max_batch: int = 256
@@ -231,6 +243,8 @@ class EngineConfig:
     breaker_reset: float = 30.0
     breaker_probes: int = 1
     backend_ns: Optional[str] = None
+    plan_store_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if (
@@ -362,15 +376,37 @@ class SolveEngine:
             if self.config.faults is not None
             else FaultPlan.from_env()
         )
+        # Durable plan store: explicit config wins, else the environment.
+        store_dir = self.config.plan_store_dir
+        if store_dir is None:
+            from repro.runtime.durable import PLAN_STORE_ENV
+
+            store_dir = os.environ.get(PLAN_STORE_ENV, "").strip() or None
+        self.plan_store = None
+        self._plan_store_dir = None if store_dir is None else os.fspath(store_dir)
+        if self._plan_store_dir is not None:
+            from repro.runtime.durable import PlanStore
+
+            self.plan_store = PlanStore(
+                self._plan_store_dir,
+                telemetry=self.telemetry,
+                faults=self._faults,
+            )
         self.plan_cache = (
             plan_cache
             if plan_cache is not None
-            else PlanCache(telemetry=self.telemetry, faults=self._faults)
+            else PlanCache(
+                telemetry=self.telemetry,
+                faults=self._faults,
+                store=self.plan_store,
+            )
         )
         if self.plan_cache.telemetry is None:
             self.plan_cache.telemetry = self.telemetry
         if self.plan_cache.faults is None and self._faults is not None:
             self.plan_cache.faults = self._faults
+        if self.plan_cache.store is None and self.plan_store is not None:
+            self.plan_cache.store = self.plan_store
         self.breaker = (
             breaker
             if breaker is not None
@@ -412,6 +448,7 @@ class SolveEngine:
                     restart_budget=self.config.restart_budget,
                     hang_timeout=self.config.hang_timeout,
                 ),
+                plan_store_dir=self._plan_store_dir,
             )
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.num_workers,
@@ -1120,6 +1157,71 @@ class SolveEngine:
         with self.telemetry.span("engine.batch_solve"):
             builder.solve(work, in_place=True)
         return work
+
+    def warm_start(self) -> int:
+        """Preload every readable durable plan entry into the plan cache.
+
+        With a configured ``plan_store_dir`` this turns a process restart
+        into a zero-factorization boot: each stored builder is adopted
+        via :meth:`PlanCache.put`, so the first solve of every known key
+        is a cache hit.  Unusable entries are quarantined and skipped by
+        the store.  Returns the number of builders loaded (0 when no
+        store is configured).
+        """
+        if self.plan_store is None:
+            return 0
+        loaded = 0
+        for key, builder in self.plan_store.entries():
+            self.plan_cache.put(key, builder)
+            loaded += 1
+            self.telemetry.incr("durable.warm_loaded")
+        return loaded
+
+    def solve_stream(
+        self,
+        spec: BSplineSpec,
+        source,
+        out_path,
+        *,
+        version: int = 2,
+        dtype=np.float64,
+        backend: str = "vectorized",
+        chunk_cols: Optional[int] = None,
+        memory_budget: Optional[int] = None,
+        state_path=None,
+        resume: bool = True,
+    ) -> np.ndarray:
+        """Out-of-core campaign: stream *source* through :meth:`map_batches`.
+
+        See :func:`repro.runtime.durable.run_campaign` — windows of
+        ``chunk_cols`` columns (or a width derived from *memory_budget*)
+        are solved and appended to the memory-mapped ``.npy`` at
+        *out_path*, with a :class:`~repro.runtime.durable.CampaignState`
+        checkpoint making the campaign resumable bitwise-identically.
+        When *state_path* is omitted the checkpoint lives next to
+        *out_path*, or under ``config.checkpoint_dir`` when that is set.
+        """
+        from repro.runtime.durable import run_campaign
+
+        if state_path is None and self.config.checkpoint_dir is not None:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+            state_path = os.path.join(
+                self.config.checkpoint_dir,
+                os.path.basename(os.fspath(out_path)) + ".campaign.json",
+            )
+        return run_campaign(
+            self,
+            spec,
+            source,
+            out_path,
+            version=version,
+            dtype=dtype,
+            backend=backend,
+            chunk_cols=chunk_cols,
+            memory_budget=memory_budget,
+            state_path=state_path,
+            resume=resume,
+        )
 
     def flush(self) -> None:
         """Dispatch every lingering partial batch right now."""

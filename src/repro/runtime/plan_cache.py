@@ -106,10 +106,21 @@ class PlanCache:
         Optional :class:`~repro.runtime.telemetry.Telemetry`; when given,
         ``plan_cache.hits`` / ``plan_cache.misses`` / ``plan_cache.evictions``
         counters are kept there as well as locally.
+    store:
+        Optional :class:`~repro.runtime.durable.PlanStore`.  A cold miss
+        consults the store before factorizing (a restarted process
+        warm-starts with zero factorizations — ``plan_cache.factorized``
+        stays 0), and a fresh factorization is written back best-effort:
+        a failed store write or a corrupt entry costs a counter and a
+        refactorization, never the solve.
     """
 
     def __init__(
-        self, max_plans: int = DEFAULT_MAX_PLANS, telemetry=None, faults=None
+        self,
+        max_plans: int = DEFAULT_MAX_PLANS,
+        telemetry=None,
+        faults=None,
+        store=None,
     ) -> None:
         if max_plans < 1:
             raise ValueError(f"max_plans must be >= 1, got {max_plans}")
@@ -118,6 +129,8 @@ class PlanCache:
         #: optional FaultPlan; fires "plan_cache.factorize" on the leader
         #: path of a cold miss, before the factorization runs
         self.faults = faults
+        #: optional durable PlanStore backing cold misses
+        self.store = store
         self._lock = threading.RLock()
         self._plans: "OrderedDict[PlanKey, SplineBuilder]" = OrderedDict()
         #: in-flight cold factorizations, one Future per key; concurrent
@@ -132,6 +145,34 @@ class PlanCache:
     def _count(self, name: str) -> None:
         if self.telemetry is not None:
             self.telemetry.incr(f"plan_cache.{name}")
+
+    def _load_from_store(self, key: PlanKey):
+        """The durable entry for *key*, or ``None`` (miss *or* corrupt).
+
+        Corruption is already quarantined and counted by the store
+        (``durable.corrupt_evicted``); here it degrades to a plain miss
+        so the leader path refactorizes — never a wrong answer, never a
+        crash.
+        """
+        if self.store is None:
+            return None
+        from repro.runtime.durable import DurableStoreError
+
+        try:
+            return self.store.load(key)
+        except DurableStoreError:
+            return None
+
+    def _save_to_store(self, key: PlanKey, builder: SplineBuilder) -> None:
+        """Best-effort write-back; a failed write never fails the solve."""
+        if self.store is None:
+            return
+        from repro.runtime.durable import DurableStoreError
+
+        try:
+            self.store.save(key, builder)
+        except DurableStoreError:
+            pass
 
     def builder(
         self,
@@ -174,7 +215,12 @@ class PlanCache:
         try:
             if self.faults is not None:
                 self.faults.fire("plan_cache.factorize", key=key)
-            built = (factory or key.make_builder)()
+            built = self._load_from_store(key) if factory is None else None
+            if built is None:
+                built = (factory or key.make_builder)()
+                self._count("factorized")
+                if factory is None:
+                    self._save_to_store(key, built)
         except BaseException as exc:
             with self._lock:
                 self._building.pop(key, None)

@@ -24,10 +24,18 @@ seeded list of :class:`FaultSpec` triggers bound to named hook points
                         worker process
  sharded.worker_solve   worker side, before the shard solve (``crash``
                         and ``hang`` act on the worker process itself)
+ durable.store_write    :meth:`PlanStore.save`, before a plan entry is
+                        committed to disk
+ durable.store_read     :meth:`PlanStore.load`, before a plan entry is
+                        read and parsed
+ campaign.chunk         :func:`~repro.runtime.durable.run_campaign`,
+                        before each streamed chunk is solved (``crash``
+                        kills the campaign mid-flight)
 ====================== ==================================================
 
 Fault kinds: ``raise`` (a chosen exception flavor), ``crash``
-(``os._exit`` — only meaningful at ``sharded.worker_solve``), ``hang``
+(``os._exit`` — meaningful at ``sharded.worker_solve`` and
+``campaign.chunk``), ``hang``
 and ``slow`` (sleep for ``delay`` seconds), ``corrupt`` (write NaN/Inf
 into the hook's array).  Triggering is deterministic: each spec counts
 its own matching visits, skips the first ``after``, fires at most
@@ -71,6 +79,9 @@ HOOK_SITES = {
     "engine.verify": "forced verification failure",
     "sharded.dispatch": "parent-side shard issue failure",
     "sharded.worker_solve": "worker crash / hang / slow / raise mid-shard",
+    "durable.store_write": "plan-store entry commit failure",
+    "durable.store_read": "plan-store entry read/parse failure",
+    "campaign.chunk": "out-of-core campaign chunk failure or kill",
 }
 
 _KINDS = ("raise", "crash", "hang", "slow", "corrupt")
@@ -85,6 +96,7 @@ _ERROR_FLAVORS = (
     "shm",
     "verification",
     "factorization",
+    "durable",
 )
 
 
@@ -114,6 +126,10 @@ def _exception_for(flavor: str, message: str) -> BaseException:
         from repro.exceptions import SingularMatrixError
 
         return SingularMatrixError(message)
+    if flavor == "durable":
+        from repro.runtime.durable import DurableStoreError
+
+        return DurableStoreError(message)
     return FaultInjected(message)
 
 

@@ -190,7 +190,9 @@ class _AttachCache:
         self._open.clear()
 
 
-def _worker_main(worker_id: int, task_q, result_conn, fault_json=None) -> None:
+def _worker_main(
+    worker_id: int, task_q, result_conn, fault_json=None, plan_store_dir=None
+) -> None:
     """One worker process: attach, factor-once per key, solve shards.
 
     Runs until a ``stop`` message.  Every solve acknowledges on
@@ -206,7 +208,10 @@ def _worker_main(worker_id: int, task_q, result_conn, fault_json=None) -> None:
     :class:`~repro.runtime.resilience.faults.FaultPlan`; the worker's
     private copy fires the ``sharded.worker_solve`` hook (with
     ``worker=worker_id``) before each shard, with fresh visit counters —
-    a respawned worker counts from zero.
+    a respawned worker counts from zero.  ``plan_store_dir`` (when set)
+    backs the worker's plan cache with the shared durable
+    :class:`~repro.runtime.durable.PlanStore`, so a fresh or respawned
+    worker warm-starts from disk instead of refactorizing.
     """
     # The parent handles interrupts and shuts workers down explicitly; a
     # Ctrl-C during tests must not kill a shard mid-write.
@@ -222,7 +227,12 @@ def _worker_main(worker_id: int, task_q, result_conn, fault_json=None) -> None:
 
         faults = FaultPlan.from_json(fault_json)
     telemetry = Telemetry()
-    cache = PlanCache(telemetry=telemetry)
+    store = None
+    if plan_store_dir:
+        from repro.runtime.durable import PlanStore
+
+        store = PlanStore(plan_store_dir, telemetry=telemetry, faults=faults)
+    cache = PlanCache(telemetry=telemetry, store=store)
     segments = _AttachCache()
     try:
         while True:
@@ -397,6 +407,11 @@ class ShardedExecutor:
         switched on by :class:`~repro.runtime.engine.SolveEngine`.
     policy:
         Supervisor tunables (ignored unless ``supervise``).
+    plan_store_dir:
+        Optional durable :class:`~repro.runtime.durable.PlanStore`
+        directory shared by every worker (spawned and respawned): each
+        worker's plan cache warm-starts from it and writes fresh
+        factorizations back.
     """
 
     def __init__(
@@ -408,12 +423,16 @@ class ShardedExecutor:
         faults=None,
         supervise: bool = False,
         policy=None,
+        plan_store_dir=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = int(num_workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.faults = faults
+        self.plan_store_dir = (
+            None if plan_store_dir is None else str(plan_store_dir)
+        )
         self._fault_json = faults.to_json() if faults is not None else None
         self._ctx = mp.get_context(start_method or DEFAULT_START_METHOD)
         self._lock = threading.Lock()
@@ -443,6 +462,7 @@ class ShardedExecutor:
         self._pool = SharedBlockPool(
             blocks=pool_blocks if pool_blocks is not None else self.num_workers,
             faults=faults,
+            telemetry=self.telemetry,
         )
         self._live: List[bool] = [True] * self.num_workers
         self._collector = threading.Thread(
@@ -476,7 +496,7 @@ class ShardedExecutor:
         q = self._ctx.Queue()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(rank, q, tx, self._fault_json),
+            args=(rank, q, tx, self._fault_json, self.plan_store_dir),
             name=f"repro-shard-{rank}",
             daemon=True,
         )
@@ -677,6 +697,11 @@ class ShardedExecutor:
         """True once the supervisor spent its restart budget (always
         ``False`` for an unsupervised pool)."""
         return self._supervisor is not None and self._supervisor.exhausted
+
+    @property
+    def peak_lease_bytes(self) -> int:
+        """Concurrent peak of shared-memory bytes leased for shard blocks."""
+        return self._pool.peak_lease_bytes
 
     @property
     def supervisor(self):

@@ -188,15 +188,23 @@ class SharedBlockPool:
         blocks: int = DEFAULT_POOL_BLOCKS,
         initial_bytes: int = 1,
         faults=None,
+        telemetry=None,
     ) -> None:
         if blocks < 1:
             raise ValueError(f"pool needs >= 1 block, got {blocks}")
         self.blocks = int(blocks)
         self.faults = faults
+        self.telemetry = telemetry
         self._free: List[SharedBlock] = [
             SharedBlock(max(1, int(initial_bytes))) for _ in range(self.blocks)
         ]
         self._lent = 0
+        # Requested bytes per outstanding lease, keyed by block identity,
+        # so the pool can report its concurrent peak — the number an
+        # out-of-core campaign checks against its memory budget.
+        self._lease_bytes = {}
+        self._lent_bytes = 0
+        self.peak_lease_bytes = 0
         self._cv = threading.Condition()
         self._closed = False
 
@@ -213,14 +221,23 @@ class SharedBlockPool:
             block = self._free.pop()
             self._lent += 1
         try:
-            return block.ensure(max(1, int(nbytes)))
+            block = block.ensure(max(1, int(nbytes)))
         except BaseException:
             self.release(block)
             raise
+        with self._cv:
+            self._lease_bytes[id(block)] = int(nbytes)
+            self._lent_bytes += int(nbytes)
+            if self._lent_bytes > self.peak_lease_bytes:
+                self.peak_lease_bytes = self._lent_bytes
+        if self.telemetry is not None:
+            self.telemetry.observe("shm.lease_bytes", int(nbytes))
+        return block
 
     def release(self, block: SharedBlock) -> None:
         with self._cv:
             self._lent -= 1
+            self._lent_bytes -= self._lease_bytes.pop(id(block), 0)
             if self._closed:
                 block.close()
             else:

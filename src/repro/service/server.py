@@ -88,6 +88,14 @@ class ServiceConfig:
     #: ``backpressure="block"`` cannot starve other users of the loop
     dispatch_workers: int = 32
     admission: Optional[AdmissionController] = None
+    #: durable plan-store directory: when the service builds its own
+    #: engine the store backs every plan cache (engine + sharded
+    #: workers) and the engine warm-starts from it on boot, so a
+    #: restarted service performs zero re-factorizations
+    plan_store_dir: Optional[str] = None
+    #: default directory for out-of-core campaign checkpoints run
+    #: against this service's engine (``engine.solve_stream``)
+    checkpoint_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.admission is None:
@@ -174,6 +182,16 @@ class SolveService:
         self.engine = engine
         self.config = config or ServiceConfig()
         self.own_engine = own_engine
+        # Warm boot: adopt every durable plan entry before the first
+        # request, so a restarted service re-factorizes nothing.
+        if getattr(engine, "plan_store", None) is not None:
+            loaded = engine.warm_start()
+            if loaded:
+                logger.info(
+                    "warm-started %d plan(s) from %s",
+                    loaded,
+                    engine.plan_store.root,
+                )
         self.queue = FairShareQueue(quantum=self.config.quantum)
         self._server: Optional[asyncio.base_events.Server] = None
         # Wire ids are client-chosen and only unique *per connection*
@@ -540,14 +558,33 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8157,
     engine: Optional[SolveEngine] = None,
+    plan_store_dir: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
     **engine_kwargs,
 ) -> None:
-    """Run a solve service until interrupted (``python -m repro serve``)."""
+    """Run a solve service until interrupted (``python -m repro serve``).
+
+    *plan_store_dir* (also read from ``REPRO_PLAN_STORE`` by the engine)
+    makes the boot durable: plans load from disk instead of being
+    refactorized, and new factorizations are written back for the next
+    restart.
+    """
     own = engine is None
     if engine is None:
+        if plan_store_dir is not None:
+            engine_kwargs.setdefault("plan_store_dir", plan_store_dir)
+        if checkpoint_dir is not None:
+            engine_kwargs.setdefault("checkpoint_dir", checkpoint_dir)
         engine = SolveEngine(**engine_kwargs)
     hosted = ServiceThread(
-        engine, ServiceConfig(host=host, port=port), own_engine=own
+        engine,
+        ServiceConfig(
+            host=host,
+            port=port,
+            plan_store_dir=plan_store_dir,
+            checkpoint_dir=checkpoint_dir,
+        ),
+        own_engine=own,
     )
     hosted.start()
     print(f"repro solve service listening on {hosted.host}:{hosted.port}")

@@ -10,6 +10,7 @@ shm leak guards for abnormal owner exits.
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import random
@@ -30,6 +31,7 @@ from repro.exceptions import (
 )
 from repro.runtime import (
     CircuitOpenError,
+    DurableStoreError,
     EngineConfig,
     FaultInjected,
     FaultPlan,
@@ -166,6 +168,7 @@ class TestFaultPlan:
             "shm": ShmError,
             "verification": VerificationError,
             "factorization": SingularMatrixError,
+            "durable": DurableStoreError,
         }
         for flavor, exc_type in expectations.items():
             plan = FaultPlan(
@@ -187,6 +190,9 @@ class TestFaultPlan:
             "engine.verify",
             "sharded.dispatch",
             "sharded.worker_solve",
+            "durable.store_write",
+            "durable.store_read",
+            "campaign.chunk",
         }
 
 
@@ -905,3 +911,143 @@ def test_inert_plan_changes_nothing_bitwise():
         assert inert.visits("engine.batch_solve") >= 1
         assert inert.fired() == 0
     np.testing.assert_array_equal(out, expected)
+
+# ---------------------------------------------------------------------------
+# Durable campaigns under chaos: kill -9-grade crashes mid-campaign, then
+# resume from the CampaignState checkpoint + warm-start from the PlanStore.
+# ---------------------------------------------------------------------------
+
+_CAMPAIGN_CHILD = r"""
+import json, os, sys
+sys.path.insert(0, {src!r})
+import numpy as np
+from repro import BSplineSpec
+from repro.runtime import EngineConfig, FaultPlan, FaultSpec, SolveEngine
+from repro.runtime.durable import MemmapRHS, run_campaign
+
+spec = BSplineSpec(degree=3, n_points=32)
+faults = None
+if {crash_after!r} is not None:
+    faults = FaultPlan(
+        [FaultSpec(site="campaign.chunk", kind="crash", after={crash_after!r})]
+    )
+config = EngineConfig(plan_store_dir={store!r})
+with SolveEngine(config=config, faults=faults, max_batch=4096) as engine:
+    result = run_campaign(
+        engine, spec, MemmapRHS({rhs!r}), {out!r}, chunk_cols=37
+    )
+    report = {{
+        "factorized": engine.telemetry.counter("plan_cache.factorized"),
+        "warm_hits": engine.telemetry.counter("durable.store_hits"),
+        "resumes": engine.telemetry.counter("campaign.resumes"),
+        "skipped": engine.telemetry.counter("campaign.chunks_skipped"),
+        "completed": engine.telemetry.counter("campaign.chunks_completed"),
+    }}
+with open({report!r}, "w") as fh:
+    json.dump(report, fh)
+"""
+
+
+def _run_campaign_child(tmp, crash_after=None, timeout=180):
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    code = _CAMPAIGN_CHILD.format(
+        src=src,
+        crash_after=crash_after,
+        store=os.path.join(tmp, "plans"),
+        rhs=os.path.join(tmp, "rhs.npy"),
+        out=os.path.join(tmp, "out.npy"),
+        report=os.path.join(tmp, "report.json"),
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestCampaignChaos:
+    def test_crash_mid_campaign_resumes_bitwise(self, tmp_path):
+        # Acceptance scenario: the fault plan os._exit(23)s the process
+        # in the middle of a 300-column campaign.  A second process
+        # pointed at the same checkpoint + plan store must (a) finish
+        # without refactorizing anything and (b) produce output bitwise
+        # identical to a never-interrupted run.
+        tmp = str(tmp_path)
+        spec = BSplineSpec(degree=3, n_points=32)
+        rhs = np.asarray(
+            np.random.default_rng(77).normal(size=(N, 300)), order="C"
+        )
+        np.save(os.path.join(tmp, "rhs.npy"), rhs)
+        with SolveEngine(max_batch=4096) as baseline:
+            expected = baseline.map_batches(spec, [rhs])[0]
+
+        crashed = _run_campaign_child(tmp, crash_after=3)
+        assert crashed.returncode == 23, crashed.stderr  # died by fault
+        assert not os.path.exists(os.path.join(tmp, "report.json"))
+        # the interrupted run left a checkpoint + partial output behind
+        assert os.path.exists(os.path.join(tmp, "out.npy.campaign.json"))
+        assert len(os.listdir(os.path.join(tmp, "plans"))) == 1
+
+        resumed = _run_campaign_child(tmp, crash_after=None)
+        assert resumed.returncode == 0, resumed.stderr
+        with open(os.path.join(tmp, "report.json")) as fh:
+            report = json.load(fh)
+        # warm start: the plan came from the store, zero factorizations
+        assert report["factorized"] == 0
+        assert report["warm_hits"] == 1
+        assert report["resumes"] == 1
+        assert report["skipped"] == 3  # exactly the chunks the dead run did
+        assert report["skipped"] + report["completed"] == 9  # ceil(300/37)
+        np.testing.assert_array_equal(
+            np.load(os.path.join(tmp, "out.npy")), expected
+        )
+
+    def test_repeated_crashes_still_converge(self, tmp_path):
+        # Crash after 1 chunk, then after 2 more, then run to completion:
+        # every restart must pick up exactly where the corpse left off.
+        tmp = str(tmp_path)
+        spec = BSplineSpec(degree=3, n_points=32)
+        rhs = np.asarray(
+            np.random.default_rng(78).normal(size=(N, 200)), order="C"
+        )
+        np.save(os.path.join(tmp, "rhs.npy"), rhs)
+        with SolveEngine(max_batch=4096) as baseline:
+            expected = baseline.map_batches(spec, [rhs])[0]
+        for crash_after in (1, 2):
+            run = _run_campaign_child(tmp, crash_after=crash_after)
+            assert run.returncode == 23, run.stderr
+        final = _run_campaign_child(tmp, crash_after=None)
+        assert final.returncode == 0, final.stderr
+        with open(os.path.join(tmp, "report.json")) as fh:
+            report = json.load(fh)
+        assert report["factorized"] == 0  # store survived both crashes
+        assert report["skipped"] == 3  # 1 from run one + 2 from run two
+        np.testing.assert_array_equal(
+            np.load(os.path.join(tmp, "out.npy")), expected
+        )
+
+    def test_warm_started_sharded_pool_refactorizes_nothing(self, tmp_path):
+        # A process-pool engine booted against a populated store: the
+        # parent warm-starts from disk and the workers inherit the store
+        # directory, so *no* process factorizes anything.
+        store = str(tmp_path / "plans")
+        config = EngineConfig(plan_store_dir=store)
+        rhs = _rhs(64, seed=79)
+        with SolveEngine(config=config, max_batch=4096) as seeder:
+            expected = seeder.map_batches(SPEC, [rhs])[0]
+            assert seeder.telemetry.counter("plan_cache.factorized") == 1
+        with SolveEngine(
+            config=config,
+            executor="processes",
+            num_workers=2,
+            max_batch=4096,
+        ) as engine:
+            assert engine.warm_start() == 1
+            out = engine.map_batches(SPEC, [rhs])[0]
+            merged = engine.telemetry_snapshot()
+        np.testing.assert_array_equal(out, expected)
+        # merged snapshot covers the parent *and* both workers
+        assert merged["counters"].get("plan_cache.factorized", 0) == 0
+        assert merged["counters"].get("durable.warm_loaded", 0) == 1

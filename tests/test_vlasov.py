@@ -175,3 +175,59 @@ class TestCheckpointRestart:
         s = VlasovPoisson1D1V(nx=16, nv=24)
         with pytest.raises(ShapeError):
             s.save_checkpoint(tmp_path / "x.npz", np.ones((3, 3)))
+
+    def test_interrupted_save_leaves_old_checkpoint_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash mid-save must never tear the checkpoint: the loader
+        sees the complete old state or the complete new one, nothing in
+        between.  Regression test for the pre-atomic in-place ``np.savez``
+        write, which a kill could truncate into an unreadable file."""
+        import numpy as _np
+
+        path = tmp_path / "ckpt.npz"
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        f_old = s.run(s.landau_initial_condition(), dt=0.1, steps=2)
+        s.save_checkpoint(path, f_old)
+        good_bytes = path.read_bytes()
+
+        f_new = s.run(f_old.copy(), dt=0.1, steps=2)
+        real_savez = _np.savez
+
+        def dying_savez(fh, **arrays):
+            # emit a partial archive, then die — exactly what a kill or
+            # a full disk does to a writer halfway through
+            real_savez(fh, **arrays)
+            fh.flush()
+            fh.truncate(fh.tell() // 2)
+            raise OSError("simulated crash mid-checkpoint")
+
+        monkeypatch.setattr(_np, "savez", dying_savez)
+        with pytest.raises(OSError, match="simulated crash"):
+            s.save_checkpoint(path, f_new)
+        monkeypatch.undo()
+
+        # the visible checkpoint is byte-for-byte the old one...
+        assert path.read_bytes() == good_bytes
+        # ...no temp litter survives the failed attempt...
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.npz"]
+        # ...and it still loads cleanly to the pre-crash state.
+        s2 = VlasovPoisson1D1V(nx=16, nv=24)
+        np.testing.assert_array_equal(s2.load_checkpoint(path), f_old)
+
+        # a subsequent healthy save transitions fully to the new state
+        s.save_checkpoint(path, f_new)
+        s3 = VlasovPoisson1D1V(nx=16, nv=24)
+        np.testing.assert_array_equal(s3.load_checkpoint(path), f_new)
+
+    def test_suffixless_path_keeps_savez_convention(self, tmp_path):
+        # np.savez appends .npz to suffix-less paths; the atomic writer
+        # must preserve that so old call sites keep finding their files.
+        s = VlasovPoisson1D1V(nx=16, nv=24)
+        f = s.landau_initial_condition()
+        s.save_checkpoint(tmp_path / "ckpt", f)
+        assert (tmp_path / "ckpt.npz").exists()
+        s2 = VlasovPoisson1D1V(nx=16, nv=24)
+        np.testing.assert_array_equal(
+            s2.load_checkpoint(tmp_path / "ckpt.npz"), f
+        )
