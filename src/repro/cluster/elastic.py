@@ -1,0 +1,107 @@
+"""Elastic fleet control — scale on the backlog the engine already sees.
+
+The :class:`~repro.cluster.coordinator.Coordinator` exposes one number,
+**backlog**: in-flight shards per live worker — the cluster analogue of
+the queue-depth telemetry (``engine.queue_depth_cols``) the engine
+exports.  The :class:`ElasticController` samples it on a fixed cadence
+and moves the fleet between the policy's bounds:
+
+* backlog above ``high_backlog`` with room under ``max_workers`` —
+  **scale up**: spawn one loopback worker (registration drains any
+  parked shards immediately);
+* backlog below ``low_backlog`` with slack above ``min_workers`` —
+  **scale down**: gracefully retire the newest worker (it stops
+  receiving shards at once; anything in flight re-issues verbatim onto
+  the remaining fleet, so results stay bitwise identical);
+* a ``cooldown`` between actions keeps one burst from thrashing the
+  fleet both directions.
+
+Decisions are one worker at a time on purpose: the backlog signal is
+re-sampled after every action, so the fleet converges instead of
+overshooting.  ``tick()`` is public and takes an injected clock reading,
+which is how the tests drive scaling deterministically without waiting
+out real intervals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.cluster.config import ElasticPolicy
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["ElasticController"]
+
+
+class ElasticController:
+    """Samples the backlog and grows/shrinks the executor's fleet."""
+
+    def __init__(
+        self,
+        executor,
+        policy: ElasticPolicy,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.executor = executor
+        self.policy = policy
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._last_action = float("-inf")
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-cluster-elastic", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        while not self._stop.wait(timeout=self.policy.interval):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - scaling must never kill solves
+                self.telemetry.incr("cluster.elastic_errors")
+
+    def tick(self, now: Optional[float] = None) -> Optional[str]:
+        """One scaling decision; returns ``"up"``, ``"down"`` or ``None``.
+
+        *now* is an injectable monotonic reading so tests can step the
+        cooldown clock explicitly.
+        """
+        now = time.monotonic() if now is None else now
+        if now - self._last_action < self.policy.cooldown:
+            return None
+        backlog = self.executor.backlog()
+        live = self.executor.live_count()
+        if backlog > self.policy.high_backlog and live < self.policy.max_workers:
+            if self.executor.scale_up():
+                self._last_action = now
+                self.telemetry.incr("cluster.scale_up")
+                self.telemetry.event(
+                    "cluster.scale", direction="up", backlog=backlog,
+                    workers=live + 1,
+                )
+                return "up"
+        elif backlog < self.policy.low_backlog and live > self.policy.min_workers:
+            if self.executor.scale_down():
+                self._last_action = now
+                self.telemetry.incr("cluster.scale_down")
+                self.telemetry.event(
+                    "cluster.scale", direction="down", backlog=backlog,
+                    workers=live - 1,
+                )
+                return "down"
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ElasticController(policy={self.policy}, "
+            f"running={self._thread is not None and self._thread.is_alive()})"
+        )

@@ -29,14 +29,18 @@ class Decomposition:
     def __post_init__(self) -> None:
         if self.ranks < 1:
             raise ShapeError(f"ranks must be >= 1, got {self.ranks}")
-        if self.extent < self.ranks:
-            raise ShapeError(
-                f"cannot split {self.extent} items over {self.ranks} ranks"
-            )
+        if self.extent < 1:
+            raise ShapeError(f"extent must be >= 1, got {self.extent}")
 
     def bounds(self, rank: int) -> tuple:
         """``(begin, end)`` of *rank*'s block (remainder spread over the
-        first ranks, the standard balanced block distribution)."""
+        first ranks, the standard balanced block distribution).
+
+        With more ranks than items the trailing ranks get well-formed
+        zero-width blocks ``(extent, extent)`` — an elastic fleet wider
+        than a narrow batch issues empty shards rather than crashing;
+        executors skip dispatching them.
+        """
         base, rem = divmod(self.extent, self.ranks)
         begin = rank * base + min(rank, rem)
         return begin, begin + base + (1 if rank < rem else 0)

@@ -93,7 +93,9 @@ __all__ = [
 ]
 
 _BACKPRESSURE_POLICIES = ("block", "reject")
-_EXECUTORS = ("threads", "processes")
+_EXECUTORS = ("threads", "processes", "cluster")
+#: executor rungs that column-shard batches across a worker fleet
+_SHARDED_LEVELS = ("processes", "cluster")
 
 _LOG = logging.getLogger("repro.runtime.engine")
 
@@ -147,7 +149,12 @@ class EngineConfig:
         across a persistent :class:`~repro.runtime.sharded.ShardedExecutor`
         worker-process pool through shared memory, so a single paper-scale
         batch engages every worker past the GIL; results are bitwise
-        identical to the thread path.
+        identical to the thread path.  ``"cluster"`` — batches are
+        column-sharded over a TCP worker fleet managed by a
+        :class:`~repro.cluster.executor.ClusterExecutor` coordinator
+        (heartbeat leases, shard re-issue on node loss, elastic
+        scale-up/down; see :mod:`repro.cluster`); shards travel as raw
+        C-order bytes, and results remain bitwise identical.
     max_queue:
         In-flight column budget (buffered + solving, across all lanes);
         beyond it the *backpressure* policy applies.
@@ -196,6 +203,17 @@ class EngineConfig:
         Seconds an in-flight shard may age before its worker is declared
         hung and terminated (``None`` — hang detection off).  Must exceed
         the worst honest shard solve time.
+    live_wait_timeout:
+        Seconds a shard dispatch waits for *any* live worker before
+        failing (``None`` — the executor's default: 30 s for same-host
+        pipes, scaled with the heartbeat lease timeout for the cluster
+        transport, where respawning a remote worker takes longer).
+    cluster:
+        Optional :class:`~repro.cluster.config.ClusterConfig` tuning the
+        ``executor="cluster"`` fleet (bind address, lease/heartbeat
+        timing, elastic scaling policy, remote worker endpoints).
+        ``None`` uses loopback defaults with ``num_workers`` local
+        workers.  Ignored by the other executors.
     breaker_failures:
         Consecutive failures that trip one plan key's circuit open.
     breaker_reset:
@@ -245,6 +263,8 @@ class EngineConfig:
     backend_ns: Optional[str] = None
     plan_store_dir: Optional[str] = None
     checkpoint_dir: Optional[str] = None
+    live_wait_timeout: Optional[float] = None
+    cluster: Optional[object] = None
 
     def __post_init__(self) -> None:
         if (
@@ -307,6 +327,19 @@ class EngineConfig:
             raise ValueError(
                 f"breaker_probes must be >= 1, got {self.breaker_probes}"
             )
+        if self.live_wait_timeout is not None and self.live_wait_timeout <= 0:
+            raise ValueError(
+                f"live_wait_timeout must be > 0 or None, "
+                f"got {self.live_wait_timeout}"
+            )
+        if self.cluster is not None:
+            from repro.cluster.config import ClusterConfig
+
+            if not isinstance(self.cluster, ClusterConfig):
+                raise TypeError(
+                    f"cluster must be a ClusterConfig or None, "
+                    f"got {type(self.cluster).__name__}"
+                )
 
 
 class _Lane:
@@ -359,12 +392,12 @@ class SolveEngine:
         self.config = config or EngineConfig()
         # The namespace results are staged into; transport stays NumPy.
         self.xp = resolve_backend(self.config.backend_ns)
-        if self.config.executor == "processes" and not is_numpy_namespace(
+        if self.config.executor in _SHARDED_LEVELS and not is_numpy_namespace(
             self.xp
         ):
             raise BackendError(
-                "executor='processes' requires the NumPy backend: the "
-                "shared-memory shard transport cannot carry foreign "
+                f"executor={self.config.executor!r} requires the NumPy "
+                "backend: the shard transport cannot carry foreign "
                 "arrays; use executor='threads' with backend_ns="
                 f"{self.config.backend_ns!r}"
             )
@@ -425,12 +458,15 @@ class SolveEngine:
         self._capacity = threading.Condition()
         self._inflight_cols = 0
         self._closed = False
-        # Degradation ladder state: "processes" -> "threads" -> "serial".
-        # Transitions are one-way for the engine's lifetime — a layer that
-        # failed under load is not trusted again until a fresh engine.
+        # Degradation ladder state: "processes"/"cluster" -> "threads" ->
+        # "serial".  Transitions are one-way for the engine's lifetime — a
+        # layer that failed under load is not trusted again until a fresh
+        # engine.
         self._level_lock = threading.Lock()
         self._level = (
-            "processes" if self.config.executor == "processes" else "threads"
+            self.config.executor
+            if self.config.executor in _SHARDED_LEVELS
+            else "threads"
         )
         self._serial = False
         # The sharded worker pool forks/spawns before the engine's own
@@ -449,6 +485,20 @@ class SolveEngine:
                     hang_timeout=self.config.hang_timeout,
                 ),
                 plan_store_dir=self._plan_store_dir,
+                live_wait_timeout=self.config.live_wait_timeout,
+            )
+        elif self.config.executor == "cluster":
+            from repro.cluster.config import ClusterConfig
+            from repro.cluster.executor import ClusterExecutor
+
+            self._sharded = ClusterExecutor(
+                config=self.config.cluster or ClusterConfig(),
+                num_workers=self.config.num_workers,
+                telemetry=self.telemetry,
+                faults=self._faults,
+                restart_budget=self.config.restart_budget,
+                plan_store_dir=self._plan_store_dir,
+                live_wait_timeout=self.config.live_wait_timeout,
             )
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.num_workers,
@@ -509,24 +559,26 @@ class SolveEngine:
 
     @property
     def degradation_level(self) -> str:
-        """Current executor rung: ``processes``, ``threads`` or ``serial``."""
+        """Current executor rung: ``cluster``, ``processes``, ``threads``
+        or ``serial``."""
         return self._level
 
     def _use_sharded(self):
         """The sharded executor, or ``None`` once the engine degraded."""
-        return self._sharded if self._level == "processes" else None
+        return self._sharded if self._level in _SHARDED_LEVELS else None
 
     def _degrade_to_threads(self, reason: str) -> None:
         with self._level_lock:
-            if self._level != "processes":
+            if self._level not in _SHARDED_LEVELS:
                 return
+            frm = self._level
             self._level = "threads"
         self.telemetry.incr("engine.degraded_to_threads")
         self.telemetry.event(
-            "degradation", frm="processes", to="threads", reason=reason
+            "degradation", frm=frm, to="threads", reason=reason
         )
         _LOG.error(
-            "solve engine degraded processes -> threads: %s", reason
+            "solve engine degraded %s -> threads: %s", frm, reason
         )
 
     def _degrade_to_serial(self, reason: str) -> None:
@@ -695,7 +747,15 @@ class SolveEngine:
                 raise self.breaker.open_error(key)
             builder = self.plan_cache.builder(key)
             sharded = self._use_sharded()
-            if sharded is not None and batch.cols > 0:
+            if (
+                sharded is not None
+                and batch.cols > 0
+                and not getattr(sharded, "supports_shm", True)
+            ):
+                # Wire transport (cluster): no shared-memory rung — shards
+                # travel as raw bytes through solve_array.
+                block = batch.assemble(builder.dtype)
+            elif sharded is not None and batch.cols > 0:
                 try:
                     # Assemble straight into a pooled shared segment: the
                     # workers solve their column shards in place there and
@@ -1104,17 +1164,23 @@ class SolveEngine:
         executor = self._use_sharded() if sharded else None
         if executor is not None and block.shape[1] > 0:
             lease = None
-            try:
-                lease = executor.lease(block.shape, builder.dtype)
-            except ShmError as exc:
-                self.telemetry.incr("engine.shm_fallbacks")
-                self.telemetry.event(
-                    "degradation", frm="shm", to="pickled", reason=str(exc)
-                )
-                _LOG.warning(
-                    "shared-memory lease failed (%s); using pickled shard "
-                    "transport for this block", exc,
-                )
+            if not getattr(executor, "supports_shm", True):
+                # Wire transport (cluster): skip the shared-memory rung
+                # entirely — raw-byte shard transport is the native path,
+                # not a degradation, so no shm_fallback is counted.
+                pass
+            else:
+                try:
+                    lease = executor.lease(block.shape, builder.dtype)
+                except ShmError as exc:
+                    self.telemetry.incr("engine.shm_fallbacks")
+                    self.telemetry.event(
+                        "degradation", frm="shm", to="pickled", reason=str(exc)
+                    )
+                    _LOG.warning(
+                        "shared-memory lease failed (%s); using pickled shard "
+                        "transport for this block", exc,
+                    )
             if lease is not None:
                 try:
                     np.copyto(lease.array, block, casting="unsafe")

@@ -82,9 +82,12 @@ _SOLVE = "solve"
 _SOLVE_ARR = "solve_arr"
 _SNAPSHOT = "snapshot"
 
-#: seconds a dispatch will wait for the supervisor to bring a worker back
-#: before giving up — well past the default backoff ceiling, so the only
-#: way to hit it is a pool that genuinely cannot heal
+#: default seconds a dispatch will wait for the supervisor to bring a
+#: worker back before giving up — well past the default backoff ceiling,
+#: so the only way to hit it is a pool that genuinely cannot heal.  Tuned
+#: for same-host pipes; configurable per executor (and scaled up by the
+#: cluster transport, whose workers respawn over TCP) via the
+#: ``live_wait_timeout`` parameter / ``EngineConfig(live_wait_timeout=)``.
 _LIVE_WAIT_TIMEOUT = 30.0
 
 
@@ -412,7 +415,16 @@ class ShardedExecutor:
         directory shared by every worker (spawned and respawned): each
         worker's plan cache warm-starts from it and writes fresh
         factorizations back.
+    live_wait_timeout:
+        Seconds a dispatch waits for a live worker (e.g. mid-respawn)
+        before failing with :class:`WorkerError`; ``None`` uses the
+        module default, tuned for same-host pipes.
     """
+
+    #: this executor's shard transport can carry shared-memory leases
+    #: (the cluster executor's wire transport sets this False and the
+    #: engine skips the lease rung entirely)
+    supports_shm = True
 
     def __init__(
         self,
@@ -424,9 +436,17 @@ class ShardedExecutor:
         supervise: bool = False,
         policy=None,
         plan_store_dir=None,
+        live_wait_timeout: Optional[float] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if live_wait_timeout is not None and live_wait_timeout <= 0:
+            raise ValueError(
+                f"live_wait_timeout must be > 0 or None, got {live_wait_timeout}"
+            )
+        self.live_wait_timeout = (
+            _LIVE_WAIT_TIMEOUT if live_wait_timeout is None else float(live_wait_timeout)
+        )
         self.num_workers = int(num_workers)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.faults = faults
@@ -591,7 +611,7 @@ class ShardedExecutor:
         failing fast when the pool is closed, unsupervised, or exhausted
         (never deadlocks: a hard timeout backstops the wait).
         """
-        deadline = time.monotonic() + _LIVE_WAIT_TIMEOUT
+        deadline = time.monotonic() + self.live_wait_timeout
         with self._lock:
             while True:
                 if self._closed:
@@ -620,13 +640,34 @@ class ShardedExecutor:
                         cols=cols,
                     )
                 remaining = deadline - time.monotonic()
-                if remaining <= 0:  # pragma: no cover - pathological
+                if remaining <= 0:
                     raise WorkerError(
-                        "timed out waiting for a live worker", key=key, cols=cols
+                        f"timed out after {self.live_wait_timeout:.1f}s "
+                        "waiting for a live worker; "
+                        f"ranks awaited: {self._rank_states_locked()}",
+                        key=key,
+                        cols=cols,
                     )
                 self._cv.wait(timeout=min(0.05, remaining))
         q.put((kind, task_id) + tail)
         return task.future
+
+    def _rank_states_locked(self) -> Dict[int, str]:
+        """Per-rank lease state for timeout diagnostics (under the lock).
+
+        ``live`` — routable; ``down`` — marked down, process still up
+        (death being handled); ``dead`` — marked down and the process is
+        gone (respawn pending or budget spent).
+        """
+        states = {}
+        for rank in range(self.num_workers):
+            if self._live[rank]:
+                states[rank] = "live"
+            elif self._procs[rank].is_alive():
+                states[rank] = "down"
+            else:
+                states[rank] = "dead"
+        return states
 
     def _await(self, fut: Future, what: str):
         """Wait on *fut*, watching worker liveness so a dead process
@@ -924,6 +965,8 @@ class ShardedExecutor:
         with self.telemetry.span("sharded.solve"):
             for shard in range(ranks):
                 col0, col1 = decomp.bounds(shard)
+                if col1 == col0:
+                    continue  # zero-width block (ranks > extent): nothing to do
                 self.telemetry.observe("sharded.shard_cols", col1 - col0)
                 try:
                     if self.faults is not None:
@@ -983,6 +1026,8 @@ class ShardedExecutor:
         with self.telemetry.span("sharded.solve"):
             for shard in range(ranks):
                 col0, col1 = decomp.bounds(shard)
+                if col1 == col0:
+                    continue  # zero-width block (ranks > extent): nothing to do
                 self.telemetry.observe("sharded.shard_cols", col1 - col0)
                 try:
                     if self.faults is not None:

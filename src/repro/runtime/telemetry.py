@@ -110,6 +110,8 @@ class Telemetry:
         self,
         max_samples: int = DEFAULT_MAX_SAMPLES,
         max_events: int = DEFAULT_MAX_EVENTS,
+        wall_clock=None,
+        mono_clock=None,
     ) -> None:
         if max_samples < 1:
             raise ValueError(f"max_samples must be >= 1, got {max_samples}")
@@ -117,6 +119,12 @@ class Telemetry:
             raise ValueError(f"max_events must be >= 1, got {max_events}")
         self.max_samples = int(max_samples)
         self.max_events = int(max_events)
+        # Injectable clocks so clock-step behaviour is testable: ``t`` is
+        # the human-readable wall stamp, ``mono`` the NTP-immune ordering
+        # key (CLOCK_MONOTONIC is system-wide on Linux, so rings merged
+        # across processes of one host still sort correctly).
+        self._wall_clock = time.time if wall_clock is None else wall_clock
+        self._mono_clock = time.monotonic if mono_clock is None else mono_clock
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._series: Dict[str, _Series] = {}
@@ -175,12 +183,16 @@ class Telemetry:
     def event(self, name: str, **fields) -> None:
         """Append one structured record to the bounded ring *name*.
 
-        Each record is the given fields plus a wall-clock ``t`` stamp;
-        the ring keeps the most recent ``max_events`` records, so a
+        Each record is the given fields plus a wall-clock ``t`` stamp
+        (human-readable) and a monotonic ``mono`` stamp (the ordering
+        key — every deadline, token bucket and breaker in the runtime
+        uses ``time.monotonic``, and unlike ``t`` it cannot jump under
+        an NTP step; :func:`merge_snapshots` sorts merged rings on it).
+        The ring keeps the most recent ``max_events`` records, so a
         long campaign's snapshot always shows the latest transitions
         (respawns, breaker flips, quarantined requests) without growing.
         """
-        record = {"t": time.time(), **fields}
+        record = {"t": self._wall_clock(), "mono": self._mono_clock(), **fields}
         with self._lock:
             ring = self._events.get(name)
             if ring is None:
@@ -337,10 +349,15 @@ def merge_snapshots(*snapshots: dict) -> dict:
     aggregates — count, count-weighted mean, min, max.  Quantiles cannot
     be recovered from per-worker summaries, so a merged series keeps p50
     and p99 only when exactly one contributing snapshot observed it, and
-    reports NaN otherwise.  Event rings concatenate in snapshot order,
-    trimmed to the newest :data:`DEFAULT_MAX_EVENTS` records per name.
-    Per-tenant sub-snapshots merge with the same counter/series rules,
-    tenant by tenant.
+    reports NaN otherwise.  Event rings concatenate and are sorted on
+    their monotonic ``mono`` stamp when every record in the merged ring
+    carries one (rings from processes of the same host share the
+    system-wide CLOCK_MONOTONIC epoch); otherwise the wall-clock ``t``
+    stamp orders them — never a mix, since the two epochs are
+    incomparable.  The result is trimmed to the newest
+    :data:`DEFAULT_MAX_EVENTS` records per name.  Per-tenant
+    sub-snapshots merge with the same counter/series rules, tenant by
+    tenant.
     """
     names = []
     for snap in snapshots:
@@ -360,7 +377,8 @@ def merge_snapshots(*snapshots: dict) -> dict:
         for name, records in snap.get("events", {}).items():
             events.setdefault(name, []).extend(records)
     events = {
-        name: records[-DEFAULT_MAX_EVENTS:] for name, records in events.items()
+        name: _sorted_ring(records)[-DEFAULT_MAX_EVENTS:]
+        for name, records in events.items()
     }
     tenants: Dict[str, dict] = {}
     for snap in snapshots:
@@ -378,6 +396,18 @@ def merge_snapshots(*snapshots: dict) -> dict:
         "events": events,
         "tenants": tenants,
     }
+
+
+def _sorted_ring(records: list) -> list:
+    """Order one merged event ring for trimming.
+
+    Sorts on the monotonic ``mono`` stamp when every record carries one
+    (the NTP-immune key); otherwise on the wall-clock ``t`` stamp.  The
+    sort is stable, so records without either stamp keep snapshot order.
+    """
+    if records and all("mono" in r for r in records):
+        return sorted(records, key=lambda r: r["mono"])
+    return sorted(records, key=lambda r: r.get("t", 0.0))
 
 
 def _merge_series_into(series: Dict[str, dict], name: str, summ: dict) -> None:

@@ -37,11 +37,41 @@ class TestDecomposition:
 
     def test_validation(self):
         with pytest.raises(ShapeError):
-            Decomposition(2, 3)
+            Decomposition(0, 3)
+        with pytest.raises(ShapeError):
+            Decomposition(-1, 2)
         with pytest.raises(ShapeError):
             Decomposition(4, 0)
         with pytest.raises(ShapeError):
             Decomposition(4, 2).split(np.zeros((5, 2)), axis=0)
+
+    def test_more_ranks_than_items_yields_zero_width_blocks(self):
+        # Regression: this used to raise, crashing elastic fleets wider
+        # than a narrow batch.  Trailing ranks now get (extent, extent).
+        d = Decomposition(2, 5)
+        spans = [d.bounds(r) for r in range(5)]
+        assert spans == [(0, 1), (1, 2), (2, 2), (2, 2), (2, 2)]
+        assert sum(d.local_size(r) for r in range(5)) == 2
+        for begin, end in spans:
+            assert 0 <= begin <= end <= 2
+
+    def test_zero_width_split_blocks_are_empty(self, rng):
+        d = Decomposition(3, 5)
+        a = rng.standard_normal((4, 3))
+        blocks = d.split(a, axis=1)
+        assert [b.shape[1] for b in blocks] == [1, 1, 1, 0, 0]
+        np.testing.assert_array_equal(np.concatenate(blocks, axis=1), a)
+
+    @pytest.mark.parametrize("extent,ranks", [(10, 3), (11, 4), (7, 7),
+                                              (5, 8), (1, 1)])
+    def test_uneven_remainders_cover_contiguously(self, extent, ranks):
+        d = Decomposition(extent, ranks)
+        spans = [d.bounds(r) for r in range(ranks)]
+        assert spans[0][0] == 0 and spans[-1][1] == extent
+        for (_, e0), (b1, _) in zip(spans, spans[1:]):
+            assert e0 == b1
+        sizes = [d.local_size(r) for r in range(ranks)]
+        assert max(sizes) - min(sizes) <= 1
 
 
 class TestSimulatedComm:
@@ -111,6 +141,58 @@ class TestRedistribute:
         with pytest.raises(ShapeError):
             redistribute_alltoall(comm, [np.zeros((2, 2))],
                                   Decomposition(4, 2), Decomposition(2, 2))
+
+    @pytest.mark.parametrize("nrows,ncols,ranks", [
+        (9, 12, 3),    # even split both ways
+        (10, 7, 3),    # uneven remainders on both axes
+        (5, 11, 4),    # remainder rows < ranks
+        (6, 6, 1),     # single-rank degenerate: pure local copy
+        (3, 8, 3),     # rows == ranks (one row per rank)
+    ])
+    def test_row_col_row_roundtrip_bitwise(self, rng, nrows, ncols, ranks):
+        """Property: row→col→row redistribution is bitwise the identity.
+
+        The transpose only moves bytes (slice, exchange, concatenate);
+        no arithmetic touches them, so equality must be exact for any
+        extent/rank combination, remainders included.
+        """
+        comm = SimulatedComm(ranks)
+        rows = Decomposition(nrows, ranks)
+        cols = Decomposition(ncols, ranks)
+        f = rng.standard_normal((nrows, ncols))
+        row_blocks = rows.split(f, axis=0)
+        col_blocks = redistribute_alltoall(comm, row_blocks, rows, cols)
+        back = redistribute_alltoall(
+            comm,
+            [np.ascontiguousarray(b.T) for b in col_blocks],
+            cols,
+            rows,
+        )
+        # back[r] is rank r's row block transposed: (ncols, local_rows).
+        restored = np.concatenate(back, axis=1).T
+        assert restored.dtype == f.dtype
+        np.testing.assert_array_equal(restored, f)
+        for r in range(ranks):
+            np.testing.assert_array_equal(back[r].T, row_blocks[r])
+
+    def test_roundtrip_counts_only_off_diagonal_bytes(self, rng):
+        """Byte accounting excludes exactly the diagonal self-sends."""
+        ranks, nrows, ncols = 3, 10, 7
+        comm = SimulatedComm(ranks)
+        rows = Decomposition(nrows, ranks)
+        cols = Decomposition(ncols, ranks)
+        f = rng.standard_normal((nrows, ncols))
+        row_blocks = rows.split(f, axis=0)
+        redistribute_alltoall(comm, row_blocks, rows, cols)
+        itemsize = f.itemsize
+        expected = sum(
+            rows.local_size(src) * cols.local_size(dst) * itemsize
+            for src in range(ranks)
+            for dst in range(ranks)
+            if src != dst
+        )
+        assert comm.bytes_sent == expected
+        assert comm.messages == ranks * (ranks - 1)
 
 
 class TestNetworkModel:

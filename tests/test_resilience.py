@@ -193,6 +193,8 @@ class TestFaultPlan:
             "durable.store_write",
             "durable.store_read",
             "campaign.chunk",
+            "cluster.partition",
+            "cluster.node_kill",
         }
 
 

@@ -427,6 +427,44 @@ class TestTelemetry:
         assert s["min"] == 0 and s["max"] == 99
         assert t.quantile("x", 0.0) == 92  # reservoir keeps the newest 8
 
+    def test_events_survive_wall_clock_steps(self):
+        """Regression: a wall-clock step (NTP slew, manual reset) must not
+        reorder merged event streams — merging sorts on the monotonic
+        stamp recorded alongside the wall time."""
+        from repro.runtime.telemetry import merge_snapshots
+
+        wall_a = iter([1000.0, 900.0, 1100.0])  # steps backward mid-stream
+        mono_a = iter([10.0, 11.0, 12.0])
+        a = Telemetry(
+            wall_clock=lambda: next(wall_a), mono_clock=lambda: next(mono_a)
+        )
+        wall_b = iter([950.0])
+        mono_b = iter([10.5])
+        b = Telemetry(
+            wall_clock=lambda: next(wall_b), mono_clock=lambda: next(mono_b)
+        )
+        a.event("step", seq=0)
+        a.event("step", seq=1)  # wall time jumped back before this one
+        b.event("step", seq=2)
+        a.event("step", seq=3)
+        for record in a.events("step"):
+            assert "mono" in record and "t" in record
+        merged = merge_snapshots(a.snapshot(), b.snapshot())
+        seqs = [r["seq"] for r in merged["events"]["step"]]
+        assert seqs == [0, 2, 1, 3]  # monotonic order, not wall order
+
+    def test_merge_falls_back_to_wall_time_without_mono(self):
+        """Old snapshots (no ``mono`` field) still merge, ordered by
+        wall time — the pre-existing behaviour."""
+        from repro.runtime.telemetry import merge_snapshots
+
+        snap = {
+            "counters": {}, "series": {}, "tenants": {},
+            "events": {"e": [{"t": 2.0, "seq": 1}, {"t": 1.0, "seq": 0}]},
+        }
+        merged = merge_snapshots(snap)
+        assert [r["seq"] for r in merged["events"]["e"]] == [0, 1]
+
     def test_render_and_reset(self):
         t = Telemetry()
         t.incr("plan_cache.hits", 5)
