@@ -1,0 +1,268 @@
+"""Coordinator failover and speculative execution — the recovery costs.
+
+Two claims from the crash-recovery layer are measured here:
+
+1. **Takeover is fast and exact.**  A campaign runs against an HA fleet
+   (journaled primary + warm standby); the primary is SIGKILLed
+   mid-campaign.  The standby replays the journal, workers re-dial, and
+   the campaign completes bitwise identical to the single-host
+   reference.  The report shows the takeover latency (the executor-side
+   ``ha.takeover_seconds`` observation) and the wall time of the first
+   post-kill block.
+
+2. **Speculation shrinks the tail.**  A seeded ``cluster.shard_slow``
+   plan stalls some shards on one worker.  The identical campaign runs
+   twice — speculation off, then on — and the per-block p99 must drop:
+   a straggling shard's duplicate lands on an idle worker and wins the
+   race (``cluster.speculative_wins``), while first-ack-wins keeps the
+   result bitwise stable.
+
+Results land in ``benchmarks/results/BENCH_failover.json`` for the CI
+artifact trail.  Run standalone or with ``--quick`` for CI smoke
+sizes::
+
+    python benchmarks/bench_coordinator_failover.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from repro.bench import Table
+except ImportError:  # running as a script from a source checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench import Table
+
+import numpy as np
+
+from repro.bench.report import write_bench_json
+from repro.cluster import ClusterConfig, ClusterExecutor
+from repro.core.spec import BSplineSpec
+from repro.runtime.plan_cache import PlanCache, PlanKey
+from repro.runtime.resilience.faults import FaultPlan, FaultSpec
+from repro.runtime.telemetry import Telemetry
+
+#: a fast lease clock so a kill is detected in tenths of a second
+FAST = dict(heartbeat_interval=0.1, lease_timeout=0.5)
+
+
+def _blocks(nx: int, cols: int, count: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((nx, cols)) for _ in range(count)]
+
+
+def _references(key, blocks):
+    builder = PlanCache().builder(key)
+    out = []
+    for block in blocks:
+        expect = block.copy()
+        builder.solve(expect, in_place=True)
+        out.append(expect)
+    return out
+
+
+def _p99(samples):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def render_takeover(nx: int, cols: int, count: int):
+    """SIGKILL the primary mid-campaign; returns (report, data dict)."""
+    spec = BSplineSpec(degree=3, n_points=nx)
+    key = PlanKey.from_spec(spec)
+    blocks = _blocks(nx, cols, count)
+    expects = _references(key, blocks)
+    telemetry = Telemetry()
+    with tempfile.TemporaryDirectory() as journal_dir:
+        config = ClusterConfig(
+            **FAST, standby=True, journal_dir=journal_dir
+        )
+        executor = ClusterExecutor(
+            config=config, num_workers=2, telemetry=telemetry
+        )
+        identical = True
+        try:
+            kill_at = count // 2
+            first_after_kill = float("nan")
+            for index, block in enumerate(blocks):
+                if index == kill_at:
+                    os.kill(executor.ha.primary_pid, signal.SIGKILL)
+                got = block.copy()
+                t0 = time.perf_counter()
+                executor.solve_array(key, got)
+                if index == kill_at:
+                    first_after_kill = time.perf_counter() - t0
+                identical = identical and (
+                    got.tobytes() == expects[index].tobytes()
+                )
+            takeovers = executor.ha.takeovers
+        finally:
+            executor.shutdown()
+    latency = telemetry.quantile("ha.takeover_seconds", 0.5)
+    if latency != latency:  # NaN: no sample recorded
+        latency = None
+    data = {
+        "blocks": count,
+        "cols": cols,
+        "nx": nx,
+        "takeovers": takeovers,
+        "takeover_latency_s": latency,
+        "first_block_after_kill_s": first_after_kill,
+        "bitwise": bool(identical),
+    }
+    table = Table(
+        f"Standby takeover: {count} blocks x {cols} cols, n={nx}, "
+        f"primary SIGKILLed mid-campaign",
+        ["metric", "value"],
+    )
+    table.add_row("takeovers", takeovers)
+    table.add_row(
+        "takeover latency [ms]",
+        "-" if latency is None else latency * 1e3,
+    )
+    table.add_row("first block after kill [ms]", first_after_kill * 1e3)
+    table.add_row("bitwise identical", str(identical))
+    return table.render(), data
+
+
+def render_speculation(nx: int, cols: int, count: int, stalls: int):
+    """A/B per-block p99 with speculation off vs on; returns (report, data)."""
+    spec = BSplineSpec(degree=3, n_points=nx)
+    key = PlanKey.from_spec(spec)
+    blocks = _blocks(nx, cols, count, seed=11)
+    expects = _references(key, blocks)
+    stall = 0.6
+
+    def run(speculate: bool):
+        faults = FaultPlan(
+            specs=[
+                FaultSpec(
+                    site="cluster.shard_slow", kind="slow", delay=stall,
+                    worker=0, times=stalls,
+                )
+            ],
+            seed=42,
+        )
+        telemetry = Telemetry()
+        config = ClusterConfig(
+            heartbeat_interval=0.1,
+            lease_timeout=30.0,  # the lease must never fire: speculation only
+            speculate=speculate,
+            speculative_age=0.2,
+        )
+        executor = ClusterExecutor(
+            config=config, num_workers=2, telemetry=telemetry, faults=faults
+        )
+        times, identical = [], True
+        try:
+            for index, block in enumerate(blocks):
+                got = block.copy()
+                t0 = time.perf_counter()
+                executor.solve_array(key, got)
+                times.append(time.perf_counter() - t0)
+                identical = identical and (
+                    got.tobytes() == expects[index].tobytes()
+                )
+        finally:
+            executor.shutdown()
+        counters = telemetry.snapshot()["counters"]
+        return times, identical, counters
+
+    times_off, ok_off, _ = run(speculate=False)
+    times_on, ok_on, counters = run(speculate=True)
+    data = {
+        "blocks": count,
+        "cols": cols,
+        "nx": nx,
+        "stalled_shards": stalls,
+        "stall_s": stall,
+        "p99_off_s": _p99(times_off),
+        "p99_on_s": _p99(times_on),
+        "speculative_issued": counters.get("cluster.speculative_issued", 0),
+        "speculative_wins": counters.get("cluster.speculative_wins", 0),
+        "bitwise": bool(ok_off and ok_on),
+    }
+    table = Table(
+        f"Speculative execution: {count} blocks, {stalls} stalled shards "
+        f"({stall * 1e3:.0f} ms each), n={nx}",
+        ["configuration", "p99 block [ms]", "spec issued", "spec wins"],
+    )
+    table.add_row("speculation off", _p99(times_off) * 1e3, "-", "-")
+    table.add_row(
+        "speculation on",
+        _p99(times_on) * 1e3,
+        data["speculative_issued"],
+        data["speculative_wins"],
+    )
+    lines = [table.render(), f"bitwise identical: {data['bitwise']}"]
+    return "\n".join(lines), data
+
+
+# -- pytest entry points (CI smoke sizes; see conftest.py) ----------------
+
+
+def test_takeover_latency(write_result):
+    """A SIGKILLed primary hands over to the standby, bitwise."""
+    report, data = render_takeover(nx=48, cols=12, count=6)
+    write_result("failover_takeover", report)
+    assert data["bitwise"]
+    assert data["takeovers"] == 1
+
+
+def test_speculation_shrinks_p99(write_result):
+    """A seeded straggler plan loses the race to speculative copies."""
+    report, data = render_speculation(nx=48, cols=8, count=8, stalls=2)
+    write_result("failover_speculation", report)
+    assert data["bitwise"]
+    assert data["speculative_wins"] >= 1
+    assert data["p99_on_s"] < data["p99_off_s"]
+
+
+# -- standalone entry -----------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke sizes"
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        nx, cols, count, stalls = 48, 12, 6, 2
+    else:
+        nx, cols, count, stalls = 128, 24, 16, 4
+    report, takeover = render_takeover(nx=nx, cols=cols, count=count)
+    print(report)
+    print()
+    report, speculation = render_speculation(
+        nx=nx, cols=cols, count=max(count, 8), stalls=stalls
+    )
+    print(report)
+    path = write_bench_json(
+        "failover", {"takeover": takeover, "speculation": speculation}
+    )
+    print(f"\nwrote {path}")
+    if not takeover["bitwise"] or takeover["takeovers"] != 1:
+        print("FAILURE: takeover campaign diverged or never took over")
+        return 1
+    if not speculation["bitwise"]:
+        print("FAILURE: speculation campaign diverged from the reference")
+        return 1
+    if speculation["speculative_wins"] < 1:
+        print("FAILURE: no speculative copy ever won the race")
+        return 1
+    if speculation["p99_on_s"] >= speculation["p99_off_s"]:
+        print("FAILURE: speculation did not reduce the p99 block time")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,14 @@ single-host :class:`~repro.runtime.sharded.ShardedExecutor` to a fleet:
   respawns under a restart budget, degrades to threads when exhausted;
 * :mod:`repro.cluster.elastic` — backlog-driven scale-up/down between
   the policy's bounds;
-* :mod:`repro.cluster.config` — every knob, lease clock to elasticity.
+* :mod:`repro.cluster.journal` — the coordinator's write-ahead shard
+  journal and result spool (torn tails quarantined, corrupt spools
+  evicted and re-solved — never a wrong answer);
+* :mod:`repro.cluster.ha` — out-of-process coordinator hosts: a
+  journaled primary plus a warm standby that replays the journal and
+  takes over on primary death, invisibly to the engine;
+* :mod:`repro.cluster.config` — every knob, lease clock to elasticity
+  to speculation and standby.
 
 Quickstart (one process, four loopback-TCP workers)::
 
@@ -39,6 +46,13 @@ from repro.cluster.config import ClusterConfig, ElasticPolicy
 from repro.cluster.coordinator import Coordinator
 from repro.cluster.elastic import ElasticController
 from repro.cluster.executor import ClusterExecutor
+from repro.cluster.ha import HAFleet
+from repro.cluster.journal import (
+    JournalError,
+    JournalReplay,
+    ShardJournal,
+    replay_journal,
+)
 
 __all__ = [
     "ClusterConfig",
@@ -46,4 +60,9 @@ __all__ = [
     "Coordinator",
     "ClusterExecutor",
     "ElasticController",
+    "HAFleet",
+    "ShardJournal",
+    "JournalReplay",
+    "JournalError",
+    "replay_journal",
 ]

@@ -24,6 +24,26 @@ Loss handling generalizes the reissuable ``_PendingTask`` bookkeeping:
   elastic controller or the executor's respawn brings one), failing
   only when its delivery-attempt budget is spent.
 
+Three crash-recovery mechanisms ride on the same bookkeeping:
+
+* **Epoch fencing** — every WELCOME and SHARD carries the coordinator's
+  *epoch* (bumped by a standby takeover, :mod:`repro.cluster.ha`) and
+  every ack echoes it; an ack whose epoch is not ours is dropped before
+  it can touch the pending map (``cluster.stale_epoch_acks_dropped``).
+  Belt and braces with fresh-task-id dropping: a promoted coordinator's
+  task ids start where the journal says the primary stopped, but a
+  worker finishing a shard from the previous era must be fenced even if
+  an id were ever reused.
+* **Write-ahead journaling** — when a :class:`~repro.cluster.journal.ShardJournal`
+  is attached, every issue and requeue is fsynced *before* the shard
+  frame is sent, so a replayed journal's task floor exceeds any id a
+  worker ever saw.
+* **Speculative execution** — a shard whose age exceeds a configured
+  (or p99-derived) threshold is duplicated onto another live worker;
+  the pending map holds both task ids against one shard, the first ack
+  resolves it (popping every sibling id), and the loser's ack drops as
+  stale (``cluster.speculative_issued`` / ``speculative_wins``).
+
 The wire is :mod:`repro.cluster.wire` — the service framing with raw
 C-order shard bytes, so no right-hand-side data is ever pickled.
 """
@@ -33,6 +53,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from typing import Callable, Dict, List, Optional
 
@@ -57,22 +78,41 @@ from repro.service.protocol import ProtocolError, read_frame, write_frame
 
 __all__ = ["Coordinator"]
 
+#: completed-shard latency samples retained for the p99-derived
+#: speculative threshold
+_LATENCY_WINDOW = 512
+
 
 class _PendingShard:
-    """One in-flight shard and everything needed to reissue it."""
+    """One in-flight shard and everything needed to reissue it.
+
+    ``copies`` maps every live task id for this shard to the worker it
+    was sent to — normally one entry, two while a speculative duplicate
+    is in flight.  ``spec_ids`` remembers which of those ids were
+    speculative, so a win can be attributed.
+    """
 
     __slots__ = (
-        "future", "worker_id", "key", "payload", "col0", "col1", "attempt",
+        "future", "key", "payload", "col0", "col1", "attempt",
+        "copies", "spec_ids", "issued_at", "shard_id",
     )
 
-    def __init__(self, worker_id, key, payload, col0, col1) -> None:
+    def __init__(self, key, payload, col0, col1, shard_id=None) -> None:
         self.future: Future = Future()
-        self.worker_id = worker_id
         self.key = key
         self.payload = payload
         self.col0 = col0
         self.col1 = col1
         self.attempt = 0
+        self.copies: Dict[int, int] = {}  # task id -> worker id
+        self.spec_ids: set = set()
+        self.issued_at = time.monotonic()
+        self.shard_id = shard_id
+
+    @property
+    def worker_id(self) -> Optional[int]:
+        """The most recent delivery's worker (error-reporting aid)."""
+        return next(reversed(self.copies.values()), None) if self.copies else None
 
 
 class _WorkerConn:
@@ -108,20 +148,33 @@ class Coordinator:
     faults:
         Optional :class:`~repro.runtime.resilience.faults.FaultPlan`; its
         JSON serialization ships to every worker in WELCOME, so the
-        ``cluster.partition`` / ``cluster.node_kill`` sites fire on the
-        nodes with fresh visit counters — exactly how the single-host
-        pool ships plans into worker processes.
+        ``cluster.partition`` / ``cluster.node_kill`` /
+        ``cluster.shard_slow`` sites fire on the nodes with fresh visit
+        counters — exactly how the single-host pool ships plans into
+        worker processes.
     live_wait_timeout:
         Seconds :meth:`submit` waits for *any* live worker before
         failing with :class:`WorkerError`.
     plan_store_dir:
         Durable plan-store directory shipped in WELCOME so remote nodes
         warm-start from (and write back to) the same store.
+    epoch:
+        This coordinator's era, carried in WELCOME and every SHARD and
+        checked against every ack; a standby takeover constructs its
+        coordinator with the journal's epoch + 1.
+    journal:
+        Optional :class:`~repro.cluster.journal.ShardJournal`; issue and
+        requeue transitions are fsynced to it before the corresponding
+        frame is sent.
+    next_task:
+        Task-id floor (a replayed journal's ``next_task``), so no id a
+        worker ever saw is reused by a promoted coordinator.
     on_worker_lost:
         Callback ``(worker_id, reason)`` fired after a loss is handled
         (shards requeued) — the executor uses it to respawn owned nodes.
     on_worker_registered:
-        Callback ``(worker_id)`` after a registration completes.
+        Callback ``(worker_id, pid)`` after a registration completes —
+        the executor uses it to cancel a rejoin grace timer.
     """
 
     def __init__(
@@ -131,8 +184,11 @@ class Coordinator:
         faults=None,
         live_wait_timeout: float = 30.0,
         plan_store_dir: Optional[str] = None,
+        epoch: int = 0,
+        journal=None,
+        next_task: int = 0,
         on_worker_lost: Optional[Callable[[int, str], None]] = None,
-        on_worker_registered: Optional[Callable[[int], None]] = None,
+        on_worker_registered: Optional[Callable[[int, Optional[int]], None]] = None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -140,6 +196,8 @@ class Coordinator:
         self._fault_json = faults.to_json() if faults is not None else None
         self.live_wait_timeout = float(live_wait_timeout)
         self.plan_store_dir = plan_store_dir
+        self.epoch = int(epoch)
+        self.journal = journal
         self._on_lost = on_worker_lost
         self._on_registered = on_worker_registered
         self._lock = threading.Lock()
@@ -149,8 +207,9 @@ class Coordinator:
         self._parked: List[_PendingShard] = []
         self._snapshot_waiters: Dict[int, Future] = {}
         self._final_snapshots: List[dict] = []
+        self._latencies: deque = deque(maxlen=_LATENCY_WINDOW)
         self._next_worker = 0
-        self._next_task = 0
+        self._next_task = int(next_task)
         self._next_req = 0
         self._rr = 0
         self._closed = False
@@ -161,12 +220,19 @@ class Coordinator:
 
     # -- lifecycle -------------------------------------------------------
 
-    def start(self) -> None:
-        """Bind, listen, and start the accept + lease-monitor threads."""
-        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        listener.bind((self.config.host, self.config.port))
-        listener.listen(64)
+    def start(self, listener: Optional[socket.socket] = None) -> None:
+        """Bind, listen, and start the accept + lease-monitor threads.
+
+        A pre-bound, already-listening *listener* may be handed in — a
+        standby host binds its worker port at boot (so the workers'
+        failover address list is valid from the start) but only
+        constructs and starts its coordinator on activation.
+        """
+        if listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            listener.listen(64)
         self._listener = listener
         self._port = listener.getsockname()[1]
         self._accept_thread = threading.Thread(
@@ -202,7 +268,7 @@ class Coordinator:
         for worker in workers:
             try:
                 with worker.send_lock:
-                    write_frame(worker.sock, encode_stop())
+                    write_frame(worker.sock, encode_stop("shutdown"))
             except OSError:
                 pass
         # Give each reader a moment to collect the farewell snapshot.
@@ -271,6 +337,7 @@ class Coordinator:
                         self.config.lease_timeout,
                         fault_json=self._fault_json,
                         plan_store_dir=self.plan_store_dir,
+                        epoch=self.epoch,
                     ),
                 )
         except OSError:
@@ -292,7 +359,7 @@ class Coordinator:
         for shard in parked:
             self._reissue(shard)
         if self._on_registered is not None:
-            self._on_registered(worker_id)
+            self._on_registered(worker_id, worker.pid)
 
     def await_workers(self, count: int, timeout: float) -> bool:
         """Block until *count* workers are live (or *timeout*); boolean."""
@@ -325,10 +392,10 @@ class Coordinator:
                     with self._lock:
                         worker.last_beat = time.monotonic()
                 elif ftype == ClusterFrame.SHARD_OK:
-                    task_id, solved = decode_shard_ok(payload)
-                    self._resolve(task_id, solved, None, worker)
+                    task_id, solved, epoch = decode_shard_ok(payload)
+                    self._resolve(task_id, solved, None, worker, epoch)
                 elif ftype == ClusterFrame.SHARD_ERR:
-                    task_id, error, message = decode_shard_err(payload)
+                    task_id, error, message, epoch = decode_shard_err(payload)
                     self._resolve(
                         task_id,
                         None,
@@ -336,6 +403,7 @@ class Coordinator:
                             f"{error}: {message}", worker_id=worker.worker_id
                         ),
                         worker,
+                        epoch,
                     )
                 elif ftype == ClusterFrame.SNAPSHOT:
                     req, snapshot = decode_snapshot(payload)
@@ -361,61 +429,117 @@ class Coordinator:
         solved: Optional[np.ndarray],
         error: Optional[BaseException],
         worker: _WorkerConn,
+        epoch: int = 0,
     ) -> None:
         """Apply one acknowledgement — or drop it as stale, exactly once.
 
-        A task id absent from the pending map was re-issued (the sender
-        lost its lease mid-flight) or already resolved: the ack is
-        counted as dropped and its payload discarded, which is the
-        mechanism behind the zero-double-solve guarantee.
+        Two fences guard the pending map.  An ack carrying a foreign
+        *epoch* was solved for a previous coordinator era (the worker
+        re-registered across a takeover mid-solve) and is dropped before
+        it can touch anything — its task id may legitimately belong to a
+        different shard in this era.  A task id absent from the pending
+        map was re-issued, speculatively outraced, or already resolved:
+        the ack is counted as dropped and its payload discarded, which
+        is the mechanism behind the zero-double-solve guarantee.
         """
+        if epoch != self.epoch:
+            self.telemetry.incr("cluster.stale_epoch_acks_dropped")
+            self.telemetry.event(
+                "cluster.stale_epoch_ack",
+                worker=worker.worker_id, task=task_id,
+                ack_epoch=epoch, epoch=self.epoch,
+            )
+            return
         with self._lock:
             shard = self._pending.pop(task_id, None)
+            if shard is not None:
+                # First ack wins: forget every sibling delivery (the
+                # requeued original or the speculative duplicate) so the
+                # loser's ack drops as stale.
+                for sibling in list(shard.copies):
+                    if sibling != task_id:
+                        self._pending.pop(sibling, None)
+                shard.copies.clear()
+                speculative_win = task_id in shard.spec_ids
         if shard is None:
             self.telemetry.incr("cluster.late_acks_dropped")
             self.telemetry.event(
                 "cluster.late_ack", worker=worker.worker_id, task=task_id
             )
             return
+        if speculative_win:
+            self.telemetry.incr("cluster.speculative_wins")
+            self.telemetry.event(
+                "cluster.speculative_win",
+                worker=worker.worker_id, task=task_id, shard=shard.shard_id,
+            )
         if error is not None:
             error.key = shard.key
             error.cols = (shard.col0, shard.col1)
             error.attempt = shard.attempt
+            if self.journal is not None and shard.shard_id is not None:
+                self.journal.append(
+                    "fail", shard=shard.shard_id,
+                    error=type(error).__name__, message=str(error),
+                )
             shard.future.set_exception(error)
             self.telemetry.incr("cluster.shards_failed")
         else:
+            self.telemetry.observe(
+                "cluster.shard_seconds", time.monotonic() - shard.issued_at
+            )
+            self._latencies.append(time.monotonic() - shard.issued_at)
             shard.future.set_result(solved)
             self.telemetry.incr("cluster.shards_completed")
 
-    def submit(self, key, payload: np.ndarray, col0: int, col1: int) -> Future:
+    def submit(
+        self, key, payload: np.ndarray, col0: int, col1: int, shard_id=None
+    ) -> Future:
         """Route one column shard to a live worker; future → solved array.
 
         Blocks up to ``live_wait_timeout`` for a live worker (one may be
         respawning); a fleet that cannot heal in that window fails with
         a :class:`WorkerError` naming every worker's lease state.
+        *shard_id* tags the shard in journal records (the HA host passes
+        the executor-chosen id).
         """
-        shard = _PendingShard(None, key, payload, col0, col1)
+        shard = _PendingShard(key, payload, col0, col1, shard_id=shard_id)
         self.telemetry.incr("cluster.shards_submitted")
         self._issue(shard)
         return shard.future
 
-    def _issue(self, shard: _PendingShard) -> None:
-        """Assign *shard* to a live worker (fresh task id) and send it."""
+    def _issue(self, shard: _PendingShard, speculative: bool = False) -> None:
+        """Assign *shard* to a live worker (fresh task id) and send it.
+
+        The journal record (when a journal is attached) is fsynced
+        *before* the frame is sent — write-ahead, so a replay's task
+        floor covers every id a worker could ever have seen.
+        """
         deadline = time.monotonic() + self.live_wait_timeout
         with self._cv:
             while True:
                 if self._closed:
                     raise WorkerError("cluster coordinator is shut down")
-                live = [w for w in self._workers.values() if w.live]
+                exclude = set(shard.copies.values()) if speculative else ()
+                live = [
+                    w for w in self._workers.values()
+                    if w.live and w.worker_id not in exclude
+                ]
                 if live:
                     self._rr += 1
                     worker = live[self._rr % len(live)]
                     task_id = self._next_task
                     self._next_task += 1
-                    shard.worker_id = worker.worker_id
-                    shard.attempt += 1
+                    shard.copies[task_id] = worker.worker_id
+                    if speculative:
+                        shard.spec_ids.add(task_id)
+                    else:
+                        shard.attempt += 1
+                        shard.issued_at = time.monotonic()
                     self._pending[task_id] = shard
                     break
+                if speculative:
+                    return  # no second worker to speculate onto: skip
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise WorkerError(
@@ -426,9 +550,16 @@ class Coordinator:
                         cols=(shard.col0, shard.col1),
                     )
                 self._cv.wait(timeout=min(0.05, remaining))
+        if self.journal is not None and shard.shard_id is not None:
+            self.journal.append(
+                "speculate" if speculative else "issue",
+                shard=shard.shard_id, task=task_id,
+                worker=worker.worker_id, epoch=self.epoch,
+            )
         try:
             frame = encode_shard(
-                task_id, shard.key, shard.payload, shard.col0, shard.col1
+                task_id, shard.key, shard.payload, shard.col0, shard.col1,
+                epoch=self.epoch,
             )
             with worker.send_lock:
                 write_frame(worker.sock, frame)
@@ -442,19 +573,28 @@ class Coordinator:
     def _reissue(self, shard: _PendingShard) -> None:
         """Requeue one orphaned shard, failing it when its budget is spent."""
         if shard.attempt >= self.config.shard_attempts:
-            shard.future.set_exception(
-                WorkerError(
-                    f"shard exhausted its {self.config.shard_attempts} "
-                    "delivery attempts across worker losses",
-                    worker_id=shard.worker_id,
-                    key=shard.key,
-                    cols=(shard.col0, shard.col1),
-                    attempt=shard.attempt,
-                )
+            error = WorkerError(
+                f"shard exhausted its {self.config.shard_attempts} "
+                "delivery attempts across worker losses",
+                worker_id=shard.worker_id,
+                key=shard.key,
+                cols=(shard.col0, shard.col1),
+                attempt=shard.attempt,
             )
+            if self.journal is not None and shard.shard_id is not None:
+                self.journal.append(
+                    "fail", shard=shard.shard_id,
+                    error="WorkerError", message=str(error),
+                )
+            shard.future.set_exception(error)
             self.telemetry.incr("cluster.shards_failed")
             return
         self.telemetry.incr("cluster.shards_reissued")
+        if self.journal is not None and shard.shard_id is not None:
+            self.journal.append(
+                "requeue", shard=shard.shard_id,
+                attempt=shard.attempt, epoch=self.epoch,
+            )
         with self._lock:
             if not self._closed and self._live_count_locked() == 0:
                 # No survivor right now: park rather than block the loss
@@ -471,13 +611,63 @@ class Coordinator:
             shard.future.set_exception(exc)
             self.telemetry.incr("cluster.shards_failed")
 
+    # -- speculation -----------------------------------------------------
+
+    def _speculative_threshold(self) -> Optional[float]:
+        """Age (seconds) past which an in-flight shard is duplicated."""
+        if not self.config.speculate:
+            return None
+        if self.config.speculative_age is not None:
+            return self.config.speculative_age
+        if len(self._latencies) < self.config.speculative_min_samples:
+            return None
+        p99 = float(np.percentile(np.asarray(self._latencies), 99.0))
+        return self.config.speculative_factor * max(p99, 1e-6)
+
+    def _speculate_sweep(self) -> None:
+        """Duplicate stragglers onto other live workers, one copy each."""
+        threshold = self._speculative_threshold()
+        if threshold is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            stragglers = []
+            seen = set()
+            for shard in self._pending.values():
+                if id(shard) in seen:
+                    continue
+                seen.add(id(shard))
+                if len(shard.copies) != 1:
+                    continue  # already speculating (or being torn down)
+                if now - shard.issued_at > threshold:
+                    stragglers.append(shard)
+        for shard in stragglers:
+            self._speculate(shard)
+
+    def _speculate(self, shard: _PendingShard) -> None:
+        """Issue one speculative duplicate of *shard* (first ack wins)."""
+        before = len(shard.copies)
+        try:
+            self._issue(shard, speculative=True)
+        except WorkerError:
+            return  # coordinator closing; nothing to do
+        if len(shard.copies) > before:
+            self.telemetry.incr("cluster.speculative_issued")
+            self.telemetry.event(
+                "cluster.speculate", shard=shard.shard_id,
+                cols=(shard.col0, shard.col1),
+            )
+
     # -- loss detection --------------------------------------------------
 
     def _monitor_loop(self) -> None:
-        """Sweep leases: a worker silent past ``lease_timeout`` is lost."""
+        """Sweep leases (a worker silent past ``lease_timeout`` is lost)
+        and straggling shards (older than the speculative threshold)."""
         tick = min(
             self.config.heartbeat_interval, self.config.lease_timeout / 4.0
         )
+        if self.config.speculate and self.config.speculative_age is not None:
+            tick = min(tick, self.config.speculative_age / 2.0)
         while not self._closed:
             time.sleep(tick)
             now = time.monotonic()
@@ -492,6 +682,7 @@ class Coordinator:
                     f"lease lapsed ({self.config.lease_timeout}s without "
                     "a heartbeat)",
                 )
+            self._speculate_sweep()
 
     def _lost(self, worker: _WorkerConn, reason: str) -> None:
         """Declare *worker* lost: requeue its shards under fresh ids.
@@ -500,21 +691,30 @@ class Coordinator:
         send may all report the same loss.  The connection is left to
         its reader thread (still draining late acks from a partitioned
         node); a best-effort STOP tells a live-but-partitioned process
-        to exit once it hears us again.
+        what happened — reason ``lost`` invites it to re-dial and
+        re-REGISTER under a fresh id (the healed-partition rejoin),
+        ``retire`` tells it to exit for good.
+
+        A shard whose only copy was on the lost worker requeues; a
+        shard with a speculative sibling still in flight on a survivor
+        keeps that copy and requeues nothing.
         """
         with self._lock:
             if not worker.live:
                 return
             worker.live = False
-            orphans = [
-                (task_id, shard)
-                for task_id, shard in self._pending.items()
-                if shard.worker_id == worker.worker_id
-            ]
-            for task_id, _ in orphans:
+            orphans = []
+            for task_id in [
+                t for t, s in self._pending.items()
+                if s.copies.get(t) == worker.worker_id
+            ]:
                 # Forgetting the old id is the late-ack guillotine: the
                 # lost node's eventual answer finds nothing to apply to.
-                del self._pending[task_id]
+                shard = self._pending.pop(task_id)
+                shard.copies.pop(task_id, None)
+                shard.spec_ids.discard(task_id)
+                if not shard.copies:
+                    orphans.append(shard)
             self._cv.notify_all()
         retired = worker.retired
         if not retired:
@@ -524,10 +724,13 @@ class Coordinator:
             )
         try:
             with worker.send_lock:
-                write_frame(worker.sock, encode_stop())
+                write_frame(
+                    worker.sock,
+                    encode_stop("retire" if retired else "lost"),
+                )
         except OSError:
             pass
-        for _, shard in orphans:
+        for shard in orphans:
             self._reissue(shard)
         if self._on_lost is not None and not retired and not self._closed:
             self._on_lost(worker.worker_id, reason)
@@ -558,9 +761,9 @@ class Coordinator:
 
         The worker stops receiving new shards immediately; its in-flight
         shards requeue onto the remaining fleet (verbatim payloads, so
-        results stay bitwise identical), and the node is told to STOP.
-        Not counted as a loss.  Returns False for an unknown or
-        already-dead worker.
+        results stay bitwise identical), and the node is told to STOP
+        with reason ``retire`` (terminal — no rejoin).  Not counted as
+        a loss.  Returns False for an unknown or already-dead worker.
         """
         with self._lock:
             worker = self._workers.get(worker_id)
@@ -602,6 +805,13 @@ class Coordinator:
         with self._lock:
             worker = self._workers.get(worker_id)
             return None if worker is None else worker.pid
+
+    def worker_census(self) -> Dict[int, Optional[int]]:
+        """``{worker_id: pid}`` of every live worker (the FLEET frame)."""
+        with self._lock:
+            return {
+                w.worker_id: w.pid for w in self._workers.values() if w.live
+            }
 
     def pending_count(self) -> int:
         with self._lock:
@@ -650,7 +860,7 @@ class Coordinator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         with self._lock:
             return (
-                f"Coordinator(port={self._port}, "
+                f"Coordinator(port={self._port}, epoch={self.epoch}, "
                 f"workers={len(self._workers)}, "
                 f"live={self._live_count_locked()}, "
                 f"pending={len(self._pending)}, closed={self._closed})"

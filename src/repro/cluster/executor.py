@@ -19,6 +19,23 @@ the fleet on the coordinator's backlog signal.  Remote nodes started by
 hand (``python -m repro.cluster.worker``) join the same fleet; the
 executor simply does not own their processes.
 
+Two resilience refinements on top of respawn:
+
+* **Rejoin grace** — a lost-but-alive owned worker (a healed partition)
+  is given ``rejoin_grace`` seconds to re-dial and re-REGISTER under a
+  fresh worker id before the executor falls back to the old
+  zombie/respawn handling; a transient partition shrinks the fleet only
+  transiently and costs no respawn budget
+  (``cluster.workers_rejoined``).
+
+* **Standby takeover** — with ``ClusterConfig(standby=True)`` the
+  coordinator itself moves out-of-process behind an
+  :class:`~repro.cluster.ha.HAFleet`: a journaled primary plus a warm
+  standby, SIGKILL-survivable, with the engine-facing futures never
+  observing a takeover.  Workers are spawned with the two hosts' worker
+  ports as their dial/failover list and re-dial on their own across a
+  takeover, so the executor only respawns workers whose *process* died.
+
 The default ``live_wait_timeout`` scales with the transport: where the
 single-host pool waits 30 s on same-host pipes, the cluster waits at
 least four lease timeouts — a respawning TCP worker has to boot a
@@ -61,8 +78,9 @@ class ClusterExecutor:
     faults:
         Optional :class:`~repro.runtime.resilience.faults.FaultPlan`;
         serialized to every node (``cluster.partition`` /
-        ``cluster.node_kill`` fire worker-side, ``sharded.dispatch``
-        parent-side).
+        ``cluster.node_kill`` / ``cluster.shard_slow`` fire worker-side,
+        ``cluster.coordinator_kill`` in the HA hosts,
+        ``sharded.dispatch`` parent-side).
     restart_budget:
         Owned-worker respawns allowed before the fleet is declared
         exhausted (the engine then degrades to threads, exactly as it
@@ -112,18 +130,41 @@ class ClusterExecutor:
         self._owned: Dict[int, mp.process.BaseProcess] = {}  # pid -> proc
         #: lost-but-alive owned processes (partitioned nodes) awaiting reap
         self._zombies: List[mp.process.BaseProcess] = []
+        #: lost-but-alive pids inside their rejoin grace window
+        self._rejoining: Dict[int, threading.Timer] = {}
+        self._final_snapshots: List[dict] = []
         self._ctx = mp.get_context("spawn")
-        self.coordinator = Coordinator(
-            self.config,
-            telemetry=self.telemetry,
-            faults=faults,
-            live_wait_timeout=self.live_wait_timeout,
-            plan_store_dir=plan_store_dir,
-            on_worker_lost=self._worker_lost,
-        )
-        self.coordinator.start()
+        self.ha = None
+        self.coordinator: Optional[Coordinator] = None
+        if self.config.standby:
+            from repro.cluster.ha import HAFleet
+
+            self.ha = HAFleet(
+                self.config,
+                telemetry=self.telemetry,
+                faults_json=faults.to_json() if faults is not None else None,
+                plan_store_dir=plan_store_dir,
+                live_wait_timeout=self.live_wait_timeout,
+                ctx=self._ctx,
+            )
+            self._ha_watcher = threading.Thread(
+                target=self._ha_watch_loop, name="repro-ha-watch", daemon=True
+            )
+        else:
+            self.coordinator = Coordinator(
+                self.config,
+                telemetry=self.telemetry,
+                faults=faults,
+                live_wait_timeout=self.live_wait_timeout,
+                plan_store_dir=plan_store_dir,
+                on_worker_lost=self._worker_lost,
+                on_worker_registered=self._worker_registered,
+            )
+            self.coordinator.start()
         for index in range(self.num_workers):
             self.spawn_worker(tag=f"local-{index}")
+        if self.ha is not None:
+            self._ha_watcher.start()
         self._elastic = None
         if self.config.elastic is not None:
             from repro.cluster.elastic import ElasticController
@@ -135,34 +176,99 @@ class ClusterExecutor:
 
     # -- fleet management ------------------------------------------------
 
+    def _worker_addresses(self) -> List[tuple]:
+        if self.ha is not None:
+            return self.ha.worker_addresses()
+        return [self.coordinator.address]
+
     def spawn_worker(self, tag: str = "") -> int:
         """Start one owned loopback worker and wait for its registration."""
         from repro.cluster.worker import worker_main
 
-        host, port = self.coordinator.address
-        before = self.coordinator.live_count()
+        addresses = self._worker_addresses()
+        host, port = addresses[0]
+        before = self.live_count()
         proc = self._ctx.Process(
             target=worker_main,
             args=(host, port),
-            kwargs={"connect_timeout": self.config.connect_timeout, "tag": tag},
+            kwargs={
+                "connect_timeout": self.config.connect_timeout,
+                "tag": tag,
+                "failover": tuple(addresses[1:]),
+            },
             daemon=True,
             name=f"repro-cluster-worker{'-' + tag if tag else ''}",
         )
         proc.start()
         with self._lock:
             self._owned[proc.pid] = proc
-        if not self.coordinator.await_workers(
-            before + 1, timeout=self.config.connect_timeout
-        ):
+        if not self._await_workers(before + 1, self.config.connect_timeout):
             raise WorkerError(
                 f"spawned cluster worker (pid {proc.pid}) did not register "
                 f"within {self.config.connect_timeout}s"
             )
         return proc.pid
 
+    def _await_workers(self, count: int, timeout: float) -> bool:
+        if self.ha is not None:
+            return self.ha.await_workers(count, timeout)
+        return self.coordinator.await_workers(count, timeout)
+
+    def _worker_registered(self, worker_id: int, pid: Optional[int]) -> None:
+        """Coordinator callback: a registration may be a grace rejoin."""
+        with self._lock:
+            timer = self._rejoining.pop(pid, None) if pid is not None else None
+        if timer is not None:
+            timer.cancel()
+            self.telemetry.incr("cluster.workers_rejoined")
+            self.telemetry.event(
+                "cluster.worker_rejoined", worker=worker_id, pid=pid
+            )
+
     def _worker_lost(self, worker_id: int, reason: str) -> None:
-        """Coordinator callback: respawn an owned node under the budget."""
+        """Coordinator callback: grace a live node, respawn a dead one.
+
+        A lost worker whose process is still alive may be a healed
+        partition about to re-dial; it keeps its slot in ``_owned`` and
+        gets ``rejoin_grace`` seconds to re-REGISTER before the old
+        zombie/respawn handling kicks in.
+        """
         pid = self.coordinator.worker_pid(worker_id)
+        with self._lock:
+            if self._closed:
+                return
+            proc = self._owned.get(pid) if pid is not None else None
+            rejoinable = (
+                proc is not None
+                and self.config.worker_rejoin
+                and proc.is_alive()
+                and pid not in self._rejoining
+            )
+            if rejoinable:
+                timer = threading.Timer(
+                    self.config.rejoin_grace,
+                    self._rejoin_expired,
+                    args=(pid, reason),
+                )
+                timer.daemon = True
+                self._rejoining[pid] = timer
+        if rejoinable:
+            timer.start()
+            self.telemetry.event(
+                "cluster.rejoin_wait", worker=worker_id, pid=pid
+            )
+            return
+        self._handle_loss(pid, reason)
+
+    def _rejoin_expired(self, pid: int, reason: str) -> None:
+        with self._lock:
+            timer = self._rejoining.pop(pid, None)
+        if timer is None:
+            return  # it rejoined in time
+        self._handle_loss(pid, f"{reason}; no rejoin within grace")
+
+    def _handle_loss(self, pid: Optional[int], reason: str) -> None:
+        """Zombie-park or respawn one owned worker under the budget."""
         with self._lock:
             proc = self._owned.pop(pid, None) if pid is not None else None
             if self._closed:
@@ -190,11 +296,30 @@ class ClusterExecutor:
                 self.spawn_worker(tag=f"respawn-{self._restarts_used}")
             except (WorkerError, OSError) as exc:
                 self._declare_exhausted(f"respawn failed: {exc}")
-        elif proc is not None and self.coordinator.live_count() == 0:
+        elif proc is not None and self.live_count() == 0:
             self._declare_exhausted(
                 f"restart budget ({self.restart_budget}) spent, "
                 f"last owned worker lost: {reason}"
             )
+
+    def _ha_watch_loop(self) -> None:
+        """HA mode: respawn owned workers whose *process* died.
+
+        Connection-level losses need no help here — workers re-dial and
+        re-REGISTER on their own (across partitions and coordinator
+        takeovers alike); only actual process death costs a respawn.
+        """
+        while not self._closed:
+            time.sleep(0.25)
+            with self._lock:
+                if self._closed:
+                    return
+                dead = [
+                    pid for pid, proc in self._owned.items()
+                    if not proc.is_alive()
+                ]
+            for pid in dead:
+                self._handle_loss(pid, "worker process died")
 
     def _declare_exhausted(self, reason: str) -> None:
         with self._lock:
@@ -203,7 +328,8 @@ class ClusterExecutor:
             self._exhausted = True
         self.telemetry.incr("cluster.exhausted")
         self.telemetry.event("cluster.exhausted", reason=reason)
-        self.coordinator.fail_parked(reason)
+        if self.coordinator is not None:
+            self.coordinator.fail_parked(reason)
 
     @property
     def exhausted(self) -> bool:
@@ -211,9 +337,13 @@ class ClusterExecutor:
         return self._exhausted
 
     def live_count(self) -> int:
+        if self.ha is not None:
+            return self.ha.live_count()
         return self.coordinator.live_count()
 
     def backlog(self) -> float:
+        if self.ha is not None:
+            return self.ha.backlog()
         return self.coordinator.backlog()
 
     def scale_up(self, tag: str = "elastic") -> bool:
@@ -228,6 +358,8 @@ class ClusterExecutor:
 
     def scale_down(self) -> bool:
         """Retire the newest live worker gracefully (elastic controller)."""
+        if self.ha is not None:
+            return False  # config forbids elastic+standby; nothing to do
         live = self.coordinator.live_workers()
         if not live:
             return False
@@ -235,6 +367,8 @@ class ClusterExecutor:
 
     def worker_pids(self) -> List[int]:
         """Live workers' OS pids, for node-kill chaos campaigns."""
+        if self.ha is not None:
+            return self.ha.worker_pids()
         return [
             pid
             for pid in (
@@ -257,6 +391,11 @@ class ClusterExecutor:
     def release(self, lease) -> None:  # pragma: no cover - symmetry only
         raise ShmError("the cluster transport has no shared-memory rung")
 
+    def _submit(self, key, payload, col0, col1):
+        if self.ha is not None:
+            return self.ha.submit(key, payload, col0, col1)
+        return self.coordinator.submit(key, payload, col0, col1)
+
     def solve_array(self, key, block: np.ndarray, restore=None) -> None:
         """Solve *block* in place, column-sharded over the live fleet.
 
@@ -273,7 +412,7 @@ class ClusterExecutor:
         n, cols = block.shape
         if cols == 0:
             return
-        ranks = min(max(1, self.coordinator.live_count()), cols)
+        ranks = min(max(1, self.live_count()), cols)
         decomp = Decomposition(extent=cols, ranks=ranks)
         self.telemetry.incr("cluster.blocks")
         self.telemetry.observe("cluster.shards_per_block", ranks)
@@ -292,11 +431,7 @@ class ClusterExecutor:
                         )
                     payload = np.ascontiguousarray(block[:, col0:col1])
                     entries.append(
-                        (
-                            self.coordinator.submit(key, payload, col0, col1),
-                            col0,
-                            col1,
-                        )
+                        (self._submit(key, payload, col0, col1), col0, col1)
                     )
                 except BaseException as exc:  # noqa: BLE001 - drain first
                     failure = exc
@@ -330,8 +465,20 @@ class ClusterExecutor:
         the engine into its fleet view exactly like local workers'."""
         if self._closed:
             return self._final_snapshots
+        if self.ha is not None:
+            return self.ha.request_snapshots(timeout=self.config.drain_timeout)
         return self.coordinator.request_snapshots(
             timeout=self.config.drain_timeout
+        )
+
+    def host_snapshot(self) -> dict:
+        """HA mode: the active coordinator host's own telemetry (empty
+        for an in-process coordinator, whose counters land directly in
+        :attr:`telemetry`)."""
+        if self.ha is None:
+            return {}
+        return self.ha.host_snapshot(timeout=self.config.drain_timeout).get(
+            "host", {}
         )
 
     def shutdown(self) -> None:
@@ -343,10 +490,20 @@ class ClusterExecutor:
             owned = list(self._owned.values()) + self._zombies
             self._owned.clear()
             self._zombies = []
+            timers = list(self._rejoining.values())
+            self._rejoining.clear()
+        for timer in timers:
+            timer.cancel()
         if self._elastic is not None:
             self._elastic.stop()
-        self.coordinator.stop()
-        self._final_snapshots = self.coordinator.final_snapshots
+        if self.ha is not None:
+            self._final_snapshots = self.ha.request_snapshots(
+                timeout=self.config.drain_timeout
+            )
+            self.ha.stop()
+        else:
+            self.coordinator.stop()
+            self._final_snapshots = self.coordinator.final_snapshots
         for proc in owned:
             proc.join(timeout=self.config.drain_timeout)
             if proc.is_alive():
@@ -364,7 +521,8 @@ class ClusterExecutor:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ClusterExecutor(live={self.coordinator.live_count()}, "
+            f"ClusterExecutor(live={self.live_count()}, "
+            f"ha={self.ha is not None}, "
             f"restarts={self._restarts_used}/{self.restart_budget}, "
             f"exhausted={self._exhausted}, closed={self._closed})"
         )

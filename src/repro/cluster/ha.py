@@ -1,0 +1,732 @@
+"""Coordinator crash recovery — journaled hosts and standby takeover.
+
+The coordinator of :mod:`repro.cluster` is a single point of failure
+when it lives in the engine process; this module moves it into a
+SIGKILL-able **host process** and keeps a warm standby next to it:
+
+* :func:`coordinator_host_main` runs in a spawned child.  It binds two
+  sockets at boot — a loopback **control port** for the executor and
+  the **worker port** nodes dial — and reports both through a pipe.
+  The *primary* host activates immediately: it replays the shard
+  journal (empty on a fresh campaign), bumps the epoch, and starts a
+  :class:`~repro.cluster.coordinator.Coordinator` on the worker port.
+  The *standby* host binds its worker port **without listening** (so a
+  dialing worker gets an instant refusal and moves down its failover
+  list while the primary lives) and waits for ACTIVATE.
+
+* :class:`HAFleet` is the executor side: it spawns both hosts, keeps
+  the verbatim payload of every submitted shard, and watches the
+  active host's control connection.  Death of the active host (EOF on
+  that connection — SIGKILL included) triggers **takeover**: ACTIVATE
+  to the standby, which replays the journal — acknowledged shards'
+  results are served from the result spool with zero recompute
+  (``cluster.spool_hits``), the epoch advances so in-flight acks from
+  the dead era are fenced, and the task-id floor clears every id a
+  worker ever saw.  The fleet then re-submits every unresolved shard
+  verbatim; the engine-facing futures never observe the failover.
+  Exactly-once delivery is executor-anchored: results are applied by
+  shard id, popped from the retained map exactly once — a duplicate
+  RESULT (one host answered before dying, the next answered again) is
+  dropped and counted (``ha.duplicate_results_dropped``).
+
+* After a takeover the fleet **respawns a fresh standby into the dead
+  host's port slot**, so the workers' two-address failover list stays
+  valid across any number of successive takeovers.
+
+The chaos site ``cluster.coordinator_kill`` fires in the host before
+every SUBMIT is handled (``worker=0`` matches the primary, ``worker=1``
+the standby), so seeded fault plans can kill a coordinator mid-campaign
+exactly like they kill worker nodes.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.journal import JournalError, ShardJournal, replay_journal
+from repro.cluster.wire import (
+    ClusterFrame,
+    decode_fleet,
+    decode_json,
+    decode_result,
+    decode_shard_fail,
+    decode_snapshot,
+    decode_stop,
+    decode_submit,
+    encode_activate,
+    encode_fleet,
+    encode_fleet_req,
+    encode_hello,
+    encode_hello_ok,
+    encode_result,
+    encode_shard_fail,
+    encode_snapshot,
+    encode_snapshot_req,
+    encode_stop,
+    encode_submit,
+)
+from repro.runtime.sharded import WorkerError
+from repro.runtime.telemetry import Telemetry
+from repro.service.protocol import ProtocolError, read_frame, write_frame
+
+__all__ = ["HAFleet", "coordinator_host_main"]
+
+#: role → the ``worker=`` index the ``cluster.coordinator_kill`` site
+#: fires with, so a spec can target the primary (0) or the standby (1)
+ROLE_INDEX = {"primary": 0, "standby": 1}
+
+
+# ---------------------------------------------------------------------------
+# the host process
+# ---------------------------------------------------------------------------
+
+
+class _HostState:
+    """Everything one coordinator host owns once activated."""
+
+    def __init__(self) -> None:
+        self.coordinator: Optional[Coordinator] = None
+        self.journal: Optional[ShardJournal] = None
+        self.acked: Dict[int, str] = {}
+        self.epoch = -1
+
+
+def coordinator_host_main(
+    conn,
+    config: ClusterConfig,
+    role: str,
+    active: bool,
+    faults_json: Optional[str],
+    plan_store_dir: Optional[str],
+    live_wait_timeout: float,
+    worker_port: int = 0,
+) -> None:
+    """Run one coordinator host until STOP or executor death.
+
+    *conn* is the spawn pipe used once, to report
+    ``(control_port, worker_port)``.  *worker_port* pins the worker
+    listener (a respawned standby reuses the dead host's slot so the
+    fleet's failover list stays valid); 0 lets the OS choose.
+    """
+    telemetry = Telemetry()
+    faults = None
+    if faults_json:
+        from repro.runtime.resilience.faults import FaultPlan
+
+        faults = FaultPlan.from_json(faults_json)
+    state = _HostState()
+
+    # Worker port: bound now (the address must be known before workers
+    # spawn), listened on activation only — a worker dialing a standby
+    # is refused instantly instead of parking in an unserved backlog.
+    wsock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    wsock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    wsock.bind((config.host, worker_port))
+
+    ctrl_listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    ctrl_listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    ctrl_listener.bind(("127.0.0.1", 0))
+    ctrl_listener.listen(1)
+    ctrl_listener.settimeout(max(30.0, 2.0 * config.connect_timeout))
+    conn.send((ctrl_listener.getsockname()[1], wsock.getsockname()[1]))
+    conn.close()
+
+    def activate() -> None:
+        if state.coordinator is not None:
+            return
+        replay = replay_journal(config.journal_dir, telemetry=telemetry)
+        state.epoch = replay.epoch + 1
+        state.acked = dict(replay.acked)
+        state.journal = ShardJournal(config.journal_dir, telemetry=telemetry)
+        state.journal.append("epoch", epoch=state.epoch, role=role)
+        wsock.listen(64)
+        state.coordinator = Coordinator(
+            config,
+            telemetry=telemetry,
+            faults=faults,
+            live_wait_timeout=live_wait_timeout,
+            plan_store_dir=plan_store_dir,
+            epoch=state.epoch,
+            journal=state.journal,
+            next_task=replay.next_task,
+        )
+        state.coordinator.start(listener=wsock)
+        telemetry.event(
+            "ha.activated", role=role, epoch=state.epoch,
+            replayed=len(replay.records), unacked=len(replay.unacked),
+            acked=len(replay.acked), quarantined=replay.quarantined,
+        )
+
+    if active:
+        activate()
+    try:
+        ctrl, _ = ctrl_listener.accept()
+    except socket.timeout:
+        return  # the executor never came: nothing to host
+    ctrl.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    ctrl.settimeout(None)
+    ctrl_listener.close()
+    send_lock = threading.Lock()
+
+    def send(frame: bytes) -> None:
+        with send_lock:
+            write_frame(ctrl, frame)
+
+    def finish_shard(shard_id: int, fut: Future) -> None:
+        """Done-callback: spool + journal the ack, relay the result."""
+        try:
+            error = fut.exception()
+            if error is not None:
+                send(
+                    encode_shard_fail(
+                        shard_id, type(error).__name__, str(error)
+                    )
+                )
+                return
+            solved = fut.result()
+            name = state.journal.spool_result(shard_id, solved)
+            state.journal.append("ack", shard=shard_id, result=name)
+            state.acked[shard_id] = name
+            send(encode_result(shard_id, solved, spooled=False))
+        except OSError:
+            os._exit(0)  # executor is gone; this host has no purpose
+
+    try:
+        while True:
+            try:
+                ftype, _, payload = read_frame(ctrl, config.max_payload)
+            except (ConnectionError, OSError, ProtocolError):
+                return  # executor died: fold the fleet
+            if ftype == ClusterFrame.HELLO:
+                if decode_json(payload).get("active"):
+                    activate()
+                send(encode_hello_ok(state.epoch))
+            elif ftype == ClusterFrame.ACTIVATE:
+                takeover = state.coordinator is None
+                activate()
+                if takeover:
+                    telemetry.incr("ha.takeover_activations")
+                send(encode_hello_ok(state.epoch))
+            elif ftype == ClusterFrame.SUBMIT:
+                if faults is not None:
+                    faults.fire(
+                        "cluster.coordinator_kill", worker=ROLE_INDEX.get(role)
+                    )
+                shard_id, key, shard, col0, col1 = decode_submit(payload)
+                spooled = state.acked.get(shard_id)
+                if spooled is not None:
+                    try:
+                        solved = state.journal.load_result(spooled)
+                        telemetry.incr("cluster.spool_hits")
+                        send(encode_result(shard_id, solved, spooled=True))
+                        continue
+                    except JournalError:
+                        # Corrupt spool entry: evict and re-solve — a
+                        # defect costs time, never a wrong answer.
+                        state.journal.evict_result(spooled)
+                        state.acked.pop(shard_id, None)
+                fut = state.coordinator.submit(
+                    key, shard, col0, col1, shard_id=shard_id
+                )
+                fut.add_done_callback(
+                    lambda f, sid=shard_id: finish_shard(sid, f)
+                )
+            elif ftype == ClusterFrame.FLEET_REQ:
+                if state.coordinator is None:
+                    send(encode_fleet({}, 0))
+                else:
+                    send(
+                        encode_fleet(
+                            state.coordinator.worker_census(),
+                            state.coordinator.pending_count(),
+                        )
+                    )
+            elif ftype == ClusterFrame.SNAP_REQ:
+                req = int(decode_json(payload)["req"])
+                workers = (
+                    state.coordinator.request_snapshots(
+                        timeout=config.drain_timeout
+                    )
+                    if state.coordinator is not None
+                    else []
+                )
+                send(
+                    encode_snapshot(
+                        req,
+                        {"host": telemetry.snapshot(), "workers": workers},
+                    )
+                )
+            elif ftype == ClusterFrame.STOP:
+                decode_stop(payload)
+                try:
+                    send(encode_snapshot(-1, telemetry.snapshot()))
+                except OSError:
+                    pass
+                return
+            else:
+                return  # a foreign frame on the control plane: fold
+    finally:
+        if state.coordinator is not None:
+            state.coordinator.stop()
+        if state.journal is not None:
+            state.journal.close()
+        try:
+            ctrl.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# the executor side
+# ---------------------------------------------------------------------------
+
+
+class _Host:
+    """Executor-side handle on one coordinator host process."""
+
+    __slots__ = (
+        "role", "proc", "sock", "send_lock", "ctrl_port", "worker_port",
+        "epoch", "reader", "hello_fut", "fleet_fut", "snap_futs", "down",
+    )
+
+    def __init__(self, role, proc, sock, ctrl_port, worker_port, epoch):
+        self.role = role
+        self.proc = proc
+        self.sock = sock
+        self.send_lock = threading.Lock()
+        self.ctrl_port = ctrl_port
+        self.worker_port = worker_port
+        self.epoch = epoch
+        self.reader: Optional[threading.Thread] = None
+        self.hello_fut: Optional[Future] = None
+        self.fleet_fut: Optional[Future] = None
+        self.snap_futs: Dict[int, Future] = {}
+        self.down = False
+
+    def send(self, frame: bytes) -> None:
+        with self.send_lock:
+            write_frame(self.sock, frame)
+
+
+class _Retained:
+    """One submitted shard the fleet holds until its result lands."""
+
+    __slots__ = ("key", "payload", "col0", "col1", "future")
+
+    def __init__(self, key, payload, col0, col1) -> None:
+        self.key = key
+        self.payload = payload
+        self.col0 = col0
+        self.col1 = col1
+        self.future: Future = Future()
+
+
+class HAFleet:
+    """A primary + warm-standby coordinator pair behind one submit API.
+
+    Parameters mirror the executor's: the shared :class:`ClusterConfig`
+    (which must carry ``standby=True`` and a ``journal_dir``), the
+    engine-side telemetry, the fault plan's JSON (shipped to hosts and,
+    through them, to workers), the plan-store directory, and the
+    live-wait timeout.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        telemetry: Optional[Telemetry] = None,
+        faults_json: Optional[str] = None,
+        plan_store_dir: Optional[str] = None,
+        live_wait_timeout: float = 30.0,
+        ctx=None,
+    ) -> None:
+        import multiprocessing as mp
+
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.faults_json = faults_json
+        self.plan_store_dir = plan_store_dir
+        self.live_wait_timeout = float(live_wait_timeout)
+        self._ctx = ctx if ctx is not None else mp.get_context("spawn")
+        self._route_lock = threading.Lock()
+        self._lock = threading.Lock()
+        self._retained: Dict[int, _Retained] = {}
+        self._next_shard = 0
+        self._next_req = 0
+        self._closed = False
+        self._fleet_cache = (0.0, {})
+        self._final_host_snapshots: List[dict] = []
+        self._active = self._spawn_host("primary", active=True)
+        self._standby: Optional[_Host] = self._spawn_host(
+            "standby", active=False
+        )
+
+    # -- host lifecycle --------------------------------------------------
+
+    def _spawn_host(self, role: str, active: bool, worker_port: int = 0) -> "_Host":
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=coordinator_host_main,
+            args=(
+                child_conn, self.config, role, active, self.faults_json,
+                self.plan_store_dir, self.live_wait_timeout, worker_port,
+            ),
+            daemon=True,
+            name=f"repro-cluster-host-{role}",
+        )
+        proc.start()
+        child_conn.close()
+        if not parent_conn.poll(self.config.connect_timeout):
+            proc.terminate()
+            raise WorkerError(
+                f"coordinator host ({role}) reported no ports within "
+                f"{self.config.connect_timeout}s"
+            )
+        ctrl_port, wport = parent_conn.recv()
+        parent_conn.close()
+        sock = socket.create_connection(
+            ("127.0.0.1", ctrl_port), timeout=self.config.connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(None)
+        host = _Host(role, proc, sock, ctrl_port, wport, epoch=-1)
+        host.send(encode_hello(active))
+        ftype, _, payload = read_frame(sock)
+        if ftype != ClusterFrame.HELLO_OK:
+            raise WorkerError(
+                f"coordinator host ({role}) answered HELLO with frame "
+                f"type {ftype}"
+            )
+        host.epoch = int(decode_json(payload).get("epoch", -1))
+        host.reader = threading.Thread(
+            target=self._reader_loop, args=(host,),
+            name=f"repro-ha-reader-{role}", daemon=True,
+        )
+        host.reader.start()
+        self.telemetry.event(
+            "ha.host_spawned", role=role, pid=proc.pid,
+            worker_port=wport, epoch=host.epoch,
+        )
+        return host
+
+    def worker_addresses(self) -> List[tuple]:
+        """Every coordinator worker port, active first — what spawned
+        workers receive as their dial/failover list."""
+        with self._route_lock:
+            hosts = [self._active] + (
+                [self._standby] if self._standby is not None else []
+            )
+        return [(self.config.host, h.worker_port) for h in hosts]
+
+    @property
+    def primary_pid(self) -> Optional[int]:
+        """The active host's OS pid (the chaos target)."""
+        with self._route_lock:
+            return self._active.proc.pid
+
+    @property
+    def epoch(self) -> int:
+        with self._route_lock:
+            return self._active.epoch
+
+    @property
+    def takeovers(self) -> int:
+        return self.telemetry.counter("ha.takeovers")
+
+    # -- the submit surface ----------------------------------------------
+
+    def submit(self, key, payload: np.ndarray, col0: int, col1: int) -> Future:
+        """Route one shard to the active coordinator host.
+
+        The payload is retained verbatim until the result lands, so a
+        takeover can re-submit the same bytes under the same shard id —
+        the engine-facing future resolves exactly once either way.
+        """
+        with self._lock:
+            if self._closed:
+                raise WorkerError("HA fleet is shut down")
+            shard_id = self._next_shard
+            self._next_shard += 1
+            entry = _Retained(key, payload, col0, col1)
+            self._retained[shard_id] = entry
+        self.telemetry.incr("ha.shards_submitted")
+        frame = encode_submit(shard_id, key, payload, col0, col1)
+        with self._route_lock:
+            host = self._active
+            try:
+                host.send(frame)
+            except OSError:
+                # The active host died under us; the entry is retained
+                # and the failover (triggered by its reader's EOF)
+                # re-submits it to the promoted standby.
+                pass
+        return entry.future
+
+    def _resolve(self, shard_id: int, solved, error, spooled: bool) -> None:
+        with self._lock:
+            entry = self._retained.pop(shard_id, None)
+        if entry is None:
+            # Two hosts answered the same shard across a takeover; the
+            # first answer was applied, this one is dropped — the
+            # executor-anchored half of exactly-once delivery.
+            self.telemetry.incr("ha.duplicate_results_dropped")
+            return
+        if spooled:
+            self.telemetry.incr("ha.spool_hits")
+        if error is not None:
+            self.telemetry.incr("ha.shards_failed")
+            entry.future.set_exception(error)
+        else:
+            self.telemetry.incr("ha.shards_resolved")
+            entry.future.set_result(solved)
+
+    # -- the control-plane reader ----------------------------------------
+
+    def _reader_loop(self, host: _Host) -> None:
+        try:
+            while True:
+                ftype, _, payload = read_frame(
+                    host.sock, self.config.max_payload
+                )
+                if ftype == ClusterFrame.RESULT:
+                    shard_id, solved, spooled = decode_result(payload)
+                    self._resolve(shard_id, solved, None, spooled)
+                elif ftype == ClusterFrame.SHARD_FAIL:
+                    shard_id, error, message = decode_shard_fail(payload)
+                    self._resolve(
+                        shard_id,
+                        None,
+                        WorkerError(f"{error}: {message}"),
+                        False,
+                    )
+                elif ftype == ClusterFrame.HELLO_OK:
+                    epoch = int(decode_json(payload).get("epoch", -1))
+                    host.epoch = epoch
+                    fut = host.hello_fut
+                    if fut is not None and not fut.done():
+                        fut.set_result(epoch)
+                elif ftype == ClusterFrame.FLEET:
+                    census, pending = decode_fleet(payload)
+                    fut = host.fleet_fut
+                    if fut is not None and not fut.done():
+                        fut.set_result((census, pending))
+                elif ftype == ClusterFrame.SNAPSHOT:
+                    req, snapshot = decode_snapshot(payload)
+                    if req < 0:
+                        with self._lock:
+                            self._final_host_snapshots.append(snapshot)
+                        return  # the host's farewell: it is exiting
+                    fut = host.snap_futs.pop(req, None)
+                    if fut is not None:
+                        fut.set_result(snapshot)
+                else:
+                    raise ProtocolError(
+                        f"unexpected frame type {ftype} from the "
+                        f"{host.role} host"
+                    )
+        except (ConnectionError, OSError, ProtocolError):
+            self._host_down(host)
+
+    # -- takeover --------------------------------------------------------
+
+    def _host_down(self, host: _Host) -> None:
+        """A host's control connection broke: fail over or refill."""
+        if host.down:
+            return
+        host.down = True
+        with self._lock:
+            if self._closed:
+                return
+        with self._route_lock:
+            was_active = host is self._active
+            standby = self._standby
+        if not was_active:
+            # The warm standby died: refill its slot so the next
+            # takeover still has somewhere to go.
+            self.telemetry.incr("ha.standby_lost")
+            self._refill_standby(host.worker_port)
+            return
+        self.telemetry.incr("ha.takeovers")
+        self.telemetry.event(
+            "ha.takeover_begin", dead_pid=host.proc.pid,
+            dead_port=host.worker_port,
+        )
+        started = time.monotonic()
+        if standby is None or standby.down:
+            self._fail_retained("both coordinator hosts are dead")
+            return
+        standby.hello_fut = Future()
+        try:
+            standby.send(encode_activate())
+            epoch = standby.hello_fut.result(
+                timeout=self.config.connect_timeout
+            )
+        except Exception as exc:  # noqa: BLE001 - takeover or bust
+            self._fail_retained(f"standby activation failed: {exc}")
+            return
+        with self._route_lock:
+            self._active = standby
+            self._standby = None
+        elapsed = time.monotonic() - started
+        self.telemetry.observe("ha.takeover_seconds", elapsed)
+        self.telemetry.event(
+            "ha.takeover", epoch=epoch, seconds=elapsed,
+            resubmitted=len(self._retained),
+        )
+        # Re-submit every unresolved shard verbatim, same shard ids:
+        # acked-but-unreported ones come back instantly from the spool,
+        # in-flight ones re-issue to the re-formed fleet.
+        with self._lock:
+            unresolved = sorted(self._retained.items())
+        for shard_id, entry in unresolved:
+            frame = encode_submit(
+                shard_id, entry.key, entry.payload, entry.col0, entry.col1
+            )
+            with self._route_lock:
+                try:
+                    self._active.send(frame)
+                except OSError:
+                    break  # the new active died too; its reader recurses
+        self._refill_standby(host.worker_port)
+
+    def _refill_standby(self, worker_port: int) -> None:
+        """Spawn a fresh standby into a dead host's worker-port slot."""
+        with self._lock:
+            if self._closed:
+                return
+        try:
+            fresh = self._spawn_host(
+                "standby", active=False, worker_port=worker_port
+            )
+        except (WorkerError, OSError) as exc:
+            self.telemetry.event("ha.standby_refill_failed", error=str(exc))
+            return
+        with self._route_lock:
+            self._standby = fresh
+        self.telemetry.incr("ha.standby_respawns")
+
+    def _fail_retained(self, reason: str) -> None:
+        with self._lock:
+            entries = list(self._retained.values())
+            self._retained.clear()
+        for entry in entries:
+            if not entry.future.done():
+                entry.future.set_exception(
+                    WorkerError(
+                        f"cluster HA fleet cannot heal: {reason}",
+                        key=entry.key, cols=(entry.col0, entry.col1),
+                    )
+                )
+        self.telemetry.event("ha.failed", reason=reason, shards=len(entries))
+
+    # -- introspection ----------------------------------------------------
+
+    def _census(self, max_age: float = 0.2):
+        now = time.monotonic()
+        stamp, cached = self._fleet_cache
+        if now - stamp < max_age:
+            return cached
+        with self._route_lock:
+            host = self._active
+        host.fleet_fut = Future()
+        try:
+            host.send(encode_fleet_req())
+            census, pending = host.fleet_fut.result(timeout=2.0)
+        except Exception:  # noqa: BLE001 - a takeover may be in flight
+            return cached
+        result = {"workers": census, "pending": pending}
+        self._fleet_cache = (now, result)
+        return result
+
+    def live_count(self) -> int:
+        return len(self._census().get("workers", {}))
+
+    def worker_pids(self) -> List[int]:
+        return [
+            pid
+            for pid in self._census(max_age=0.0).get("workers", {}).values()
+            if pid is not None
+        ]
+
+    def backlog(self) -> float:
+        census = self._census()
+        return census.get("pending", 0) / max(1, len(census.get("workers", {})))
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._retained)
+
+    def await_workers(self, count: int, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self._census(max_age=0.0).get("workers", {})) >= count:
+                return True
+            time.sleep(0.05)
+        return False
+
+    def request_snapshots(self, timeout: float = 5.0) -> List[dict]:
+        """The live workers' telemetry snapshots, via the active host."""
+        return self.host_snapshot(timeout=timeout).get("workers", [])
+
+    def host_snapshot(self, timeout: float = 5.0) -> dict:
+        """The active host's own telemetry plus its workers' snapshots."""
+        with self._route_lock:
+            host = self._active
+        with self._lock:
+            req = self._next_req
+            self._next_req += 1
+        fut: Future = Future()
+        host.snap_futs[req] = fut
+        try:
+            host.send(encode_snapshot_req(req))
+            return fut.result(timeout=timeout)
+        except Exception:  # noqa: BLE001 - a dead host yields nothing
+            host.snap_futs.pop(req, None)
+            return {"host": {}, "workers": []}
+
+    # -- shutdown ---------------------------------------------------------
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._fail_retained("HA fleet shut down")
+        with self._route_lock:
+            hosts = [self._active] + (
+                [self._standby] if self._standby is not None else []
+            )
+        for host in hosts:
+            try:
+                host.send(encode_stop("shutdown"))
+            except OSError:
+                pass
+        for host in hosts:
+            host.proc.join(timeout=self.config.drain_timeout)
+            if host.proc.is_alive():
+                host.proc.terminate()
+                host.proc.join(timeout=2.0)
+            if host.proc.is_alive():  # pragma: no cover - last resort
+                host.proc.kill()
+                host.proc.join(timeout=2.0)
+            try:
+                host.sock.close()
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._route_lock:
+            return (
+                f"HAFleet(active={self._active.role}@{self._active.worker_port}, "
+                f"epoch={self._active.epoch}, "
+                f"retained={len(self._retained)}, closed={self._closed})"
+            )

@@ -1,0 +1,334 @@
+"""The coordinator's write-ahead shard journal and result spool.
+
+Crash-survivable coordinator state is two on-disk artifacts sharing
+:mod:`repro.runtime.durable`'s discipline (atomic tmp+fsync+rename
+writes, blake2b-checksummed containers, corrupt entries quarantined —
+never reinterpreted):
+
+* **The WAL** (``shards.wal``): an append-only log of shard lifecycle
+  transitions — ``epoch`` (a coordinator era began), ``issue`` (a shard
+  was assigned a task id and is about to be sent), ``requeue`` (an
+  orphaned shard got a fresh delivery), ``ack`` (a shard completed and
+  its result landed in the spool), ``fail`` (a shard failed
+  permanently).  Every record is framed ``uint32 length | canonical
+  JSON | blake2b-16 digest`` and fsynced before the action it describes
+  becomes visible to any worker, so a replayed journal's task-id floor
+  always exceeds any id a worker ever saw.  A torn or corrupt tail
+  (the crash happened mid-append) is *quarantined*: the WAL is
+  truncated at the last good record, the tail bytes are preserved in a
+  ``.quarantine`` sidecar for forensics, and the shards whose
+  transitions were lost simply re-issue — a re-solve costs time, never
+  correctness.
+
+* **The result spool** (``result-<shard>.rjrs``): the solved bytes of
+  every acknowledged shard, one checksummed container per shard,
+  written atomically.  A standby that takes over serves re-submitted
+  completed shards straight from the spool — zero recompute, bitwise
+  the bytes the primary acknowledged.  A corrupt spool entry raises
+  :class:`JournalError` on load; the caller evicts it and the shard
+  re-issues.
+
+:func:`replay_journal` folds the WAL into the state a standby needs:
+the last epoch, the task-id floor, which shards are acknowledged (and
+where their results live), and which were in flight when the primary
+died.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.runtime.durable import atomic_write_bytes
+from repro.runtime.telemetry import Telemetry
+
+__all__ = ["JournalError", "ShardJournal", "JournalReplay", "replay_journal"]
+
+#: WAL container format; bumped if the record framing ever changes
+JOURNAL_FORMAT_VERSION = 1
+
+_WAL_NAME = "shards.wal"
+_WAL_MAGIC = b"RJNL"
+_SPOOL_MAGIC = b"RJRS"
+_DIGEST_SIZE = 16
+_LEN = struct.Struct("<I")
+
+#: per-record JSON size cap — a corrupt length prefix must not allocate
+#: gigabytes before the digest check can reject it
+_MAX_RECORD = 1 << 20
+
+
+class JournalError(ReproError, RuntimeError):
+    """A journal artifact (WAL or spool entry) is unusable.
+
+    Raised on corruption, truncation, checksum mismatch, or a stale
+    format version.  Callers treat the affected shard as never-acked
+    and re-issue it; corruption is never allowed to become a wrong
+    answer.
+    """
+
+
+def _canonical(data: dict) -> bytes:
+    return json.dumps(data, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def _digest(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+
+
+class ShardJournal:
+    """Append-only WAL plus result spool for one coordinator era.
+
+    Thread-safe: the coordinator's issue path, its loss handlers, and
+    the host's ack callbacks all append concurrently.  Every
+    :meth:`append` is flushed and fsynced before returning — the write
+    *ahead* in write-ahead logging.
+    """
+
+    def __init__(
+        self, directory: str, telemetry: Optional[Telemetry] = None
+    ) -> None:
+        self.directory = str(directory)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        os.makedirs(self.directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._path = os.path.join(self.directory, _WAL_NAME)
+        fresh = not os.path.exists(self._path)
+        self._fh = open(self._path, "ab")
+        if fresh or os.path.getsize(self._path) == 0:
+            self._fh.write(_WAL_MAGIC + bytes([JOURNAL_FORMAT_VERSION]))
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    # -- the WAL ---------------------------------------------------------
+
+    def append(self, kind: str, **fields) -> None:
+        """Fsync one ``kind`` record (plus *fields*) to the WAL."""
+        record = dict(fields)
+        record["kind"] = str(kind)
+        body = _canonical(record)
+        if len(body) > _MAX_RECORD:
+            raise JournalError(
+                f"journal record of {len(body)} bytes exceeds the "
+                f"{_MAX_RECORD}-byte cap"
+            )
+        frame = _LEN.pack(len(body)) + body + _digest(body)
+        with self._lock:
+            if self._fh.closed:
+                raise JournalError("journal is closed")
+            self._fh.write(frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self.telemetry.incr("journal.records")
+
+    # -- the result spool ------------------------------------------------
+
+    def spool_name(self, shard_id: int) -> str:
+        return f"result-{int(shard_id)}.rjrs"
+
+    def spool_result(self, shard_id: int, solved: np.ndarray) -> str:
+        """Persist one acknowledged shard's solved bytes; returns the
+        spool entry's basename (what the ``ack`` WAL record should
+        carry)."""
+        solved = np.ascontiguousarray(solved)
+        payload = solved.tobytes()
+        header = _canonical(
+            {
+                "format_version": JOURNAL_FORMAT_VERSION,
+                "shard": int(shard_id),
+                "shape": list(solved.shape),
+                "dtype": solved.dtype.str,
+                "checksum": hashlib.blake2b(
+                    payload, digest_size=_DIGEST_SIZE
+                ).hexdigest(),
+            }
+        )
+        blob = (
+            _SPOOL_MAGIC
+            + bytes([JOURNAL_FORMAT_VERSION])
+            + _LEN.pack(len(header))
+            + header
+            + payload
+        )
+        name = self.spool_name(shard_id)
+        atomic_write_bytes(os.path.join(self.directory, name), blob)
+        self.telemetry.incr("journal.results_spooled")
+        return name
+
+    def load_result(self, name: str) -> np.ndarray:
+        """One spooled result, verified; any defect is a
+        :class:`JournalError` (the caller evicts and re-issues)."""
+        path = os.path.join(self.directory, os.path.basename(name))
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            raise JournalError(f"unreadable spool entry {name}: {exc}") from exc
+        try:
+            if blob[:4] != _SPOOL_MAGIC:
+                raise JournalError(f"spool entry {name} has a foreign magic")
+            if blob[4] != JOURNAL_FORMAT_VERSION:
+                raise JournalError(
+                    f"spool entry {name} has stale format {blob[4]}"
+                )
+            (hlen,) = _LEN.unpack(blob[5:9])
+            header = json.loads(blob[9 : 9 + hlen].decode("utf-8"))
+            payload = blob[9 + hlen :]
+            if (
+                hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).hexdigest()
+                != header["checksum"]
+            ):
+                raise JournalError(f"spool entry {name} fails its checksum")
+            arr = np.frombuffer(payload, dtype=np.dtype(header["dtype"]))
+            return arr.reshape(header["shape"]).copy()
+        except JournalError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - any defect is corruption
+            raise JournalError(f"corrupt spool entry {name}: {exc}") from exc
+
+    def evict_result(self, name: str) -> None:
+        """Drop a corrupt spool entry so its shard re-issues cleanly."""
+        try:
+            os.unlink(os.path.join(self.directory, os.path.basename(name)))
+        except OSError:
+            pass
+        self.telemetry.incr("journal.spool_corrupt_evicted")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+@dataclass
+class JournalReplay:
+    """What a WAL replay reconstructs for the taking-over coordinator."""
+
+    #: every decoded record, in append order
+    records: List[dict] = field(default_factory=list)
+    #: the last ``epoch`` record's value (−1: no era was ever recorded)
+    epoch: int = -1
+    #: one past the largest task id any worker was ever sent
+    next_task: int = 0
+    #: acknowledged shards: shard id → result spool basename
+    acked: Dict[int, str] = field(default_factory=dict)
+    #: permanently failed shards: shard id → (error type, message)
+    failed: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+    #: shards issued but never acked/failed — they must re-issue
+    unacked: Set[int] = field(default_factory=set)
+    #: True when a torn/corrupt tail was truncated and quarantined
+    quarantined: bool = False
+
+
+def replay_journal(
+    directory: str, telemetry: Optional[Telemetry] = None
+) -> JournalReplay:
+    """Fold ``shards.wal`` under *directory* into a :class:`JournalReplay`.
+
+    Tolerant by construction: a missing WAL is an empty replay; a torn
+    or checksum-failing tail is truncated in place (the bad bytes are
+    preserved in a ``shards.wal.quarantine.<offset>`` sidecar and
+    counted as ``journal.tail_quarantined``) and every record before it
+    is honoured.  A WAL whose *header* is foreign is quarantined whole —
+    the replay is empty and every shard re-issues.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    replay = JournalReplay()
+    path = os.path.join(str(directory), _WAL_NAME)
+    try:
+        with open(path, "rb") as fh:
+            blob = fh.read()
+    except OSError:
+        return replay
+    head = len(_WAL_MAGIC) + 1
+    if blob[: len(_WAL_MAGIC)] != _WAL_MAGIC or (
+        len(blob) > len(_WAL_MAGIC) and blob[len(_WAL_MAGIC)] != JOURNAL_FORMAT_VERSION
+    ):
+        _quarantine(path, blob, 0, telemetry)
+        replay.quarantined = True
+        return replay
+    offset = min(head, len(blob))
+    while offset < len(blob):
+        start = offset
+        if offset + _LEN.size > len(blob):
+            break  # torn length prefix
+        (blen,) = _LEN.unpack(blob[offset : offset + _LEN.size])
+        if blen > _MAX_RECORD:
+            break  # corrupt length — treat as a torn tail
+        offset += _LEN.size
+        if offset + blen + _DIGEST_SIZE > len(blob):
+            offset = start
+            break  # torn body/digest
+        body = blob[offset : offset + blen]
+        offset += blen
+        digest = blob[offset : offset + _DIGEST_SIZE]
+        offset += _DIGEST_SIZE
+        if _digest(body) != digest:
+            offset = start
+            break  # bit rot mid-log: everything from here is suspect
+        try:
+            record = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            offset = start
+            break
+        replay.records.append(record)
+        _fold(replay, record)
+    if offset < len(blob):
+        _quarantine(path, blob, offset, telemetry)
+        replay.quarantined = True
+    return replay
+
+
+def _fold(replay: JournalReplay, record: dict) -> None:
+    kind = record.get("kind")
+    if kind == "epoch":
+        replay.epoch = max(replay.epoch, int(record.get("epoch", 0)))
+    elif kind in ("issue", "requeue", "speculate"):
+        task = record.get("task")
+        if task is not None:
+            replay.next_task = max(replay.next_task, int(task) + 1)
+        shard = record.get("shard")
+        if shard is not None and int(shard) not in replay.acked:
+            replay.unacked.add(int(shard))
+    elif kind == "ack":
+        shard = int(record.get("shard", -1))
+        replay.acked[shard] = str(record.get("result", ""))
+        replay.unacked.discard(shard)
+        replay.failed.pop(shard, None)
+    elif kind == "fail":
+        shard = int(record.get("shard", -1))
+        replay.failed[shard] = (
+            str(record.get("error", "")),
+            str(record.get("message", "")),
+        )
+        replay.unacked.discard(shard)
+
+
+def _quarantine(
+    path: str, blob: bytes, offset: int, telemetry: Telemetry
+) -> None:
+    """Truncate the WAL at *offset*, preserving the bad tail bytes."""
+    sidecar = f"{path}.quarantine.{offset}"
+    try:
+        atomic_write_bytes(sidecar, blob[offset:])
+    except OSError:  # pragma: no cover - forensics are best-effort
+        pass
+    try:
+        with open(path, "r+b") as fh:
+            fh.truncate(offset if offset > 0 else 0)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except OSError as exc:
+        raise JournalError(f"cannot truncate torn journal tail: {exc}") from exc
+    telemetry.incr("journal.tail_quarantined")
+    telemetry.event("journal.quarantine", path=sidecar, offset=offset)

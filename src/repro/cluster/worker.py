@@ -2,11 +2,14 @@
 
 A worker is a plain process (same host for the loopback tests and the
 quick scaling bench, any host in principle — the transport is one TCP
-connection).  Its life:
+connection).  Its life is an outer **dial loop** around sessions:
 
-1. connect to the coordinator and send REGISTER;
-2. receive WELCOME: its assigned worker id, the lease clock
-   (heartbeat interval + lease timeout), the coordinator's serialized
+1. dial the coordinator — trying each address in its failover list in
+   order (the primary first, then a standby host's worker port), so a
+   worker survives a coordinator takeover by simply reconnecting;
+2. send REGISTER and receive WELCOME: its assigned worker id, the lease
+   clock (heartbeat interval + lease timeout), the coordinator's
+   **epoch**, the serialized
    :class:`~repro.runtime.resilience.faults.FaultPlan`, and the durable
    plan-store directory — so chaos plans and warm-start behave on a
    remote node exactly as they do in a local worker process;
@@ -19,13 +22,27 @@ connection).  Its life:
    bytes — bitwise what the coordinator held), solved **in place**
    through the worker's own plan cache (factor once per key per node,
    warm-started from the plan store when configured), and the solved
-   bytes ride SHARD_OK back.  The ``cluster.node_kill`` site fires
-   before each solve: ``crash`` takes the whole node down mid-flight,
-   ``slow`` delays the ack past a lease, ``raise`` fails the shard.
+   bytes ride SHARD_OK back **echoing the shard's issuing epoch**, so
+   an ack that crosses a takeover is recognizably stale.  The
+   ``cluster.node_kill`` site fires before each solve (``crash`` takes
+   the whole node down mid-flight, ``slow`` delays the ack past a
+   lease, ``raise`` fails the shard); ``cluster.shard_slow`` fires
+   right after it — a straggler dial for the speculative-execution
+   path, without conflating it with node death.
+
+A session ends with a STOP frame or a broken connection.  STOP reason
+``shutdown`` or ``retire`` is terminal; reason ``lost`` (the lease
+lapsed but this process is healthy — a healed partition) and a plain
+connection loss (the coordinator died; a standby may be taking over)
+send the worker back to the dial loop.  The
+:class:`~repro.runtime.plan_cache.PlanCache` **survives re-dials**: a
+rejoined or failed-over worker re-registers under a fresh id with all
+its factorizations intact, so a takeover costs zero refactorizations.
 
 The worker never initiates anything except heartbeats: shard routing,
-re-issue, and elasticity are entirely the coordinator's business, which
-keeps a node's failure model simple — it either answers or it is gone.
+re-issue, speculation, and elasticity are entirely the coordinator's
+business, which keeps a node's failure model simple — it either
+answers or it is gone.
 """
 
 from __future__ import annotations
@@ -38,6 +55,7 @@ from repro.cluster.wire import (
     ClusterFrame,
     decode_json,
     decode_shard,
+    decode_stop,
     encode_heartbeat,
     encode_register,
     encode_shard_err,
@@ -50,21 +68,32 @@ from repro.service.protocol import ProtocolError, read_frame, write_frame
 __all__ = ["worker_main", "main"]
 
 
-def _connect(host: str, port: int, timeout: float) -> socket.socket:
-    """Dial the coordinator, retrying until *timeout* (it may still be
-    binding when an eagerly spawned worker first dials)."""
+def _connect(addresses, timeout: float) -> socket.socket:
+    """Dial the first reachable coordinator address, retrying until
+    *timeout* (the primary may still be binding, or freshly dead with
+    its standby not yet activated)."""
     deadline = time.monotonic() + timeout
     delay = 0.02
     while True:
-        try:
-            sock = socket.create_connection((host, port), timeout=timeout)
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            return sock
-        except OSError:
-            if time.monotonic() >= deadline:
-                raise
-            time.sleep(delay)
-            delay = min(delay * 2, 0.25)
+        for host, port in addresses:
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=max(0.1, deadline - time.monotonic())
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                # Blocking mode for the session: create_connection left
+                # its dial timeout on the socket, and an idle worker
+                # must not mistake a quiet data plane for a dead one.
+                sock.settimeout(None)
+                return sock
+            except OSError:
+                continue
+        if time.monotonic() >= deadline:
+            raise OSError(
+                f"no coordinator reachable at any of {list(addresses)}"
+            )
+        time.sleep(delay)
+        delay = min(delay * 2, 0.25)
 
 
 def _heartbeat_loop(
@@ -89,6 +118,8 @@ def _heartbeat_loop(
         try:
             if faults is not None:
                 faults.fire("cluster.partition", worker=worker_id)
+            if stop.is_set():
+                return  # session ended while a fault held us
             with send_lock:
                 write_frame(sock, encode_heartbeat(worker_id, seq))
             telemetry.incr("cluster.heartbeats_sent")
@@ -102,12 +133,43 @@ def worker_main(
     port: int,
     connect_timeout: float = 10.0,
     tag: str = "",
+    failover=(),
 ) -> None:
-    """Run one worker node until STOP or connection loss."""
+    """Run one worker node until a terminal STOP (or no coordinator is
+    reachable).  *failover* lists extra ``(host, port)`` coordinator
+    addresses — a standby host's worker port — tried in order after the
+    primary on every dial."""
+    addresses = [(host, int(port))] + [(h, int(p)) for h, p in failover]
+    telemetry = Telemetry()
+    state = {"cache": None}  # the PlanCache, shared across sessions
+    sessions = 0
+    while True:
+        try:
+            sock = _connect(addresses, connect_timeout)
+        except OSError:
+            return  # nobody to serve: the fleet is gone
+        reason = "lost"
+        try:
+            reason = _session(sock, tag, telemetry, state)
+        except (ConnectionError, OSError, EOFError, ProtocolError):
+            reason = "lost"  # coordinator died mid-session: re-dial
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - already broken
+                pass
+        if reason != "lost":
+            return
+        sessions += 1
+        telemetry.incr("worker.rejoins")
+
+
+def _session(
+    sock: socket.socket, tag: str, telemetry: Telemetry, state: dict
+) -> str:
+    """One REGISTER → WELCOME → serve cycle; returns the STOP reason."""
     import os
 
-    sock = _connect(host, port, connect_timeout)
-    telemetry = Telemetry()
     send_lock = threading.Lock()
     stop_heartbeats = threading.Event()
     try:
@@ -125,16 +187,18 @@ def worker_main(
             from repro.runtime.resilience.faults import FaultPlan
 
             faults = FaultPlan.from_json(welcome["faults"])
-        store = None
-        if welcome.get("plan_store_dir"):
-            from repro.runtime.durable import PlanStore
+        if state["cache"] is None:
+            store = None
+            if welcome.get("plan_store_dir"):
+                from repro.runtime.durable import PlanStore
 
-            store = PlanStore(
-                welcome["plan_store_dir"], telemetry=telemetry, faults=faults
-            )
-        from repro.runtime.plan_cache import PlanCache
+                store = PlanStore(
+                    welcome["plan_store_dir"], telemetry=telemetry,
+                    faults=faults,
+                )
+            from repro.runtime.plan_cache import PlanCache
 
-        cache = PlanCache(telemetry=telemetry, store=store)
+            state["cache"] = PlanCache(telemetry=telemetry, store=store)
         heartbeats = threading.Thread(
             target=_heartbeat_loop,
             args=(
@@ -145,15 +209,11 @@ def worker_main(
             daemon=True,
         )
         heartbeats.start()
-        _serve(sock, send_lock, worker_id, cache, faults, telemetry)
-    except (ConnectionError, OSError, EOFError):
-        pass  # coordinator gone; nothing left to serve
+        return _serve(
+            sock, send_lock, worker_id, state["cache"], faults, telemetry
+        )
     finally:
         stop_heartbeats.set()
-        try:
-            sock.close()
-        except OSError:  # pragma: no cover - already broken
-            pass
 
 
 def _serve(
@@ -163,8 +223,11 @@ def _serve(
     cache,
     faults,
     telemetry: Telemetry,
-) -> None:
-    """The data plane: shards in, solved bytes (or errors) out."""
+) -> str:
+    """The data plane: shards in, solved bytes (or errors) out.
+
+    Returns the STOP frame's reason (``lost`` sends the caller back to
+    the dial loop; anything else is terminal)."""
     import numpy as np
 
     while True:
@@ -173,9 +236,15 @@ def _serve(
             # The farewell snapshot lets the coordinator fold this
             # node's telemetry into the fleet view, mirroring the
             # single-host workers' final snapshots.
-            with send_lock:
-                write_frame(sock, encode_snapshot(-1, telemetry.snapshot()))
-            return
+            reason = decode_stop(payload)
+            try:
+                with send_lock:
+                    write_frame(
+                        sock, encode_snapshot(-1, telemetry.snapshot())
+                    )
+            except OSError:
+                pass  # a dying coordinator may not read the farewell
+            return reason
         if ftype == ClusterFrame.SNAP_REQ:
             req = int(decode_json(payload)["req"])
             with send_lock:
@@ -183,11 +252,17 @@ def _serve(
             continue
         if ftype != ClusterFrame.SHARD:
             raise ProtocolError(f"unexpected frame type {ftype} on a worker")
-        task_id, key, shard, col0, col1 = decode_shard(payload)
+        task_id, key, shard, col0, col1, epoch = decode_shard(payload)
         try:
             if faults is not None:
                 faults.fire(
                     "cluster.node_kill",
+                    worker=worker_id,
+                    key=key,
+                    cols=(col0, col1),
+                )
+                faults.fire(
+                    "cluster.shard_slow",
                     worker=worker_id,
                     key=key,
                     cols=(col0, col1),
@@ -199,13 +274,13 @@ def _serve(
             with telemetry.span("worker.shard_solve"):
                 builder.solve(shard, in_place=True)
             with send_lock:
-                write_frame(sock, encode_shard_ok(task_id, shard))
+                write_frame(sock, encode_shard_ok(task_id, shard, epoch=epoch))
         except (ConnectionError, OSError):
             raise
         except BaseException as exc:  # noqa: BLE001 - ship to coordinator
             telemetry.incr("worker.shard_failures")
             with send_lock:
-                write_frame(sock, encode_shard_err(task_id, exc))
+                write_frame(sock, encode_shard_err(task_id, exc, epoch=epoch))
 
 
 def main(argv=None) -> None:
@@ -220,9 +295,19 @@ def main(argv=None) -> None:
         "--connect-timeout", type=float, default=10.0,
         help="seconds to keep dialing the coordinator",
     )
+    parser.add_argument(
+        "--failover", action="append", default=[], metavar="HOST:PORT",
+        help="extra coordinator address tried after the primary "
+        "(a standby host's worker port); repeatable",
+    )
     args = parser.parse_args(argv)
+    failover = []
+    for item in args.failover:
+        fhost, _, fport = item.rpartition(":")
+        failover.append((fhost, int(fport)))
     worker_main(
-        args.host, args.port, connect_timeout=args.connect_timeout, tag=args.tag
+        args.host, args.port, connect_timeout=args.connect_timeout,
+        tag=args.tag, failover=failover,
     )
 
 

@@ -53,6 +53,7 @@ from repro.exceptions import ReproError, ShapeError
 
 __all__ = [
     "DurableStoreError",
+    "atomic_write_bytes",
     "PlanStore",
     "StreamingRHS",
     "ArrayRHS",
@@ -319,12 +320,14 @@ def _unpack_builder(key, meta: dict, arrays: dict):
 # ---------------------------------------------------------------------------
 
 
-def _atomic_write_bytes(path: str, payload: bytes) -> None:
+def atomic_write_bytes(path: str, payload: bytes) -> None:
     """Write *payload* to *path* atomically (tmp + fsync + rename).
 
     A reader concurrent with the write sees either the old file or the
     new one, never a mixture; a kill mid-write leaves only a temp file
-    that the next :meth:`PlanStore.save` sweep removes.
+    that the next :meth:`PlanStore.save` sweep removes.  Shared by the
+    plan store, campaign checkpoints, and the cluster shard journal's
+    result spool — one durability discipline for every on-disk artifact.
     """
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(
@@ -463,7 +466,7 @@ class PlanStore:
             )
             if self.faults is not None:
                 self.faults.fire("durable.store_write", key=key, path=path)
-            _atomic_write_bytes(path, container)
+            atomic_write_bytes(path, container)
         except BaseException as exc:
             self._count("store_write_failures")
             if self.telemetry is not None:
@@ -765,7 +768,7 @@ class ChunkSpoolRHS(StreamingRHS):
             "dtype": np.dtype(dtype).name,
             "part_cols": part_cols,
         }
-        _atomic_write_bytes(
+        atomic_write_bytes(
             os.path.join(root, cls.MANIFEST),
             _canonical_json(manifest).encode("utf-8"),
         )
@@ -857,7 +860,7 @@ class CampaignState:
         }
 
     def save(self) -> None:
-        _atomic_write_bytes(
+        atomic_write_bytes(
             self.path, _canonical_json(self.to_dict()).encode("utf-8")
         )
 

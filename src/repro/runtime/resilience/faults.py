@@ -38,6 +38,14 @@ seeded list of :class:`FaultSpec` triggers bound to named hook points
  cluster.node_kill      cluster worker, before each shard solve
                         (``crash`` kills the whole node mid-flight,
                         ``slow`` delays the ack past a lease)
+ cluster.shard_slow     cluster worker, after the node-kill hook and
+                        before the shard solve — a straggler dial for
+                        the speculative-execution path (``slow`` holds
+                        one copy while a speculative duplicate wins)
+ cluster.coordinator_kill  HA coordinator host, before each SUBMIT is
+                        accepted (``crash`` SIGKILL-equivalently downs
+                        the primary mid-campaign; gate by
+                        ``worker=ROLE_INDEX`` — primary 0, standby 1)
 ====================== ==================================================
 
 Fault kinds: ``raise`` (a chosen exception flavor), ``crash``
@@ -93,6 +101,11 @@ HOOK_SITES = {
     "heartbeats so the lease lapses while data acks still flow)",
     "cluster.node_kill": "cluster worker shard solve (crash kills the "
     "node, slow delays the ack past a lease, raise fails the shard)",
+    "cluster.shard_slow": "cluster worker straggler dial (slow holds one "
+    "shard copy so a speculative duplicate can win the race)",
+    "cluster.coordinator_kill": "HA coordinator host on shard submit "
+    "(crash downs the primary mid-campaign; worker= selects the role: "
+    "primary 0, standby 1)",
 }
 
 _KINDS = ("raise", "crash", "hang", "slow", "corrupt")

@@ -14,6 +14,15 @@ stragglers hedge), or can be fixed via ``hedge_delay``.  Solves are pure
 effects — which is what makes hedging safe here.  ``stats()`` reports
 ``hedges`` (sent) and ``hedge_wins`` (the duplicate answered first).
 
+**Throttle retries** (sync client): a ``THROTTLED`` rejection that
+carries the server's ``retry_after`` hint is retried automatically —
+the delay grows exponentially from the hint (capped), with a little
+seeded jitter so a herd of throttled clients does not re-converge on
+the same instant — up to ``throttle_retries`` attempts before the error
+surfaces.  A throttle *without* ``retry_after`` is a quota exhaustion
+(the server's :class:`QuotaExceededError`): permanent for this window,
+never retried.
+
 Errors come back as :class:`ServiceError` carrying the wire-level
 ``code`` (``THROTTLED``, ``TIMEOUT``, ``SHUTDOWN``, ...) and, for
 throttles, a ``retry_after`` hint.
@@ -23,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import threading
 import time
@@ -64,14 +74,21 @@ class ServiceError(ReproError, RuntimeError):
 class _Call:
     """One logical request: possibly several wire ids, one future."""
 
-    __slots__ = ("future", "wire_ids", "started", "timer", "hedged")
+    __slots__ = (
+        "future", "wire_ids", "started", "timer", "hedged", "request",
+        "attempts",
+    )
 
-    def __init__(self, future: Future) -> None:
+    def __init__(self, future: Future, request=None) -> None:
         self.future = future
         self.wire_ids: Set[int] = set()
         self.started = time.perf_counter()
         self.timer: Optional[threading.Timer] = None
         self.hedged = False
+        #: retained verbatim so a throttle retry re-sends the same solve
+        self.request = request
+        #: throttle retries already spent on this call
+        self.attempts = 0
 
 
 class ServiceClient:
@@ -87,6 +104,17 @@ class ServiceClient:
         hedging entirely.
     timeout:
         Default per-request deadline in seconds (None = no deadline).
+    throttle_retries:
+        Automatic re-submissions of a ``THROTTLED`` rejection that
+        carries a ``retry_after`` hint (``0`` disables retries; the
+        error then surfaces immediately).  Quota exhaustion — a
+        throttle with no hint — is never retried.
+    throttle_backoff_cap:
+        Upper bound in seconds on one throttle back-off sleep, however
+        far the exponential growth would take it.
+    retry_seed:
+        Seed for the back-off jitter stream, so chaos tests replay the
+        exact retry schedule.
     """
 
     def __init__(
@@ -96,11 +124,25 @@ class ServiceClient:
         hedge_delay: Optional[float] = None,
         timeout: Optional[float] = None,
         connect_timeout: float = 10.0,
+        throttle_retries: int = 3,
+        throttle_backoff_cap: float = 5.0,
+        retry_seed: int = 0,
     ) -> None:
+        if throttle_retries < 0:
+            raise ValueError(
+                f"throttle_retries must be >= 0, got {throttle_retries}"
+            )
+        if throttle_backoff_cap <= 0:
+            raise ValueError(
+                f"throttle_backoff_cap must be > 0, got {throttle_backoff_cap}"
+            )
         self.host = host
         self.port = port
         self.hedge_delay = hedge_delay
         self.default_timeout = timeout
+        self.throttle_retries = int(throttle_retries)
+        self.throttle_backoff_cap = float(throttle_backoff_cap)
+        self._retry_rng = random.Random(retry_seed)
         self._sock = socket.create_connection((host, port), connect_timeout)
         self._sock.settimeout(None)
         self._wlock = threading.Lock()
@@ -110,9 +152,13 @@ class ServiceClient:
         self._telemetry: Deque[Future] = deque()
         self._pong: Deque[Future] = deque()
         self._latencies: Deque[float] = deque(maxlen=512)
+        #: calls sleeping out a throttle back-off (not in ``_calls``);
+        #: close() must still fail their futures
+        self._backoff: Set[_Call] = set()
         self._closed = False
         self.hedges = 0
         self.hedge_wins = 0
+        self.throttle_retries_sent = 0
         self._reader = threading.Thread(
             target=self._read_loop, name="repro-client-reader", daemon=True
         )
@@ -151,7 +197,7 @@ class ServiceClient:
         )
         future: Future = Future()
         future.set_running_or_notify_cancel()
-        call = _Call(future)
+        call = _Call(future, request=request)
         self._send_copy(call, request)
         delay = self._hedge_after()
         if delay is not None:
@@ -200,6 +246,7 @@ class ServiceClient:
         return {
             "hedges": self.hedges,
             "hedge_wins": self.hedge_wins,
+            "throttle_retries": self.throttle_retries_sent,
             "latency_samples": len(self._latencies),
         }
 
@@ -293,14 +340,68 @@ class ServiceClient:
         if call.future.done():
             return
         if error is not None:
+            if self._maybe_retry_throttle(call, error):
+                return
             call.future.set_exception(error)
         else:
             call.future.set_result(result)
 
+    def _maybe_retry_throttle(
+        self, call: _Call, error: BaseException
+    ) -> bool:
+        """Schedule a backed-off re-send of a retryable throttle.
+
+        Retryable means: a ``THROTTLED`` rejection *with* a
+        ``retry_after`` hint (one without is the server's quota
+        exhaustion — permanent for this accounting window), budget
+        remaining, and the client still open.  The delay doubles per
+        attempt from the server's hint, capped, plus seeded jitter so a
+        herd of throttled clients spreads back out.
+        """
+        if not isinstance(error, ServiceError) or error.code != "THROTTLED":
+            return False
+        if error.retry_after is None or call.request is None:
+            return False
+        if call.attempts >= self.throttle_retries:
+            return False
+        with self._plock:
+            if self._closed:
+                return False
+            call.attempts += 1
+            self.throttle_retries_sent += 1
+            self._backoff.add(call)
+        delay = min(
+            float(error.retry_after) * (2.0 ** (call.attempts - 1)),
+            self.throttle_backoff_cap,
+        )
+        delay += self._retry_rng.uniform(0.0, 0.1 * delay)
+        call.wire_ids.clear()  # the throttled ids are dead; fresh race
+        call.hedged = False
+        call.timer = threading.Timer(delay, self._retry_send, args=(call,))
+        call.timer.daemon = True
+        call.timer.start()
+        return True
+
+    def _retry_send(self, call: _Call) -> None:
+        with self._plock:
+            self._backoff.discard(call)
+            if self._closed or call.future.done():
+                return
+        call.started = time.perf_counter()
+        self._send_copy(call, call.request)
+        delay = self._hedge_after()
+        if delay is not None:
+            call.timer = threading.Timer(
+                delay, self._hedge, args=(call, call.request)
+            )
+            call.timer.daemon = True
+            call.timer.start()
+
     def _fail_all(self, exc: BaseException) -> None:
         with self._plock:
-            calls = list(self._calls.values())
+            calls = list(self._calls.values()) + list(self._backoff)
             self._calls.clear()
+            self._backoff.clear()
             aux = list(self._telemetry) + list(self._pong)
             self._telemetry.clear()
             self._pong.clear()

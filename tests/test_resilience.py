@@ -195,6 +195,8 @@ class TestFaultPlan:
             "campaign.chunk",
             "cluster.partition",
             "cluster.node_kill",
+            "cluster.shard_slow",
+            "cluster.coordinator_kill",
         }
 
 

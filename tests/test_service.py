@@ -384,7 +384,11 @@ class TestServiceAdmission:
             )
         )
         with ServiceThread(engine, config, own_engine=True) as hosted:
-            with ServiceClient(hosted.host, hosted.port, hedge_delay=0) as client:
+            # throttle_retries=0: this test asserts the raw rejection,
+            # not the client's automatic back-off-and-retry
+            with ServiceClient(
+                hosted.host, hosted.port, hedge_delay=0, throttle_retries=0
+            ) as client:
                 client.solve(SPEC, rng.standard_normal((N, N)), tenant="hog")
                 with pytest.raises(ServiceError) as err:
                     client.solve(SPEC, rng.standard_normal(N), tenant="hog")
@@ -449,7 +453,10 @@ class TestServiceAdmission:
             )
         )
         with ServiceThread(engine, config, own_engine=True) as hosted:
-            with ServiceClient(hosted.host, hosted.port, hedge_delay=0) as client:
+            # throttle_retries=0 so each rejection counts exactly once
+            with ServiceClient(
+                hosted.host, hosted.port, hedge_delay=0, throttle_retries=0
+            ) as client:
                 client.solve(SPEC, rng.standard_normal(N), tenant="hog")
                 for _ in range(3):
                     with pytest.raises(ServiceError):
@@ -458,6 +465,86 @@ class TestServiceAdmission:
         hog = snap["tenants"]["hog"]["counters"]
         assert hog["requests_rejected"] == 3
         assert snap["counters"]["service.throttled"] == 3
+
+
+# -- client-side throttle retries --------------------------------------------
+
+
+class TestThrottleRetry:
+    def test_throttled_solve_retries_transparently(self, rng):
+        # rate is high, so the bucket refills within the retry_after
+        # hint: the default retry budget absorbs the throttle entirely.
+        engine = SolveEngine(EngineConfig(max_linger=1e-3))
+        config = ServiceConfig(
+            admission=AdmissionController(
+                quotas={"hog": TenantQuota(rate=2.0 * N, burst=float(N))}
+            )
+        )
+        with ServiceThread(engine, config, own_engine=True) as hosted:
+            with ServiceClient(
+                hosted.host, hosted.port, hedge_delay=0
+            ) as client:
+                # burn the whole burst, then solve again immediately
+                client.solve(SPEC, rng.standard_normal((N, N)), tenant="hog")
+                out = client.solve(
+                    SPEC, rng.standard_normal(N), tenant="hog", timeout=10.0
+                )
+                assert np.isfinite(out).all()
+                assert client.stats()["throttle_retries"] >= 1
+
+    def test_retry_budget_exhausts_to_error(self, rng):
+        # rate is so low that no retry can ever be admitted: after the
+        # bounded budget the THROTTLED error must surface, not hang.
+        engine = SolveEngine(EngineConfig(max_linger=1e-3))
+        config = ServiceConfig(
+            admission=AdmissionController(
+                quotas={"hog": TenantQuota(rate=0.05, burst=1.0)}
+            )
+        )
+        with ServiceThread(engine, config, own_engine=True) as hosted:
+            with ServiceClient(
+                hosted.host,
+                hosted.port,
+                hedge_delay=0,
+                throttle_retries=2,
+                throttle_backoff_cap=0.05,  # keep the test fast
+            ) as client:
+                client.solve(SPEC, rng.standard_normal(N), tenant="hog")
+                with pytest.raises(ServiceError) as err:
+                    client.solve(
+                        SPEC, rng.standard_normal(N), tenant="hog",
+                        timeout=10.0,
+                    )
+                assert err.value.code == "THROTTLED"
+                assert client.stats()["throttle_retries"] == 2
+
+    def test_quota_exhaustion_is_permanent_no_retry(self, rng):
+        # cols > burst can never be admitted; the server answers
+        # BAD_REQUEST with no retry_after and the client must not retry.
+        engine = SolveEngine(EngineConfig(max_linger=1e-3))
+        config = ServiceConfig(
+            admission=AdmissionController(
+                quotas={"t": TenantQuota(rate=10.0, burst=2.0)}
+            )
+        )
+        with ServiceThread(engine, config, own_engine=True) as hosted:
+            with ServiceClient(
+                hosted.host, hosted.port, hedge_delay=0
+            ) as client:
+                with pytest.raises(ServiceError) as err:
+                    client.solve(
+                        SPEC, rng.standard_normal((N, 8)), tenant="t",
+                        timeout=10.0,
+                    )
+                assert err.value.code == "BAD_REQUEST"
+                assert err.value.retry_after is None
+                assert client.stats()["throttle_retries"] == 0
+
+    def test_retry_knobs_validated(self):
+        with pytest.raises(ValueError, match="throttle_retries"):
+            ServiceClient("127.0.0.1", 1, throttle_retries=-1)
+        with pytest.raises(ValueError, match="throttle_backoff_cap"):
+            ServiceClient("127.0.0.1", 1, throttle_backoff_cap=0.0)
 
 
 # -- wire-id scoping across connections --------------------------------------
